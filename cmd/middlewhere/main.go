@@ -1,0 +1,120 @@
+// Command middlewhere runs the MiddleWhere Location Service daemon:
+// it loads a building model, starts the Location Service, publishes it
+// over TCP (the paper's CORBA service, §7), and optionally registers
+// with a service registry (the Gaia Space Repository analogue) so
+// applications can discover it by name.
+//
+// Usage:
+//
+//	middlewhere -addr :7700
+//	middlewhere -addr :7700 -registry localhost:7600 -name location-service
+//	middlewhere -building synthetic -rows 5 -cols 8
+//	middlewhere -floorplan plan.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"middlewhere"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":7700", "TCP address to serve the location service on")
+		regAddr      = flag.String("registry", "", "optional registry address to register with")
+		name         = flag.String("name", "location-service", "service name in the registry")
+		buildingKind = flag.String("building", "paper", `building model: "paper" or "synthetic"`)
+		rows         = flag.Int("rows", 4, "synthetic building: room rows")
+		cols         = flag.Int("cols", 6, "synthetic building: room columns")
+		floorplan    = flag.String("floorplan", "", "JSON floor-plan file (overrides -building)")
+	)
+	flag.Parse()
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if err := run(*addr, *regAddr, *name, *buildingKind, *floorplan, *rows, *cols, stop); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// loadBuilding resolves the -building/-floorplan flags to a model.
+func loadBuilding(buildingKind, floorplan string, rows, cols int) (*middlewhere.Building, string, error) {
+	switch {
+	case floorplan != "":
+		f, err := os.Open(floorplan)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		bld, err := middlewhere.LoadPlan(f)
+		if err != nil {
+			return nil, "", err
+		}
+		return bld, "plan:" + floorplan, nil
+	case buildingKind == "paper":
+		return middlewhere.PaperFloor(), buildingKind, nil
+	case buildingKind == "synthetic":
+		return middlewhere.SyntheticBuilding("SYN", rows, cols, 20, 15, 8), buildingKind, nil
+	default:
+		return nil, "", fmt.Errorf("unknown building kind %q", buildingKind)
+	}
+}
+
+func run(addr, regAddr, name, buildingKind, floorplan string, rows, cols int, stop <-chan os.Signal) error {
+	bld, kindLabel, err := loadBuilding(buildingKind, floorplan, rows, cols)
+	if err != nil {
+		return err
+	}
+	buildingKind = kindLabel
+
+	svc, err := middlewhere.New(bld)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	srv := middlewhere.NewRemoteServer(svc)
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	log.Printf("location service (%s building, %d objects) on %s",
+		buildingKind, len(bld.Objects), bound)
+
+	if regAddr != "" {
+		reg, err := middlewhere.DialRegistry(regAddr)
+		if err != nil {
+			return fmt.Errorf("registry: %w", err)
+		}
+		defer reg.Close()
+		heartbeat := func() error { return reg.Register(name, bound, 30*time.Second) }
+		if err := heartbeat(); err != nil {
+			return fmt.Errorf("registry: %w", err)
+		}
+		log.Printf("registered as %q at %s", name, regAddr)
+		ticker := time.NewTicker(10 * time.Second)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				if err := heartbeat(); err != nil {
+					log.Printf("registry heartbeat: %v", err)
+				}
+			case <-stop:
+				_ = reg.Deregister(name)
+				log.Print("shutting down")
+				return nil
+			}
+		}
+	}
+
+	<-stop
+	log.Print("shutting down")
+	return nil
+}

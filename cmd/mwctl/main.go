@@ -1,0 +1,231 @@
+// Command mwctl is the MiddleWhere client CLI: it talks to a running
+// location service daemon and exercises the application API.
+//
+// Usage:
+//
+//	mwctl -addr localhost:7700 locate alice
+//	mwctl -addr localhost:7700 prob alice CS/Floor3/NetLab
+//	mwctl -addr localhost:7700 who CS/Floor3/NetLab
+//	mwctl -addr localhost:7700 watch CS/Floor3/NetLab 30s
+//	mwctl -addr localhost:7700 route CS/Floor3/NetLab CS/Floor3/HCILab
+//	mwctl -addr localhost:7700 relate CS/Floor3/NetLab CS/Floor3/MainCorridor
+//	mwctl -addr localhost:7700 ingest ubi-1 alice 'CS/Floor3/(370,15)'
+//	mwctl -addr localhost:7700 query "SELECT objects WHERE type = 'Room'"
+//	mwctl -registry localhost:7600 locate alice
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"middlewhere"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "", "location service address")
+		regAddr = flag.String("registry", "", "registry address (looks up -name instead of -addr)")
+		name    = flag.String("name", "location-service", "service name for registry lookup")
+	)
+	flag.Parse()
+	if err := run(*addr, *regAddr, *name, flag.Args()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr, regAddr, name string, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: mwctl [flags] <locate|prob|who|watch|route|relate|query|dist|history|ingest> ...")
+	}
+	if addr == "" && regAddr != "" {
+		reg, err := middlewhere.DialRegistry(regAddr)
+		if err != nil {
+			return err
+		}
+		defer reg.Close()
+		e, err := reg.Lookup(name)
+		if err != nil {
+			return err
+		}
+		addr = e.Addr
+	}
+	if addr == "" {
+		return fmt.Errorf("need -addr or -registry")
+	}
+	c, err := middlewhere.DialLocation(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "locate":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: locate <object>")
+		}
+		loc, err := c.Locate(rest[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %s p=%.3f (%s)\n", loc.Object, loc.Symbolic, loc.Prob, loc.Band)
+		fmt.Printf("  rect [%.1f,%.1f %.1f,%.1f] support=%v discarded=%v\n",
+			loc.Rect.MinX, loc.Rect.MinY, loc.Rect.MaxX, loc.Rect.MaxY,
+			loc.Support, loc.Discarded)
+		return nil
+	case "prob":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: prob <object> <region>")
+		}
+		p, band, err := c.ProbInRegion(rest[0], rest[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("P(%s in %s) = %.3f (%s)\n", rest[0], rest[1], p, band)
+		return nil
+	case "who":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: who <region>")
+		}
+		objs, err := c.ObjectsInRegion(rest[0], 0.4)
+		if err != nil {
+			return err
+		}
+		names := make([]string, 0, len(objs))
+		for who := range objs {
+			names = append(names, who)
+		}
+		sort.Strings(names)
+		for _, who := range names {
+			fmt.Printf("%s p=%.3f\n", who, objs[who])
+		}
+		if len(names) == 0 {
+			fmt.Println("(nobody)")
+		}
+		return nil
+	case "watch":
+		if len(rest) < 1 {
+			return fmt.Errorf("usage: watch <region> [duration]")
+		}
+		dur := 30 * time.Second
+		if len(rest) > 1 {
+			d, err := time.ParseDuration(rest[1])
+			if err != nil {
+				return err
+			}
+			dur = d
+		}
+		_, err := c.Subscribe(middlewhere.SubscribeArgs{Region: rest[0], MinProb: 0.4},
+			func(n middlewhere.NotificationDTO) {
+				fmt.Printf("%s  %s entered %s (p=%.3f, %s)\n",
+					n.Time, n.Object, rest[0], n.Prob, n.Band)
+			})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "watching %s for %s...\n", rest[0], dur)
+		time.Sleep(dur)
+		return nil
+	case "route":
+		if len(rest) < 2 {
+			return fmt.Errorf("usage: route <from> <to> [free|restricted]")
+		}
+		policy := "restricted"
+		if len(rest) > 2 {
+			policy = rest[2]
+		}
+		rt, err := c.Route(rest[0], rest[1], policy)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%.1f units: %v\n", rt.Length, rt.Regions)
+		return nil
+	case "relate":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: relate <regionA> <regionB>")
+		}
+		rel, pass, err := c.Relate(rest[0], rest[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s / %s\n", rel, pass)
+		return nil
+	case "dist":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: dist <object>")
+		}
+		cells, err := c.Distribution(rest[0])
+		if err != nil {
+			return err
+		}
+		for _, cell := range cells {
+			fmt.Printf("p=%.3f  %-24s [%.1f,%.1f %.1f,%.1f]\n",
+				cell.Prob, cell.Symbolic,
+				cell.Rect.MinX, cell.Rect.MinY, cell.Rect.MaxX, cell.Rect.MaxY)
+		}
+		return nil
+	case "history":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: history <object>")
+		}
+		trail, err := c.History(rest[0])
+		if err != nil {
+			return err
+		}
+		for _, loc := range trail {
+			fmt.Printf("%s  %-24s p=%.3f\n", loc.Time, loc.Symbolic, loc.Prob)
+		}
+		if len(trail) == 0 {
+			fmt.Println("(no history; is the service running with history enabled?)")
+		}
+		return nil
+	case "query":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: query '<mwql statement>'")
+		}
+		objs, err := c.Query(rest[0])
+		if err != nil {
+			return err
+		}
+		for _, o := range objs {
+			fmt.Printf("%-30s %-10s [%.1f,%.1f %.1f,%.1f]", o.GLOB, o.Type,
+				o.Bounds.MinX, o.Bounds.MinY, o.Bounds.MaxX, o.Bounds.MaxY)
+			for k, v := range o.Properties {
+				fmt.Printf(" %s=%s", k, v)
+			}
+			fmt.Println()
+		}
+		if len(objs) == 0 {
+			fmt.Println("(no objects)")
+		}
+		return nil
+	case "ingest":
+		if len(rest) < 3 {
+			return fmt.Errorf("usage: ingest <sensorID> <object> <glob> [radius]")
+		}
+		loc, err := middlewhere.ParseGLOB(rest[2])
+		if err != nil {
+			return err
+		}
+		radius := 0.0
+		if len(rest) > 3 {
+			if radius, err = strconv.ParseFloat(rest[3], 64); err != nil {
+				return err
+			}
+		}
+		return c.Ingest(middlewhere.Reading{
+			SensorID:        rest[0],
+			MObjectID:       rest[1],
+			Location:        loc,
+			DetectionRadius: radius,
+			Time:            time.Now(),
+		})
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}

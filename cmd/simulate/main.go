@@ -1,0 +1,136 @@
+// Command simulate drives a live MiddleWhere deployment with
+// synthetic activity: it runs the building simulator, wires simulated
+// sensor fields to adapters, and streams the resulting readings into a
+// location service — either a remote daemon (via -addr) or an
+// in-process service (the default, for demos without a daemon).
+//
+// Usage:
+//
+//	simulate                      # in-process paper floor, 5 people, 60s
+//	simulate -people 10 -steps 600
+//	simulate -addr localhost:7700 # feed a running daemon
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"middlewhere"
+	"middlewhere/internal/render"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "remote location service (empty: run in-process)")
+		people   = flag.Int("people", 5, "simulated people")
+		steps    = flag.Int("steps", 300, "simulation steps (1s each)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		realtime = flag.Bool("realtime", false, "sleep 1s of wall time per step")
+		report   = flag.Int("report", 30, "print a location report every N steps")
+		draw     = flag.Bool("draw", false, "draw an ASCII floor map with each report")
+	)
+	flag.Parse()
+	if err := run(*addr, *people, *steps, *seed, *realtime, *report, *draw); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr string, people, steps int, seed int64, realtime bool, report int, draw bool) error {
+	bld := middlewhere.PaperFloor()
+	s, err := middlewhere.NewSim(bld, middlewhere.SimConfig{
+		People:   people,
+		Seed:     seed,
+		DwellMin: 5 * time.Second,
+		DwellMax: 20 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+
+	// The reading sink/registrar: a remote client or a local service.
+	var (
+		sink interface {
+			Ingest(middlewhere.Reading) error
+			RegisterSensor(string, middlewhere.SensorSpec) error
+		}
+		local *middlewhere.Service
+	)
+	if addr != "" {
+		c, err := middlewhere.DialLocation(addr)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		sink = c
+		log.Printf("feeding remote service at %s", addr)
+	} else {
+		svc, err := middlewhere.New(bld, middlewhere.WithClock(s.Now))
+		if err != nil {
+			return err
+		}
+		defer svc.Close()
+		sink, local = svc, svc
+		log.Print("running in-process service")
+	}
+
+	floor := middlewhere.MustParseGLOB("CS/Floor3")
+	ubi, err := middlewhere.NewUbisense("sim-ubi", floor, 0.9, sink, sink, middlewhere.AdapterOptions{})
+	if err != nil {
+		return err
+	}
+	rf, err := middlewhere.NewRFID("sim-rf", floor, middlewhere.Pt(370, 15), 15, 0.8,
+		sink, sink, middlewhere.AdapterOptions{})
+	if err != nil {
+		return err
+	}
+	card, err := middlewhere.NewCardReader("sim-card-3105",
+		middlewhere.MustParseGLOB("CS/Floor3/3105"), sink, sink, middlewhere.AdapterOptions{})
+	if err != nil {
+		return err
+	}
+
+	observers := []middlewhere.Observer{
+		middlewhere.NewUbisenseField(ubi, bld.Universe, 0.9, s.Rand()),
+		middlewhere.NewRFIDStation(rf, middlewhere.Pt(370, 15), 15, 0.8, s.Rand()),
+		&middlewhere.CardReaderDoor{Adapter: card, Room: "CS/Floor3/3105"},
+	}
+
+	for i := 1; i <= steps; i++ {
+		s.Step()
+		snapshot := s.People()
+		for _, o := range observers {
+			if err := o.Observe(s.Now(), snapshot); err != nil {
+				return err
+			}
+		}
+		if report > 0 && i%report == 0 && local != nil {
+			fmt.Printf("--- t=%ds\n", i)
+			if draw {
+				markers := make([]render.Marker, 0, len(snapshot))
+				for j, p := range snapshot {
+					markers = append(markers, render.Marker{
+						Label: rune('0' + j%10), Pos: p.Pos,
+					})
+				}
+				fmt.Print(render.Floor(local.DB(), markers, 100))
+			}
+			for _, p := range snapshot {
+				loc, err := local.LocateObject(p.ID)
+				if err != nil {
+					fmt.Printf("%-10s true=%-28s est=unknown\n", p.ID, p.Room)
+					continue
+				}
+				fmt.Printf("%-10s true=%-28s est=%-28s p=%.2f err=%.1f\n",
+					p.ID, p.Room, loc.Symbolic,
+					loc.Prob, loc.Rect.Center().Dist(p.Pos))
+			}
+		}
+		if realtime {
+			time.Sleep(time.Second)
+		}
+	}
+	log.Printf("done: %d steps, %d people", steps, people)
+	return nil
+}

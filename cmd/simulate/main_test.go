@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestSimulateInProcess(t *testing.T) {
+	if err := run("", 3, 30, 1, false, 15, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateBadRemote(t *testing.T) {
+	if err := run("127.0.0.1:1", 1, 1, 1, false, 0, false); err == nil {
+		t.Error("dial to dead address should fail")
+	}
+}

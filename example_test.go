@@ -1,0 +1,122 @@
+package middlewhere_test
+
+import (
+	"fmt"
+	"time"
+
+	"middlewhere"
+)
+
+// Example shows the minimal pull-mode flow: build the paper floor,
+// report one UWB fix, and ask where the person is.
+func Example() {
+	bld := middlewhere.PaperFloor()
+	now := time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)
+	svc, err := middlewhere.New(bld, middlewhere.WithClock(func() time.Time { return now }))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer svc.Close()
+
+	floor := middlewhere.MustParseGLOB("CS/Floor3")
+	ubi, err := middlewhere.NewUbisense("ubi-1", floor, 0.9, svc, svc, middlewhere.AdapterOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := ubi.ReportFix("alice", middlewhere.Pt(370, 15), now); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	loc, err := svc.LocateObject("alice")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%s p=%.2f\n", loc.Symbolic, loc.Prob)
+	// Output: CS/Floor3/NetLab p=0.86
+}
+
+// ExampleService_Subscribe shows the push mode of §4.3: a region
+// subscription fires when a person enters the NetLab.
+func ExampleService_Subscribe() {
+	bld := middlewhere.PaperFloor()
+	now := time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)
+	svc, err := middlewhere.New(bld, middlewhere.WithClock(func() time.Time { return now }))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer svc.Close()
+	floor := middlewhere.MustParseGLOB("CS/Floor3")
+	ubi, err := middlewhere.NewUbisense("ubi-1", floor, 0.9, svc, svc, middlewhere.AdapterOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	entered := make(chan middlewhere.Notification, 1)
+	_, err = svc.Subscribe(middlewhere.Subscription{
+		Region:  middlewhere.MustParseGLOB("CS/Floor3/NetLab"),
+		MinProb: 0.4,
+		Handler: func(n middlewhere.Notification) { entered <- n },
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := ubi.ReportFix("bob", middlewhere.Pt(370, 15), now); err != nil {
+		fmt.Println(err)
+		return
+	}
+	n := <-entered
+	fmt.Printf("%s entered the NetLab\n", n.Object)
+	// Output: bob entered the NetLab
+}
+
+// ExampleExecQuery runs the paper's §5.1 example query over the
+// spatial database.
+func ExampleExecQuery() {
+	svc, err := middlewhere.New(middlewhere.PaperFloor())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer svc.Close()
+	objs, err := middlewhere.ExecQuery(svc.DB(), `SELECT objects
+		WHERE prop('power-outlets') = 'yes' AND prop('bluetooth') = 'high'
+		NEAREST (0, 0) LIMIT 1`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(objs[0].ID())
+	// Output: CS/Floor3/NetLab
+}
+
+// ExampleService_RouteBetween finds a walkable route, honoring the
+// card-controlled door into room 3105.
+func ExampleService_RouteBetween() {
+	svc, err := middlewhere.New(middlewhere.PaperFloor())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer svc.Close()
+	from := middlewhere.MustParseGLOB("CS/Floor3/NetLab")
+	to := middlewhere.MustParseGLOB("CS/Floor3/3105")
+	if _, err := svc.RouteBetween(from, to, middlewhere.FreeOnly); err != nil {
+		fmt.Println("no free route; trying with a badge")
+	}
+	rt, err := svc.RouteBetween(from, to, middlewhere.AllowRestricted)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(rt.Regions)
+	// Output:
+	// no free route; trying with a badge
+	// [CS/Floor3/NetLab CS/Floor3/MainCorridor CS/Floor3/3105]
+}

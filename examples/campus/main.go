@@ -1,0 +1,142 @@
+// Command campus demonstrates the outdoor/indoor handoff of §1: "GPS
+// is the de facto location technology for wide outdoor areas; however
+// it does not work in covered areas or indoors." A walker crosses a
+// campus quad (GPS coverage) into a building (Ubisense coverage); the
+// Location Service fuses whichever technology currently sees them and
+// the estimate hands off seamlessly.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"middlewhere"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+const planJSON = `{
+  "name": "UIUC",
+  "universe": {"minX": 0, "minY": 0, "maxX": 200, "maxY": 60},
+  "frames": [
+    {"name": "UIUC"},
+    {"name": "UIUC/quad", "parent": "UIUC"},
+    {"name": "UIUC/CS", "parent": "UIUC", "x": 100}
+  ],
+  "objects": [
+    {"glob": "UIUC/quad", "type": "Corridor", "kind": "polygon",
+     "points": [[0,0],[100,0],[100,60],[0,60]]},
+    {"glob": "UIUC/CS", "type": "Floor", "kind": "polygon",
+     "points": [[0,0],[100,0],[100,60],[0,60]]},
+    {"glob": "UIUC/CS/hall", "type": "Corridor", "kind": "polygon",
+     "points": [[0,0],[30,0],[30,60],[0,60]]},
+    {"glob": "UIUC/CS/lab", "type": "Room", "kind": "polygon",
+     "points": [[30,0],[100,0],[100,30],[30,30]]},
+    {"glob": "UIUC/CS/office", "type": "Room", "kind": "polygon",
+     "points": [[30,30],[100,30],[100,60],[30,60]]}
+  ],
+  "doors": [
+    {"roomA": "UIUC/quad", "roomB": "UIUC/CS/hall",
+     "span": [100, 28, 100, 32], "kind": "free"},
+    {"roomA": "UIUC/CS/hall", "roomB": "UIUC/CS/lab",
+     "span": [130, 14, 130, 18], "kind": "free"},
+    {"roomA": "UIUC/CS/hall", "roomB": "UIUC/CS/office",
+     "span": [130, 44, 130, 48], "kind": "free"}
+  ]
+}`
+
+func run() error {
+	bld, err := middlewhere.LoadPlan(strings.NewReader(planJSON))
+	if err != nil {
+		return err
+	}
+
+	s, err := middlewhere.NewSim(bld, middlewhere.SimConfig{
+		People:   1,
+		Seed:     4,
+		DwellMin: 3 * time.Second,
+		DwellMax: 6 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	svc, err := middlewhere.New(bld, middlewhere.WithClock(s.Now), middlewhere.WithHistory(64))
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	campusFrame := middlewhere.MustParseGLOB("UIUC")
+	// GPS anchored at the campus origin, covering only the quad.
+	ref := middlewhere.GeoReference{
+		Lat0: 40.1, Lon0: -88.2,
+		Origin:         middlewhere.Pt(0, 0),
+		UnitsPerDegLat: 364000,
+		UnitsPerDegLon: 280000,
+	}
+	gps, err := middlewhere.NewGPS("campus-gps", campusFrame, ref, 0.95, svc, svc,
+		middlewhere.AdapterOptions{})
+	if err != nil {
+		return err
+	}
+	// Ubisense covering only the building interior.
+	ubi, err := middlewhere.NewUbisense("cs-ubi", campusFrame, 0.95, svc, svc,
+		middlewhere.AdapterOptions{})
+	if err != nil {
+		return err
+	}
+
+	quad := middlewhere.R(0, 0, 100, 60)
+	indoors := middlewhere.R(100, 0, 200, 60)
+	observers := []middlewhere.Observer{
+		middlewhere.NewGPSSatellites(gps, quad, ref, 0.95, s.Rand()),
+		middlewhere.NewUbisenseField(ubi, indoors, 0.95, s.Rand()),
+	}
+
+	fmt.Println("walking the campus: GPS on the quad, UWB indoors")
+	lastTech := ""
+	handoffs := 0
+	for i := 0; i < 600 && handoffs < 4; i++ {
+		s.Step()
+		for _, o := range observers {
+			if err := o.Observe(s.Now(), s.People()); err != nil {
+				return err
+			}
+		}
+		loc, err := svc.LocateObject("person-00")
+		if err != nil {
+			continue
+		}
+		tech := "?"
+		for _, id := range loc.Support {
+			tech = id
+		}
+		if tech != lastTech && tech != "?" {
+			pos, _ := s.TruePosition("person-00")
+			fmt.Printf("t=%3ds  %-14s -> estimate %-14s via %-10s (true (%5.1f,%4.1f), err %.1f)\n",
+				i, truthSide(pos.X), loc.Symbolic.Name(), tech,
+				pos.X, pos.Y, loc.Rect.Center().Dist(pos))
+			lastTech = tech
+			handoffs++
+		}
+	}
+	if handoffs == 0 {
+		return fmt.Errorf("no technology handoffs observed")
+	}
+	fmt.Printf("done: %d technology handoffs; history kept %d fixes\n",
+		handoffs, len(svc.History("person-00")))
+	return nil
+}
+
+func truthSide(x float64) string {
+	if x < 100 {
+		return "on the quad"
+	}
+	return "inside CS"
+}

@@ -1,0 +1,122 @@
+// Command followme reproduces the paper's Follow Me application
+// (§8.1): a user's session (applications, files, state) follows them
+// from display to display. A user proxy watches the user's location;
+// when the user leaves the vicinity of the display hosting their
+// session, the session suspends, and when they show up in the usage
+// region of another display, it resumes there.
+//
+// The user's movement is driven by the building simulator standing in
+// for a real person walking the floor.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"middlewhere"
+)
+
+// session is the user's migratable workspace.
+type session struct {
+	User    string
+	Display string // "" while suspended
+	Opened  []string
+}
+
+// userProxy manages one user's session, following §8.1: it queries
+// MiddleWhere for the user's location and for nearby suitable
+// displays.
+type userProxy struct {
+	svc     *middlewhere.Service
+	user    string
+	session session
+}
+
+// step reconsiders the session placement. It returns a human-readable
+// event when something changed.
+func (p *userProxy) step() string {
+	display, prob, err := p.svc.NearestUsable(p.user, "Display", 0.25)
+	switch {
+	case err != nil && p.session.Display != "":
+		// User is away from every display: suspend.
+		prev := p.session.Display
+		p.session.Display = ""
+		return fmt.Sprintf("session suspended (left %s)", prev)
+	case err != nil:
+		return ""
+	case display == p.session.Display:
+		return ""
+	default:
+		prev := p.session.Display
+		p.session.Display = display
+		if prev == "" {
+			return fmt.Sprintf("session resumed on %s (p=%.2f)", display, prob)
+		}
+		return fmt.Sprintf("session migrated %s -> %s (p=%.2f)", prev, display, prob)
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	bld := middlewhere.PaperFloor()
+
+	// Drive time from the simulator so temporal degradation is
+	// deterministic.
+	s, err := middlewhere.NewSim(bld, middlewhere.SimConfig{
+		People:   1,
+		Seed:     42,
+		DwellMin: 4 * time.Second,
+		DwellMax: 10 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	svc, err := middlewhere.New(bld, middlewhere.WithClock(s.Now))
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	floor := middlewhere.MustParseGLOB("CS/Floor3")
+	ubi, err := middlewhere.NewUbisense("ubi-1", floor, 1.0, svc, svc, middlewhere.AdapterOptions{})
+	if err != nil {
+		return err
+	}
+	field := middlewhere.NewUbisenseField(ubi, bld.Universe, 1.0, s.Rand())
+
+	user := "person-00"
+	proxy := &userProxy{
+		svc:  svc,
+		user: user,
+		session: session{
+			User:   user,
+			Opened: []string{"paper-draft.tex", "results.ods"},
+		},
+	}
+
+	fmt.Printf("following %s's session (%v)\n", user, proxy.session.Opened)
+	events := 0
+	for i := 0; i < 900 && events < 6; i++ {
+		s.Step()
+		if err := field.Observe(s.Now(), s.People()); err != nil {
+			return err
+		}
+		if ev := proxy.step(); ev != "" {
+			pos, _ := s.TruePosition(user)
+			fmt.Printf("t=%3ds user at (%5.1f,%5.1f): %s\n",
+				i, pos.X, pos.Y, ev)
+			events++
+		}
+	}
+	if events == 0 {
+		return fmt.Errorf("no session events in 900 steps")
+	}
+	fmt.Println("done:", events, "session events")
+	return nil
+}

@@ -1,0 +1,180 @@
+// Command locator reproduces the paper's Vocal Personnel Locator
+// (§8.4) with a text interface in place of the speech front-end: the
+// user asks where a person or object is, the application queries the
+// spatial database and the Location Service, and replies in words.
+//
+// Run it with queries as arguments, e.g.:
+//
+//	locator "where is tom" "who is in CS/Floor3/NetLab" \
+//	        "find power-outlets" "route CS/Floor3/NetLab CS/Floor3/HCILab"
+//
+// With no arguments it runs a scripted demo conversation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"middlewhere"
+)
+
+// locator answers natural-ish queries.
+type locator struct {
+	svc *middlewhere.Service
+}
+
+// answer handles one query line.
+func (l *locator) answer(q string) string {
+	words := strings.Fields(strings.TrimSpace(q))
+	if len(words) == 0 {
+		return "Say something like: where is tom"
+	}
+	switch {
+	case len(words) >= 3 && words[0] == "where" && words[1] == "is":
+		return l.whereIs(words[2])
+	case len(words) >= 4 && words[0] == "who" && words[1] == "is" && words[2] == "in":
+		return l.whoIsIn(words[3])
+	case len(words) >= 2 && words[0] == "find":
+		return l.find(words[1])
+	case len(words) >= 3 && words[0] == "route":
+		return l.route(words[1], words[2])
+	default:
+		return fmt.Sprintf("I did not understand %q.", q)
+	}
+}
+
+func (l *locator) whereIs(who string) string {
+	// People first.
+	if loc, err := l.svc.LocateObject(who); err == nil {
+		return fmt.Sprintf("%s is in %s with %s probability (%.0f%%).",
+			who, spoken(loc.Symbolic.String()), loc.Band, loc.Prob*100)
+	}
+	// Then static objects by suffix match on the object table.
+	for _, o := range l.svc.DB().Objects() {
+		if strings.EqualFold(o.GLOB.Name(), who) {
+			return fmt.Sprintf("The %s is a %s located in %s.",
+				who, strings.ToLower(o.Type), spoken(o.GLOB.Prefix().String()))
+		}
+	}
+	return fmt.Sprintf("I cannot find %s anywhere.", who)
+}
+
+func (l *locator) whoIsIn(region string) string {
+	g, err := middlewhere.ParseGLOB(region)
+	if err != nil {
+		return fmt.Sprintf("%q is not a location I know.", region)
+	}
+	people, err := l.svc.ObjectsInRegion(g, 0.4)
+	if err != nil || len(people) == 0 {
+		return fmt.Sprintf("Nobody seems to be in %s right now.", spoken(region))
+	}
+	names := make([]string, 0, len(people))
+	for who := range people {
+		names = append(names, who)
+	}
+	sort.Strings(names)
+	return fmt.Sprintf("In %s I can see: %s.", spoken(region), strings.Join(names, ", "))
+}
+
+func (l *locator) find(property string) string {
+	// "Where is the nearest region that has power outlets?" (§5.1)
+	got := l.svc.DB().Nearest(middlewhere.Pt(0, 0), 1, middlewhere.ObjectFilter{
+		Properties: map[string]string{property: "yes"},
+	})
+	if len(got) == 0 {
+		// Try value "high" for signal-strength style properties.
+		got = l.svc.DB().Nearest(middlewhere.Pt(0, 0), 1, middlewhere.ObjectFilter{
+			Properties: map[string]string{property: "high"},
+		})
+	}
+	if len(got) == 0 {
+		return fmt.Sprintf("No region with %s found.", property)
+	}
+	return fmt.Sprintf("The nearest region with %s is %s.", property, spoken(got[0].ID()))
+}
+
+func (l *locator) route(from, to string) string {
+	gf, err1 := middlewhere.ParseGLOB(from)
+	gt, err2 := middlewhere.ParseGLOB(to)
+	if err1 != nil || err2 != nil {
+		return "Routes need two locations."
+	}
+	rt, err := l.svc.RouteBetween(gf, gt, middlewhere.AllowRestricted)
+	if err != nil {
+		return fmt.Sprintf("There is no way to walk from %s to %s.", spoken(from), spoken(to))
+	}
+	hops := make([]string, len(rt.Regions))
+	for i, r := range rt.Regions {
+		hops[i] = spoken(r)
+	}
+	return fmt.Sprintf("Walk %.0f feet: %s.", rt.Length, strings.Join(hops, ", then "))
+}
+
+// spoken shortens a GLOB for speech ("CS/Floor3/NetLab" -> "NetLab").
+func spoken(g string) string {
+	if i := strings.LastIndexByte(g, '/'); i >= 0 {
+		return g[i+1:]
+	}
+	return g
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(queries []string) error {
+	bld := middlewhere.PaperFloor()
+	now := time.Date(2026, 7, 5, 15, 0, 0, 0, time.UTC)
+	svc, err := middlewhere.New(bld, middlewhere.WithClock(func() time.Time { return now }))
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	floor := middlewhere.MustParseGLOB("CS/Floor3")
+	ubi, err := middlewhere.NewUbisense("ubi-1", floor, 0.95, svc, svc, middlewhere.AdapterOptions{})
+	if err != nil {
+		return err
+	}
+	// Register a second technology so the §4.4 probability bands have
+	// spread (see messenger example).
+	if _, err := middlewhere.NewRFID("rf-1", floor, middlewhere.Pt(340, 10), 15, 0.8,
+		svc, svc, middlewhere.AdapterOptions{}); err != nil {
+		return err
+	}
+	for _, f := range []struct {
+		who  string
+		x, y float64
+	}{{"tom", 370, 15}, {"ann", 340, 10}, {"ralph", 200, 37}} {
+		if err := ubi.ReportFix(f.who, middlewhere.Pt(f.x, f.y), now); err != nil {
+			return err
+		}
+	}
+
+	if len(queries) == 0 {
+		queries = []string{
+			"where is tom",
+			"where is ann",
+			"where is lightswitch1",
+			"who is in CS/Floor3/NetLab",
+			"who is in CS/Floor3/HCILab",
+			"find power-outlets",
+			"find bluetooth",
+			"route CS/Floor3/NetLab CS/Floor3/3105",
+			"where is bigfoot",
+			"make me a sandwich",
+		}
+	}
+	l := &locator{svc: svc}
+	for _, q := range queries {
+		fmt.Printf("you:     %s\n", q)
+		fmt.Printf("locator: %s\n", l.answer(q))
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+// Command notifier reproduces the paper's Location-Based Notifications
+// application (§8.3): messages are sent to everyone located within a
+// geographical boundary — "the store is closing in five minutes". It
+// sets a location trigger on the target area, maintains the list of
+// people inside it, and broadcasts when asked.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"middlewhere"
+)
+
+// zoneNotifier tracks who is inside a region and can broadcast to
+// them (§8.3: "implemented by setting up location triggers in the
+// target area and maintaining a list of users in the region").
+type zoneNotifier struct {
+	svc    *middlewhere.Service
+	region middlewhere.GLOB
+
+	mu     sync.Mutex
+	inside map[string]float64
+}
+
+// newZoneNotifier subscribes to entries into the region.
+func newZoneNotifier(svc *middlewhere.Service, region middlewhere.GLOB) (*zoneNotifier, error) {
+	z := &zoneNotifier{svc: svc, region: region, inside: make(map[string]float64)}
+	_, err := svc.Subscribe(middlewhere.Subscription{
+		Region:       region,
+		MinProb:      0.4,
+		EveryReading: true, // keep the membership list current
+		Handler: func(n middlewhere.Notification) {
+			z.mu.Lock()
+			z.inside[n.Object] = n.Prob
+			z.mu.Unlock()
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return z, nil
+}
+
+// refresh drops people who are no longer probably inside.
+func (z *zoneNotifier) refresh() {
+	current, err := z.svc.ObjectsInRegion(z.region, 0.4)
+	if err != nil {
+		return
+	}
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	for who := range z.inside {
+		if _, still := current[who]; !still {
+			delete(z.inside, who)
+		}
+	}
+	for who, p := range current {
+		z.inside[who] = p
+	}
+}
+
+// broadcast sends text to everyone currently inside.
+func (z *zoneNotifier) broadcast(text string) []string {
+	z.refresh()
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	var out []string
+	for who, p := range z.inside {
+		out = append(out, fmt.Sprintf("  -> %s (p=%.2f): %q", who, p, text))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	bld := middlewhere.PaperFloor()
+	s, err := middlewhere.NewSim(bld, middlewhere.SimConfig{
+		People:   6,
+		Seed:     7,
+		DwellMin: 5 * time.Second,
+		DwellMax: 15 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	svc, err := middlewhere.New(bld, middlewhere.WithClock(s.Now))
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	floor := middlewhere.MustParseGLOB("CS/Floor3")
+	ubi, err := middlewhere.NewUbisense("ubi-1", floor, 1.0, svc, svc, middlewhere.AdapterOptions{})
+	if err != nil {
+		return err
+	}
+	field := middlewhere.NewUbisenseField(ubi, bld.Universe, 1.0, s.Rand())
+
+	// The "store" is the NetLab.
+	store := middlewhere.MustParseGLOB("CS/Floor3/NetLab")
+	zone, err := newZoneNotifier(svc, store)
+	if err != nil {
+		return err
+	}
+
+	// Let people wander for five simulated minutes, then close up.
+	for i := 0; i < 300; i++ {
+		s.Step()
+		if err := field.Observe(s.Now(), s.People()); err != nil {
+			return err
+		}
+	}
+
+	fmt.Println("closing time — notifying everyone in", store)
+	delivered := zone.broadcast("The store is closing in five minutes.")
+	for _, line := range delivered {
+		fmt.Println(line)
+	}
+	if len(delivered) == 0 {
+		fmt.Println("  (nobody inside right now)")
+	}
+
+	// Ground truth check: list the simulator's view for comparison.
+	fmt.Println("ground truth occupants:")
+	for _, p := range s.People() {
+		if p.Room == store.String() {
+			fmt.Printf("  -- %s at (%.1f,%.1f)\n", p.ID, p.Pos.X, p.Pos.Y)
+		}
+	}
+	return nil
+}

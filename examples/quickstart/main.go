@@ -1,0 +1,110 @@
+// Command quickstart is the smallest end-to-end MiddleWhere program:
+// it builds the paper's floor, plugs in two sensor technologies,
+// feeds a few readings, and exercises the pull (query) and push
+// (subscription) interfaces plus a spatial-relationship query.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"middlewhere"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The physical model: the paper's Siebel Center floor (Fig. 8 /
+	// Table 1), with rooms 3105, NetLab, HCILab and two corridors.
+	bld := middlewhere.PaperFloor()
+	svc, err := middlewhere.New(bld)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	floor := middlewhere.MustParseGLOB("CS/Floor3")
+	netlab := middlewhere.MustParseGLOB("CS/Floor3/NetLab")
+
+	// Two location technologies: a Ubisense UWB field and an RFID
+	// badge base station. The adapters register their calibrations
+	// (§6) with the service.
+	ubi, err := middlewhere.NewUbisense("ubi-1", floor, 0.9, svc, svc, middlewhere.AdapterOptions{})
+	if err != nil {
+		return err
+	}
+	rfid, err := middlewhere.NewRFID("rf-1", floor, middlewhere.Pt(370, 15), 15, 0.8,
+		svc, svc, middlewhere.AdapterOptions{})
+	if err != nil {
+		return err
+	}
+
+	// Push mode: subscribe to NetLab entries before anyone moves.
+	entered := make(chan middlewhere.Notification, 4)
+	subID, err := svc.Subscribe(middlewhere.Subscription{
+		Region:  netlab,
+		MinProb: 0.4,
+		Handler: func(n middlewhere.Notification) { entered <- n },
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("subscribed:", subID)
+
+	// Alice's tag is seen in the NetLab by both technologies.
+	now := time.Now()
+	if err := ubi.ReportFix("alice", middlewhere.Pt(370, 15), now); err != nil {
+		return err
+	}
+	if err := rfid.ReportBadge("alice", now); err != nil {
+		return err
+	}
+
+	// Pull mode: where is alice?
+	loc, err := svc.LocateObject("alice")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("alice is in %s with probability %.3f (%s), supported by %v\n",
+		loc.Symbolic, loc.Prob, loc.Band, loc.Support)
+
+	// Region-based query: probability she is in the NetLab.
+	p, band, err := svc.ProbInRegion("alice", netlab)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("P(alice in NetLab) = %.3f (%s)\n", p, band)
+
+	// The subscription fired.
+	select {
+	case n := <-entered:
+		fmt.Printf("notification: %s entered the NetLab (p=%.3f)\n", n.Object, n.Prob)
+	case <-time.After(2 * time.Second):
+		return fmt.Errorf("expected a notification")
+	}
+
+	// Spatial relationships (§4.6): how do NetLab and the corridor
+	// relate, and how far is the walk to the HCILab?
+	rel, pass, err := svc.RelateRegions(netlab, middlewhere.MustParseGLOB("CS/Floor3/MainCorridor"))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("NetLab vs MainCorridor: %s / %s\n", rel, pass)
+
+	route, err := svc.RouteBetween(netlab, middlewhere.MustParseGLOB("CS/Floor3/HCILab"),
+		middlewhere.FreeOnly)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("route NetLab -> HCILab: %v (%.1f ft)\n", route.Regions, route.Length)
+
+	// The spatial database reproduces the paper's Table 1 layout.
+	fmt.Println("\nObject table (Table 1):")
+	fmt.Print(svc.DB().DumpObjectTable())
+	return nil
+}

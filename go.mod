@@ -1,0 +1,3 @@
+module middlewhere
+
+go 1.22

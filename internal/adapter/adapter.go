@@ -1,0 +1,527 @@
+// Package adapter implements MiddleWhere's location adapters (§6): the
+// device-driver layer that wraps each location technology, converts
+// its native readings into the common Reading representation (GLOB +
+// detection radius + timestamp), applies the technology's calibration
+// (the x/y/z error model of §4.1.1), and feeds the spatial database.
+// In the paper each adapter is a CORBA client wrapper; here an adapter
+// is an object bound to a Sink (the Location Service or, remotely, an
+// mwrpc client implementing the same interface).
+//
+// Per §2, adapters can be programmed to filter events and to limit the
+// rate at which they forward readings; Options carries both knobs.
+package adapter
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"middlewhere/internal/geom"
+	"middlewhere/internal/glob"
+	"middlewhere/internal/model"
+)
+
+// Sink consumes readings; *core.Service and the mwrpc client both
+// satisfy it.
+type Sink interface {
+	Ingest(model.Reading) error
+}
+
+// Registrar registers sensor calibrations; *core.Service satisfies it.
+type Registrar interface {
+	RegisterSensor(sensorID string, spec model.SensorSpec) error
+}
+
+// Expirer force-expires stored readings; *spatialdb.DB satisfies it.
+// The biometric adapter uses it on manual logout (§6.3).
+type Expirer interface {
+	ExpireReadings(now time.Time, match func(model.Reading) bool)
+}
+
+// Options are the programmable adapter knobs of §2.
+type Options struct {
+	// MinInterval drops readings for the same mobile object arriving
+	// faster than this; zero forwards everything.
+	MinInterval time.Duration
+	// Filter, when non-nil, drops readings for which it returns false.
+	Filter func(model.Reading) bool
+	// Clock supplies time for rate limiting; defaults to time.Now.
+	Clock func() time.Time
+}
+
+func (o Options) clock() func() time.Time {
+	if o.Clock == nil {
+		return time.Now
+	}
+	return o.Clock
+}
+
+// ErrClosed is returned by adapters after Close.
+var ErrClosed = errors.New("adapter: closed")
+
+// Base carries the common adapter machinery: identity, calibration,
+// the sink, rate limiting and filtering. Concrete adapters embed a
+// *Base by composition (as a named field, per style guidance) and call
+// emit.
+type Base struct {
+	id   string
+	spec model.SensorSpec
+	sink Sink
+	opts Options
+
+	mu       sync.Mutex
+	lastSent map[string]time.Time
+	closed   bool
+
+	// Forwarded/Dropped count emitted and suppressed readings (for
+	// diagnostics and the adapter tests).
+	forwarded, dropped int
+}
+
+// NewBase wires an adapter identity to a sink. The sensor is
+// registered with the registrar immediately.
+func NewBase(id string, spec model.SensorSpec, sink Sink, reg Registrar, opts Options) (*Base, error) {
+	if id == "" {
+		return nil, errors.New("adapter: empty id")
+	}
+	if sink == nil {
+		return nil, errors.New("adapter: nil sink")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("adapter %s: %w", id, err)
+	}
+	if reg != nil {
+		if err := reg.RegisterSensor(id, spec); err != nil {
+			return nil, fmt.Errorf("adapter %s: %w", id, err)
+		}
+	}
+	return &Base{
+		id:       id,
+		spec:     spec,
+		sink:     sink,
+		opts:     opts,
+		lastSent: make(map[string]time.Time),
+	}, nil
+}
+
+// ID returns the adapter ID (which doubles as the sensor ID).
+func (b *Base) ID() string { return b.id }
+
+// Spec returns the adapter's calibration.
+func (b *Base) Spec() model.SensorSpec { return b.spec }
+
+// Stats returns the forwarded and dropped reading counts.
+func (b *Base) Stats() (forwarded, dropped int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.forwarded, b.dropped
+}
+
+// Close stops the adapter; subsequent emits fail with ErrClosed.
+func (b *Base) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+}
+
+// emit applies filtering and rate limiting, stamps the adapter
+// identity, and forwards the reading to the sink.
+func (b *Base) emit(r model.Reading) error {
+	r.SensorID = b.id
+	r.SensorType = b.spec.Type
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	if b.opts.Filter != nil && !b.opts.Filter(r) {
+		b.dropped++
+		b.mu.Unlock()
+		return nil
+	}
+	if b.opts.MinInterval > 0 {
+		now := b.opts.clock()()
+		if last, ok := b.lastSent[r.MObjectID]; ok && now.Sub(last) < b.opts.MinInterval {
+			b.dropped++
+			b.mu.Unlock()
+			return nil
+		}
+		b.lastSent[r.MObjectID] = now
+	}
+	b.forwarded++
+	b.mu.Unlock()
+	return b.sink.Ingest(r)
+}
+
+// ---------------------------------------------------------------------------
+// Ubisense (§6.1)
+
+// Ubisense wraps the Ubisense UWB tag technology: base stations report
+// tag coordinates within 6 inches 95% of the time.
+type Ubisense struct {
+	base *Base
+	// frame is the GLOB prefix the fixes are expressed in (a floor).
+	frame glob.GLOB
+}
+
+// NewUbisense creates a Ubisense adapter reporting fixes in the given
+// coordinate frame.
+func NewUbisense(id string, frame glob.GLOB, carryProb float64, sink Sink, reg Registrar, opts Options) (*Ubisense, error) {
+	b, err := NewBase(id, model.UbisenseSpec(carryProb), sink, reg, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Ubisense{base: b, frame: frame}, nil
+}
+
+// ID returns the adapter ID.
+func (u *Ubisense) ID() string { return u.base.ID() }
+
+// Stats returns forwarded/dropped counts.
+func (u *Ubisense) Stats() (int, int) { return u.base.Stats() }
+
+// Close stops the adapter.
+func (u *Ubisense) Close() { u.base.Close() }
+
+// ReportFix forwards a tag fix at a frame coordinate.
+func (u *Ubisense) ReportFix(tagID string, pos geom.Point, at time.Time) error {
+	return u.base.emit(model.Reading{
+		MObjectID:       tagID,
+		Location:        glob.CoordinatePoint(u.frame, pos),
+		DetectionRadius: u.base.spec.Resolution.Radius,
+		Time:            at,
+	})
+}
+
+// ---------------------------------------------------------------------------
+// RFID badges (§6.2)
+
+// RFID wraps an RF badge base station: it cannot report coordinates,
+// only that a badge is within range of the station, so every reading
+// is a circle (MBR) around the station position.
+type RFID struct {
+	base    *Base
+	frame   glob.GLOB
+	station geom.Point
+	rng     float64
+}
+
+// NewRFID creates an RFID base-station adapter at a fixed position
+// with the given detection range (the paper's hardware reaches ~15 ft).
+func NewRFID(id string, frame glob.GLOB, station geom.Point, rangeFt, carryProb float64, sink Sink, reg Registrar, opts Options) (*RFID, error) {
+	spec := model.RFIDSpec(carryProb)
+	if rangeFt > 0 {
+		spec.Resolution = model.DistanceResolution(rangeFt)
+	}
+	b, err := NewBase(id, spec, sink, reg, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &RFID{base: b, frame: frame, station: station, rng: spec.Resolution.Radius}, nil
+}
+
+// ID returns the adapter ID.
+func (r *RFID) ID() string { return r.base.ID() }
+
+// Stats returns forwarded/dropped counts.
+func (r *RFID) Stats() (int, int) { return r.base.Stats() }
+
+// Close stops the adapter.
+func (r *RFID) Close() { r.base.Close() }
+
+// ReportBadge forwards a badge sighting: the badge is somewhere within
+// range of the station.
+func (r *RFID) ReportBadge(badgeID string, at time.Time) error {
+	return r.base.emit(model.Reading{
+		MObjectID:       badgeID,
+		Location:        glob.CoordinatePoint(r.frame, r.station),
+		DetectionRadius: r.rng,
+		Time:            at,
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Biometric logins (§6.3)
+
+// Biometric wraps a fingerprint reader or similar login device. A
+// login produces two readings: a short-term, high-confidence fix at
+// the device and a long-term room-level reading that persists until
+// the user probably left. A manual logout emits one final short fix
+// and force-expires the long-term reading.
+type Biometric struct {
+	short *Base
+	long  *Base
+
+	frame    glob.GLOB
+	device   geom.Point
+	room     glob.GLOB
+	expirer  Expirer
+	stayTime time.Duration
+}
+
+// NewBiometric creates a biometric login adapter. device is the
+// reader's position in frame coordinates; room the symbolic region the
+// long reading covers; stay the §6.3 T parameter (how long a user
+// plausibly remains after authenticating, 15 min in the paper);
+// leaveProb the probability of leaving before T without logging out.
+func NewBiometric(id string, frame glob.GLOB, device geom.Point, room glob.GLOB,
+	stay time.Duration, leaveProb float64, sink Sink, reg Registrar, exp Expirer, opts Options) (*Biometric, error) {
+	short, err := NewBase(id+"-short", model.BiometricShortSpec(), sink, reg, opts)
+	if err != nil {
+		return nil, err
+	}
+	long, err := NewBase(id+"-long", model.BiometricLongSpec(room, stay, leaveProb), sink, reg, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Biometric{
+		short:    short,
+		long:     long,
+		frame:    frame,
+		device:   device,
+		room:     room,
+		expirer:  exp,
+		stayTime: stay,
+	}, nil
+}
+
+// ID returns the adapter's base ID.
+func (b *Biometric) ID() string { return b.short.ID() }
+
+// Close stops both underlying emitters.
+func (b *Biometric) Close() {
+	b.short.Close()
+	b.long.Close()
+}
+
+// Login reports a successful authentication: a 2-ft short-term fix at
+// the device plus a room-level long-term reading.
+func (b *Biometric) Login(userID string, at time.Time) error {
+	if err := b.short.emit(model.Reading{
+		MObjectID:       userID,
+		Location:        glob.CoordinatePoint(b.frame, b.device),
+		DetectionRadius: b.short.spec.Resolution.Radius,
+		Time:            at,
+	}); err != nil {
+		return err
+	}
+	return b.long.emit(model.Reading{
+		MObjectID: userID,
+		Location:  b.room,
+		Time:      at,
+	})
+}
+
+// Logout reports a manual logout: the user is at the device right now
+// but leaving; all prior readings for the user from this device expire
+// immediately (§6.3).
+func (b *Biometric) Logout(userID string, at time.Time) error {
+	if b.expirer != nil {
+		shortID, longID := b.short.ID(), b.long.ID()
+		b.expirer.ExpireReadings(at, func(r model.Reading) bool {
+			return r.MObjectID == userID && (r.SensorID == shortID || r.SensorID == longID)
+		})
+	}
+	spec := model.BiometricShortSpec()
+	spec.TTL = 15 * time.Second // the §6.3 logout reading expires fast
+	return b.short.emit(model.Reading{
+		MObjectID:       userID,
+		Location:        glob.CoordinatePoint(b.frame, b.device),
+		DetectionRadius: spec.Resolution.Radius,
+		Time:            at,
+	})
+}
+
+// ---------------------------------------------------------------------------
+// GPS (§6.4)
+
+// GeoReference anchors geodetic coordinates to a building frame: the
+// reference latitude/longitude maps to Origin, with the given scale in
+// frame units per degree.
+type GeoReference struct {
+	Lat0, Lon0     float64
+	Origin         geom.Point
+	UnitsPerDegLat float64
+	UnitsPerDegLon float64
+}
+
+// ToFrame converts a geodetic position to frame coordinates.
+func (g GeoReference) ToFrame(lat, lon float64) geom.Point {
+	return geom.Pt(
+		g.Origin.X+(lon-g.Lon0)*g.UnitsPerDegLon,
+		g.Origin.Y+(lat-g.Lat0)*g.UnitsPerDegLat,
+	)
+}
+
+// GPS wraps a GPS receiver: after a satellite lock the adapter
+// translates latitude/longitude/accuracy into a coordinate reading in
+// MiddleWhere's frame (§6.4).
+type GPS struct {
+	base  *Base
+	frame glob.GLOB
+	ref   GeoReference
+}
+
+// NewGPS creates a GPS adapter with the given geodetic anchoring.
+func NewGPS(id string, frame glob.GLOB, ref GeoReference, carryProb float64, sink Sink, reg Registrar, opts Options) (*GPS, error) {
+	b, err := NewBase(id, model.GPSSpec(carryProb, 15), sink, reg, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &GPS{base: b, frame: frame, ref: ref}, nil
+}
+
+// ID returns the adapter ID.
+func (g *GPS) ID() string { return g.base.ID() }
+
+// Close stops the adapter.
+func (g *GPS) Close() { g.base.Close() }
+
+// ReportFix forwards a satellite fix: position plus the receiver's own
+// accuracy estimate (used directly as the detection radius, §6.4).
+func (g *GPS) ReportFix(userID string, lat, lon, accuracy float64, at time.Time) error {
+	if accuracy <= 0 {
+		accuracy = g.base.spec.Resolution.Radius
+	}
+	return g.base.emit(model.Reading{
+		MObjectID:       userID,
+		Location:        glob.CoordinatePoint(g.frame, g.ref.ToFrame(lat, lon)),
+		DetectionRadius: accuracy,
+		Time:            at,
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Card readers (§1.1, §5.2)
+
+// CardReader wraps a door badge reader: a swipe places the person in
+// the reader's room with high confidence for a few seconds.
+type CardReader struct {
+	base *Base
+	room glob.GLOB
+}
+
+// NewCardReader creates a card-reader adapter for a room.
+func NewCardReader(id string, room glob.GLOB, sink Sink, reg Registrar, opts Options) (*CardReader, error) {
+	b, err := NewBase(id, model.CardReaderSpec(room), sink, reg, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &CardReader{base: b, room: room}, nil
+}
+
+// ID returns the adapter ID.
+func (c *CardReader) ID() string { return c.base.ID() }
+
+// Stats returns forwarded/dropped counts.
+func (c *CardReader) Stats() (int, int) { return c.base.Stats() }
+
+// Close stops the adapter.
+func (c *CardReader) Close() { c.base.Close() }
+
+// Swipe reports a badge swipe by a user.
+func (c *CardReader) Swipe(userID string, at time.Time) error {
+	return c.base.emit(model.Reading{
+		MObjectID: userID,
+		Location:  c.room,
+		Time:      at,
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Bluetooth (§1.1)
+
+// Bluetooth wraps an inquiry-scanning Bluetooth station: discoverable
+// devices within range answer scans, placing their owner near the
+// station.
+type Bluetooth struct {
+	base    *Base
+	frame   glob.GLOB
+	station geom.Point
+	rng     float64
+}
+
+// NewBluetooth creates a Bluetooth scanning station at a fixed
+// position.
+func NewBluetooth(id string, frame glob.GLOB, station geom.Point, rangeFt, carryProb float64, sink Sink, reg Registrar, opts Options) (*Bluetooth, error) {
+	spec := model.BluetoothSpec(carryProb)
+	if rangeFt > 0 {
+		spec.Resolution = model.DistanceResolution(rangeFt)
+	}
+	b, err := NewBase(id, spec, sink, reg, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Bluetooth{base: b, frame: frame, station: station, rng: spec.Resolution.Radius}, nil
+}
+
+// ID returns the adapter ID.
+func (bt *Bluetooth) ID() string { return bt.base.ID() }
+
+// Stats returns forwarded/dropped counts.
+func (bt *Bluetooth) Stats() (int, int) { return bt.base.Stats() }
+
+// Close stops the adapter.
+func (bt *Bluetooth) Close() { bt.base.Close() }
+
+// ReportDiscovery forwards an inquiry response from a device.
+func (bt *Bluetooth) ReportDiscovery(deviceOwner string, at time.Time) error {
+	return bt.base.emit(model.Reading{
+		MObjectID:       deviceOwner,
+		Location:        glob.CoordinatePoint(bt.frame, bt.station),
+		DetectionRadius: bt.rng,
+		Time:            at,
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Desktop logins (§1.1)
+
+// DesktopLogin wraps workstation session events: a login proves the
+// user was at the machine; the session keeps a slowly degrading
+// room-level reading alive until logout.
+type DesktopLogin struct {
+	base    *Base
+	room    glob.GLOB
+	expirer Expirer
+}
+
+// NewDesktopLogin creates a login adapter for the workstation in the
+// given room. session bounds how long an unattended login still counts
+// as presence.
+func NewDesktopLogin(id string, room glob.GLOB, session time.Duration, sink Sink, reg Registrar, exp Expirer, opts Options) (*DesktopLogin, error) {
+	b, err := NewBase(id, model.DesktopLoginSpec(room, session), sink, reg, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &DesktopLogin{base: b, room: room, expirer: exp}, nil
+}
+
+// ID returns the adapter ID.
+func (d *DesktopLogin) ID() string { return d.base.ID() }
+
+// Close stops the adapter.
+func (d *DesktopLogin) Close() { d.base.Close() }
+
+// Login reports a session start.
+func (d *DesktopLogin) Login(userID string, at time.Time) error {
+	return d.base.emit(model.Reading{
+		MObjectID: userID,
+		Location:  d.room,
+		Time:      at,
+	})
+}
+
+// Logout ends the session: the stored readings for this user from this
+// workstation expire immediately.
+func (d *DesktopLogin) Logout(userID string, at time.Time) error {
+	if d.expirer != nil {
+		id := d.base.ID()
+		d.expirer.ExpireReadings(at, func(r model.Reading) bool {
+			return r.MObjectID == userID && r.SensorID == id
+		})
+	}
+	return nil
+}

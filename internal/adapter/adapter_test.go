@@ -1,0 +1,516 @@
+package adapter
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"middlewhere/internal/geom"
+	"middlewhere/internal/glob"
+	"middlewhere/internal/model"
+)
+
+var (
+	t0    = time.Date(2026, 7, 5, 9, 0, 0, 0, time.UTC)
+	floor = glob.MustParse("CS/Floor3")
+	room  = glob.MustParse("CS/Floor3/3105")
+)
+
+// fakeSink records ingested readings.
+type fakeSink struct {
+	mu   sync.Mutex
+	rows []model.Reading
+	err  error
+}
+
+func (f *fakeSink) Ingest(r model.Reading) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.err != nil {
+		return f.err
+	}
+	f.rows = append(f.rows, r)
+	return nil
+}
+
+func (f *fakeSink) all() []model.Reading {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]model.Reading(nil), f.rows...)
+}
+
+// fakeRegistrar records sensor registrations.
+type fakeRegistrar struct {
+	mu    sync.Mutex
+	specs map[string]model.SensorSpec
+	err   error
+}
+
+func newFakeRegistrar() *fakeRegistrar {
+	return &fakeRegistrar{specs: make(map[string]model.SensorSpec)}
+}
+
+func (f *fakeRegistrar) RegisterSensor(id string, spec model.SensorSpec) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.err != nil {
+		return f.err
+	}
+	f.specs[id] = spec
+	return nil
+}
+
+// fakeExpirer records expiry calls.
+type fakeExpirer struct {
+	mu    sync.Mutex
+	calls int
+	match func(model.Reading) bool
+}
+
+func (f *fakeExpirer) ExpireReadings(_ time.Time, match func(model.Reading) bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	f.match = match
+}
+
+func TestUbisenseAdapter(t *testing.T) {
+	sink := &fakeSink{}
+	reg := newFakeRegistrar()
+	u, err := NewUbisense("ubi-1", floor, 0.9, sink, reg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.ID() != "ubi-1" {
+		t.Errorf("ID = %s", u.ID())
+	}
+	if _, ok := reg.specs["ubi-1"]; !ok {
+		t.Error("sensor not registered")
+	}
+	if err := u.ReportFix("tag-7", geom.Pt(12, 34), t0); err != nil {
+		t.Fatal(err)
+	}
+	rows := sink.all()
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+	r := rows[0]
+	if r.SensorID != "ubi-1" || r.SensorType != model.TypeUbisense || r.MObjectID != "tag-7" {
+		t.Errorf("reading identity = %+v", r)
+	}
+	if r.Location.String() != "CS/Floor3/(12,34)" {
+		t.Errorf("location = %s", r.Location)
+	}
+	if r.DetectionRadius != 0.5 {
+		t.Errorf("radius = %v", r.DetectionRadius)
+	}
+	fwd, drop := u.Stats()
+	if fwd != 1 || drop != 0 {
+		t.Errorf("stats = %d/%d", fwd, drop)
+	}
+}
+
+func TestAdapterRateLimit(t *testing.T) {
+	sink := &fakeSink{}
+	now := t0
+	clock := func() time.Time { return now }
+	u, err := NewUbisense("ubi-1", floor, 0.9, sink, nil, Options{
+		MinInterval: time.Second,
+		Clock:       clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := u.ReportFix("tag", geom.Pt(float64(i), 0), t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(sink.all()); got != 1 {
+		t.Errorf("rate limit let %d through", got)
+	}
+	// A different object is not limited by tag's budget.
+	if err := u.ReportFix("other", geom.Pt(9, 9), t0); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sink.all()); got != 2 {
+		t.Errorf("other object suppressed: %d", got)
+	}
+	// Advancing the clock re-opens the budget.
+	now = now.Add(2 * time.Second)
+	if err := u.ReportFix("tag", geom.Pt(8, 8), t0); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sink.all()); got != 3 {
+		t.Errorf("after interval: %d", got)
+	}
+	_, dropped := u.Stats()
+	if dropped != 4 {
+		t.Errorf("dropped = %d", dropped)
+	}
+}
+
+func TestAdapterFilter(t *testing.T) {
+	sink := &fakeSink{}
+	u, err := NewUbisense("ubi-1", floor, 0.9, sink, nil, Options{
+		Filter: func(r model.Reading) bool { return r.MObjectID != "ghost" },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.ReportFix("ghost", geom.Pt(1, 1), t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.ReportFix("alice", geom.Pt(2, 2), t0); err != nil {
+		t.Fatal(err)
+	}
+	rows := sink.all()
+	if len(rows) != 1 || rows[0].MObjectID != "alice" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestAdapterClose(t *testing.T) {
+	sink := &fakeSink{}
+	u, err := NewUbisense("ubi-1", floor, 0.9, sink, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.Close()
+	if err := u.ReportFix("tag", geom.Pt(0, 0), t0); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAdapterConstructionErrors(t *testing.T) {
+	sink := &fakeSink{}
+	if _, err := NewUbisense("", floor, 0.9, sink, nil, Options{}); err == nil {
+		t.Error("empty id should fail")
+	}
+	if _, err := NewUbisense("u", floor, 0.9, nil, nil, Options{}); err == nil {
+		t.Error("nil sink should fail")
+	}
+	reg := newFakeRegistrar()
+	reg.err = errors.New("boom")
+	if _, err := NewUbisense("u", floor, 0.9, sink, reg, Options{}); err == nil {
+		t.Error("registrar failure should propagate")
+	}
+}
+
+func TestRFIDAdapter(t *testing.T) {
+	sink := &fakeSink{}
+	reg := newFakeRegistrar()
+	rf, err := NewRFID("rf-12", floor, geom.Pt(340, 15), 15, 0.8, sink, reg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rf.ReportBadge("tom-pda", t0); err != nil {
+		t.Fatal(err)
+	}
+	rows := sink.all()
+	if len(rows) != 1 {
+		t.Fatal("no reading")
+	}
+	r := rows[0]
+	if r.Location.String() != "CS/Floor3/(340,15)" || r.DetectionRadius != 15 {
+		t.Errorf("reading = %+v", r)
+	}
+	if r.SensorType != model.TypeRFID {
+		t.Errorf("type = %s", r.SensorType)
+	}
+	// Custom range overrides the default resolution.
+	rf2, err := NewRFID("rf-13", floor, geom.Pt(0, 0), 30, 0.8, sink, reg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rf2.ReportBadge("x", t0); err != nil {
+		t.Fatal(err)
+	}
+	rows = sink.all()
+	if rows[len(rows)-1].DetectionRadius != 30 {
+		t.Errorf("custom range = %v", rows[len(rows)-1].DetectionRadius)
+	}
+}
+
+func TestBiometricLoginEmitsTwoReadings(t *testing.T) {
+	sink := &fakeSink{}
+	reg := newFakeRegistrar()
+	exp := &fakeExpirer{}
+	bio, err := NewBiometric("fp-1", floor, geom.Pt(335, 5), room,
+		15*time.Minute, 0.3, sink, reg, exp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bio.Login("tom", t0); err != nil {
+		t.Fatal(err)
+	}
+	rows := sink.all()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	short, long := rows[0], rows[1]
+	if short.SensorID != "fp-1-short" || short.DetectionRadius != 2 {
+		t.Errorf("short = %+v", short)
+	}
+	if long.SensorID != "fp-1-long" || !long.Location.Equal(room) {
+		t.Errorf("long = %+v", long)
+	}
+	// Both sensors registered with distinct specs.
+	if reg.specs["fp-1-short"].Type != model.TypeBiometricShort ||
+		reg.specs["fp-1-long"].Type != model.TypeBiometricLong {
+		t.Errorf("registrations = %v", reg.specs)
+	}
+}
+
+func TestBiometricLogoutExpiresAndEmits(t *testing.T) {
+	sink := &fakeSink{}
+	exp := &fakeExpirer{}
+	bio, err := NewBiometric("fp-1", floor, geom.Pt(335, 5), room,
+		15*time.Minute, 0.3, sink, newFakeRegistrar(), exp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bio.Login("tom", t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := bio.Logout("tom", t0.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if exp.calls != 1 {
+		t.Fatalf("expirer calls = %d", exp.calls)
+	}
+	// The matcher targets only tom's readings from this device.
+	if !exp.match(model.Reading{MObjectID: "tom", SensorID: "fp-1-long"}) {
+		t.Error("matcher should expire tom's long reading")
+	}
+	if exp.match(model.Reading{MObjectID: "ann", SensorID: "fp-1-long"}) {
+		t.Error("matcher must not expire other users")
+	}
+	if exp.match(model.Reading{MObjectID: "tom", SensorID: "ubi-1"}) {
+		t.Error("matcher must not expire other sensors")
+	}
+	rows := sink.all()
+	if len(rows) != 3 { // login short + login long + logout short
+		t.Errorf("rows = %d", len(rows))
+	}
+}
+
+func TestGPSAdapter(t *testing.T) {
+	sink := &fakeSink{}
+	ref := GeoReference{
+		Lat0: 40.0, Lon0: -88.0,
+		Origin:         geom.Pt(0, 0),
+		UnitsPerDegLat: 364000, // ~feet per degree latitude
+		UnitsPerDegLon: 280000,
+	}
+	gps, err := NewGPS("gps-1", floor, ref, 0.7, sink, newFakeRegistrar(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gps.ReportFix("runner", 40.0001, -87.9999, 15, t0); err != nil {
+		t.Fatal(err)
+	}
+	rows := sink.all()
+	if len(rows) != 1 {
+		t.Fatal("no reading")
+	}
+	r := rows[0]
+	pt := r.Location.Coords[0]
+	if pt.X < 27.9 || pt.X > 28.1 || pt.Y < 36.3 || pt.Y > 36.5 {
+		t.Errorf("converted position = %v", pt)
+	}
+	if r.DetectionRadius != 15 {
+		t.Errorf("radius = %v", r.DetectionRadius)
+	}
+	// Zero accuracy falls back to the spec default.
+	if err := gps.ReportFix("runner", 40, -88, 0, t0); err != nil {
+		t.Fatal(err)
+	}
+	rows = sink.all()
+	if rows[1].DetectionRadius != 15 {
+		t.Errorf("default radius = %v", rows[1].DetectionRadius)
+	}
+}
+
+func TestCardReaderAdapter(t *testing.T) {
+	sink := &fakeSink{}
+	reg := newFakeRegistrar()
+	cr, err := NewCardReader("card-3105", room, sink, reg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cr.Swipe("tom", t0); err != nil {
+		t.Fatal(err)
+	}
+	rows := sink.all()
+	if len(rows) != 1 || !rows[0].Location.Equal(room) || rows[0].MObjectID != "tom" {
+		t.Errorf("rows = %+v", rows)
+	}
+	if reg.specs["card-3105"].TTL != 10*time.Second {
+		t.Errorf("card TTL = %v", reg.specs["card-3105"].TTL)
+	}
+}
+
+func TestSinkErrorPropagates(t *testing.T) {
+	sink := &fakeSink{err: errors.New("db down")}
+	u, err := NewUbisense("ubi-1", floor, 0.9, sink, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.ReportFix("tag", geom.Pt(0, 0), t0); err == nil {
+		t.Error("sink error should propagate")
+	}
+}
+
+func TestBluetoothAdapter(t *testing.T) {
+	sink := &fakeSink{}
+	reg := newFakeRegistrar()
+	bt, err := NewBluetooth("bt-1", floor, geom.Pt(100, 40), 30, 0.6, sink, reg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.ReportDiscovery("tom", t0); err != nil {
+		t.Fatal(err)
+	}
+	rows := sink.all()
+	if len(rows) != 1 {
+		t.Fatal("no reading")
+	}
+	if rows[0].SensorType != model.TypeBluetooth || rows[0].DetectionRadius != 30 {
+		t.Errorf("reading = %+v", rows[0])
+	}
+	if rows[0].Location.String() != "CS/Floor3/(100,40)" {
+		t.Errorf("location = %s", rows[0].Location)
+	}
+	spec := reg.specs["bt-1"]
+	if spec.Errors.Y != 0.7 {
+		t.Errorf("bluetooth y = %v", spec.Errors.Y)
+	}
+	// Informativeness holds for the default calibration.
+	if spec.Errors.DetectProb() <= spec.Errors.FalseProb() {
+		t.Error("bluetooth spec uninformative")
+	}
+	bt.Close()
+	if err := bt.ReportDiscovery("tom", t0); !errors.Is(err, ErrClosed) {
+		t.Errorf("after close: %v", err)
+	}
+}
+
+func TestDesktopLoginAdapter(t *testing.T) {
+	sink := &fakeSink{}
+	reg := newFakeRegistrar()
+	exp := &fakeExpirer{}
+	dl, err := NewDesktopLogin("ws-27", room, 2*time.Hour, sink, reg, exp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dl.Login("ann", t0); err != nil {
+		t.Fatal(err)
+	}
+	rows := sink.all()
+	if len(rows) != 1 || !rows[0].Location.Equal(room) || rows[0].MObjectID != "ann" {
+		t.Errorf("rows = %+v", rows)
+	}
+	// The session spec degrades in steps over half an hour.
+	spec := reg.specs["ws-27"]
+	fresh := spec.TDFOrDefault().Degrade(1, 0)
+	later := spec.TDFOrDefault().Degrade(1, 31*time.Minute)
+	if later >= fresh {
+		t.Errorf("session confidence should degrade: %v -> %v", fresh, later)
+	}
+	// Logout expires this user's readings from this workstation only.
+	if err := dl.Logout("ann", t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if exp.calls != 1 {
+		t.Fatalf("expirer calls = %d", exp.calls)
+	}
+	if !exp.match(model.Reading{MObjectID: "ann", SensorID: "ws-27"}) {
+		t.Error("matcher should expire ann's session reading")
+	}
+	if exp.match(model.Reading{MObjectID: "bob", SensorID: "ws-27"}) {
+		t.Error("matcher must not expire other users")
+	}
+	// Logout without an expirer is a no-op, not a crash.
+	dl2, err := NewDesktopLogin("ws-28", room, time.Hour, sink, reg, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dl2.Logout("ann", t0); err != nil {
+		t.Errorf("logout without expirer: %v", err)
+	}
+}
+
+func TestAdapterAccessors(t *testing.T) {
+	sink := &fakeSink{}
+	reg := newFakeRegistrar()
+	base, err := NewBase("acc-1", model.UbisenseSpec(0.9), sink, reg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Spec().Type != model.TypeUbisense {
+		t.Errorf("Spec = %+v", base.Spec())
+	}
+	bio, err := NewBiometric("fp-acc", floor, geom.Pt(0, 0), room,
+		time.Minute, 0.2, sink, reg, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bio.ID() != "fp-acc-short" {
+		t.Errorf("biometric ID = %s", bio.ID())
+	}
+	bio.Close()
+	if err := bio.Login("x", t0); !errors.Is(err, ErrClosed) {
+		t.Errorf("closed biometric login err = %v", err)
+	}
+	gps, err := NewGPS("gps-acc", floor, GeoReference{UnitsPerDegLat: 1, UnitsPerDegLon: 1},
+		0.5, sink, reg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gps.ID() != "gps-acc" {
+		t.Errorf("gps ID = %s", gps.ID())
+	}
+	gps.Close()
+	if err := gps.ReportFix("x", 0, 0, 1, t0); !errors.Is(err, ErrClosed) {
+		t.Errorf("closed gps err = %v", err)
+	}
+	rf, err := NewRFID("rf-acc", floor, geom.Pt(0, 0), 10, 0.5, sink, reg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf.Close()
+	if err := rf.ReportBadge("x", t0); !errors.Is(err, ErrClosed) {
+		t.Errorf("closed rfid err = %v", err)
+	}
+	cr, err := NewCardReader("cr-acc", room, sink, reg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fwd, drop := cr.Stats(); fwd != 0 || drop != 0 {
+		t.Errorf("fresh stats = %d/%d", fwd, drop)
+	}
+	cr.Close()
+	if err := cr.Swipe("x", t0); !errors.Is(err, ErrClosed) {
+		t.Errorf("closed card err = %v", err)
+	}
+	dl, err := NewDesktopLogin("dl-acc", room, time.Hour, sink, reg, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dl.ID() != "dl-acc" {
+		t.Errorf("desktop ID = %s", dl.ID())
+	}
+	dl.Close()
+	if err := dl.Login("x", t0); !errors.Is(err, ErrClosed) {
+		t.Errorf("closed desktop err = %v", err)
+	}
+	bt, err := NewBluetooth("bt-acc", floor, geom.Pt(0, 0), 0, 0.5, sink, reg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fwd, _ := bt.Stats(); fwd != 0 {
+		t.Errorf("bt stats = %d", fwd)
+	}
+}

@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTriggerResponseShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network benchmark")
+	}
+	series, err := TriggerResponse([]int{1, 20}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.UpdateLatencies) != 5 {
+			t.Errorf("triggers=%d: %d latencies", s.Triggers, len(s.UpdateLatencies))
+		}
+		for i, l := range s.UpdateLatencies {
+			if l <= 0 {
+				t.Errorf("triggers=%d update %d: latency %v", s.Triggers, i, l)
+			}
+		}
+	}
+	// The headline claim: 20x more triggers does not blow up the
+	// steady-state latency. Allow generous slack for scheduler noise
+	// on loopback.
+	rest1 := Mean(series[0].UpdateLatencies[1:])
+	rest20 := Mean(series[1].UpdateLatencies[1:])
+	if rest20 > rest1*20 {
+		t.Errorf("latency scaled with triggers: %v -> %v us", rest1, rest20)
+	}
+}
+
+func TestFusionAccuracyOrdering(t *testing.T) {
+	rows, err := FusionAccuracy(3, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMix := make(map[string]E1Row, len(rows))
+	for _, r := range rows {
+		byMix[r.Mix] = r
+		if r.Samples == 0 {
+			t.Errorf("%s: no samples", r.Mix)
+		}
+		if r.Coverage < 0 || r.Coverage > 1 || r.RoomAccuracy < 0 || r.RoomAccuracy > 1 {
+			t.Errorf("%s: out-of-range stats %+v", r.Mix, r)
+		}
+	}
+	// Fusing everything must beat the coarse technologies on room
+	// accuracy and must have the best coverage.
+	all := byMix["all"]
+	if all.RoomAccuracy <= byMix["rfid-only"].RoomAccuracy {
+		t.Errorf("all (%v) should beat rfid-only (%v) on room accuracy",
+			all.RoomAccuracy, byMix["rfid-only"].RoomAccuracy)
+	}
+	for mix, r := range byMix {
+		if all.Coverage < r.Coverage-1e-9 {
+			t.Errorf("all coverage %v below %s coverage %v", all.Coverage, mix, r.Coverage)
+		}
+	}
+	// Precise technology alone: small error.
+	if byMix["ubisense-only"].MeanErr > 3 {
+		t.Errorf("ubisense-only mean err = %v", byMix["ubisense-only"].MeanErr)
+	}
+	// The fusion ablation: Bayesian fusion beats latest-reading-wins
+	// on room accuracy with the same sensors.
+	if all.RoomAccuracy <= byMix["all-naive"].RoomAccuracy {
+		t.Errorf("fusion (%v) should beat naive baseline (%v)",
+			all.RoomAccuracy, byMix["all-naive"].RoomAccuracy)
+	}
+}
+
+func TestTemporalDegradationMonotone(t *testing.T) {
+	ages := []time.Duration{0, time.Second, 4 * time.Second, 16 * time.Second}
+	rows, err := TemporalDegradation(ages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ages) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Prob > rows[i-1].Prob+1e-9 {
+			t.Errorf("probability increased with age: %+v -> %+v", rows[i-1], rows[i])
+		}
+	}
+	if rows[0].Prob < 0.5 {
+		t.Errorf("fresh reading prob = %v", rows[0].Prob)
+	}
+	if rows[len(rows)-1].Prob > rows[0].Prob/2 {
+		t.Errorf("old reading did not decay: %+v", rows[len(rows)-1])
+	}
+}
+
+func TestMBRApproximation(t *testing.T) {
+	row := MBRApproximation(10000)
+	if row.Points < 9000 {
+		t.Fatalf("points = %d", row.Points)
+	}
+	// The L-shape is missing exactly one quadrant of its MBR: ~25%
+	// disagreement on a uniform grid.
+	frac := float64(row.Disagreements) / float64(row.Points)
+	if frac < 0.2 || frac > 0.3 {
+		t.Errorf("disagreement fraction = %v, want ~0.25", frac)
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("mean of empty should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("mean = %v", got)
+	}
+	if Percentile(nil, 0.9) != 0 {
+		t.Error("percentile of empty should be 0")
+	}
+	if got := Percentile([]float64{5, 1, 3}, 0.5); got != 3 {
+		t.Errorf("median = %v", got)
+	}
+	if got := Percentile([]float64{5, 1, 3}, 1); got != 5 {
+		t.Errorf("max = %v", got)
+	}
+}

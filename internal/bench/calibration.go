@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"middlewhere/internal/adapter"
+	"middlewhere/internal/building"
+	"middlewhere/internal/calibrate"
+	"middlewhere/internal/geom"
+	"middlewhere/internal/glob"
+	"middlewhere/internal/model"
+	"middlewhere/internal/sim"
+)
+
+// CALRow reports one recovered parameter from the simulated user study
+// (experiment CAL — the paper's §11 future work, implemented).
+type CALRow struct {
+	Parameter string
+	True      float64
+	Estimated float64
+}
+
+// calibrationSink records which people each Ubisense observation
+// reported, per step, so trials can be labelled from ground truth.
+type calibrationSink struct {
+	detected map[string]bool
+}
+
+// Ingest implements adapter.Sink.
+func (c *calibrationSink) Ingest(r model.Reading) error {
+	c.detected[r.MObjectID] = true
+	return nil
+}
+
+// CalibrationStudy runs the simulated user study: a Ubisense field
+// with known parameters (x, y) observes people whose ground truth the
+// simulator knows; the calibrate estimators then recover the
+// parameters from the observation log alone — without reading the
+// generator's labels for carriage.
+func CalibrationStudy(seed int64, steps int) ([]CALRow, error) {
+	const (
+		trueX = 0.7
+		trueY = 0.9
+	)
+	bld := building.Synthetic("CAL", 2, 3, 25, 20, 10)
+	world, err := sim.New(bld, sim.Config{
+		People:   48,
+		Seed:     seed,
+		DwellMin: 4 * time.Second,
+		DwellMax: 10 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sink := &calibrationSink{detected: make(map[string]bool)}
+	a, err := adapter.NewUbisense("cal-ubi", glob.MustParse("CAL/F"), trueX, sink, nil, adapter.Options{})
+	if err != nil {
+		return nil, err
+	}
+	// Coverage over the left half of the floor only, so both present
+	// and absent trials occur.
+	coverage := geom.R(0, 0, bld.Universe.Width()/2, bld.Universe.Height())
+	field := sim.NewUbisenseField(a, coverage, trueX, world.Rand())
+	field.Y = trueY
+
+	var trials []calibrate.Trial
+	episodes := make(map[string]*calibrate.Episode)
+	for i := 0; i < steps; i++ {
+		world.Step()
+		sink.detected = make(map[string]bool)
+		people := world.People()
+		if err := field.Observe(world.Now(), people); err != nil {
+			return nil, err
+		}
+		for _, p := range people {
+			present := coverage.ContainsPoint(p.Pos)
+			trials = append(trials, calibrate.Trial{
+				Present:  present,
+				Detected: sink.detected[p.ID],
+			})
+			if present {
+				e := episodes[p.ID]
+				if e == nil {
+					e = &calibrate.Episode{}
+					episodes[p.ID] = e
+				}
+				e.Opportunities++
+				if sink.detected[p.ID] {
+					e.Detections++
+				}
+			}
+		}
+	}
+
+	yz, err := calibrate.EstimateYZ(trials)
+	if err != nil {
+		return nil, fmt.Errorf("bench CAL: %w", err)
+	}
+	eps := make([]calibrate.Episode, 0, len(episodes))
+	for _, e := range episodes {
+		eps = append(eps, *e)
+	}
+	// yz.Y estimates P(detect | present), which mixes carriers and
+	// non-carriers: it equals x·y. Alternate between the EM carry
+	// estimate (which needs the per-carrier rate) and dividing the
+	// mixture rate by it, until the pair stabilizes.
+	x := 0.5
+	yGivenCarry := yz.Y
+	for i := 0; i < 8; i++ {
+		var err error
+		x, _, err = calibrate.EstimateCarryEM(eps, yGivenCarry, yz.Z)
+		if err != nil {
+			return nil, fmt.Errorf("bench CAL: %w", err)
+		}
+		next := yz.Y / x
+		if next > 0.999 {
+			next = 0.999
+		}
+		yGivenCarry = next
+	}
+	return []CALRow{
+		{Parameter: "x (carry probability)", True: trueX, Estimated: x},
+		{Parameter: "y (detection | carrying)", True: trueY, Estimated: yGivenCarry},
+	}, nil
+}

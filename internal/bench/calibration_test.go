@@ -1,0 +1,20 @@
+package bench
+
+import "testing"
+
+func TestCalibrationStudyRecovers(t *testing.T) {
+	rows, err := CalibrationStudy(5, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		t.Logf("%s: true=%.3f est=%.3f", r.Parameter, r.True, r.Estimated)
+		diff := r.Estimated - r.True
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 0.12 {
+			t.Errorf("%s: estimate %.3f too far from %.3f", r.Parameter, r.Estimated, r.True)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+// Package calibrate implements the paper's stated future work (§11):
+// estimating the sensor-model parameters from observation data instead
+// of asserting them — "we plan to conduct user studies to get accurate
+// values of various parameters of our system like the probability of
+// carrying location devices and the temporal degradation function".
+//
+// It provides three estimators:
+//
+//   - EstimateYZ: detection probability y and misreport probability z
+//     from ground-truth-labelled detection trials (the calibration
+//     pass §6 requires when a new technology is installed),
+//   - EstimateCarry: the carry probability x, either from labelled
+//     episodes or — when carriage is unobservable, the realistic case —
+//     by expectation-maximization over per-episode detection counts,
+//   - FitTDF: a temporal degradation function fitted to empirical
+//     still-valid fractions by age, choosing between the exponential
+//     and linear families by squared error.
+package calibrate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"middlewhere/internal/model"
+)
+
+// Sentinel errors.
+var (
+	ErrNoData   = errors.New("calibrate: no data")
+	ErrBadInput = errors.New("calibrate: bad input")
+)
+
+// Trial is one labelled detection opportunity: the ground truth says
+// whether the person (with their device) was inside the sensed region,
+// and the sensor either reported them there or not.
+type Trial struct {
+	// Present is the ground truth: person in the region.
+	Present bool
+	// Detected is the sensor's verdict: reported in the region.
+	Detected bool
+}
+
+// YZEstimate carries the detection-model estimate with its sample
+// sizes.
+type YZEstimate struct {
+	// Y estimates P(detected | present); N(Present) trials support it.
+	Y float64
+	// Z estimates P(detected | absent); N(Absent) trials support it.
+	Z float64
+	// PresentTrials and AbsentTrials are the respective sample sizes.
+	PresentTrials, AbsentTrials int
+}
+
+// EstimateYZ computes y and z from labelled trials with add-one
+// (Laplace) smoothing so a finite calibration run never yields the
+// degenerate 0 or 1.
+func EstimateYZ(trials []Trial) (YZEstimate, error) {
+	if len(trials) == 0 {
+		return YZEstimate{}, ErrNoData
+	}
+	var est YZEstimate
+	var detPresent, detAbsent int
+	for _, tr := range trials {
+		if tr.Present {
+			est.PresentTrials++
+			if tr.Detected {
+				detPresent++
+			}
+		} else {
+			est.AbsentTrials++
+			if tr.Detected {
+				detAbsent++
+			}
+		}
+	}
+	if est.PresentTrials == 0 {
+		return YZEstimate{}, fmt.Errorf("%w: no present trials", ErrNoData)
+	}
+	est.Y = float64(detPresent+1) / float64(est.PresentTrials+2)
+	if est.AbsentTrials == 0 {
+		est.Z = 0
+	} else {
+		est.Z = float64(detAbsent+1) / float64(est.AbsentTrials+2)
+	}
+	return est, nil
+}
+
+// Episode summarizes one presence episode for carry estimation: the
+// person was inside the coverage area for Opportunities independent
+// detection chances and was detected Detections times.
+type Episode struct {
+	Opportunities int
+	Detections    int
+}
+
+// EstimateCarryLabelled computes x from episodes where carriage is
+// known: x = carrying episodes / all episodes (with Laplace
+// smoothing).
+func EstimateCarryLabelled(carrying []bool) (float64, error) {
+	if len(carrying) == 0 {
+		return 0, ErrNoData
+	}
+	n := 0
+	for _, c := range carrying {
+		if c {
+			n++
+		}
+	}
+	return float64(n+1) / float64(len(carrying)+2), nil
+}
+
+// EstimateCarryEM estimates x (the probability a person carries the
+// device) when carriage is not directly observable: each episode's
+// detection count is modelled as Binomial(opportunities, y) when
+// carrying and Binomial(opportunities, z) when not, and EM alternates
+// between the per-episode carriage posterior and the x update. y and z
+// come from EstimateYZ (or the spec). It returns the estimate and the
+// number of iterations to convergence.
+func EstimateCarryEM(episodes []Episode, y, z float64) (float64, int, error) {
+	if len(episodes) == 0 {
+		return 0, 0, ErrNoData
+	}
+	if y <= 0 || y >= 1 || z < 0 || z >= 1 || y <= z {
+		return 0, 0, fmt.Errorf("%w: need 0 < z < y < 1 (y=%v z=%v)", ErrBadInput, y, z)
+	}
+	for _, e := range episodes {
+		if e.Opportunities <= 0 || e.Detections < 0 || e.Detections > e.Opportunities {
+			return 0, 0, fmt.Errorf("%w: episode %+v", ErrBadInput, e)
+		}
+	}
+	// Use a floor for z in the likelihood so zero-detection episodes
+	// under z=0 remain representable.
+	zEff := math.Max(z, 1e-9)
+	x := 0.5
+	const maxIter = 200
+	for iter := 1; iter <= maxIter; iter++ {
+		// E step: posterior carriage probability per episode.
+		var sum float64
+		for _, e := range episodes {
+			logCarry := math.Log(x) + binLogPMF(e.Opportunities, e.Detections, y)
+			logNot := math.Log(1-x) + binLogPMF(e.Opportunities, e.Detections, zEff)
+			sum += 1 / (1 + math.Exp(logNot-logCarry))
+		}
+		// M step.
+		next := sum / float64(len(episodes))
+		// Keep x interior so EM cannot stall on the boundary.
+		next = math.Min(math.Max(next, 1e-6), 1-1e-6)
+		if math.Abs(next-x) < 1e-9 {
+			return next, iter, nil
+		}
+		x = next
+	}
+	return x, maxIter, nil
+}
+
+// binLogPMF is the log Binomial(n, p) pmf at k.
+func binLogPMF(n, k int, p float64) float64 {
+	return logChoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p)
+}
+
+// logChoose is log C(n, k) via lgamma.
+func logChoose(n, k int) float64 {
+	a, _ := math.Lgamma(float64(n + 1))
+	b, _ := math.Lgamma(float64(k + 1))
+	c, _ := math.Lgamma(float64(n - k + 1))
+	return a - b - c
+}
+
+// DecaySample is one empirical point for tdf fitting: of the readings
+// that reached this age, Fraction were still correct (the person was
+// still in the reported region).
+type DecaySample struct {
+	Age      time.Duration
+	Fraction float64
+}
+
+// TDFFit is the result of FitTDF.
+type TDFFit struct {
+	// TDF is the fitted function.
+	TDF model.TDF
+	// Family is "exponential" or "linear".
+	Family string
+	// SSE is the sum of squared errors of the chosen fit.
+	SSE float64
+}
+
+// FitTDF fits the empirical decay curve with both the exponential and
+// linear families and returns the better fit (§3.2 allows continuous
+// degradation of either shape). Samples need not be sorted; fractions
+// are clamped to [0, 1].
+func FitTDF(samples []DecaySample) (TDFFit, error) {
+	if len(samples) < 2 {
+		return TDFFit{}, fmt.Errorf("%w: need at least 2 samples", ErrNoData)
+	}
+	pts := append([]DecaySample(nil), samples...)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Age < pts[j].Age })
+	for i := range pts {
+		pts[i].Fraction = math.Min(1, math.Max(0, pts[i].Fraction))
+	}
+
+	expFit := fitExponential(pts)
+	linFit := fitLinear(pts)
+	if expFit.SSE <= linFit.SSE {
+		return expFit, nil
+	}
+	return linFit, nil
+}
+
+// fitExponential fits f(t) = 2^(-t/h) by least squares on the log of
+// the positive fractions: log2 f = -t/h is a through-origin line.
+func fitExponential(pts []DecaySample) TDFFit {
+	var sumTT, sumTY float64
+	n := 0
+	for _, p := range pts {
+		if p.Fraction <= 0 || p.Age <= 0 {
+			continue
+		}
+		t := p.Age.Seconds()
+		y := math.Log2(p.Fraction)
+		sumTT += t * t
+		sumTY += t * y
+		n++
+	}
+	if n == 0 || sumTY >= 0 {
+		// No decay signal: infinite half-life approximated by a very
+		// long one.
+		return TDFFit{TDF: model.ExponentialTDF{HalfLife: 24 * time.Hour},
+			Family: "exponential", SSE: sse(pts, model.ExponentialTDF{HalfLife: 24 * time.Hour})}
+	}
+	slope := sumTY / sumTT // = -1/h
+	h := -1 / slope
+	tdf := model.ExponentialTDF{HalfLife: time.Duration(h * float64(time.Second))}
+	return TDFFit{TDF: tdf, Family: "exponential", SSE: sse(pts, tdf)}
+}
+
+// fitLinear fits f(t) = max(0, 1 - t/span) by scanning candidate spans
+// anchored at each sample (closed-form least squares with the hinge is
+// awkward; the sample count is tiny).
+func fitLinear(pts []DecaySample) TDFFit {
+	best := TDFFit{Family: "linear", SSE: math.Inf(1)}
+	maxAge := pts[len(pts)-1].Age.Seconds()
+	for i := 1; i <= 200; i++ {
+		span := maxAge * float64(i) / 100 // spans up to 2x the horizon
+		if span <= 0 {
+			continue
+		}
+		tdf := model.LinearTDF{Span: time.Duration(span * float64(time.Second))}
+		if s := sse(pts, tdf); s < best.SSE {
+			best.SSE = s
+			best.TDF = tdf
+		}
+	}
+	return best
+}
+
+// sse scores a tdf against the samples (confidence 1 at age 0).
+func sse(pts []DecaySample, tdf model.TDF) float64 {
+	var sum float64
+	for _, p := range pts {
+		d := tdf.Degrade(1, p.Age) - p.Fraction
+		sum += d * d
+	}
+	return sum
+}
+
+// CalibrateSpec assembles a full SensorSpec from estimates: the
+// workflow §6 describes for installing a new location technology.
+func CalibrateSpec(techType string, yz YZEstimate, carry float64, fit TDFFit,
+	resolution model.Resolution, ttl time.Duration) (model.SensorSpec, error) {
+	spec := model.SensorSpec{
+		Type:       techType,
+		Errors:     model.ErrorModel{X: carry, Y: yz.Y, Z: yz.Z},
+		Resolution: resolution,
+		TTL:        ttl,
+		Degrade:    fit.TDF,
+	}
+	if err := spec.Validate(); err != nil {
+		return model.SensorSpec{}, err
+	}
+	return spec, nil
+}

@@ -1,0 +1,285 @@
+package calibrate
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"middlewhere/internal/model"
+)
+
+func TestEstimateYZRecoversParameters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	trueY, trueZ := 0.92, 0.04
+	var trials []Trial
+	for i := 0; i < 5000; i++ {
+		present := rng.Float64() < 0.5
+		var detected bool
+		if present {
+			detected = rng.Float64() < trueY
+		} else {
+			detected = rng.Float64() < trueZ
+		}
+		trials = append(trials, Trial{Present: present, Detected: detected})
+	}
+	est, err := EstimateYZ(trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Y-trueY) > 0.03 {
+		t.Errorf("Y = %v, want ~%v", est.Y, trueY)
+	}
+	if math.Abs(est.Z-trueZ) > 0.02 {
+		t.Errorf("Z = %v, want ~%v", est.Z, trueZ)
+	}
+	if est.PresentTrials+est.AbsentTrials != 5000 {
+		t.Errorf("trial counts = %d + %d", est.PresentTrials, est.AbsentTrials)
+	}
+}
+
+func TestEstimateYZSmoothing(t *testing.T) {
+	// Perfect detections never estimate to exactly 1 (Laplace).
+	trials := []Trial{
+		{Present: true, Detected: true},
+		{Present: true, Detected: true},
+		{Present: false, Detected: false},
+	}
+	est, err := EstimateYZ(trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Y >= 1 || est.Y <= 0.5 {
+		t.Errorf("Y = %v", est.Y)
+	}
+	if est.Z <= 0 || est.Z >= 0.5 {
+		t.Errorf("Z = %v", est.Z)
+	}
+}
+
+func TestEstimateYZErrors(t *testing.T) {
+	if _, err := EstimateYZ(nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v", err)
+	}
+	// Only absent trials: no basis for y.
+	if _, err := EstimateYZ([]Trial{{Present: false}}); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestEstimateCarryLabelled(t *testing.T) {
+	x, err := EstimateCarryLabelled([]bool{true, true, true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (3+1)/(4+2) = 0.667
+	if math.Abs(x-2.0/3) > 1e-9 {
+		t.Errorf("x = %v", x)
+	}
+	if _, err := EstimateCarryLabelled(nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestEstimateCarryEMRecoversX(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	trueX, y, z := 0.7, 0.9, 0.02
+	var episodes []Episode
+	for i := 0; i < 800; i++ {
+		carrying := rng.Float64() < trueX
+		opps := 5 + rng.Intn(10)
+		det := 0
+		p := z
+		if carrying {
+			p = y
+		}
+		for k := 0; k < opps; k++ {
+			if rng.Float64() < p {
+				det++
+			}
+		}
+		episodes = append(episodes, Episode{Opportunities: opps, Detections: det})
+	}
+	x, iters, err := EstimateCarryEM(episodes, y, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-trueX) > 0.05 {
+		t.Errorf("x = %v after %d iters, want ~%v", x, iters, trueX)
+	}
+	if iters < 1 || iters > 200 {
+		t.Errorf("iters = %d", iters)
+	}
+}
+
+func TestEstimateCarryEMExtremes(t *testing.T) {
+	// Everyone carries: detection counts all high.
+	episodes := make([]Episode, 50)
+	for i := range episodes {
+		episodes[i] = Episode{Opportunities: 10, Detections: 9}
+	}
+	x, _, err := EstimateCarryEM(episodes, 0.9, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x < 0.95 {
+		t.Errorf("all-carrying x = %v", x)
+	}
+	// Nobody carries.
+	for i := range episodes {
+		episodes[i] = Episode{Opportunities: 10, Detections: 0}
+	}
+	x, _, err = EstimateCarryEM(episodes, 0.9, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x > 0.05 {
+		t.Errorf("none-carrying x = %v", x)
+	}
+}
+
+func TestEstimateCarryEMValidation(t *testing.T) {
+	good := []Episode{{Opportunities: 5, Detections: 3}}
+	if _, _, err := EstimateCarryEM(nil, 0.9, 0.1); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v", err)
+	}
+	if _, _, err := EstimateCarryEM(good, 0.1, 0.9); !errors.Is(err, ErrBadInput) {
+		t.Errorf("y<z err = %v", err)
+	}
+	if _, _, err := EstimateCarryEM(good, 1.0, 0.1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("y=1 err = %v", err)
+	}
+	bad := []Episode{{Opportunities: 3, Detections: 5}}
+	if _, _, err := EstimateCarryEM(bad, 0.9, 0.1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("det>opp err = %v", err)
+	}
+}
+
+func TestFitTDFExponential(t *testing.T) {
+	// Samples from a 5-second half-life.
+	trueTDF := model.ExponentialTDF{HalfLife: 5 * time.Second}
+	var samples []DecaySample
+	for _, age := range []time.Duration{time.Second, 3 * time.Second, 5 * time.Second,
+		10 * time.Second, 20 * time.Second} {
+		samples = append(samples, DecaySample{Age: age, Fraction: trueTDF.Degrade(1, age)})
+	}
+	fit, err := FitTDF(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Family != "exponential" {
+		t.Fatalf("family = %s (sse %v)", fit.Family, fit.SSE)
+	}
+	got := fit.TDF.(model.ExponentialTDF).HalfLife
+	if got < 4500*time.Millisecond || got > 5500*time.Millisecond {
+		t.Errorf("half-life = %v, want ~5s", got)
+	}
+}
+
+func TestFitTDFLinear(t *testing.T) {
+	trueTDF := model.LinearTDF{Span: 30 * time.Second}
+	var samples []DecaySample
+	for _, age := range []time.Duration{2 * time.Second, 10 * time.Second,
+		20 * time.Second, 28 * time.Second, 35 * time.Second} {
+		samples = append(samples, DecaySample{Age: age, Fraction: trueTDF.Degrade(1, age)})
+	}
+	fit, err := FitTDF(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Family != "linear" {
+		t.Fatalf("family = %s (sse %v)", fit.Family, fit.SSE)
+	}
+	got := fit.TDF.(model.LinearTDF).Span
+	if got < 27*time.Second || got > 33*time.Second {
+		t.Errorf("span = %v, want ~30s", got)
+	}
+}
+
+func TestFitTDFNoDecay(t *testing.T) {
+	// Flat data: the exponential fit degenerates to a huge half-life
+	// rather than dividing by zero.
+	samples := []DecaySample{
+		{Age: time.Second, Fraction: 1},
+		{Age: 10 * time.Second, Fraction: 1},
+	}
+	fit, err := FitTDF(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fit.TDF.Degrade(1, 30*time.Second); got < 0.9 {
+		t.Errorf("no-decay fit degrades too fast: %v", got)
+	}
+}
+
+func TestFitTDFErrors(t *testing.T) {
+	if _, err := FitTDF(nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := FitTDF([]DecaySample{{Age: time.Second, Fraction: 0.5}}); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCalibrateSpecEndToEnd(t *testing.T) {
+	// The full §6 installation workflow on synthetic study data.
+	rng := rand.New(rand.NewSource(3))
+	trueY, trueZ, trueX := 0.85, 0.03, 0.75
+	var trials []Trial
+	for i := 0; i < 3000; i++ {
+		present := rng.Float64() < 0.5
+		p := trueZ
+		if present {
+			p = trueY
+		}
+		trials = append(trials, Trial{Present: present, Detected: rng.Float64() < p})
+	}
+	yz, err := EstimateYZ(trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var episodes []Episode
+	for i := 0; i < 400; i++ {
+		carrying := rng.Float64() < trueX
+		p := trueZ
+		if carrying {
+			p = trueY
+		}
+		e := Episode{Opportunities: 8}
+		for k := 0; k < e.Opportunities; k++ {
+			if rng.Float64() < p {
+				e.Detections++
+			}
+		}
+		episodes = append(episodes, e)
+	}
+	x, _, err := EstimateCarryEM(episodes, yz.Y, yz.Z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueTDF := model.ExponentialTDF{HalfLife: 4 * time.Second}
+	var decay []DecaySample
+	for _, age := range []time.Duration{time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second} {
+		decay = append(decay, DecaySample{Age: age, Fraction: trueTDF.Degrade(1, age)})
+	}
+	fit, err := FitTDF(decay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := CalibrateSpec("studied-tech", yz, x, fit,
+		model.DistanceResolution(3), 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Errors.DetectProb() <= spec.Errors.FalseProb() {
+		t.Errorf("calibrated spec uninformative: %+v", spec.Errors)
+	}
+	if math.Abs(spec.Errors.X-trueX) > 0.08 {
+		t.Errorf("calibrated x = %v, want ~%v", spec.Errors.X, trueX)
+	}
+	// Invalid assembled specs are rejected.
+	if _, err := CalibrateSpec("", yz, x, fit, model.DistanceResolution(3), time.Second); err == nil {
+		t.Error("empty type should fail")
+	}
+}

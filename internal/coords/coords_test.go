@@ -1,0 +1,311 @@
+package coords
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"middlewhere/internal/geom"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+func pointsClose(a, b geom.Point) bool {
+	return almostEq(a.X, b.X) && almostEq(a.Y, b.Y)
+}
+
+// buildingTree builds SC -> SC/3 -> {SC/3/3216, SC/3/3105} with simple
+// translations, plus a rotated room SC/3/lab.
+func buildingTree(t *testing.T) *Tree {
+	t.Helper()
+	tr := NewTree()
+	if err := tr.AddRoot("SC"); err != nil {
+		t.Fatal(err)
+	}
+	// Floor 3's origin sits at (0, 100) in building coordinates.
+	if err := tr.AddFrame("SC/3", "SC", Transform{Origin: geom.Pt(0, 100), Scale: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AddFrame("SC/3/3216", "SC/3", Transform{Origin: geom.Pt(45, 12), Scale: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AddFrame("SC/3/3105", "SC/3", Transform{Origin: geom.Pt(330, 0), Scale: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// A room rotated 90 degrees CCW relative to the floor.
+	if err := tr.AddFrame("SC/3/lab", "SC/3", Transform{Origin: geom.Pt(10, 10), Theta: math.Pi / 2, Scale: 1}); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestTransformApplyInvert(t *testing.T) {
+	tf := Transform{Origin: geom.Pt(5, -3), Theta: math.Pi / 6, Scale: 2}
+	p := geom.Pt(1.5, 2.25)
+	round := tf.Invert(tf.Apply(p))
+	if !pointsClose(round, p) {
+		t.Errorf("Invert(Apply(p)) = %v, want %v", round, p)
+	}
+}
+
+func TestZeroTransformIsIdentityScale(t *testing.T) {
+	var tf Transform // Scale 0 must behave as 1
+	p := geom.Pt(3, 4)
+	if got := tf.Apply(p); !pointsClose(got, p) {
+		t.Errorf("zero transform Apply = %v", got)
+	}
+	if got := tf.Invert(p); !pointsClose(got, p) {
+		t.Errorf("zero transform Invert = %v", got)
+	}
+}
+
+func TestConvertUpAndDown(t *testing.T) {
+	tr := buildingTree(t)
+	tests := []struct {
+		name     string
+		give     geom.Point
+		from, to string
+		want     geom.Point
+	}{
+		{"room to floor", geom.Pt(1, 2), "SC/3/3216", "SC/3", geom.Pt(46, 14)},
+		{"room to building", geom.Pt(1, 2), "SC/3/3216", "SC", geom.Pt(46, 114)},
+		{"floor to room", geom.Pt(46, 14), "SC/3", "SC/3/3216", geom.Pt(1, 2)},
+		{"room to sibling room", geom.Pt(0, 0), "SC/3/3216", "SC/3/3105", geom.Pt(-285, 12)},
+		{"same frame", geom.Pt(7, 8), "SC/3", "SC/3", geom.Pt(7, 8)},
+		{"rotated room to floor", geom.Pt(1, 0), "SC/3/lab", "SC/3", geom.Pt(10, 11)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := tr.Convert(tt.give, tt.from, tt.to)
+			if err != nil {
+				t.Fatalf("Convert: %v", err)
+			}
+			if !pointsClose(got, tt.want) {
+				t.Errorf("Convert = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestConvertRoundTripEverywhere(t *testing.T) {
+	tr := buildingTree(t)
+	frames := tr.Frames()
+	p := geom.Pt(3.5, -1.25)
+	for _, from := range frames {
+		for _, to := range frames {
+			got, err := tr.Convert(p, from, to)
+			if err != nil {
+				t.Fatalf("Convert %s->%s: %v", from, to, err)
+			}
+			back, err := tr.Convert(got, to, from)
+			if err != nil {
+				t.Fatalf("Convert back %s->%s: %v", to, from, err)
+			}
+			if !pointsClose(back, p) {
+				t.Errorf("%s->%s->%s = %v, want %v", from, to, from, back, p)
+			}
+		}
+	}
+}
+
+func TestConvertErrors(t *testing.T) {
+	tr := buildingTree(t)
+	if _, err := tr.Convert(geom.Pt(0, 0), "nope", "SC"); !errors.Is(err, ErrUnknownFrame) {
+		t.Errorf("unknown from: %v", err)
+	}
+	if _, err := tr.Convert(geom.Pt(0, 0), "SC", "nope"); !errors.Is(err, ErrUnknownFrame) {
+		t.Errorf("unknown to: %v", err)
+	}
+	if _, err := tr.Convert(geom.Pt(0, 0), "nope", "nope"); !errors.Is(err, ErrUnknownFrame) {
+		t.Errorf("unknown same: %v", err)
+	}
+	if err := tr.AddRoot("Other"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Convert(geom.Pt(0, 0), "Other", "SC"); !errors.Is(err, ErrNoCommonRoot) {
+		t.Errorf("different roots: %v", err)
+	}
+}
+
+func TestAddErrors(t *testing.T) {
+	tr := NewTree()
+	if err := tr.AddRoot("SC"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AddRoot("SC"); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate root: %v", err)
+	}
+	if err := tr.AddFrame("SC/9", "missing", Identity); !errors.Is(err, ErrUnknownFrame) {
+		t.Errorf("missing parent: %v", err)
+	}
+	if err := tr.AddFrame("x", "", Identity); err == nil {
+		t.Error("AddFrame with empty parent should fail")
+	}
+	if err := tr.AddRoot(""); err == nil {
+		t.Error("empty name should fail")
+	}
+}
+
+func TestParentAndRoot(t *testing.T) {
+	tr := buildingTree(t)
+	p, err := tr.Parent("SC/3/3216")
+	if err != nil || p != "SC/3" {
+		t.Errorf("Parent = %q, %v", p, err)
+	}
+	p, err = tr.Parent("SC")
+	if err != nil || p != "" {
+		t.Errorf("root Parent = %q, %v", p, err)
+	}
+	if _, err := tr.Parent("nope"); !errors.Is(err, ErrUnknownFrame) {
+		t.Errorf("unknown Parent err = %v", err)
+	}
+	r, err := tr.Root("SC/3/3105")
+	if err != nil || r != "SC" {
+		t.Errorf("Root = %q, %v", r, err)
+	}
+}
+
+func TestConvertRect(t *testing.T) {
+	tr := buildingTree(t)
+	r, err := tr.ConvertRect(geom.R(0, 0, 2, 3), "SC/3/3216", "SC/3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Eq(geom.R(45, 12, 47, 15)) {
+		t.Errorf("ConvertRect = %v", r)
+	}
+	// A rotated frame yields the MBR of the rotated rectangle.
+	r, err = tr.ConvertRect(geom.R(0, 0, 2, 1), "SC/3/lab", "SC/3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 90-degree CCW rotation about origin maps (x,y) -> (-y,x), then
+	// translate by (10,10): corners (0,0),(2,0),(2,1),(0,1) map to
+	// (10,10),(10,12),(9,12),(9,10).
+	if !r.Eq(geom.R(9, 10, 10, 12)) {
+		t.Errorf("rotated ConvertRect = %v", r)
+	}
+	if _, err := tr.ConvertRect(geom.R(0, 0, 1, 1), "nope", "SC"); err == nil {
+		t.Error("expected error for unknown frame")
+	}
+}
+
+func TestConvertPolygon(t *testing.T) {
+	tr := buildingTree(t)
+	poly := geom.Polygon{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 1)}
+	got, err := tr.ConvertPolygon(poly, "SC/3/3216", "SC/3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := geom.Polygon{geom.Pt(45, 12), geom.Pt(46, 12), geom.Pt(46, 13)}
+	for i := range want {
+		if !pointsClose(got[i], want[i]) {
+			t.Errorf("vertex %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Area is preserved under rigid motion.
+	if !almostEq(got.Area(), poly.Area()) {
+		t.Errorf("area changed: %v -> %v", poly.Area(), got.Area())
+	}
+	if _, err := tr.ConvertPolygon(poly, "SC", "nope"); err == nil {
+		t.Error("expected error for unknown frame")
+	}
+}
+
+func TestFrameForGLOBPath(t *testing.T) {
+	tr := buildingTree(t)
+	tests := []struct {
+		give   []string
+		want   string
+		wantOK bool
+	}{
+		{[]string{"SC", "3", "3216"}, "SC/3/3216", true},
+		{[]string{"SC", "3", "3216", "desk"}, "SC/3/3216", true}, // falls back to room
+		{[]string{"SC", "3", "9999"}, "SC/3", true},              // unknown room -> floor
+		{[]string{"SC"}, "SC", true},
+		{[]string{"ZZ", "1"}, "", false},
+		{nil, "", false},
+	}
+	for _, tt := range tests {
+		got, ok := tr.FrameForGLOBPath(tt.give)
+		if got != tt.want || ok != tt.wantOK {
+			t.Errorf("FrameForGLOBPath(%v) = %q,%v want %q,%v", tt.give, got, ok, tt.want, tt.wantOK)
+		}
+	}
+}
+
+func TestQuickTransformRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		_ = seed
+		tf := Transform{
+			Origin: geom.Pt(rng.Float64()*200-100, rng.Float64()*200-100),
+			Theta:  rng.Float64() * 2 * math.Pi,
+			Scale:  0.25 + rng.Float64()*4,
+		}
+		p := geom.Pt(rng.Float64()*100-50, rng.Float64()*100-50)
+		got := tf.Invert(tf.Apply(p))
+		return math.Abs(got.X-p.X) < 1e-6 && math.Abs(got.Y-p.Y) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickConvertTransitivity(t *testing.T) {
+	// Converting A->B->C equals converting A->C directly.
+	tr := NewTree()
+	if err := tr.AddRoot("B"); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(tr.AddFrame("B/f", "B", Transform{Origin: geom.Pt(10, 20), Theta: 0.3, Scale: 1.5}))
+	must(tr.AddFrame("B/f/r1", "B/f", Transform{Origin: geom.Pt(-4, 2), Theta: 1.1, Scale: 0.5}))
+	must(tr.AddFrame("B/f/r2", "B/f", Transform{Origin: geom.Pt(6, -3), Theta: 2.2, Scale: 2}))
+
+	f := func(seed int64) bool {
+		_ = seed
+		p := geom.Pt(rng.Float64()*20-10, rng.Float64()*20-10)
+		via, err := tr.Convert(p, "B/f/r1", "B/f")
+		if err != nil {
+			return false
+		}
+		via, err = tr.Convert(via, "B/f", "B/f/r2")
+		if err != nil {
+			return false
+		}
+		direct, err := tr.Convert(p, "B/f/r1", "B/f/r2")
+		if err != nil {
+			return false
+		}
+		return math.Abs(via.X-direct.X) < 1e-6 && math.Abs(via.Y-direct.Y) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransformAccessor(t *testing.T) {
+	tr := buildingTree(t)
+	tf, err := tr.Transform("SC/3/3216")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pointsClose(tf.Origin, geom.Pt(45, 12)) {
+		t.Errorf("origin = %v", tf.Origin)
+	}
+	if _, err := tr.Transform("nope"); !errors.Is(err, ErrUnknownFrame) {
+		t.Errorf("err = %v", err)
+	}
+	root, err := tr.Transform("SC")
+	if err != nil || root.Theta != 0 {
+		t.Errorf("root transform = %+v, %v", root, err)
+	}
+}

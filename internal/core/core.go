@@ -1,0 +1,603 @@
+// Package core implements the MiddleWhere Location Service (§4): the
+// single source of location information for location-sensitive
+// applications. It fuses data from multiple sensors and resolves
+// conflicts (§4.1), answers object-based and region-based queries
+// (§4.2), accepts subscriptions for location-based conditions and
+// notifies applications when they become true (§4.3), classifies the
+// probability space into bands (§4.4), resolves symbolic regions with
+// privacy granularity limits (§4.5), and derives spatial relationships
+// between objects and regions (§4.6).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"middlewhere/internal/building"
+	"middlewhere/internal/fusion"
+	"middlewhere/internal/geom"
+	"middlewhere/internal/glob"
+	"middlewhere/internal/model"
+	"middlewhere/internal/rcc"
+	"middlewhere/internal/rules"
+	"middlewhere/internal/spatialdb"
+	"middlewhere/internal/topo"
+)
+
+// Location is the consolidated answer to "where is object X?": the
+// inferred rectangle in the universe frame, its probability and band,
+// and the symbolic region it falls in.
+type Location struct {
+	// Object is the located mobile object's ID.
+	Object string
+	// Rect is the inferred location MBR in the universe frame.
+	Rect geom.Rect
+	// Prob is the probability the object is within Rect.
+	Prob float64
+	// Band classifies Prob against the deployed sensors (§4.4).
+	Band fusion.Band
+	// Symbolic is the deepest symbolic region containing the estimate
+	// (possibly truncated by a privacy policy).
+	Symbolic glob.GLOB
+	// Coordinate is the estimate's rectangle as a coordinate GLOB in
+	// the universe frame.
+	Coordinate glob.GLOB
+	// Support and Discarded list the sensor readings used and rejected
+	// by conflict resolution.
+	Support, Discarded []string
+	// At is the query evaluation time.
+	At time.Time
+}
+
+// Notification is delivered to subscribers when their location
+// condition becomes true (§4.3).
+type Notification struct {
+	// SubscriptionID identifies the subscription.
+	SubscriptionID string
+	// Object is the mobile object that satisfied the condition.
+	Object string
+	// Region is the subscription's region in the universe frame.
+	Region geom.Rect
+	// Prob is the fused probability that the object is in Region.
+	Prob float64
+	// Band classifies Prob.
+	Band fusion.Band
+	// At is when the triggering reading was evaluated.
+	At time.Time
+}
+
+// Subscription configures a region-based notification (§4.3).
+type Subscription struct {
+	// Object restricts the subscription to one mobile object; empty
+	// watches everyone.
+	Object string
+	// Region is the region of interest: a symbolic or coordinate GLOB.
+	Region glob.GLOB
+	// MinProb is the probability threshold; the subscriber is notified
+	// when P(object in region) exceeds it. Zero means any positive
+	// probability.
+	MinProb float64
+	// MinBand, when non-zero, additionally requires the probability to
+	// reach the given band.
+	MinBand fusion.Band
+	// EveryReading requests a notification for every qualifying
+	// reading. The default notifies only on entry — when the condition
+	// transitions from false to true for an object.
+	EveryReading bool
+	// Handler receives notifications on the service's notifier
+	// goroutine. It must not block for long.
+	Handler func(Notification)
+}
+
+// PrivacyPolicy limits the granularity at which an object's location
+// may be revealed (§4.5).
+type PrivacyPolicy struct {
+	// MaxGranularity is the deepest reveal allowed (e.g. GranRoom).
+	MaxGranularity glob.Granularity
+	// HideCoordinates suppresses the coordinate GLOB entirely.
+	HideCoordinates bool
+}
+
+// Service is the Location Service. Create with New and Close when
+// done.
+type Service struct {
+	db    *spatialdb.DB
+	graph *topo.Graph
+	bld   *building.Building
+	now   func() time.Time
+
+	mu       sync.Mutex
+	subs     map[string]*subscription
+	lastTrue map[string]map[string]bool // subID -> object -> condition state
+	privacy  map[string]PrivacyPolicy   // object -> policy
+	acls     map[string]AccessPolicy    // object -> per-requester policy
+	seq      int
+
+	notifyCh chan dispatch
+	stop     chan struct{}
+	done     chan struct{}
+
+	// history is non-nil when WithHistory is enabled.
+	history *historyRecorder
+}
+
+type subscription struct {
+	id     string
+	spec   Subscription
+	region geom.Rect
+}
+
+type dispatch struct {
+	fn func(Notification)
+	n  Notification
+}
+
+// Option configures the service.
+type Option interface{ apply(*Service) }
+
+type clockOption struct{ now func() time.Time }
+
+func (o clockOption) apply(s *Service) { s.now = o.now }
+
+// WithClock injects a clock; tests use it to control temporal
+// degradation and TTLs deterministically.
+func WithClock(now func() time.Time) Option { return clockOption{now: now} }
+
+// Sentinel errors.
+var (
+	ErrUnknownObject = errors.New("core: no readings for object")
+	ErrClosed        = errors.New("core: service closed")
+	ErrBadSub        = errors.New("core: bad subscription")
+)
+
+// New builds a Location Service over a building model: it creates the
+// spatial database, loads the floor objects, and builds the topology
+// graph.
+func New(b *building.Building, opts ...Option) (*Service, error) {
+	db, err := b.NewDB()
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	graph, err := b.Graph()
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	s := &Service{
+		db:       db,
+		graph:    graph,
+		bld:      b,
+		now:      time.Now,
+		subs:     make(map[string]*subscription),
+		lastTrue: make(map[string]map[string]bool),
+		privacy:  make(map[string]PrivacyPolicy),
+		acls:     make(map[string]AccessPolicy),
+		notifyCh: make(chan dispatch, 1024),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, o := range opts {
+		o.apply(s)
+	}
+	db.AddInsertHook(s.observeExit)
+	if s.history != nil {
+		db.AddInsertHook(s.observeForHistory)
+	}
+	go s.notifier()
+	return s, nil
+}
+
+// observeExit re-evaluates entry/exit state for subscriptions that
+// currently hold an object inside their region when a new reading for
+// that object lands elsewhere: without this, an object that left a
+// region silently would still be considered inside and its next entry
+// would not notify.
+func (s *Service) observeExit(r model.Reading) {
+	obj := r.MObjectID
+	s.mu.Lock()
+	var stale []*subscription
+	for id, sub := range s.subs {
+		if sub.spec.Object != "" && sub.spec.Object != obj {
+			continue
+		}
+		if s.lastTrue[id][obj] && !sub.region.Intersects(r.Region) {
+			stale = append(stale, sub)
+		}
+	}
+	s.mu.Unlock()
+	for _, sub := range stale {
+		p, _, err := s.probInRect(obj, sub.region)
+		inside := err == nil && p > 0 && p >= sub.spec.MinProb
+		s.mu.Lock()
+		if state, ok := s.lastTrue[sub.id]; ok {
+			state[obj] = inside
+		}
+		s.mu.Unlock()
+	}
+}
+
+// notifier delivers notifications off the insert path.
+func (s *Service) notifier() {
+	defer close(s.done)
+	for {
+		select {
+		case d := <-s.notifyCh:
+			d.fn(d.n)
+		case <-s.stop:
+			// Drain anything already queued, then exit.
+			for {
+				select {
+				case d := <-s.notifyCh:
+					d.fn(d.n)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Close stops the notifier goroutine and waits for it to exit.
+func (s *Service) Close() {
+	s.mu.Lock()
+	select {
+	case <-s.stop:
+		s.mu.Unlock()
+		return
+	default:
+		close(s.stop)
+	}
+	s.mu.Unlock()
+	<-s.done
+}
+
+// DB exposes the underlying spatial database (adapters insert readings
+// through it; applications may run object queries).
+func (s *Service) DB() *spatialdb.DB { return s.db }
+
+// Graph exposes the building topology graph.
+func (s *Service) Graph() *topo.Graph { return s.graph }
+
+// Universe returns the universe rectangle.
+func (s *Service) Universe() geom.Rect { return s.db.Universe() }
+
+// RegisterSensor records a sensor instance and its calibration.
+func (s *Service) RegisterSensor(sensorID string, spec model.SensorSpec) error {
+	return s.db.RegisterSensor(sensorID, spec)
+}
+
+// Ingest stores a sensor reading; database triggers fire and matching
+// subscriptions are evaluated.
+func (s *Service) Ingest(r model.Reading) error {
+	return s.db.InsertReading(r)
+}
+
+// classifier builds the §4.4 probability classifier from the
+// registered sensors' detection probabilities.
+func (s *Service) classifier() fusion.Classifier {
+	var ps []float64
+	for _, id := range s.db.Sensors() {
+		if spec, err := s.db.SensorSpec(id); err == nil {
+			ps = append(ps, spec.Errors.DetectProb())
+		}
+	}
+	return fusion.NewClassifier(ps)
+}
+
+// fusionReadings converts the object's live readings into fusion
+// inputs: p_i is the spec's detection probability net of temporal
+// degradation, and q_i is the spec's false-report probability scaled
+// by area(A)/area(U) — a spurious report is uniformly distributed over
+// the coverage area, so the likelihood of it landing on the reading's
+// specific rectangle shrinks with that rectangle (the same scaling the
+// paper applies to z in §6: z = z0·area(A)/area(U)).
+func (s *Service) fusionReadings(objectID string, now time.Time) []fusion.Reading {
+	rows := s.db.LatestPerSensor(objectID, now)
+	universeArea := s.db.Universe().Area()
+	out := make([]fusion.Reading, 0, len(rows))
+	for _, r := range rows {
+		spec, err := s.db.SensorSpec(r.SensorID)
+		if err != nil {
+			continue
+		}
+		p := r.EffectiveDetectProb(spec, now)
+		if p <= 0 {
+			continue
+		}
+		out = append(out, fusion.Reading{
+			ID:     r.SensorID,
+			Rect:   r.Region,
+			P:      p,
+			Q:      model.ScaledZ(spec.Errors.FalseProb(), r.Region.Area(), universeArea),
+			Moving: r.Moving,
+		})
+	}
+	return out
+}
+
+// LocateObject answers the object-based query "where is X?" (§4.2):
+// it fuses the live readings, resolves conflicts, classifies the
+// probability, resolves the symbolic region, and applies any privacy
+// policy registered for the object.
+func (s *Service) LocateObject(objectID string) (Location, error) {
+	now := s.now()
+	readings := s.fusionReadings(objectID, now)
+	if len(readings) == 0 {
+		return Location{}, fmt.Errorf("%w: %s", ErrUnknownObject, objectID)
+	}
+	lat := fusion.Build(s.db.Universe(), readings)
+	est, err := lat.Infer()
+	if err != nil {
+		return Location{}, fmt.Errorf("locate %s: %w", objectID, err)
+	}
+	loc := Location{
+		Object:     objectID,
+		Rect:       est.Rect,
+		Prob:       est.Prob,
+		Band:       s.classifier().Classify(est.Prob),
+		Symbolic:   s.symbolicRegion(est.Rect),
+		Coordinate: glob.CoordinateRect(glob.Symbolic(s.bld.Name), est.Rect),
+		Support:    est.Support,
+		Discarded:  est.Discarded,
+		At:         now,
+	}
+	return s.applyPrivacy(objectID, loc), nil
+}
+
+// symbolicRegion finds the deepest symbolic region whose bounds
+// contain the estimate (falling back to the region containing its
+// centre).
+func (s *Service) symbolicRegion(r geom.Rect) glob.GLOB {
+	best := glob.GLOB{}
+	bestDepth := -1
+	for _, o := range s.db.IntersectingObjects(r, spatialdb.ObjectFilter{}) {
+		switch o.Type {
+		case "Room", "Corridor", "Floor":
+		default:
+			continue
+		}
+		contains := o.Bounds.ContainsRect(r) || o.Bounds.ContainsPoint(r.Center())
+		if contains && o.GLOB.Depth() > bestDepth {
+			best, bestDepth = o.GLOB, o.GLOB.Depth()
+		}
+	}
+	return best
+}
+
+// SetPrivacy registers a privacy policy for an object (§4.5). A zero
+// policy removes the restriction.
+func (s *Service) SetPrivacy(objectID string, p PrivacyPolicy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p == (PrivacyPolicy{}) {
+		delete(s.privacy, objectID)
+		return
+	}
+	s.privacy[objectID] = p
+}
+
+func (s *Service) applyPrivacy(objectID string, loc Location) Location {
+	s.mu.Lock()
+	p, ok := s.privacy[objectID]
+	s.mu.Unlock()
+	if !ok {
+		return loc
+	}
+	return s.applyPolicy(loc, p)
+}
+
+// ProbInRegion answers the region-based query "what is the probability
+// that X is in region R?" (§4.2). The region may be symbolic or
+// coordinate.
+func (s *Service) ProbInRegion(objectID string, region glob.GLOB) (float64, fusion.Band, error) {
+	rect, err := s.db.ResolveGLOB(region)
+	if err != nil {
+		return 0, 0, fmt.Errorf("region query: %w", err)
+	}
+	return s.probInRect(objectID, rect)
+}
+
+func (s *Service) probInRect(objectID string, rect geom.Rect) (float64, fusion.Band, error) {
+	now := s.now()
+	readings := s.fusionReadings(objectID, now)
+	if len(readings) == 0 {
+		return 0, 0, fmt.Errorf("%w: %s", ErrUnknownObject, objectID)
+	}
+	p := fusion.ProbRegion(s.db.Universe(), readings, rect)
+	return p, s.classifier().Classify(p), nil
+}
+
+// ObjectsInRegion answers "who is in room R?" (§1.1's region-based
+// location): every mobile object whose probability of being in the
+// region reaches minProb, with the probabilities.
+func (s *Service) ObjectsInRegion(region glob.GLOB, minProb float64) (map[string]float64, error) {
+	rect, err := s.db.ResolveGLOB(region)
+	if err != nil {
+		return nil, fmt.Errorf("region query: %w", err)
+	}
+	out := make(map[string]float64)
+	for _, id := range s.db.MobileObjects() {
+		p, _, err := s.probInRect(id, rect)
+		if err != nil {
+			continue
+		}
+		if p >= minProb && p > 0 {
+			out[id] = p
+		}
+	}
+	return out, nil
+}
+
+// Subscribe registers a region-based notification (§4.3) and returns
+// its ID. The condition is compiled into a spatial-database trigger;
+// when a qualifying reading arrives, the service fuses the object's
+// readings, and notifies the handler if the probability passes the
+// thresholds.
+func (s *Service) Subscribe(spec Subscription) (string, error) {
+	if spec.Handler == nil {
+		return "", fmt.Errorf("%w: nil handler", ErrBadSub)
+	}
+	rect, err := s.db.ResolveGLOB(spec.Region)
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrBadSub, err)
+	}
+	s.mu.Lock()
+	s.seq++
+	id := "sub-" + strconv.Itoa(s.seq)
+	sub := &subscription{id: id, spec: spec, region: rect}
+	s.subs[id] = sub
+	s.lastTrue[id] = make(map[string]bool)
+	s.mu.Unlock()
+
+	if err := s.db.AddTrigger(id, spec.Object, rect, s.onTrigger(sub)); err != nil {
+		s.mu.Lock()
+		delete(s.subs, id)
+		delete(s.lastTrue, id)
+		s.mu.Unlock()
+		return "", err
+	}
+	return id, nil
+}
+
+// onTrigger evaluates a fired database trigger against the
+// subscription's probability condition.
+func (s *Service) onTrigger(sub *subscription) spatialdb.TriggerFunc {
+	return func(ev spatialdb.TriggerEvent) {
+		obj := ev.Reading.MObjectID
+		p, band, err := s.probInRect(obj, sub.region)
+		if err != nil {
+			return
+		}
+		qualifies := p > 0 && p >= sub.spec.MinProb
+		if qualifies && sub.spec.MinBand > 0 && band < sub.spec.MinBand {
+			qualifies = false
+		}
+		s.mu.Lock()
+		state, ok := s.lastTrue[sub.id]
+		if !ok { // unsubscribed concurrently
+			s.mu.Unlock()
+			return
+		}
+		was := state[obj]
+		state[obj] = qualifies
+		s.mu.Unlock()
+
+		if !qualifies || (was && !sub.spec.EveryReading) {
+			return
+		}
+		n := Notification{
+			SubscriptionID: sub.id,
+			Object:         obj,
+			Region:         sub.region,
+			Prob:           p,
+			Band:           band,
+			At:             s.now(),
+		}
+		select {
+		case s.notifyCh <- dispatch{fn: sub.spec.Handler, n: n}:
+		case <-s.stop:
+		}
+	}
+}
+
+// Unsubscribe removes a subscription.
+func (s *Service) Unsubscribe(id string) error {
+	s.mu.Lock()
+	_, ok := s.subs[id]
+	delete(s.subs, id)
+	delete(s.lastTrue, id)
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: unknown subscription %s", ErrBadSub, id)
+	}
+	return s.db.RemoveTrigger(id)
+}
+
+// Subscriptions returns the number of active subscriptions.
+func (s *Service) Subscriptions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
+}
+
+// ---------------------------------------------------------------------------
+// Spatial relationships (§4.6)
+
+// RelateRegions returns the RCC-8 relation between two regions and,
+// when externally connected, the passage refinement (ECFP/ECRP/ECNP).
+func (s *Service) RelateRegions(a, b glob.GLOB) (rcc.Relation, rcc.Passage, error) {
+	// Prefer the graph for registered rooms (it knows the doors).
+	if _, okA := s.graph.Region(a.String()); okA {
+		if _, okB := s.graph.Region(b.String()); okB {
+			return s.graph.Relation(a.String(), b.String())
+		}
+	}
+	ra, err := s.db.ResolveGLOB(a)
+	if err != nil {
+		return 0, 0, err
+	}
+	rb, err := s.db.ResolveGLOB(b)
+	if err != nil {
+		return 0, 0, err
+	}
+	rel := rcc.Relate(ra, rb)
+	return rel, rcc.PassageNone, nil
+}
+
+// RouteBetween returns the shortest traversable route between two
+// symbolic regions.
+func (s *Service) RouteBetween(a, b glob.GLOB, policy topo.TraversalPolicy) (topo.Route, error) {
+	return s.graph.ShortestRoute(a.String(), b.String(), policy)
+}
+
+// RegionDistance returns the Euclidean and path distances between two
+// symbolic regions (§4.6.1). The path distance is reported as +Inf
+// when no traversable route exists.
+func (s *Service) RegionDistance(a, b glob.GLOB, policy topo.TraversalPolicy) (euclidean, path float64, err error) {
+	euclidean, err = s.graph.EuclideanDistance(a.String(), b.String())
+	if err != nil {
+		return 0, 0, err
+	}
+	path, err = s.graph.PathDistance(a.String(), b.String(), policy)
+	if errors.Is(err, topo.ErrNoRoute) {
+		return euclidean, topo.Infinity, nil
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	return euclidean, path, nil
+}
+
+// RuleEngine builds a Datalog engine preloaded with the building's
+// derived relation facts: ecfp/2, ecrp/2, ecnp/2 for adjacent regions
+// and region/1 for every room and corridor. Applications add their own
+// rules on top (§4.6.1's XSB Prolog reasoning).
+func (s *Service) RuleEngine() *rules.Engine {
+	e := rules.NewEngine()
+	regions := s.graph.Regions()
+	for _, r := range regions {
+		e.AddFact("region", r.ID)
+	}
+	for i := 0; i < len(regions); i++ {
+		for j := 0; j < len(regions); j++ {
+			if i == j {
+				continue
+			}
+			rel, pass, err := s.graph.Relation(regions[i].ID, regions[j].ID)
+			if err != nil || rel != rcc.EC {
+				continue
+			}
+			switch pass {
+			case rcc.PassageFree:
+				e.AddFact("ecfp", regions[i].ID, regions[j].ID)
+			case rcc.PassageRestricted:
+				e.AddFact("ecrp", regions[i].ID, regions[j].ID)
+			default:
+				e.AddFact("ecnp", regions[i].ID, regions[j].ID)
+			}
+		}
+	}
+	return e
+}

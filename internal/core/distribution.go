@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"middlewhere/internal/fusion"
+	"middlewhere/internal/geom"
+	"middlewhere/internal/glob"
+)
+
+// RegionProb is one cell of a spatial probability distribution.
+type RegionProb struct {
+	// Rect is the cell in universe coordinates.
+	Rect geom.Rect
+	// Symbolic is the deepest symbolic region containing the cell.
+	Symbolic glob.GLOB
+	// Prob is the normalized probability mass of the cell.
+	Prob float64
+}
+
+// Distribution returns the spatial probability distribution of an
+// object's location (§4.1: "multi-sensor fusion uses data from
+// different sensors to derive a spatial probability distribution of
+// the location of the person"): the minimal lattice regions with
+// probabilities normalized to sum to 1, sorted by descending
+// probability. Most applications use LocateObject's single value; this
+// is the full posterior for those that want it.
+func (s *Service) Distribution(objectID string) ([]RegionProb, error) {
+	now := s.now()
+	readings := s.fusionReadings(objectID, now)
+	if len(readings) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownObject, objectID)
+	}
+	lat := fusion.Build(s.db.Universe(), readings)
+	lat.Evaluate()
+	dist, norm := lat.Distribution()
+	if norm <= 0 {
+		return nil, fmt.Errorf("distribution of %s: all regions have zero probability", objectID)
+	}
+	out := make([]RegionProb, 0, len(dist))
+	for r, p := range dist {
+		out = append(out, RegionProb{
+			Rect:     r,
+			Symbolic: s.symbolicRegion(r),
+			Prob:     p,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prob != out[j].Prob {
+			return out[i].Prob > out[j].Prob
+		}
+		// Deterministic tie-break.
+		return out[i].Rect.Min.X < out[j].Rect.Min.X ||
+			(out[i].Rect.Min.X == out[j].Rect.Min.X && out[i].Rect.Min.Y < out[j].Rect.Min.Y)
+	})
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Requester-aware privacy (§4.5: "privacy constraints that specify
+// that a user's location can only be revealed upto a certain
+// granularity")
+
+// AccessPolicy is an object's disclosure policy towards requesters.
+type AccessPolicy struct {
+	// Default applies to requesters without a specific grant. The zero
+	// policy (no restriction) reveals everything.
+	Default PrivacyPolicy
+	// Grants maps requester IDs to their allowed detail.
+	Grants map[string]PrivacyPolicy
+}
+
+// SetAccessPolicy installs a per-requester disclosure policy for an
+// object. A zero AccessPolicy removes it.
+func (s *Service) SetAccessPolicy(objectID string, p AccessPolicy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p.Default == (PrivacyPolicy{}) && len(p.Grants) == 0 {
+		delete(s.acls, objectID)
+		return
+	}
+	cp := AccessPolicy{Default: p.Default}
+	if len(p.Grants) > 0 {
+		cp.Grants = make(map[string]PrivacyPolicy, len(p.Grants))
+		for k, v := range p.Grants {
+			cp.Grants[k] = v
+		}
+	}
+	s.acls[objectID] = cp
+}
+
+// LocateObjectFor answers "where is X?" on behalf of a requester,
+// applying X's access policy for that requester on top of any global
+// privacy policy. The object itself always sees full detail.
+func (s *Service) LocateObjectFor(requester, objectID string) (Location, error) {
+	loc, err := s.LocateObject(objectID)
+	if err != nil {
+		return Location{}, err
+	}
+	if requester == objectID {
+		return loc, nil
+	}
+	s.mu.Lock()
+	acl, ok := s.acls[objectID]
+	s.mu.Unlock()
+	if !ok {
+		return loc, nil
+	}
+	policy := acl.Default
+	if g, ok := acl.Grants[requester]; ok {
+		policy = g
+	}
+	return s.applyPolicy(loc, policy), nil
+}
+
+// applyPolicy coarsens a location per one privacy policy (the same
+// logic applyPrivacy uses for the global per-object policy).
+func (s *Service) applyPolicy(loc Location, p PrivacyPolicy) Location {
+	if p == (PrivacyPolicy{}) {
+		return loc
+	}
+	if p.MaxGranularity > 0 {
+		loc.Symbolic = loc.Symbolic.Truncate(p.MaxGranularity)
+		if rect, err := s.db.ResolveGLOB(loc.Symbolic); err == nil {
+			loc.Rect = rect
+			loc.Coordinate = glob.CoordinateRect(glob.Symbolic(s.bld.Name), rect)
+		}
+	}
+	if p.HideCoordinates {
+		loc.Coordinate = glob.GLOB{}
+		loc.Rect = geom.Rect{}
+	}
+	return loc
+}

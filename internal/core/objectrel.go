@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+
+	"middlewhere/internal/fusion"
+	"middlewhere/internal/glob"
+	"middlewhere/internal/relations"
+	"middlewhere/internal/spatialdb"
+	"middlewhere/internal/topo"
+)
+
+// located builds the relations-layer view of an object's current
+// estimate.
+func (s *Service) located(objectID string) (relations.Located, []fusion.Reading, error) {
+	loc, err := s.LocateObject(objectID)
+	if err != nil {
+		return relations.Located{}, nil, err
+	}
+	readings := s.fusionReadings(objectID, loc.At)
+	return relations.Located{
+		Rect:     loc.Rect,
+		Prob:     loc.Prob,
+		Symbolic: loc.Symbolic,
+	}, readings, nil
+}
+
+// Proximity returns the probability that two mobile objects are within
+// threshold distance of each other (§4.6.3a).
+func (s *Service) Proximity(objA, objB string, threshold float64) (float64, error) {
+	a, _, err := s.located(objA)
+	if err != nil {
+		return 0, err
+	}
+	b, _, err := s.located(objB)
+	if err != nil {
+		return 0, err
+	}
+	return relations.Proximity(a, b, threshold), nil
+}
+
+// CoLocated reports whether two mobile objects are in the same
+// symbolic region at the given granularity, with the joint probability
+// (§4.6.3b).
+func (s *Service) CoLocated(objA, objB string, gran glob.Granularity) (bool, float64, error) {
+	a, _, err := s.located(objA)
+	if err != nil {
+		return false, 0, err
+	}
+	b, _, err := s.located(objB)
+	if err != nil {
+		return false, 0, err
+	}
+	ok, p := relations.CoLocated(a, b, gran)
+	return ok, p, nil
+}
+
+// ObjectDistance returns the Euclidean and path distances between two
+// mobile objects (§4.6.3c). Path distance is +Inf when no traversable
+// route exists under the policy.
+func (s *Service) ObjectDistance(objA, objB string, policy topo.TraversalPolicy) (euclidean, path float64, err error) {
+	a, _, err := s.located(objA)
+	if err != nil {
+		return 0, 0, err
+	}
+	b, _, err := s.located(objB)
+	if err != nil {
+		return 0, 0, err
+	}
+	euclidean = relations.EuclideanDist(a, b)
+	path, err = relations.PathDist(s.graph, a, b, policy)
+	if err != nil {
+		return euclidean, topo.Infinity, nil
+	}
+	return euclidean, path, nil
+}
+
+// InUsageRegion returns the probability that a mobile object can use a
+// static object (display, table, ...) — containment in its usage
+// region (§4.6.2b).
+func (s *Service) InUsageRegion(objectID string, staticID string) (float64, error) {
+	obj, err := s.db.GetObject(staticID)
+	if err != nil {
+		return 0, err
+	}
+	_, readings, err := s.located(objectID)
+	if err != nil {
+		return 0, err
+	}
+	return relations.InUsage(s.db.Universe(), readings, obj)
+}
+
+// NearestUsable returns the static object of the given type whose
+// usage region the located object most probably occupies, e.g. the
+// display to migrate a Follow Me session to (§8.1). minProb filters
+// weak candidates.
+func (s *Service) NearestUsable(objectID, objType string, minProb float64) (string, float64, error) {
+	loc, readings, err := s.located(objectID)
+	if err != nil {
+		return "", 0, err
+	}
+	bestID, bestP := "", 0.0
+	bestDist := topo.Infinity
+	for _, o := range s.db.IntersectingObjects(s.db.Universe(), spatialdb.ObjectFilter{Type: objType}) {
+		ur, err := relations.UsageRegion(o)
+		if err != nil {
+			continue
+		}
+		p := relations.Containment(s.db.Universe(), readings, ur)
+		d := loc.Rect.DistToRect(o.Bounds)
+		if p < minProb {
+			continue
+		}
+		if p > bestP || (p == bestP && d < bestDist) {
+			bestID, bestP, bestDist = o.ID(), p, d
+		}
+	}
+	if bestID == "" {
+		return "", 0, fmt.Errorf("%w: no usable %s for %s", ErrUnknownObject, objType, objectID)
+	}
+	return bestID, bestP, nil
+}

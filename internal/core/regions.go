@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+
+	"middlewhere/internal/geom"
+	"middlewhere/internal/glob"
+	"middlewhere/internal/spatialdb"
+)
+
+// DefineRegion creates an application-defined symbolic region at
+// runtime (§4's task 4: "supports the creation of spatial regions and
+// the association of different kinds of properties with these
+// regions") — e.g. "the east wing" or a work region inside a room.
+// The polygon is expressed in the coordinate frame of the GLOB's
+// prefix. The region immediately participates in symbolic resolution,
+// region queries, mwql, and the symbolic lattice.
+func (s *Service) DefineRegion(g glob.GLOB, poly geom.Polygon, properties map[string]string) error {
+	if !g.IsSymbolic() {
+		return fmt.Errorf("%w: region needs a symbolic GLOB", spatialdb.ErrBadGeometry)
+	}
+	return s.db.InsertObject(spatialdb.Object{
+		GLOB:        g,
+		Type:        "Region",
+		Kind:        glob.KindPolygon,
+		LocalPoints: []geom.Point(poly),
+		Properties:  properties,
+	})
+}
+
+// DefineStatic adds a static object (§4's task 5: "supports the
+// addition of static objects, along with spatial properties of these
+// objects") such as a display or table, with its geometry in the
+// prefix frame.
+func (s *Service) DefineStatic(g glob.GLOB, objType string, kind glob.Kind, pts []geom.Point, properties map[string]string) error {
+	if !g.IsSymbolic() {
+		return fmt.Errorf("%w: object needs a symbolic GLOB", spatialdb.ErrBadGeometry)
+	}
+	return s.db.InsertObject(spatialdb.Object{
+		GLOB:        g,
+		Type:        objType,
+		Kind:        kind,
+		LocalPoints: pts,
+		Properties:  properties,
+	})
+}
+
+// RemoveRegion deletes an application-defined region or static object.
+func (s *Service) RemoveRegion(g glob.GLOB) error {
+	return s.db.DeleteObject(g.String())
+}
+
+// SymbolicAncestors returns the §4.5 symbolic-lattice chain of a
+// region: every Room/Corridor/Floor/Region object whose bounds contain
+// it, ordered innermost first. The chain is how privacy policies pick
+// reveal levels and how applications walk the containment hierarchy.
+func (s *Service) SymbolicAncestors(g glob.GLOB) ([]glob.GLOB, error) {
+	rect, err := s.db.ResolveGLOB(g)
+	if err != nil {
+		return nil, err
+	}
+	var out []glob.GLOB
+	self := g.String()
+	for _, o := range s.db.IntersectingObjects(rect, spatialdb.ObjectFilter{}) {
+		switch o.Type {
+		case "Room", "Corridor", "Floor", "Region":
+		default:
+			continue
+		}
+		if o.ID() == self {
+			continue
+		}
+		if o.Bounds.ContainsRect(rect) {
+			out = append(out, o.GLOB)
+		}
+	}
+	// Innermost (smallest area) first.
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			ri, _ := s.db.ResolveGLOB(out[i])
+			rj, _ := s.db.ResolveGLOB(out[j])
+			if rj.Area() < ri.Area() {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"middlewhere/internal/building"
+	"middlewhere/internal/geom"
+	"middlewhere/internal/glob"
+	"middlewhere/internal/model"
+)
+
+// TestConcurrentSubscribeIngestLocate hammers the service from many
+// goroutines: ingests, queries, subscriptions and unsubscriptions all
+// interleaved. Run under -race in CI.
+func TestConcurrentSubscribeIngestLocate(t *testing.T) {
+	clock := &testClock{now: t0}
+	s, err := New(building.PaperFloor(), WithClock(clock.Now), WithHistory(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	spec := model.UbisenseSpec(0.9)
+	spec.TTL = time.Hour
+	if err := s.RegisterSensor("stress-ubi", spec); err != nil {
+		t.Fatal(err)
+	}
+	region := glob.MustParse("CS/Floor3/NetLab")
+
+	var wg sync.WaitGroup
+	const workers = 6
+	const iters = 40
+	errs := make(chan error, workers*iters)
+
+	// Writers: readings walking across the floor.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				err := s.Ingest(model.Reading{
+					SensorID:  "stress-ubi",
+					MObjectID: fmt.Sprintf("p%d", w),
+					Location: glob.CoordinatePoint(glob.MustParse("CS/Floor3"),
+						geom.Pt(float64(300+i*2), 15)),
+					Time: clock.Now().Add(time.Duration(i) * time.Millisecond),
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	// Readers: queries racing the writers.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				s.LocateObject(fmt.Sprintf("p%d", w)) // error ok: may not exist yet
+				s.ObjectsInRegion(region, 0.3)
+				s.History(fmt.Sprintf("p%d", w))
+			}
+		}(w)
+	}
+	// Subscribers: churn subscriptions while triggers fire.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				id, err := s.Subscribe(Subscription{
+					Region:       region,
+					EveryReading: true,
+					Handler:      func(Notification) {},
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := s.Unsubscribe(id); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if s.Subscriptions() != 0 {
+		t.Errorf("leaked subscriptions: %d", s.Subscriptions())
+	}
+}

@@ -1,0 +1,88 @@
+package fusion
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Band is a qualitative probability level (§4.4). Most applications
+// prefer "notify me when the location is known with high probability"
+// over raw numbers.
+type Band int
+
+// The four probability bands of §4.4.
+const (
+	BandLow Band = iota + 1
+	BandMedium
+	BandHigh
+	BandVeryHigh
+)
+
+// String implements fmt.Stringer.
+func (b Band) String() string {
+	switch b {
+	case BandLow:
+		return "low"
+	case BandMedium:
+		return "medium"
+	case BandHigh:
+		return "high"
+	case BandVeryHigh:
+		return "very-high"
+	default:
+		return fmt.Sprintf("Band(%d)", int(b))
+	}
+}
+
+// Classifier divides the probability space into the four bands of
+// §4.4 using the accuracies of the deployed sensors:
+//
+//	(0, min p_i]        low
+//	(min p_i, median]   medium
+//	(median, max p_i]   high
+//	(max p_i, 1]        very high
+type Classifier struct {
+	min, median, max float64
+}
+
+// NewClassifier builds a classifier from the detection probabilities
+// (p_i) of the active sensors. With no sensors the thresholds default
+// to the fixed quartiles 0.25/0.5/0.75.
+func NewClassifier(sensorPs []float64) Classifier {
+	if len(sensorPs) == 0 {
+		return Classifier{min: 0.25, median: 0.5, max: 0.75}
+	}
+	ps := append([]float64(nil), sensorPs...)
+	sort.Float64s(ps)
+	med := ps[len(ps)/2]
+	if len(ps)%2 == 0 {
+		med = (ps[len(ps)/2-1] + ps[len(ps)/2]) / 2
+	}
+	return Classifier{min: ps[0], median: med, max: ps[len(ps)-1]}
+}
+
+// Thresholds returns the three band boundaries (min, median, max of
+// the sensor p_i's).
+func (c Classifier) Thresholds() (min, median, max float64) {
+	return c.min, c.median, c.max
+}
+
+// Classify maps a probability to its band.
+func (c Classifier) Classify(p float64) Band {
+	switch {
+	case p <= c.min:
+		return BandLow
+	case p <= c.median:
+		return BandMedium
+	case p <= c.max:
+		return BandHigh
+	default:
+		return BandVeryHigh
+	}
+}
+
+// AtLeast reports whether probability p reaches the given band — the
+// predicate subscriptions use ("notify me at high or better").
+func (c Classifier) AtLeast(p float64, b Band) bool {
+	return c.Classify(p) >= b
+}

@@ -1,0 +1,89 @@
+package fusion
+
+import "testing"
+
+func TestClassifierBands(t *testing.T) {
+	// Sensors with p values 0.6, 0.8, 0.95: min 0.6, median 0.8,
+	// max 0.95 per §4.4.
+	c := NewClassifier([]float64{0.8, 0.6, 0.95})
+	mn, md, mx := c.Thresholds()
+	if mn != 0.6 || md != 0.8 || mx != 0.95 {
+		t.Fatalf("thresholds = %v %v %v", mn, md, mx)
+	}
+	tests := []struct {
+		give float64
+		want Band
+	}{
+		{0.1, BandLow},
+		{0.6, BandLow}, // boundary belongs to the lower band
+		{0.61, BandMedium},
+		{0.8, BandMedium},
+		{0.81, BandHigh},
+		{0.95, BandHigh},
+		{0.96, BandVeryHigh},
+		{1.0, BandVeryHigh},
+	}
+	for _, tt := range tests {
+		if got := c.Classify(tt.give); got != tt.want {
+			t.Errorf("Classify(%v) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestClassifierEvenCountMedian(t *testing.T) {
+	c := NewClassifier([]float64{0.6, 0.8})
+	_, md, _ := c.Thresholds()
+	if md != 0.7 {
+		t.Errorf("median of even count = %v, want 0.7", md)
+	}
+}
+
+func TestClassifierDefaults(t *testing.T) {
+	c := NewClassifier(nil)
+	mn, md, mx := c.Thresholds()
+	if mn != 0.25 || md != 0.5 || mx != 0.75 {
+		t.Errorf("default thresholds = %v %v %v", mn, md, mx)
+	}
+}
+
+func TestClassifierAtLeast(t *testing.T) {
+	c := NewClassifier([]float64{0.5, 0.7, 0.9})
+	if !c.AtLeast(0.95, BandVeryHigh) {
+		t.Error("0.95 should reach very-high")
+	}
+	if !c.AtLeast(0.8, BandHigh) {
+		t.Error("0.8 should reach high")
+	}
+	if c.AtLeast(0.8, BandVeryHigh) {
+		t.Error("0.8 should not reach very-high")
+	}
+	if !c.AtLeast(0.1, BandLow) {
+		t.Error("everything reaches low")
+	}
+}
+
+func TestBandString(t *testing.T) {
+	tests := []struct {
+		give Band
+		want string
+	}{
+		{BandLow, "low"},
+		{BandMedium, "medium"},
+		{BandHigh, "high"},
+		{BandVeryHigh, "very-high"},
+		{Band(0), "Band(0)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestClassifierDoesNotMutateInput(t *testing.T) {
+	ps := []float64{0.9, 0.5, 0.7}
+	NewClassifier(ps)
+	if ps[0] != 0.9 || ps[1] != 0.5 || ps[2] != 0.7 {
+		t.Error("NewClassifier sorted the caller's slice")
+	}
+}

@@ -1,0 +1,399 @@
+package fusion
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"middlewhere/internal/geom"
+)
+
+// maxLatticeNodes caps the intersection closure so pathological inputs
+// (hundreds of mutually overlapping readings for a single object)
+// cannot blow up memory. Real deployments see a handful of readings
+// per object.
+const maxLatticeNodes = 4096
+
+// Node is one region in the rectangle lattice (§4.1.2, Fig. 6). The
+// lattice relationship is containment: Parents are the smallest
+// regions strictly containing the node, Children the largest regions
+// strictly contained in it.
+type Node struct {
+	// Rect is the node's region.
+	Rect geom.Rect
+	// Prob is P(object in Rect | readings), filled in by Evaluate.
+	Prob float64
+	// Sources lists the indices (into Lattice.Readings) of the readings
+	// whose sensor rectangle equals this node. Intersection nodes and
+	// inserted query regions have no sources.
+	Sources []int
+	// Synthetic marks the Top and Bottom elements.
+	Synthetic bool
+
+	parents  []*Node
+	children []*Node
+}
+
+// Parents returns the node's immediate ancestors in containment order.
+func (n *Node) Parents() []*Node { return n.parents }
+
+// Children returns the node's immediate descendants.
+func (n *Node) Children() []*Node { return n.children }
+
+// Lattice is the containment lattice over sensor rectangles and their
+// intersection regions, with a synthetic Top (the universe) and Bottom.
+type Lattice struct {
+	// Universe is the whole area under consideration (the paper uses
+	// the building's floor area).
+	Universe geom.Rect
+	// Readings are the fused observations.
+	Readings []Reading
+	// Nodes holds every region node (excluding Top and Bottom),
+	// deduplicated by geometry.
+	Nodes []*Node
+	// Top is the universe node; Bottom the synthetic least element.
+	Top, Bottom *Node
+}
+
+// Estimate is a single inferred location (§4.2): the chosen rectangle,
+// its probability, and the readings that support it.
+type Estimate struct {
+	Rect geom.Rect
+	Prob float64
+	// Support lists the IDs of readings consistent with (intersecting)
+	// the chosen rectangle.
+	Support []string
+	// Discarded lists the IDs of readings rejected by conflict
+	// resolution.
+	Discarded []string
+}
+
+// ErrNoReadings is returned by Infer when there is nothing to fuse.
+var ErrNoReadings = errors.New("fusion: no readings")
+
+// Build constructs the lattice for the given readings: all sensor
+// rectangles, the closure of their pairwise intersections, and the
+// containment order between them. Readings are clipped to the
+// universe; readings entirely outside it are ignored.
+func Build(universe geom.Rect, readings []Reading) *Lattice {
+	l := &Lattice{Universe: universe}
+	for _, rd := range readings {
+		if clipped, ok := rd.Rect.Intersect(universe); ok && clipped.Area() > 0 {
+			rd.Rect = clipped
+			l.Readings = append(l.Readings, rd)
+		}
+	}
+
+	seen := make(map[geom.Rect]*Node)
+	add := func(r geom.Rect) *Node {
+		if n, ok := seen[r]; ok {
+			return n
+		}
+		n := &Node{Rect: r}
+		seen[r] = n
+		l.Nodes = append(l.Nodes, n)
+		return n
+	}
+
+	for i, rd := range l.Readings {
+		n := add(rd.Rect)
+		n.Sources = append(n.Sources, i)
+	}
+
+	// Intersection closure: keep intersecting pairs until no new
+	// region appears (bounded by maxLatticeNodes).
+	for grew := true; grew && len(l.Nodes) < maxLatticeNodes; {
+		grew = false
+		snapshot := make([]*Node, len(l.Nodes))
+		copy(snapshot, l.Nodes)
+		for i := 0; i < len(snapshot) && len(l.Nodes) < maxLatticeNodes; i++ {
+			for j := i + 1; j < len(snapshot) && len(l.Nodes) < maxLatticeNodes; j++ {
+				in, ok := snapshot[i].Rect.Intersect(snapshot[j].Rect)
+				if !ok || in.Area() <= 0 {
+					continue
+				}
+				if _, dup := seen[in]; !dup {
+					add(in)
+					grew = true
+				}
+			}
+		}
+	}
+
+	l.link()
+	return l
+}
+
+// link wires parent/child edges by containment (covering relation) and
+// attaches Top and Bottom.
+func (l *Lattice) link() {
+	l.Top = &Node{Rect: l.Universe, Synthetic: true}
+	l.Bottom = &Node{Synthetic: true}
+
+	// Sort by area ascending; a node's parents are the minimal-area
+	// strict containers.
+	sorted := make([]*Node, len(l.Nodes))
+	copy(sorted, l.Nodes)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].Rect.Area() < sorted[j].Rect.Area()
+	})
+
+	contains := func(a, b *Node) bool { // strict containment a ⊃ b
+		return a.Rect.ContainsRect(b.Rect) && !a.Rect.Eq(b.Rect)
+	}
+
+	for i, n := range sorted {
+		// Candidate ancestors: all strictly larger containers.
+		var anc []*Node
+		for j := i + 1; j < len(sorted); j++ {
+			if contains(sorted[j], n) {
+				anc = append(anc, sorted[j])
+			}
+		}
+		// Keep only covering ancestors (no intermediate container).
+		for _, a := range anc {
+			covering := true
+			for _, b := range anc {
+				if b != a && contains(a, b) {
+					covering = false
+					break
+				}
+			}
+			if covering {
+				n.parents = append(n.parents, a)
+				a.children = append(a.children, n)
+			}
+		}
+		if len(n.parents) == 0 {
+			n.parents = append(n.parents, l.Top)
+			l.Top.children = append(l.Top.children, n)
+		}
+	}
+	// Bottom's parents are the childless nodes (the minimal regions).
+	for _, n := range sorted {
+		if len(n.children) == 0 {
+			n.children = append(n.children, l.Bottom)
+			l.Bottom.parents = append(l.Bottom.parents, n)
+		}
+	}
+	if len(l.Nodes) == 0 {
+		l.Top.children = append(l.Top.children, l.Bottom)
+		l.Bottom.parents = append(l.Bottom.parents, l.Top)
+	}
+}
+
+// Evaluate fills every node's Prob with P(object in node | readings).
+func (l *Lattice) Evaluate() {
+	for _, n := range l.Nodes {
+		n.Prob = ProbRegion(l.Universe, l.Readings, n.Rect)
+	}
+	l.Top.Prob = 1
+	l.Bottom.Prob = 0
+}
+
+// InsertRegion adds an arbitrary query region to the lattice (used for
+// region-based queries and notification rectangles, §4.2–4.3),
+// relinks, evaluates, and returns its node. The region is clipped to
+// the universe.
+func (l *Lattice) InsertRegion(r geom.Rect) *Node {
+	clipped, ok := r.Intersect(l.Universe)
+	if ok {
+		r = clipped
+	}
+	for _, n := range l.Nodes {
+		if n.Rect.Eq(r) {
+			l.Evaluate()
+			return n
+		}
+	}
+	n := &Node{Rect: r}
+	l.Nodes = append(l.Nodes, n)
+	// Also add intersections of the new region with existing nodes so
+	// the minimal regions stay consistent.
+	seen := make(map[geom.Rect]bool, len(l.Nodes))
+	for _, m := range l.Nodes {
+		seen[m.Rect] = true
+	}
+	existing := make([]*Node, len(l.Nodes))
+	copy(existing, l.Nodes)
+	for _, m := range existing {
+		if m == n {
+			continue
+		}
+		if in, ok := r.Intersect(m.Rect); ok && in.Area() > 0 && !seen[in] {
+			seen[in] = true
+			l.Nodes = append(l.Nodes, &Node{Rect: in})
+		}
+	}
+	l.relink()
+	l.Evaluate()
+	return n
+}
+
+// relink clears and rebuilds the order relation (used after node
+// insertion).
+func (l *Lattice) relink() {
+	for _, n := range l.Nodes {
+		n.parents, n.children = nil, nil
+	}
+	l.link()
+}
+
+// MinimalRegions returns the parents of Bottom: the smallest regions
+// in the lattice, which the inference step compares (§4.2).
+func (l *Lattice) MinimalRegions() []*Node {
+	out := make([]*Node, 0, len(l.Bottom.parents))
+	for _, n := range l.Bottom.parents {
+		if !n.Synthetic {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Distribution returns the spatial probability distribution over the
+// minimal (mutually disjoint after conflict resolution) regions,
+// normalized to sum to 1 ("the probabilities of all regions are
+// finally normalized", §4.1.2). Regions with zero probability are
+// included with weight 0. The second return value is the
+// normalization constant (sum of raw probabilities); it is zero when
+// every region has zero raw probability.
+func (l *Lattice) Distribution() (map[geom.Rect]float64, float64) {
+	mins := l.MinimalRegions()
+	out := make(map[geom.Rect]float64, len(mins))
+	var sum float64
+	for _, n := range mins {
+		sum += n.Prob
+	}
+	for _, n := range mins {
+		if sum > 0 {
+			out[n.Rect] = n.Prob / sum
+		} else {
+			out[n.Rect] = 0
+		}
+	}
+	return out, sum
+}
+
+// movingSupport reports whether any moving reading's rectangle
+// contains the node's region.
+func (l *Lattice) movingSupport(n *Node) bool {
+	for _, rd := range l.Readings {
+		if rd.Moving && rd.Rect.ContainsRect(n.Rect) {
+			return true
+		}
+	}
+	return false
+}
+
+// standalone returns the node's probability using only the readings
+// whose rectangles intersect it — the Eq. 5 style score rule 2 of the
+// conflict resolution compares.
+func (l *Lattice) standalone(n *Node) float64 {
+	var sub []Reading
+	for _, rd := range l.Readings {
+		if rd.Rect.Intersects(n.Rect) {
+			sub = append(sub, rd)
+		}
+	}
+	return ProbRegion(l.Universe, sub, n.Rect)
+}
+
+// Infer resolves conflicts and returns the single most likely location
+// (§4.2): if Bottom has one parent, that region is the answer; if it
+// has several (disjoint sensor groups), the conflict rules pick one —
+// a region supported by a moving reading wins over stationary ones,
+// ties broken by the higher standalone probability — and the readings
+// inconsistent with the winner are discarded.
+func (l *Lattice) Infer() (Estimate, error) {
+	if len(l.Readings) == 0 {
+		return Estimate{}, ErrNoReadings
+	}
+	l.Evaluate()
+
+	cur := l
+	var discarded []string
+	for iter := 0; ; iter++ {
+		mins := cur.MinimalRegions()
+		if len(mins) == 0 {
+			return Estimate{}, ErrNoReadings
+		}
+		if len(mins) == 1 || iter > len(l.Readings) {
+			return cur.estimateFor(mins[0], discarded), nil
+		}
+		// Choose the best minimal region by (moving support, standalone
+		// probability).
+		best := mins[0]
+		bestMoving := cur.movingSupport(best)
+		bestScore := cur.standalone(best)
+		for _, n := range mins[1:] {
+			mv := cur.movingSupport(n)
+			sc := cur.standalone(n)
+			if (mv && !bestMoving) || (mv == bestMoving && sc > bestScore) {
+				best, bestMoving, bestScore = n, mv, sc
+			}
+		}
+		// Discard readings disjoint from the winner and rebuild; this
+		// removes the conflicting sensor groups (the paper's "S5 is
+		// removed from the lattice").
+		var keep []Reading
+		removed := false
+		for _, rd := range cur.Readings {
+			if rd.Rect.Intersects(best.Rect) {
+				keep = append(keep, rd)
+			} else {
+				discarded = append(discarded, rd.ID)
+				removed = true
+			}
+		}
+		if !removed {
+			return cur.estimateFor(best, discarded), nil
+		}
+		cur = Build(cur.Universe, keep)
+		cur.Evaluate()
+	}
+}
+
+func (l *Lattice) estimateFor(n *Node, discarded []string) Estimate {
+	est := Estimate{Rect: n.Rect, Prob: n.Prob, Discarded: discarded}
+	for _, rd := range l.Readings {
+		if rd.Rect.Intersects(n.Rect) {
+			est.Support = append(est.Support, rd.ID)
+		}
+	}
+	return est
+}
+
+// Validate checks structural lattice invariants (for tests): the
+// parent/child relation is consistent, acyclic in area, and every
+// non-source node is covered.
+func (l *Lattice) Validate() error {
+	for _, n := range l.Nodes {
+		for _, p := range n.parents {
+			if !p.Synthetic && !p.Rect.ContainsRect(n.Rect) {
+				return fmt.Errorf("fusion: parent %v does not contain %v", p.Rect, n.Rect)
+			}
+			found := false
+			for _, c := range p.children {
+				if c == n {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("fusion: asymmetric edge %v -> %v", p.Rect, n.Rect)
+			}
+		}
+		if len(n.parents) == 0 {
+			return fmt.Errorf("fusion: orphan node %v", n.Rect)
+		}
+	}
+	for _, p := range l.Bottom.parents {
+		if len(p.children) != 1 || p.children[0] != l.Bottom {
+			if !p.Synthetic {
+				return fmt.Errorf("fusion: bottom parent %v has other children", p.Rect)
+			}
+		}
+	}
+	return nil
+}

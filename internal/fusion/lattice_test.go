@@ -1,0 +1,381 @@
+package fusion
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"middlewhere/internal/geom"
+)
+
+// paperFigure5 reproduces the configuration of Fig. 5: five sensor
+// rectangles where S1–S3 overlap pairwise, S4 sits inside S3, and S5
+// is disjoint from everything else.
+func paperFigure5() []Reading {
+	return []Reading{
+		{ID: "S1", Rect: geom.R(0, 10, 30, 40), P: 0.9, Q: 0.02},
+		{ID: "S2", Rect: geom.R(20, 20, 50, 50), P: 0.85, Q: 0.03},
+		{ID: "S3", Rect: geom.R(40, 10, 70, 45), P: 0.8, Q: 0.04},
+		{ID: "S4", Rect: geom.R(45, 15, 55, 25), P: 0.95, Q: 0.01},
+		{ID: "S5", Rect: geom.R(80, 80, 95, 95), P: 0.7, Q: 0.05},
+	}
+}
+
+func TestBuildLatticeFigure5(t *testing.T) {
+	l := Build(universe, paperFigure5())
+	if err := l.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Expected intersection regions: D = S1∩S2, E = S2∩S3,
+	// F = S3∩S4 = S4 itself? No — S4 ⊂ S3, so no new rect from that
+	// pair; S2∩S4 overlaps? S2=(20..50,20..50), S4=(45..55,15..25) →
+	// intersection (45..50,20..25). G = S2∩S3∩S4 etc. At minimum the
+	// sensor rects themselves are nodes.
+	rects := make(map[geom.Rect]bool)
+	for _, n := range l.Nodes {
+		rects[n.Rect] = true
+	}
+	for _, rd := range paperFigure5() {
+		if !rects[rd.Rect] {
+			t.Errorf("sensor rect %v missing from lattice", rd.Rect)
+		}
+	}
+	if !rects[geom.R(20, 20, 30, 40)] { // S1∩S2
+		t.Error("S1∩S2 intersection node missing")
+	}
+	if !rects[geom.R(40, 20, 50, 45)] { // S2∩S3
+		t.Error("S2∩S3 intersection node missing")
+	}
+	if !rects[geom.R(45, 20, 50, 25)] { // S2∩S4
+		t.Error("S2∩S4 intersection node missing")
+	}
+	// S5 is disjoint: it must be a parent of Bottom.
+	mins := l.MinimalRegions()
+	foundS5 := false
+	for _, n := range mins {
+		if n.Rect.Eq(geom.R(80, 80, 95, 95)) {
+			foundS5 = true
+		}
+	}
+	if !foundS5 {
+		t.Errorf("S5 should be a minimal region; minimals: %d", len(mins))
+	}
+}
+
+func TestLatticeParentChildStructure(t *testing.T) {
+	// Nested rectangles: C ⊂ B ⊂ A.
+	readings := []Reading{
+		{ID: "A", Rect: geom.R(0, 0, 40, 40), P: 0.9, Q: 0.05},
+		{ID: "B", Rect: geom.R(10, 10, 30, 30), P: 0.9, Q: 0.05},
+		{ID: "C", Rect: geom.R(15, 15, 25, 25), P: 0.9, Q: 0.05},
+	}
+	l := Build(universe, readings)
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var a, b, c *Node
+	for _, n := range l.Nodes {
+		switch {
+		case n.Rect.Eq(readings[0].Rect):
+			a = n
+		case n.Rect.Eq(readings[1].Rect):
+			b = n
+		case n.Rect.Eq(readings[2].Rect):
+			c = n
+		}
+	}
+	if a == nil || b == nil || c == nil {
+		t.Fatal("missing nodes")
+	}
+	// Covering relation: C's parent is B (not A), B's parent is A.
+	if len(c.Parents()) != 1 || c.Parents()[0] != b {
+		t.Errorf("C parents wrong")
+	}
+	if len(b.Parents()) != 1 || b.Parents()[0] != a {
+		t.Errorf("B parents wrong")
+	}
+	if len(a.Parents()) != 1 || a.Parents()[0] != l.Top {
+		t.Errorf("A should hang off Top")
+	}
+	// Bottom's single parent is C (the unique minimal region).
+	mins := l.MinimalRegions()
+	if len(mins) != 1 || mins[0] != c {
+		t.Errorf("minimal regions = %v", mins)
+	}
+}
+
+func TestEvaluateOrdersNestedProbabilities(t *testing.T) {
+	readings := []Reading{
+		{ID: "A", Rect: geom.R(0, 0, 40, 40), P: 0.9, Q: 0.05},
+		{ID: "B", Rect: geom.R(10, 10, 30, 30), P: 0.9, Q: 0.05},
+	}
+	l := Build(universe, readings)
+	l.Evaluate()
+	var pA, pB float64
+	for _, n := range l.Nodes {
+		if n.Rect.Eq(readings[0].Rect) {
+			pA = n.Prob
+		}
+		if n.Rect.Eq(readings[1].Rect) {
+			pB = n.Prob
+		}
+	}
+	// The outer region contains the inner one, so P(A) >= P(B).
+	if pA < pB {
+		t.Errorf("containment monotonicity violated: P(A)=%v < P(B)=%v", pA, pB)
+	}
+	if l.Top.Prob != 1 || l.Bottom.Prob != 0 {
+		t.Error("synthetic node probabilities wrong")
+	}
+}
+
+func TestInferSingleCluster(t *testing.T) {
+	readings := []Reading{
+		{ID: "A", Rect: geom.R(0, 0, 40, 40), P: 0.9, Q: 0.02},
+		{ID: "B", Rect: geom.R(10, 10, 30, 30), P: 0.9, Q: 0.02},
+	}
+	l := Build(universe, readings)
+	est, err := l.Infer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Rect.Eq(geom.R(10, 10, 30, 30)) {
+		t.Errorf("Infer rect = %v, want inner rectangle", est.Rect)
+	}
+	if est.Prob <= 0 || est.Prob > 1 {
+		t.Errorf("Infer prob = %v", est.Prob)
+	}
+	if len(est.Support) != 2 {
+		t.Errorf("Support = %v, want both readings", est.Support)
+	}
+	if len(est.Discarded) != 0 {
+		t.Errorf("Discarded = %v, want none", est.Discarded)
+	}
+}
+
+func TestInferConflictMovingWins(t *testing.T) {
+	// Rule 1: a moving rectangle beats a stationary one even when the
+	// stationary one scores higher alone (badge left in the office).
+	readings := []Reading{
+		{ID: "badge", Rect: geom.R(10, 10, 20, 20), P: 0.95, Q: 0.01, Moving: false},
+		{ID: "tag", Rect: geom.R(70, 70, 85, 85), P: 0.6, Q: 0.05, Moving: true},
+	}
+	l := Build(universe, readings)
+	est, err := l.Infer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Rect.Eq(geom.R(70, 70, 85, 85)) {
+		t.Errorf("Infer chose %v, want the moving reading's rect", est.Rect)
+	}
+	if len(est.Discarded) != 1 || est.Discarded[0] != "badge" {
+		t.Errorf("Discarded = %v, want [badge]", est.Discarded)
+	}
+}
+
+func TestInferConflictHigherProbabilityWins(t *testing.T) {
+	// Rule 2: with no movement information, the reading with the higher
+	// standalone probability (Eq. 5) wins. Equal areas, different p/q.
+	readings := []Reading{
+		{ID: "weak", Rect: geom.R(10, 10, 20, 20), P: 0.5, Q: 0.2},
+		{ID: "strong", Rect: geom.R(70, 70, 80, 80), P: 0.95, Q: 0.01},
+	}
+	l := Build(universe, readings)
+	est, err := l.Infer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Rect.Eq(geom.R(70, 70, 80, 80)) {
+		t.Errorf("Infer chose %v, want the strong reading's rect", est.Rect)
+	}
+	if len(est.Discarded) != 1 || est.Discarded[0] != "weak" {
+		t.Errorf("Discarded = %v", est.Discarded)
+	}
+}
+
+func TestInferThreeWayConflict(t *testing.T) {
+	// Two disjoint stationary groups plus one moving group; the moving
+	// group must win and both others be discarded.
+	readings := []Reading{
+		{ID: "g1a", Rect: geom.R(0, 0, 10, 10), P: 0.9, Q: 0.01},
+		{ID: "g1b", Rect: geom.R(2, 2, 12, 12), P: 0.9, Q: 0.01},
+		{ID: "g2", Rect: geom.R(40, 40, 50, 50), P: 0.95, Q: 0.01},
+		{ID: "mv", Rect: geom.R(80, 80, 90, 90), P: 0.5, Q: 0.05, Moving: true},
+	}
+	l := Build(universe, readings)
+	est, err := l.Infer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Rect.Eq(geom.R(80, 80, 90, 90)) {
+		t.Errorf("Infer chose %v", est.Rect)
+	}
+	if len(est.Discarded) != 3 {
+		t.Errorf("Discarded = %v, want 3 readings", est.Discarded)
+	}
+}
+
+func TestInferNoReadings(t *testing.T) {
+	l := Build(universe, nil)
+	if _, err := l.Infer(); !errors.Is(err, ErrNoReadings) {
+		t.Errorf("err = %v, want ErrNoReadings", err)
+	}
+	// Readings entirely outside the universe are dropped at Build.
+	l = Build(universe, []Reading{{ID: "out", Rect: geom.R(500, 500, 600, 600), P: 0.9, Q: 0.1}})
+	if _, err := l.Infer(); !errors.Is(err, ErrNoReadings) {
+		t.Errorf("outside reading: err = %v, want ErrNoReadings", err)
+	}
+}
+
+func TestDistributionNormalized(t *testing.T) {
+	l := Build(universe, paperFigure5())
+	l.Evaluate()
+	dist, sum := l.Distribution()
+	if sum <= 0 {
+		t.Fatalf("normalization constant = %v", sum)
+	}
+	var total float64
+	for r, p := range dist {
+		if p < 0 || p > 1 {
+			t.Errorf("dist[%v] = %v", r, p)
+		}
+		total += p
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("distribution sums to %v, want 1", total)
+	}
+}
+
+func TestInsertRegionQuery(t *testing.T) {
+	readings := []Reading{
+		{ID: "A", Rect: geom.R(10, 10, 30, 30), P: 0.9, Q: 0.02},
+	}
+	l := Build(universe, readings)
+	n := l.InsertRegion(geom.R(15, 15, 40, 40))
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Prob <= 0 || n.Prob > 1 {
+		t.Errorf("query prob = %v", n.Prob)
+	}
+	// The query answer equals the direct formula.
+	want := ProbRegion(universe, l.Readings, geom.R(15, 15, 40, 40))
+	if !almostEq(n.Prob, want) {
+		t.Errorf("lattice query = %v, direct = %v", n.Prob, want)
+	}
+	// Inserting the same region again returns the existing node.
+	n2 := l.InsertRegion(geom.R(15, 15, 40, 40))
+	if !n2.Rect.Eq(n.Rect) {
+		t.Error("re-insert returned different node")
+	}
+	// Inserting an existing sensor rect reuses its node.
+	n3 := l.InsertRegion(geom.R(10, 10, 30, 30))
+	if len(n3.Sources) != 1 {
+		t.Error("existing sensor node not reused")
+	}
+}
+
+func TestInsertRegionClipsToUniverse(t *testing.T) {
+	l := Build(universe, []Reading{{ID: "A", Rect: geom.R(10, 10, 30, 30), P: 0.9, Q: 0.02}})
+	n := l.InsertRegion(geom.R(90, 90, 200, 200))
+	if !n.Rect.Eq(geom.R(90, 90, 100, 100)) {
+		t.Errorf("clipped rect = %v", n.Rect)
+	}
+}
+
+func TestQuickLatticeInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	f := func(seed int64) bool {
+		_ = seed
+		n := 1 + rng.Intn(7)
+		readings := make([]Reading, n)
+		for i := range readings {
+			x, y := rng.Float64()*80, rng.Float64()*80
+			readings[i] = Reading{
+				ID:   "r",
+				Rect: geom.R(x, y, x+2+rng.Float64()*25, y+2+rng.Float64()*25),
+				P:    0.5 + rng.Float64()*0.5,
+				Q:    rng.Float64() * 0.2,
+			}
+		}
+		l := Build(universe, readings)
+		if l.Validate() != nil {
+			return false
+		}
+		est, err := l.Infer()
+		if err != nil {
+			return false
+		}
+		if est.Prob < 0 || est.Prob > 1 || math.IsNaN(est.Prob) {
+			return false
+		}
+		// The inferred rectangle intersects at least one retained
+		// reading.
+		return len(est.Support) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLatticeNodeCapRespected(t *testing.T) {
+	// A grid of heavily overlapping rectangles should not exceed the
+	// node cap or hang.
+	var readings []Reading
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 4; j++ {
+			x, y := float64(i*3), float64(j*3)
+			readings = append(readings, Reading{
+				ID: "g", Rect: geom.R(x, y, x+30, y+30), P: 0.8, Q: 0.05,
+			})
+		}
+	}
+	l := Build(universe, readings)
+	if len(l.Nodes) > maxLatticeNodes {
+		t.Errorf("node cap exceeded: %d", len(l.Nodes))
+	}
+	if err := l.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickInferPermutationInvariant(t *testing.T) {
+	// The inferred location must not depend on the order readings
+	// arrive in: the lattice is a set of regions and the conflict rules
+	// compare scores, not positions.
+	rng := rand.New(rand.NewSource(77))
+	f := func(seed int64) bool {
+		_ = seed
+		n := 2 + rng.Intn(5)
+		readings := make([]Reading, n)
+		for i := range readings {
+			x, y := rng.Float64()*80, rng.Float64()*80
+			readings[i] = Reading{
+				ID:     fmt.Sprintf("s%d", i),
+				Rect:   geom.R(x, y, x+3+rng.Float64()*20, y+3+rng.Float64()*20),
+				P:      0.5 + rng.Float64()*0.5,
+				Q:      rng.Float64() * 0.05,
+				Moving: rng.Intn(2) == 0,
+			}
+		}
+		base, err := Build(universe, readings).Infer()
+		if err != nil {
+			return false
+		}
+		shuffled := append([]Reading(nil), readings...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		got, err := Build(universe, shuffled).Infer()
+		if err != nil {
+			return false
+		}
+		return got.Rect.Eq(base.Rect) && math.Abs(got.Prob-base.Prob) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,499 @@
+// Package geom provides the planar geometry substrate used throughout
+// MiddleWhere: points, minimum bounding rectangles (MBRs), segments,
+// polylines and polygons, together with the predicates the spatial
+// database and the fusion engine rely on (area, containment,
+// intersection, distance).
+//
+// All coordinates are float64 in an arbitrary planar frame; the coords
+// package handles conversion between frames. Geometry in this package is
+// two-dimensional: MiddleWhere models each floor as a plane, and the
+// (small) vertical extent of readings is carried by the location model,
+// not by the geometry substrate.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Eps is the tolerance used by the approximate comparisons in this
+// package. Coordinates in MiddleWhere are building-scale (feet or
+// metres), so a nano-scale epsilon comfortably separates real geometric
+// distinctions from floating-point noise.
+const Eps = 1e-9
+
+// Point is a location in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns the translation of p by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the vector from q to p.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by k about the origin.
+func (p Point) Scale(k float64) Point { return Point{p.X * k, p.Y * k} }
+
+// Dot returns the dot product of p and q viewed as vectors.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z-component of the cross product of p and q viewed
+// as vectors.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
+
+// Norm returns the Euclidean length of p viewed as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Eq reports whether p and q coincide within Eps.
+func (p Point) Eq(q Point) bool {
+	return math.Abs(p.X-q.X) <= Eps && math.Abs(p.Y-q.Y) <= Eps
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%g,%g)", p.X, p.Y) }
+
+// Rect is an axis-aligned rectangle, the minimum bounding rectangle
+// (MBR) representation the paper uses for all sensor regions and most
+// spatial reasoning (§4.1.2, §5.1). Min is the lower-left corner and
+// Max the upper-right; a Rect with Min==Max is a degenerate point
+// rectangle, which is valid.
+type Rect struct {
+	Min, Max Point
+}
+
+// R builds the rectangle spanning (x0,y0)-(x1,y1), normalizing the
+// corner order so callers may pass any two opposite corners.
+func R(x0, y0, x1, y1 float64) Rect {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	return Rect{Min: Point{x0, y0}, Max: Point{x1, y1}}
+}
+
+// RectFromCenter returns the rectangle of half-width rx and half-height
+// ry centred on c. It is how circular sensor regions (e.g. a Ubisense
+// fix with a 6-inch error radius) are approximated by their MBR.
+func RectFromCenter(c Point, rx, ry float64) Rect {
+	return R(c.X-rx, c.Y-ry, c.X+rx, c.Y+ry)
+}
+
+// Valid reports whether r is a well-formed rectangle (Min <= Max on
+// both axes). The zero Rect is valid (a degenerate point at the
+// origin).
+func (r Rect) Valid() bool { return r.Min.X <= r.Max.X && r.Min.Y <= r.Max.Y }
+
+// Width returns the X extent of r.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the Y extent of r.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Area returns the area of r. Degenerate rectangles have zero area.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Center returns the centroid of r.
+func (r Rect) Center() Point {
+	return Point{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// Eq reports whether r and s coincide within Eps on every edge.
+func (r Rect) Eq(s Rect) bool { return r.Min.Eq(s.Min) && r.Max.Eq(s.Max) }
+
+// ContainsPoint reports whether p lies in r (boundary inclusive).
+func (r Rect) ContainsPoint(p Point) bool {
+	return p.X >= r.Min.X-Eps && p.X <= r.Max.X+Eps &&
+		p.Y >= r.Min.Y-Eps && p.Y <= r.Max.Y+Eps
+}
+
+// ContainsRect reports whether s lies entirely within r (boundary
+// inclusive). Every rectangle contains itself.
+func (r Rect) ContainsRect(s Rect) bool {
+	return s.Min.X >= r.Min.X-Eps && s.Max.X <= r.Max.X+Eps &&
+		s.Min.Y >= r.Min.Y-Eps && s.Max.Y <= r.Max.Y+Eps
+}
+
+// Intersects reports whether r and s share any point, including mere
+// boundary contact.
+func (r Rect) Intersects(s Rect) bool {
+	return r.Min.X <= s.Max.X+Eps && s.Min.X <= r.Max.X+Eps &&
+		r.Min.Y <= s.Max.Y+Eps && s.Min.Y <= r.Max.Y+Eps
+}
+
+// Overlaps reports whether r and s share interior area (boundary
+// contact alone does not count).
+func (r Rect) Overlaps(s Rect) bool {
+	return r.Min.X < s.Max.X-Eps && s.Min.X < r.Max.X-Eps &&
+		r.Min.Y < s.Max.Y-Eps && s.Min.Y < r.Max.Y-Eps
+}
+
+// Intersect returns the intersection rectangle of r and s and whether
+// it is non-empty. Boundary-only contact yields a degenerate (zero
+// area) rectangle and ok==true.
+func (r Rect) Intersect(s Rect) (Rect, bool) {
+	out := Rect{
+		Min: Point{math.Max(r.Min.X, s.Min.X), math.Max(r.Min.Y, s.Min.Y)},
+		Max: Point{math.Min(r.Max.X, s.Max.X), math.Min(r.Max.Y, s.Max.Y)},
+	}
+	if !out.Valid() {
+		return Rect{}, false
+	}
+	return out, true
+}
+
+// IntersectionArea returns the area shared by r and s (zero when
+// disjoint). The fusion engine's Eq. 7 uses this as area(int(Ai, R)).
+func (r Rect) IntersectionArea(s Rect) float64 {
+	w := math.Min(r.Max.X, s.Max.X) - math.Max(r.Min.X, s.Min.X)
+	if w <= 0 {
+		return 0
+	}
+	h := math.Min(r.Max.Y, s.Max.Y) - math.Max(r.Min.Y, s.Min.Y)
+	if h <= 0 {
+		return 0
+	}
+	return w * h
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		Min: Point{math.Min(r.Min.X, s.Min.X), math.Min(r.Min.Y, s.Min.Y)},
+		Max: Point{math.Max(r.Max.X, s.Max.X), math.Max(r.Max.Y, s.Max.Y)},
+	}
+}
+
+// Expand returns r grown by d on every side. A negative d shrinks r; if
+// the result would be empty, the degenerate rectangle at r's centre is
+// returned.
+func (r Rect) Expand(d float64) Rect {
+	out := Rect{
+		Min: Point{r.Min.X - d, r.Min.Y - d},
+		Max: Point{r.Max.X + d, r.Max.Y + d},
+	}
+	if !out.Valid() {
+		c := r.Center()
+		return Rect{Min: c, Max: c}
+	}
+	return out
+}
+
+// DistToPoint returns the Euclidean distance from p to the closest
+// point of r (zero when p is inside r).
+func (r Rect) DistToPoint(p Point) float64 {
+	dx := math.Max(0, math.Max(r.Min.X-p.X, p.X-r.Max.X))
+	dy := math.Max(0, math.Max(r.Min.Y-p.Y, p.Y-r.Max.Y))
+	return math.Hypot(dx, dy)
+}
+
+// DistToRect returns the minimum Euclidean distance between r and s
+// (zero when they touch or overlap).
+func (r Rect) DistToRect(s Rect) float64 {
+	dx := math.Max(0, math.Max(r.Min.X-s.Max.X, s.Min.X-r.Max.X))
+	dy := math.Max(0, math.Max(r.Min.Y-s.Max.Y, s.Min.Y-r.Max.Y))
+	return math.Hypot(dx, dy)
+}
+
+// CenterDist returns the distance between the centroids of r and s —
+// the paper's Euclidean region distance (§4.6.1).
+func (r Rect) CenterDist(s Rect) float64 { return r.Center().Dist(s.Center()) }
+
+// Vertices returns the four corners of r counter-clockwise starting at
+// Min.
+func (r Rect) Vertices() []Point {
+	return []Point{
+		r.Min,
+		{r.Max.X, r.Min.Y},
+		r.Max,
+		{r.Min.X, r.Max.Y},
+	}
+}
+
+// Polygon returns r as an explicit polygon.
+func (r Rect) Polygon() Polygon { return Polygon(r.Vertices()) }
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%g,%g %g,%g]", r.Min.X, r.Min.Y, r.Max.X, r.Max.Y)
+}
+
+// Segment is a line segment between two points. Doors and walls are
+// represented as segments in the building model.
+type Segment struct {
+	A, B Point
+}
+
+// Seg is shorthand for Segment{a, b}.
+func Seg(a, b Point) Segment { return Segment{A: a, B: b} }
+
+// Length returns the Euclidean length of s.
+func (s Segment) Length() float64 { return s.A.Dist(s.B) }
+
+// Midpoint returns the midpoint of s.
+func (s Segment) Midpoint() Point {
+	return Point{(s.A.X + s.B.X) / 2, (s.A.Y + s.B.Y) / 2}
+}
+
+// Bounds returns the MBR of s.
+func (s Segment) Bounds() Rect { return R(s.A.X, s.A.Y, s.B.X, s.B.Y) }
+
+// ContainsPoint reports whether p lies on s within Eps.
+func (s Segment) ContainsPoint(p Point) bool {
+	d := s.B.Sub(s.A)
+	if d.Norm() <= Eps {
+		return s.A.Eq(p)
+	}
+	if math.Abs(d.Cross(p.Sub(s.A))) > Eps*(1+d.Norm()) {
+		return false
+	}
+	t := p.Sub(s.A).Dot(d) / d.Dot(d)
+	return t >= -Eps && t <= 1+Eps
+}
+
+// Intersects reports whether segments s and t share any point.
+func (s Segment) Intersects(t Segment) bool {
+	d1 := orient(t.A, t.B, s.A)
+	d2 := orient(t.A, t.B, s.B)
+	d3 := orient(s.A, s.B, t.A)
+	d4 := orient(s.A, s.B, t.B)
+	if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
+		return true
+	}
+	switch {
+	case d1 == 0 && t.ContainsPoint(s.A):
+		return true
+	case d2 == 0 && t.ContainsPoint(s.B):
+		return true
+	case d3 == 0 && s.ContainsPoint(t.A):
+		return true
+	case d4 == 0 && s.ContainsPoint(t.B):
+		return true
+	}
+	return false
+}
+
+// DistToPoint returns the distance from p to the closest point of s.
+func (s Segment) DistToPoint(p Point) float64 {
+	d := s.B.Sub(s.A)
+	l2 := d.Dot(d)
+	if l2 <= Eps {
+		return s.A.Dist(p)
+	}
+	t := p.Sub(s.A).Dot(d) / l2
+	t = math.Max(0, math.Min(1, t))
+	proj := s.A.Add(d.Scale(t))
+	return proj.Dist(p)
+}
+
+// orient returns the sign of the signed area of triangle (a, b, c):
+// positive when c is to the left of a→b, negative to the right, and
+// zero (within Eps) when collinear.
+func orient(a, b, c Point) int {
+	v := b.Sub(a).Cross(c.Sub(a))
+	switch {
+	case v > Eps:
+		return 1
+	case v < -Eps:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Polyline is an open chain of points (the GLOB line geometry: doors,
+// walls).
+type Polyline []Point
+
+// Length returns the total length of the chain.
+func (l Polyline) Length() float64 {
+	var sum float64
+	for i := 1; i < len(l); i++ {
+		sum += l[i-1].Dist(l[i])
+	}
+	return sum
+}
+
+// Bounds returns the MBR of the chain; the zero Rect when l is empty.
+func (l Polyline) Bounds() Rect { return boundsOf(l) }
+
+// Polygon is a simple polygon given as its vertex ring; the closing
+// edge from the last vertex back to the first is implicit. Vertices
+// may wind in either direction.
+type Polygon []Point
+
+// Bounds returns the polygon's MBR — the representation the paper
+// stores in the spatial database and feeds to the fusion lattice
+// (§5.1).
+func (p Polygon) Bounds() Rect { return boundsOf(p) }
+
+// Area returns the (unsigned) area enclosed by p via the shoelace
+// formula. Polygons with fewer than three vertices have zero area.
+func (p Polygon) Area() float64 { return math.Abs(p.SignedArea()) }
+
+// SignedArea returns the signed shoelace area: positive for
+// counter-clockwise winding, negative for clockwise.
+func (p Polygon) SignedArea() float64 {
+	if len(p) < 3 {
+		return 0
+	}
+	var sum float64
+	for i := range p {
+		j := (i + 1) % len(p)
+		sum += p[i].Cross(p[j])
+	}
+	return sum / 2
+}
+
+// Centroid returns the area centroid of p. For degenerate polygons it
+// falls back to the vertex average.
+func (p Polygon) Centroid() Point {
+	a := p.SignedArea()
+	if len(p) == 0 {
+		return Point{}
+	}
+	if math.Abs(a) <= Eps {
+		var c Point
+		for _, v := range p {
+			c = c.Add(v)
+		}
+		return c.Scale(1 / float64(len(p)))
+	}
+	var cx, cy float64
+	for i := range p {
+		j := (i + 1) % len(p)
+		w := p[i].Cross(p[j])
+		cx += (p[i].X + p[j].X) * w
+		cy += (p[i].Y + p[j].Y) * w
+	}
+	k := 1 / (6 * a)
+	return Point{cx * k, cy * k}
+}
+
+// ContainsPoint reports whether pt is inside p (boundary inclusive),
+// via the even-odd ray-crossing rule.
+func (p Polygon) ContainsPoint(pt Point) bool {
+	if len(p) < 3 {
+		return false
+	}
+	for i := range p {
+		j := (i + 1) % len(p)
+		if Seg(p[i], p[j]).ContainsPoint(pt) {
+			return true
+		}
+	}
+	inside := false
+	for i := range p {
+		j := (i + 1) % len(p)
+		a, b := p[i], p[j]
+		if (a.Y > pt.Y) != (b.Y > pt.Y) {
+			x := a.X + (pt.Y-a.Y)*(b.X-a.X)/(b.Y-a.Y)
+			if pt.X < x {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// Edges returns the closed edge list of p.
+func (p Polygon) Edges() []Segment {
+	if len(p) < 2 {
+		return nil
+	}
+	out := make([]Segment, 0, len(p))
+	for i := range p {
+		out = append(out, Seg(p[i], p[(i+1)%len(p)]))
+	}
+	return out
+}
+
+// IntersectsPolygon reports whether p and q share any point: edge
+// crossings or full containment of one in the other.
+func (p Polygon) IntersectsPolygon(q Polygon) bool {
+	if len(p) == 0 || len(q) == 0 {
+		return false
+	}
+	if !p.Bounds().Intersects(q.Bounds()) {
+		return false
+	}
+	for _, e := range p.Edges() {
+		for _, f := range q.Edges() {
+			if e.Intersects(f) {
+				return true
+			}
+		}
+	}
+	return p.ContainsPoint(q[0]) || q.ContainsPoint(p[0])
+}
+
+// ContainsPolygon reports whether q lies entirely within p. It
+// requires every vertex of q inside p and no proper edge crossing.
+func (p Polygon) ContainsPolygon(q Polygon) bool {
+	if len(p) < 3 || len(q) == 0 {
+		return false
+	}
+	if !p.Bounds().ContainsRect(q.Bounds()) {
+		return false
+	}
+	for _, v := range q {
+		if !p.ContainsPoint(v) {
+			return false
+		}
+	}
+	// Vertex containment is insufficient for non-convex p: an edge of q
+	// may dip outside between two contained vertices. Reject if any
+	// edge midpoint escapes.
+	for _, e := range q.Edges() {
+		if !p.ContainsPoint(e.Midpoint()) {
+			return false
+		}
+	}
+	return true
+}
+
+// DistToPoint returns the distance from pt to the boundary of p, or 0
+// when pt is inside p.
+func (p Polygon) DistToPoint(pt Point) float64 {
+	if p.ContainsPoint(pt) {
+		return 0
+	}
+	best := math.Inf(1)
+	for _, e := range p.Edges() {
+		if d := e.DistToPoint(pt); d < best {
+			best = d
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0
+	}
+	return best
+}
+
+// boundsOf returns the MBR of a point list; the zero Rect when empty.
+func boundsOf(pts []Point) Rect {
+	if len(pts) == 0 {
+		return Rect{}
+	}
+	out := Rect{Min: pts[0], Max: pts[0]}
+	for _, p := range pts[1:] {
+		out.Min.X = math.Min(out.Min.X, p.X)
+		out.Min.Y = math.Min(out.Min.Y, p.Y)
+		out.Max.X = math.Max(out.Max.X, p.X)
+		out.Max.Y = math.Max(out.Max.Y, p.Y)
+	}
+	return out
+}
+
+// BoundsOfPoints returns the MBR of an arbitrary point set.
+func BoundsOfPoints(pts ...Point) Rect { return boundsOf(pts) }

@@ -1,0 +1,526 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+func TestPointArithmetic(t *testing.T) {
+	p := Pt(3, 4)
+	q := Pt(1, -2)
+	if got := p.Add(q); !got.Eq(Pt(4, 2)) {
+		t.Errorf("Add = %v, want (4,2)", got)
+	}
+	if got := p.Sub(q); !got.Eq(Pt(2, 6)) {
+		t.Errorf("Sub = %v, want (2,6)", got)
+	}
+	if got := p.Scale(2); !got.Eq(Pt(6, 8)) {
+		t.Errorf("Scale = %v, want (6,8)", got)
+	}
+	if got := p.Dot(q); !almostEq(got, 3-8) {
+		t.Errorf("Dot = %v, want -5", got)
+	}
+	if got := p.Cross(q); !almostEq(got, -6-4) {
+		t.Errorf("Cross = %v, want -10", got)
+	}
+	if got := p.Norm(); !almostEq(got, 5) {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := Pt(0, 0).Dist(p); !almostEq(got, 5) {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+}
+
+func TestRectNormalization(t *testing.T) {
+	tests := []struct {
+		name string
+		give Rect
+		want Rect
+	}{
+		{"already ordered", R(0, 0, 2, 3), Rect{Pt(0, 0), Pt(2, 3)}},
+		{"swapped x", R(2, 0, 0, 3), Rect{Pt(0, 0), Pt(2, 3)}},
+		{"swapped y", R(0, 3, 2, 0), Rect{Pt(0, 0), Pt(2, 3)}},
+		{"swapped both", R(2, 3, 0, 0), Rect{Pt(0, 0), Pt(2, 3)}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if !tt.give.Eq(tt.want) {
+				t.Errorf("got %v, want %v", tt.give, tt.want)
+			}
+			if !tt.give.Valid() {
+				t.Errorf("%v not valid", tt.give)
+			}
+		})
+	}
+}
+
+func TestRectAreaWidthHeightCenter(t *testing.T) {
+	r := R(1, 2, 5, 10)
+	if !almostEq(r.Width(), 4) || !almostEq(r.Height(), 8) {
+		t.Errorf("Width/Height = %v/%v, want 4/8", r.Width(), r.Height())
+	}
+	if !almostEq(r.Area(), 32) {
+		t.Errorf("Area = %v, want 32", r.Area())
+	}
+	if !r.Center().Eq(Pt(3, 6)) {
+		t.Errorf("Center = %v, want (3,6)", r.Center())
+	}
+}
+
+func TestRectContainsPoint(t *testing.T) {
+	r := R(0, 0, 10, 10)
+	tests := []struct {
+		give Point
+		want bool
+	}{
+		{Pt(5, 5), true},
+		{Pt(0, 0), true},   // corner
+		{Pt(10, 10), true}, // opposite corner
+		{Pt(0, 5), true},   // edge
+		{Pt(-1, 5), false},
+		{Pt(5, 11), false},
+	}
+	for _, tt := range tests {
+		if got := r.ContainsPoint(tt.give); got != tt.want {
+			t.Errorf("ContainsPoint(%v) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestRectContainsRect(t *testing.T) {
+	outer := R(0, 0, 10, 10)
+	tests := []struct {
+		name string
+		give Rect
+		want bool
+	}{
+		{"proper inner", R(2, 2, 8, 8), true},
+		{"itself", outer, true},
+		{"touching edge", R(0, 2, 4, 8), true},
+		{"poking out", R(2, 2, 12, 8), false},
+		{"disjoint", R(20, 20, 30, 30), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := outer.ContainsRect(tt.give); got != tt.want {
+				t.Errorf("got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRectIntersection(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	tests := []struct {
+		name     string
+		give     Rect
+		wantOK   bool
+		wantRect Rect
+		wantArea float64
+	}{
+		{"overlap", R(5, 5, 15, 15), true, R(5, 5, 10, 10), 25},
+		{"contained", R(2, 2, 4, 4), true, R(2, 2, 4, 4), 4},
+		{"edge touch", R(10, 0, 20, 10), true, R(10, 0, 10, 10), 0},
+		{"corner touch", R(10, 10, 20, 20), true, R(10, 10, 10, 10), 0},
+		{"disjoint", R(11, 11, 20, 20), false, Rect{}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, ok := a.Intersect(tt.give)
+			if ok != tt.wantOK {
+				t.Fatalf("ok = %v, want %v", ok, tt.wantOK)
+			}
+			if ok && !got.Eq(tt.wantRect) {
+				t.Errorf("rect = %v, want %v", got, tt.wantRect)
+			}
+			if got := a.IntersectionArea(tt.give); !almostEq(got, tt.wantArea) {
+				t.Errorf("area = %v, want %v", got, tt.wantArea)
+			}
+		})
+	}
+}
+
+func TestRectIntersectsVsOverlaps(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	touch := R(10, 0, 20, 10)
+	if !a.Intersects(touch) {
+		t.Error("Intersects should include boundary contact")
+	}
+	if a.Overlaps(touch) {
+		t.Error("Overlaps should exclude boundary-only contact")
+	}
+	inner := R(9, 0, 20, 10)
+	if !a.Overlaps(inner) {
+		t.Error("Overlaps should detect shared interior")
+	}
+}
+
+func TestRectUnion(t *testing.T) {
+	got := R(0, 0, 1, 1).Union(R(5, -2, 6, 3))
+	if !got.Eq(R(0, -2, 6, 3)) {
+		t.Errorf("Union = %v, want [0,-2 6,3]", got)
+	}
+}
+
+func TestRectExpand(t *testing.T) {
+	r := R(2, 2, 4, 4)
+	if got := r.Expand(1); !got.Eq(R(1, 1, 5, 5)) {
+		t.Errorf("Expand(1) = %v", got)
+	}
+	if got := r.Expand(-0.5); !got.Eq(R(2.5, 2.5, 3.5, 3.5)) {
+		t.Errorf("Expand(-0.5) = %v", got)
+	}
+	// Over-shrink collapses to the centre point.
+	if got := r.Expand(-5); !got.Eq(Rect{Pt(3, 3), Pt(3, 3)}) {
+		t.Errorf("Expand(-5) = %v, want degenerate at centre", got)
+	}
+}
+
+func TestRectDistances(t *testing.T) {
+	r := R(0, 0, 10, 10)
+	if d := r.DistToPoint(Pt(5, 5)); !almostEq(d, 0) {
+		t.Errorf("inside dist = %v", d)
+	}
+	if d := r.DistToPoint(Pt(13, 14)); !almostEq(d, 5) {
+		t.Errorf("corner dist = %v, want 5", d)
+	}
+	if d := r.DistToRect(R(13, 0, 20, 10)); !almostEq(d, 3) {
+		t.Errorf("rect dist = %v, want 3", d)
+	}
+	if d := r.DistToRect(R(5, 5, 6, 6)); !almostEq(d, 0) {
+		t.Errorf("overlapping rect dist = %v, want 0", d)
+	}
+	if d := r.CenterDist(R(20, 0, 30, 10)); !almostEq(d, 20) {
+		t.Errorf("center dist = %v, want 20", d)
+	}
+}
+
+func TestRectFromCenter(t *testing.T) {
+	r := RectFromCenter(Pt(5, 5), 2, 3)
+	if !r.Eq(R(3, 2, 7, 8)) {
+		t.Errorf("RectFromCenter = %v", r)
+	}
+}
+
+func TestRectVerticesAndPolygon(t *testing.T) {
+	r := R(0, 0, 2, 1)
+	v := r.Vertices()
+	want := []Point{Pt(0, 0), Pt(2, 0), Pt(2, 1), Pt(0, 1)}
+	for i := range want {
+		if !v[i].Eq(want[i]) {
+			t.Errorf("vertex %d = %v, want %v", i, v[i], want[i])
+		}
+	}
+	if a := r.Polygon().Area(); !almostEq(a, 2) {
+		t.Errorf("polygon area = %v, want 2", a)
+	}
+}
+
+func TestSegmentBasics(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(3, 4))
+	if !almostEq(s.Length(), 5) {
+		t.Errorf("Length = %v", s.Length())
+	}
+	if !s.Midpoint().Eq(Pt(1.5, 2)) {
+		t.Errorf("Midpoint = %v", s.Midpoint())
+	}
+	if !s.Bounds().Eq(R(0, 0, 3, 4)) {
+		t.Errorf("Bounds = %v", s.Bounds())
+	}
+}
+
+func TestSegmentContainsPoint(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(10, 0))
+	tests := []struct {
+		give Point
+		want bool
+	}{
+		{Pt(5, 0), true},
+		{Pt(0, 0), true},
+		{Pt(10, 0), true},
+		{Pt(11, 0), false},
+		{Pt(5, 0.1), false},
+	}
+	for _, tt := range tests {
+		if got := s.ContainsPoint(tt.give); got != tt.want {
+			t.Errorf("ContainsPoint(%v) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+	// Degenerate segment.
+	d := Seg(Pt(1, 1), Pt(1, 1))
+	if !d.ContainsPoint(Pt(1, 1)) || d.ContainsPoint(Pt(1, 2)) {
+		t.Error("degenerate segment containment wrong")
+	}
+}
+
+func TestSegmentIntersects(t *testing.T) {
+	tests := []struct {
+		name string
+		s, u Segment
+		want bool
+	}{
+		{"crossing", Seg(Pt(0, 0), Pt(10, 10)), Seg(Pt(0, 10), Pt(10, 0)), true},
+		{"touching at endpoint", Seg(Pt(0, 0), Pt(5, 5)), Seg(Pt(5, 5), Pt(10, 0)), true},
+		{"T-junction", Seg(Pt(0, 0), Pt(10, 0)), Seg(Pt(5, -5), Pt(5, 0)), true},
+		{"collinear overlapping", Seg(Pt(0, 0), Pt(10, 0)), Seg(Pt(5, 0), Pt(15, 0)), true},
+		{"collinear disjoint", Seg(Pt(0, 0), Pt(4, 0)), Seg(Pt(5, 0), Pt(10, 0)), false},
+		{"parallel", Seg(Pt(0, 0), Pt(10, 0)), Seg(Pt(0, 1), Pt(10, 1)), false},
+		{"disjoint skew", Seg(Pt(0, 0), Pt(1, 1)), Seg(Pt(5, 0), Pt(6, 4)), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.s.Intersects(tt.u); got != tt.want {
+				t.Errorf("got %v, want %v", got, tt.want)
+			}
+			// Intersection is symmetric.
+			if got := tt.u.Intersects(tt.s); got != tt.want {
+				t.Errorf("reversed: got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSegmentDistToPoint(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(10, 0))
+	tests := []struct {
+		give Point
+		want float64
+	}{
+		{Pt(5, 3), 3},
+		{Pt(-4, 3), 5},  // beyond A endpoint
+		{Pt(13, -4), 5}, // beyond B endpoint
+		{Pt(5, 0), 0},
+	}
+	for _, tt := range tests {
+		if got := s.DistToPoint(tt.give); !almostEq(got, tt.want) {
+			t.Errorf("DistToPoint(%v) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestPolylineLengthAndBounds(t *testing.T) {
+	l := Polyline{Pt(0, 0), Pt(3, 4), Pt(3, 10)}
+	if !almostEq(l.Length(), 11) {
+		t.Errorf("Length = %v, want 11", l.Length())
+	}
+	if !l.Bounds().Eq(R(0, 0, 3, 10)) {
+		t.Errorf("Bounds = %v", l.Bounds())
+	}
+	var empty Polyline
+	if empty.Length() != 0 || !empty.Bounds().Eq(Rect{}) {
+		t.Error("empty polyline should have zero length and zero bounds")
+	}
+}
+
+// lShape is a non-convex test polygon:
+//
+//	(0,4)----(2,4)
+//	  |        |
+//	  |        (2,2)----(4,2)
+//	  |                   |
+//	(0,0)---------------(4,0)
+var lShape = Polygon{Pt(0, 0), Pt(4, 0), Pt(4, 2), Pt(2, 2), Pt(2, 4), Pt(0, 4)}
+
+func TestPolygonArea(t *testing.T) {
+	square := Polygon{Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2)}
+	if !almostEq(square.Area(), 4) {
+		t.Errorf("square area = %v", square.Area())
+	}
+	if !almostEq(square.SignedArea(), 4) {
+		t.Errorf("ccw signed area = %v, want +4", square.SignedArea())
+	}
+	cw := Polygon{Pt(0, 0), Pt(0, 2), Pt(2, 2), Pt(2, 0)}
+	if !almostEq(cw.SignedArea(), -4) {
+		t.Errorf("cw signed area = %v, want -4", cw.SignedArea())
+	}
+	if !almostEq(lShape.Area(), 12) {
+		t.Errorf("L-shape area = %v, want 12", lShape.Area())
+	}
+	if got := (Polygon{Pt(0, 0), Pt(1, 1)}).Area(); got != 0 {
+		t.Errorf("degenerate polygon area = %v", got)
+	}
+}
+
+func TestPolygonCentroid(t *testing.T) {
+	square := Polygon{Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2)}
+	if !square.Centroid().Eq(Pt(1, 1)) {
+		t.Errorf("square centroid = %v", square.Centroid())
+	}
+	// Degenerate polygon falls back to vertex average.
+	line := Polygon{Pt(0, 0), Pt(2, 0)}
+	if !line.Centroid().Eq(Pt(1, 0)) {
+		t.Errorf("line centroid = %v", line.Centroid())
+	}
+}
+
+func TestPolygonContainsPoint(t *testing.T) {
+	tests := []struct {
+		name string
+		give Point
+		want bool
+	}{
+		{"deep inside", Pt(1, 1), true},
+		{"in the arm", Pt(3, 1), true},
+		{"in the notch", Pt(3, 3), false},
+		{"on outer edge", Pt(2, 0), true},
+		{"on notch edge", Pt(3, 2), true},
+		{"vertex", Pt(0, 0), true},
+		{"outside", Pt(5, 5), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := lShape.ContainsPoint(tt.give); got != tt.want {
+				t.Errorf("got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPolygonIntersectsPolygon(t *testing.T) {
+	tri := Polygon{Pt(5, 5), Pt(7, 5), Pt(6, 7)}
+	if lShape.IntersectsPolygon(tri) {
+		t.Error("disjoint polygons should not intersect")
+	}
+	inner := Polygon{Pt(0.5, 0.5), Pt(1.5, 0.5), Pt(1, 1.5)}
+	if !lShape.IntersectsPolygon(inner) {
+		t.Error("contained polygon should intersect")
+	}
+	if !inner.IntersectsPolygon(lShape) {
+		t.Error("intersection should be symmetric")
+	}
+	crossing := Polygon{Pt(3, 1), Pt(6, 1), Pt(6, 3), Pt(3, 3)}
+	if !lShape.IntersectsPolygon(crossing) {
+		t.Error("edge-crossing polygons should intersect")
+	}
+	// A polygon sitting in the notch has an intersecting MBR but no
+	// actual shared point.
+	notch := Polygon{Pt(2.5, 2.5), Pt(3.5, 2.5), Pt(3.5, 3.5), Pt(2.5, 3.5)}
+	if lShape.IntersectsPolygon(notch) {
+		t.Error("polygon in the notch must not intersect the L-shape")
+	}
+}
+
+func TestPolygonContainsPolygon(t *testing.T) {
+	inner := Polygon{Pt(0.5, 0.5), Pt(1.5, 0.5), Pt(1.5, 1.5), Pt(0.5, 1.5)}
+	if !lShape.ContainsPolygon(inner) {
+		t.Error("inner square should be contained")
+	}
+	// All four vertices of this rectangle are inside the L, but its
+	// body spans the notch — a pure vertex test would wrongly accept it.
+	spanning := Polygon{Pt(1, 1), Pt(3.5, 1), Pt(3.5, 1.5), Pt(1, 1.5)}
+	if !lShape.ContainsPolygon(spanning) {
+		t.Error("rectangle within the bottom bar should be contained")
+	}
+	bridge := Polygon{Pt(1, 3.5), Pt(1.5, 0.5), Pt(3.5, 0.5), Pt(3.5, 1)}
+	if lShape.ContainsPolygon(bridge) {
+		t.Error("polygon crossing the notch must not be contained")
+	}
+	far := Polygon{Pt(10, 10), Pt(11, 10), Pt(11, 11)}
+	if lShape.ContainsPolygon(far) {
+		t.Error("disjoint polygon must not be contained")
+	}
+}
+
+func TestPolygonDistToPoint(t *testing.T) {
+	if d := lShape.DistToPoint(Pt(1, 1)); !almostEq(d, 0) {
+		t.Errorf("inside dist = %v", d)
+	}
+	if d := lShape.DistToPoint(Pt(3, 3)); !almostEq(d, 1) {
+		t.Errorf("notch dist = %v, want 1", d)
+	}
+	if d := lShape.DistToPoint(Pt(7, 0)); !almostEq(d, 3) {
+		t.Errorf("outside dist = %v, want 3", d)
+	}
+}
+
+func TestBoundsOfPoints(t *testing.T) {
+	r := BoundsOfPoints(Pt(3, -1), Pt(0, 5), Pt(2, 2))
+	if !r.Eq(R(0, -1, 3, 5)) {
+		t.Errorf("BoundsOfPoints = %v", r)
+	}
+	if !BoundsOfPoints().Eq(Rect{}) {
+		t.Error("empty point set should give zero Rect")
+	}
+}
+
+// randRect draws a random valid rectangle in [-100,100]^2.
+func randRect(r *rand.Rand) Rect {
+	x0 := r.Float64()*200 - 100
+	y0 := r.Float64()*200 - 100
+	return R(x0, y0, x0+r.Float64()*50, y0+r.Float64()*50)
+}
+
+func TestQuickRectIntersectionProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		_ = seed
+		a, b := randRect(rng), randRect(rng)
+		ia := a.IntersectionArea(b)
+		// Symmetry.
+		if !almostEq(ia, b.IntersectionArea(a)) {
+			return false
+		}
+		// Intersection area never exceeds either operand's area.
+		if ia > a.Area()+Eps || ia > b.Area()+Eps {
+			return false
+		}
+		// Intersect() agrees with IntersectionArea().
+		if got, ok := a.Intersect(b); ok {
+			if !almostEq(got.Area(), ia) {
+				return false
+			}
+			if !a.ContainsRect(got) || !b.ContainsRect(got) {
+				return false
+			}
+		} else if ia != 0 {
+			return false
+		}
+		// Union contains both.
+		u := a.Union(b)
+		return u.ContainsRect(a) && u.ContainsRect(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickContainmentImpliesAreaOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		_ = seed
+		a := randRect(rng)
+		// Shrink a to get a guaranteed-contained rectangle.
+		in := R(
+			a.Min.X+a.Width()*0.25, a.Min.Y+a.Height()*0.25,
+			a.Max.X-a.Width()*0.25, a.Max.Y-a.Height()*0.25,
+		)
+		return a.ContainsRect(in) && in.Area() <= a.Area()+Eps &&
+			almostEq(a.IntersectionArea(in), in.Area())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPolygonRectConsistency(t *testing.T) {
+	// A rectangle's polygon form must agree with the rectangle itself
+	// on containment of random points.
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		_ = seed
+		r := randRect(rng)
+		poly := r.Polygon()
+		if !almostEq(poly.Area(), r.Area()) {
+			return false
+		}
+		p := Pt(rng.Float64()*300-150, rng.Float64()*300-150)
+		return poly.ContainsPoint(p) == r.ContainsPoint(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

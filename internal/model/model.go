@@ -1,0 +1,321 @@
+// Package model implements MiddleWhere's quality-of-location model
+// (§3.2) and sensor error model (§4.1.1): resolution, confidence,
+// freshness with expiry, temporal degradation functions (tdf), and the
+// derivation of the two per-sensor confidence values p and q from the
+// carry/detection/misidentification probabilities x, y, z.
+//
+// It also defines Reading, the common representation every location
+// adapter converts raw sensor output into before it enters the spatial
+// database (Table 2 of the paper).
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"middlewhere/internal/geom"
+	"middlewhere/internal/glob"
+)
+
+// ResolutionKind says how a sensor expresses its resolution (§3.2):
+// as a distance (error radius around a fix) or as a symbolic region
+// (e.g. "somewhere in this room").
+type ResolutionKind int
+
+// Resolution kinds.
+const (
+	ResolutionDistance ResolutionKind = iota + 1
+	ResolutionSymbolic
+)
+
+// String implements fmt.Stringer.
+func (k ResolutionKind) String() string {
+	switch k {
+	case ResolutionDistance:
+		return "distance"
+	case ResolutionSymbolic:
+		return "symbolic"
+	default:
+		return fmt.Sprintf("ResolutionKind(%d)", int(k))
+	}
+}
+
+// Resolution is the region size a sensor can pin a mobile object to.
+type Resolution struct {
+	Kind ResolutionKind
+	// Radius is the error radius for distance resolutions, in the
+	// units of the sensor's coordinate frame.
+	Radius float64
+	// Region names the symbolic region for symbolic resolutions.
+	Region glob.GLOB
+}
+
+// DistanceResolution builds a distance resolution with the given error
+// radius.
+func DistanceResolution(radius float64) Resolution {
+	return Resolution{Kind: ResolutionDistance, Radius: radius}
+}
+
+// SymbolicResolution builds a symbolic (region-level) resolution.
+func SymbolicResolution(region glob.GLOB) Resolution {
+	return Resolution{Kind: ResolutionSymbolic, Region: region}
+}
+
+// ErrorModel holds the three base probabilities of §4.1.1 for one
+// sensor technology:
+//
+//	X — probability the person carries the sensed device
+//	    (1 for biometrics, measured from user studies otherwise)
+//	Y — P(sensor says device is in A | device is in A)
+//	Z — P(sensor says device is in A | device is not in A)
+type ErrorModel struct {
+	X, Y, Z float64
+}
+
+// Validate checks that all three probabilities lie in [0, 1].
+func (m ErrorModel) Validate() error {
+	for _, v := range []struct {
+		name string
+		v    float64
+	}{{"x", m.X}, {"y", m.Y}, {"z", m.Z}} {
+		if v.v < 0 || v.v > 1 {
+			return fmt.Errorf("model: %s = %g out of [0,1]", v.name, v.v)
+		}
+	}
+	return nil
+}
+
+// MissProb returns p, the probability of the first error kind —
+// the sensor says the person is not in A although they are:
+//
+//	p = (1−y)·x + (1−z)·(1−x)
+func (m ErrorModel) MissProb() float64 {
+	return (1-m.Y)*m.X + (1-m.Z)*(1-m.X)
+}
+
+// DetectProb returns the complement of MissProb — the probability the
+// sensor reports the person in A when they are in A:
+//
+//	P(sensor says in A | in A) = y·x + z·(1−x)
+//
+// This is the p_i that enters the fusion equations (Eq. 4–7), where a
+// reading "reinforces" others exactly when DetectProb > FalseProb.
+func (m ErrorModel) DetectProb() float64 {
+	return m.Y*m.X + m.Z*(1-m.X)
+}
+
+// FalseProb returns q, the probability of the second error kind — the
+// sensor says the person is in A although they are not:
+//
+//	q = z·x + (y+z)·(1−x) = z + y·(1−x)
+func (m ErrorModel) FalseProb() float64 {
+	return m.Z + m.Y*(1-m.X)
+}
+
+// TDF is a temporal degradation function (§3.2): it maps a confidence
+// and the age of the reading to the degraded confidence. A TDF must be
+// monotonically non-increasing in age and must return a value in
+// [0, conf].
+type TDF interface {
+	// Degrade returns the confidence after the reading has aged by the
+	// given duration.
+	Degrade(conf float64, age time.Duration) float64
+	// Describe returns a short human-readable description.
+	Describe() string
+}
+
+// ConstantTDF never degrades confidence. Card readers inside their TTL
+// behave this way: the reading is either fresh or expired.
+type ConstantTDF struct{}
+
+// Degrade implements TDF.
+func (ConstantTDF) Degrade(conf float64, _ time.Duration) float64 { return clamp01(conf) }
+
+// Describe implements TDF.
+func (ConstantTDF) Describe() string { return "constant" }
+
+// LinearTDF degrades confidence linearly to zero over Span.
+type LinearTDF struct {
+	// Span is the age at which confidence reaches zero.
+	Span time.Duration
+}
+
+// Degrade implements TDF.
+func (f LinearTDF) Degrade(conf float64, age time.Duration) float64 {
+	if f.Span <= 0 || age >= f.Span {
+		return 0
+	}
+	if age <= 0 {
+		return clamp01(conf)
+	}
+	frac := 1 - float64(age)/float64(f.Span)
+	return clamp01(conf) * frac
+}
+
+// Describe implements TDF.
+func (f LinearTDF) Describe() string { return fmt.Sprintf("linear(%s)", f.Span) }
+
+// ExponentialTDF degrades confidence with half-life HalfLife.
+type ExponentialTDF struct {
+	HalfLife time.Duration
+}
+
+// Degrade implements TDF.
+func (f ExponentialTDF) Degrade(conf float64, age time.Duration) float64 {
+	if age <= 0 {
+		return clamp01(conf)
+	}
+	if f.HalfLife <= 0 {
+		return 0
+	}
+	halves := float64(age) / float64(f.HalfLife)
+	return clamp01(conf) * pow2neg(halves)
+}
+
+// Describe implements TDF.
+func (f ExponentialTDF) Describe() string { return fmt.Sprintf("exp(halflife=%s)", f.HalfLife) }
+
+// StepTDF degrades confidence in discrete steps: after Steps[i].Age the
+// confidence is multiplied by Steps[i].Factor. Steps must be sorted by
+// increasing age; the factors of all passed steps compound.
+type StepTDF struct {
+	Steps []Step
+}
+
+// Step is one discrete degradation step.
+type Step struct {
+	Age    time.Duration
+	Factor float64
+}
+
+// Degrade implements TDF.
+func (f StepTDF) Degrade(conf float64, age time.Duration) float64 {
+	out := clamp01(conf)
+	for _, s := range f.Steps {
+		if age >= s.Age {
+			out *= clamp01(s.Factor)
+		}
+	}
+	return out
+}
+
+// Describe implements TDF.
+func (f StepTDF) Describe() string { return fmt.Sprintf("step(%d steps)", len(f.Steps)) }
+
+// SensorSpec is the calibration record for one sensor technology: its
+// error model, resolution, freshness horizon, and temporal degradation
+// (the per-sensor table of §5.2 plus §4.1.1's probabilities).
+type SensorSpec struct {
+	// Type names the technology, e.g. "ubisense", "rfid", "biometric",
+	// "gps", "cardreader".
+	Type string
+	// Errors is the x/y/z error model.
+	Errors ErrorModel
+	// Resolution is the default resolution of this technology.
+	Resolution Resolution
+	// TTL is the time-to-live after which a reading is discarded
+	// entirely (§5.2).
+	TTL time.Duration
+	// Degrade is the technology's tdf; nil means ConstantTDF.
+	Degrade TDF
+}
+
+// ErrBadSpec reports an invalid sensor specification.
+var ErrBadSpec = errors.New("model: bad sensor spec")
+
+// Validate checks spec consistency.
+func (s SensorSpec) Validate() error {
+	if s.Type == "" {
+		return fmt.Errorf("%w: empty type", ErrBadSpec)
+	}
+	if err := s.Errors.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	if s.TTL <= 0 {
+		return fmt.Errorf("%w: TTL must be positive", ErrBadSpec)
+	}
+	switch s.Resolution.Kind {
+	case ResolutionDistance:
+		if s.Resolution.Radius < 0 {
+			return fmt.Errorf("%w: negative resolution radius", ErrBadSpec)
+		}
+	case ResolutionSymbolic:
+		if s.Resolution.Region.IsZero() {
+			return fmt.Errorf("%w: symbolic resolution without region", ErrBadSpec)
+		}
+	default:
+		return fmt.Errorf("%w: unknown resolution kind %v", ErrBadSpec, s.Resolution.Kind)
+	}
+	return nil
+}
+
+// TDFOrDefault returns the spec's tdf, defaulting to ConstantTDF.
+func (s SensorSpec) TDFOrDefault() TDF {
+	if s.Degrade == nil {
+		return ConstantTDF{}
+	}
+	return s.Degrade
+}
+
+// Reading is one sensor observation in the common representation of
+// Table 2: sensor identity, the mobile object observed, where, with
+// what region geometry, and when. Adapters construct Readings; the
+// spatial database stores them; the fusion engine consumes them.
+type Reading struct {
+	// SensorID identifies the concrete sensor instance (e.g. "RF-12").
+	SensorID string
+	// SensorType names the technology; it keys into the sensor spec
+	// table.
+	SensorType string
+	// MObjectID identifies the mobile object (person or device).
+	MObjectID string
+	// Location is the GLOB of the observation: a coordinate point with
+	// DetectionRadius, or a symbolic region.
+	Location glob.GLOB
+	// DetectionRadius is the error radius around a coordinate fix, in
+	// the units of Location's frame; zero for symbolic locations.
+	DetectionRadius float64
+	// Region is the observation resolved to an MBR in the universe
+	// (building) frame. Adapters or the database fill this in from
+	// Location.
+	Region geom.Rect
+	// Time is when the sensor made the observation.
+	Time time.Time
+	// Moving records whether this reading's region has been observed to
+	// move over recent updates; the conflict-resolution rules of §4.1.2
+	// prefer moving readings.
+	Moving bool
+}
+
+// Age returns how old the reading is at time now.
+func (r Reading) Age(now time.Time) time.Duration { return now.Sub(r.Time) }
+
+// Expired reports whether the reading has outlived ttl at time now.
+func (r Reading) Expired(now time.Time, ttl time.Duration) bool {
+	return r.Age(now) > ttl
+}
+
+// EffectiveDetectProb returns the reading's p_i after temporal
+// degradation: spec.Errors.DetectProb() degraded by the spec's tdf at
+// the reading's age ("all p_i's are net probabilities obtained after
+// applying the temporal degradation function", §4.1.2).
+func (r Reading) EffectiveDetectProb(spec SensorSpec, now time.Time) float64 {
+	return spec.TDFOrDefault().Degrade(spec.Errors.DetectProb(), r.Age(now))
+}
+
+// clamp01 clamps v to [0, 1].
+func clamp01(v float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v > 1:
+		return 1
+	default:
+		return v
+	}
+}
+
+// pow2neg returns 2^(-h).
+func pow2neg(h float64) float64 { return math.Exp2(-h) }

@@ -1,0 +1,338 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"middlewhere/internal/glob"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+func TestErrorModelDerivation(t *testing.T) {
+	// Worked example: x=0.9, y=0.95, z=0.05.
+	m := ErrorModel{X: 0.9, Y: 0.95, Z: 0.05}
+	// p = (1-y)x + (1-z)(1-x) = 0.05*0.9 + 0.95*0.1 = 0.045 + 0.095 = 0.14
+	if got := m.MissProb(); !almostEq(got, 0.14) {
+		t.Errorf("MissProb = %v, want 0.14", got)
+	}
+	// detect = yx + z(1-x) = 0.855 + 0.005 = 0.86 = 1 - p
+	if got := m.DetectProb(); !almostEq(got, 0.86) {
+		t.Errorf("DetectProb = %v, want 0.86", got)
+	}
+	// q = z + y(1-x) = 0.05 + 0.095 = 0.145
+	if got := m.FalseProb(); !almostEq(got, 0.145) {
+		t.Errorf("FalseProb = %v, want 0.145", got)
+	}
+}
+
+func TestErrorModelBiometricAssumptions(t *testing.T) {
+	// Biometric devices: x = 1 (physical presence), so the model
+	// collapses to p_detect = y and q = z (§6.3).
+	m := ErrorModel{X: 1, Y: 0.99, Z: 0.01}
+	if got := m.DetectProb(); !almostEq(got, 0.99) {
+		t.Errorf("DetectProb = %v, want y", got)
+	}
+	if got := m.FalseProb(); !almostEq(got, 0.01) {
+		t.Errorf("FalseProb = %v, want z", got)
+	}
+	if got := m.MissProb(); !almostEq(got, 0.01) {
+		t.Errorf("MissProb = %v, want 1-y", got)
+	}
+}
+
+func TestErrorModelValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		give    ErrorModel
+		wantErr bool
+	}{
+		{"valid", ErrorModel{X: 0.5, Y: 0.9, Z: 0.1}, false},
+		{"boundary", ErrorModel{X: 0, Y: 1, Z: 0}, false},
+		{"x too big", ErrorModel{X: 1.1, Y: 0.5, Z: 0.5}, true},
+		{"y negative", ErrorModel{X: 0.5, Y: -0.1, Z: 0.5}, true},
+		{"z too big", ErrorModel{X: 0.5, Y: 0.5, Z: 2}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.give.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestQuickErrorModelProbabilitiesInRange(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		m := ErrorModel{
+			X: float64(a) / 65535,
+			Y: float64(b) / 65535,
+			Z: float64(c) / 65535,
+		}
+		p, d := m.MissProb(), m.DetectProb()
+		// p and detect are complements and both probabilities.
+		return p >= 0 && p <= 1 && d >= 0 && d <= 1 && almostEq(p+d, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstantTDF(t *testing.T) {
+	f := ConstantTDF{}
+	if got := f.Degrade(0.9, time.Hour); !almostEq(got, 0.9) {
+		t.Errorf("Degrade = %v", got)
+	}
+	if got := f.Degrade(1.5, 0); !almostEq(got, 1) {
+		t.Errorf("Degrade should clamp: %v", got)
+	}
+	if f.Describe() == "" {
+		t.Error("empty Describe")
+	}
+}
+
+func TestLinearTDF(t *testing.T) {
+	f := LinearTDF{Span: 10 * time.Second}
+	tests := []struct {
+		age  time.Duration
+		want float64
+	}{
+		{0, 0.8},
+		{5 * time.Second, 0.4},
+		{10 * time.Second, 0},
+		{time.Minute, 0},
+		{-time.Second, 0.8}, // future readings are fresh
+	}
+	for _, tt := range tests {
+		if got := f.Degrade(0.8, tt.age); !almostEq(got, tt.want) {
+			t.Errorf("Degrade(0.8, %v) = %v, want %v", tt.age, got, tt.want)
+		}
+	}
+	if got := (LinearTDF{}).Degrade(0.8, time.Second); got != 0 {
+		t.Errorf("zero-span linear tdf should degrade to 0, got %v", got)
+	}
+}
+
+func TestExponentialTDF(t *testing.T) {
+	f := ExponentialTDF{HalfLife: 4 * time.Second}
+	if got := f.Degrade(0.8, 0); !almostEq(got, 0.8) {
+		t.Errorf("fresh = %v", got)
+	}
+	if got := f.Degrade(0.8, 4*time.Second); !almostEq(got, 0.4) {
+		t.Errorf("one half-life = %v, want 0.4", got)
+	}
+	if got := f.Degrade(0.8, 8*time.Second); !almostEq(got, 0.2) {
+		t.Errorf("two half-lives = %v, want 0.2", got)
+	}
+	if got := (ExponentialTDF{}).Degrade(0.8, time.Second); got != 0 {
+		t.Errorf("zero half-life should degrade to 0, got %v", got)
+	}
+}
+
+func TestStepTDF(t *testing.T) {
+	f := StepTDF{Steps: []Step{
+		{Age: 10 * time.Second, Factor: 0.5},
+		{Age: 30 * time.Second, Factor: 0.2},
+	}}
+	tests := []struct {
+		age  time.Duration
+		want float64
+	}{
+		{0, 1},
+		{9 * time.Second, 1},
+		{10 * time.Second, 0.5},
+		{29 * time.Second, 0.5},
+		{30 * time.Second, 0.1}, // 0.5 * 0.2 compound
+	}
+	for _, tt := range tests {
+		if got := f.Degrade(1, tt.age); !almostEq(got, tt.want) {
+			t.Errorf("Degrade(1, %v) = %v, want %v", tt.age, got, tt.want)
+		}
+	}
+}
+
+func TestQuickTDFMonotoneNonIncreasing(t *testing.T) {
+	tdfs := []TDF{
+		ConstantTDF{},
+		LinearTDF{Span: time.Minute},
+		ExponentialTDF{HalfLife: 10 * time.Second},
+		StepTDF{Steps: []Step{{Age: 5 * time.Second, Factor: 0.7}, {Age: 20 * time.Second, Factor: 0.5}}},
+	}
+	f := func(a, b uint32, c uint16) bool {
+		age1 := time.Duration(a%120) * time.Second
+		age2 := age1 + time.Duration(b%120)*time.Second
+		conf := float64(c) / 65535
+		for _, tdf := range tdfs {
+			v1 := tdf.Degrade(conf, age1)
+			v2 := tdf.Degrade(conf, age2)
+			if v2 > v1+1e-12 || v1 > conf+1e-12 || v1 < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSensorSpecValidate(t *testing.T) {
+	room := glob.MustParse("SC/3/3216")
+	valid := SensorSpec{
+		Type:       "test",
+		Errors:     ErrorModel{X: 1, Y: 0.9, Z: 0.1},
+		Resolution: DistanceResolution(5),
+		TTL:        time.Minute,
+	}
+	if err := valid.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*SensorSpec)
+	}{
+		{"empty type", func(s *SensorSpec) { s.Type = "" }},
+		{"bad errors", func(s *SensorSpec) { s.Errors.Y = 2 }},
+		{"zero ttl", func(s *SensorSpec) { s.TTL = 0 }},
+		{"negative radius", func(s *SensorSpec) { s.Resolution.Radius = -1 }},
+		{"symbolic without region", func(s *SensorSpec) {
+			s.Resolution = Resolution{Kind: ResolutionSymbolic}
+		}},
+		{"unknown resolution kind", func(s *SensorSpec) { s.Resolution.Kind = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := valid
+			tt.mutate(&s)
+			if err := s.Validate(); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+	sym := SensorSpec{
+		Type:       "card",
+		Errors:     ErrorModel{X: 1, Y: 0.99, Z: 0.01},
+		Resolution: SymbolicResolution(room),
+		TTL:        10 * time.Second,
+	}
+	if err := sym.Validate(); err != nil {
+		t.Errorf("symbolic spec rejected: %v", err)
+	}
+}
+
+func TestReadingAgeAndExpiry(t *testing.T) {
+	base := time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)
+	r := Reading{Time: base}
+	if got := r.Age(base.Add(7 * time.Second)); got != 7*time.Second {
+		t.Errorf("Age = %v", got)
+	}
+	if r.Expired(base.Add(5*time.Second), 10*time.Second) {
+		t.Error("should not be expired inside TTL")
+	}
+	if !r.Expired(base.Add(11*time.Second), 10*time.Second) {
+		t.Error("should be expired past TTL")
+	}
+	// Exactly at the TTL boundary is still fresh (strictly greater).
+	if r.Expired(base.Add(10*time.Second), 10*time.Second) {
+		t.Error("at-TTL reading should still be valid")
+	}
+}
+
+func TestReadingEffectiveDetectProb(t *testing.T) {
+	base := time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)
+	spec := SensorSpec{
+		Type:       "test",
+		Errors:     ErrorModel{X: 1, Y: 0.9, Z: 0},
+		Resolution: DistanceResolution(1),
+		TTL:        time.Minute,
+		Degrade:    LinearTDF{Span: 10 * time.Second},
+	}
+	r := Reading{Time: base}
+	if got := r.EffectiveDetectProb(spec, base); !almostEq(got, 0.9) {
+		t.Errorf("fresh = %v, want 0.9", got)
+	}
+	if got := r.EffectiveDetectProb(spec, base.Add(5*time.Second)); !almostEq(got, 0.45) {
+		t.Errorf("half-aged = %v, want 0.45", got)
+	}
+	// nil tdf defaults to constant.
+	spec.Degrade = nil
+	if got := r.EffectiveDetectProb(spec, base.Add(time.Hour)); !almostEq(got, 0.9) {
+		t.Errorf("constant default = %v, want 0.9", got)
+	}
+}
+
+func TestScaledZ(t *testing.T) {
+	if got := ScaledZ(0.05, 10, 1000); !almostEq(got, 0.0005) {
+		t.Errorf("ScaledZ = %v", got)
+	}
+	if got := ScaledZ(0.05, 2000, 1000); !almostEq(got, 0.1) {
+		t.Errorf("large area ScaledZ = %v", got)
+	}
+	// Degenerate universe falls back to the base value.
+	if got := ScaledZ(0.05, 10, 0); !almostEq(got, 0.05) {
+		t.Errorf("zero universe ScaledZ = %v", got)
+	}
+	// Clamped to 1.
+	if got := ScaledZ(0.5, 1e9, 1); !almostEq(got, 1) {
+		t.Errorf("clamped ScaledZ = %v", got)
+	}
+}
+
+func TestPaperSpecs(t *testing.T) {
+	room := glob.MustParse("SC/3/3216")
+	specs := []SensorSpec{
+		UbisenseSpec(0.9),
+		RFIDSpec(0.8),
+		BiometricShortSpec(),
+		BiometricLongSpec(room, 15*time.Minute, 0.3),
+		GPSSpec(0.7, 15),
+		CardReaderSpec(room),
+	}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("spec %s invalid: %v", s.Type, err)
+		}
+	}
+	// Paper values: Ubisense y = 0.95; RFID y = 0.75; biometric short
+	// x=1, y=0.99, z=0.01; GPS y=0.99 z=0.01.
+	if specs[0].Errors.Y != 0.95 {
+		t.Errorf("ubisense y = %v", specs[0].Errors.Y)
+	}
+	if specs[1].Errors.Y != 0.75 {
+		t.Errorf("rfid y = %v", specs[1].Errors.Y)
+	}
+	if s := specs[2]; s.Errors.X != 1 || s.Errors.Y != 0.99 || s.Errors.Z != 0.01 {
+		t.Errorf("biometric short errors = %+v", s.Errors)
+	}
+	if s := specs[4]; s.Errors.Y != 0.99 || s.Errors.Z != 0.01 {
+		t.Errorf("gps errors = %+v", s.Errors)
+	}
+	// Card reader TTL from §5.2: 10 seconds.
+	if specs[5].TTL != 10*time.Second {
+		t.Errorf("cardreader TTL = %v", specs[5].TTL)
+	}
+	// Ubisense TTL from the §5.2 table: 3 seconds.
+	if specs[0].TTL != 3*time.Second {
+		t.Errorf("ubisense TTL = %v", specs[0].TTL)
+	}
+	// A sensor is informative when detect > false (reinforcement
+	// condition p_i > q_i of §4.1.2).
+	for _, s := range specs {
+		if s.Errors.DetectProb() <= s.Errors.FalseProb() {
+			t.Errorf("spec %s: detect %v <= false %v", s.Type,
+				s.Errors.DetectProb(), s.Errors.FalseProb())
+		}
+	}
+}
+
+func TestResolutionKindString(t *testing.T) {
+	if ResolutionDistance.String() != "distance" ||
+		ResolutionSymbolic.String() != "symbolic" {
+		t.Error("ResolutionKind strings wrong")
+	}
+	if ResolutionKind(9).String() != "ResolutionKind(9)" {
+		t.Error("unknown kind string wrong")
+	}
+}

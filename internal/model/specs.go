@@ -1,0 +1,171 @@
+package model
+
+import (
+	"time"
+
+	"middlewhere/internal/glob"
+)
+
+// Technology names for the four location technologies the paper
+// deploys (§6) plus the card readers mentioned in §1.1 and §5.2.
+const (
+	TypeUbisense       = "ubisense"
+	TypeRFID           = "rfid"
+	TypeBiometricShort = "biometric-short"
+	TypeBiometricLong  = "biometric-long"
+	TypeGPS            = "gps"
+	TypeCardReader     = "cardreader"
+)
+
+// ScaledZ computes the misidentification probability of a concrete
+// reading: the paper sets z = zBase * area(A) / area(U), where A is
+// the reported region and U the coverage region (§6: Ubisense zBase
+// 0.05, RFID badges zBase 0.25). The ErrorModel in a SensorSpec
+// carries the *base* probability; the Location Service applies this
+// area scaling per reading, because a false report is uniformly
+// distributed over the coverage area and the likelihood of it landing
+// on one specific rectangle shrinks with that rectangle. The result is
+// clamped to [0, 1].
+func ScaledZ(zBase, areaA, areaU float64) float64 {
+	if areaU <= 0 {
+		return clamp01(zBase)
+	}
+	return clamp01(zBase * areaA / areaU)
+}
+
+// UbisenseSpec calibrates the Ubisense UWB technology (§6.1): a tag is
+// located within a 6-inch (0.5 ft) circle 95% of the time, so y=0.95
+// and a base misreport probability z of 0.05 (scaled per reading by
+// area(A)/area(U), §6). carryProb is the measured probability that a
+// person carries their tag (x). The §5.2 table gives Ubisense readings
+// a 3-second TTL.
+func UbisenseSpec(carryProb float64) SensorSpec {
+	return SensorSpec{
+		Type: TypeUbisense,
+		Errors: ErrorModel{
+			X: clamp01(carryProb),
+			Y: 0.95,
+			Z: 0.05,
+		},
+		Resolution: DistanceResolution(0.5),
+		TTL:        3 * time.Second,
+		Degrade:    ExponentialTDF{HalfLife: 2 * time.Second},
+	}
+}
+
+// RFIDSpec calibrates the RF active badges (§6.2): base stations
+// detect badges within about 15 ft but obstacles weaken the signal, so
+// the paper sets y=0.75 and a base misreport probability z of 0.25
+// (scaled per reading by area(A)/area(U)). The §5.2 table gives RF
+// readings a 60-second TTL.
+func RFIDSpec(carryProb float64) SensorSpec {
+	return SensorSpec{
+		Type: TypeRFID,
+		Errors: ErrorModel{
+			X: clamp01(carryProb),
+			Y: 0.75,
+			Z: 0.25,
+		},
+		Resolution: DistanceResolution(15),
+		TTL:        60 * time.Second,
+		Degrade:    LinearTDF{Span: 2 * time.Minute},
+	}
+}
+
+// BiometricShortSpec calibrates the short-term reading of a biometric
+// login device (§6.3): x=1 (a fingerprint implies physical presence),
+// y=0.99, z=0.01, a 2-ft radius around the device, and a 30-second
+// expiry.
+func BiometricShortSpec() SensorSpec {
+	return SensorSpec{
+		Type:       TypeBiometricShort,
+		Errors:     ErrorModel{X: 1, Y: 0.99, Z: 0.01},
+		Resolution: DistanceResolution(2),
+		TTL:        30 * time.Second,
+		Degrade:    ConstantTDF{},
+	}
+}
+
+// BiometricLongSpec calibrates the long-term reading: the person is
+// somewhere in the room for up to stay (the paper uses T = 15 min),
+// with z the probability of leaving before T without logging out.
+// room names the symbolic region the reading covers.
+func BiometricLongSpec(room glob.GLOB, stay time.Duration, leaveProb float64) SensorSpec {
+	return SensorSpec{
+		Type:       TypeBiometricLong,
+		Errors:     ErrorModel{X: 1, Y: 0.99, Z: clamp01(leaveProb)},
+		Resolution: SymbolicResolution(room),
+		TTL:        stay,
+		Degrade:    LinearTDF{Span: stay},
+	}
+}
+
+// GPSSpec calibrates a GPS receiver (§6.4) reporting the given
+// accuracy radius: y=0.99, z=0.01 (trusting the device's own accuracy
+// estimate), x the probability the person carries the unit.
+func GPSSpec(carryProb, accuracyRadius float64) SensorSpec {
+	return SensorSpec{
+		Type:       TypeGPS,
+		Errors:     ErrorModel{X: clamp01(carryProb), Y: 0.99, Z: 0.01},
+		Resolution: DistanceResolution(accuracyRadius),
+		TTL:        30 * time.Second,
+		Degrade:    ExponentialTDF{HalfLife: 20 * time.Second},
+	}
+}
+
+// CardReaderSpec calibrates a door card reader: a swipe places the
+// person in the room with high confidence (x=1: the finger/card is the
+// device), but the reading goes stale quickly — the §5.2 example gives
+// card readers a 10-second TTL.
+func CardReaderSpec(room glob.GLOB) SensorSpec {
+	return SensorSpec{
+		Type:       TypeCardReader,
+		Errors:     ErrorModel{X: 1, Y: 0.98, Z: 0.02},
+		Resolution: SymbolicResolution(room),
+		TTL:        10 * time.Second,
+		Degrade:    StepTDF{Steps: []Step{{Age: 5 * time.Second, Factor: 0.5}}},
+	}
+}
+
+// Additional technologies named in §1.1 ("login information on
+// desktops, ... Bluetooth").
+const (
+	TypeBluetooth    = "bluetooth"
+	TypeDesktopLogin = "desktop-login"
+)
+
+// BluetoothSpec calibrates Bluetooth inquiry scanning: a discoverable
+// device within ~30 ft answers an inquiry most of the time, but
+// inquiry cycles are slow and lossy, so detection is weaker than the
+// RF badges and readings stay valid between scan rounds.
+func BluetoothSpec(carryProb float64) SensorSpec {
+	return SensorSpec{
+		Type: TypeBluetooth,
+		Errors: ErrorModel{
+			X: clamp01(carryProb),
+			Y: 0.7,
+			Z: 0.2,
+		},
+		Resolution: DistanceResolution(30),
+		TTL:        90 * time.Second,
+		Degrade:    LinearTDF{Span: 3 * time.Minute},
+	}
+}
+
+// DesktopLoginSpec calibrates a workstation login session for the room
+// holding the machine: typing a password proves presence (x=1) but
+// people walk away from logged-in sessions, so confidence degrades
+// over the session with a long horizon.
+func DesktopLoginSpec(room glob.GLOB, session time.Duration) SensorSpec {
+	return SensorSpec{
+		Type:       TypeDesktopLogin,
+		Errors:     ErrorModel{X: 1, Y: 0.95, Z: 0.1},
+		Resolution: SymbolicResolution(room),
+		TTL:        session,
+		Degrade: StepTDF{Steps: []Step{
+			{Age: 5 * time.Minute, Factor: 0.8},
+			{Age: 15 * time.Minute, Factor: 0.6},
+			{Age: 30 * time.Minute, Factor: 0.4},
+		}},
+	}
+}

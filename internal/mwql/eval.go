@@ -1,0 +1,194 @@
+package mwql
+
+import (
+	"sort"
+	"strings"
+
+	"middlewhere/internal/geom"
+	"middlewhere/internal/glob"
+	"middlewhere/internal/spatialdb"
+)
+
+// evalObject is the per-object evaluation context: the object plus the
+// database for resolving region arguments.
+type evalObject struct {
+	obj *spatialdb.Object
+	db  *spatialdb.DB
+	// regionCache memoizes GLOB resolutions per query execution.
+	regionCache map[string]geom.Rect
+}
+
+func (e *evalObject) resolve(region string, pos int) (geom.Rect, error) {
+	if r, ok := e.regionCache[region]; ok {
+		return r, nil
+	}
+	g, err := parseGLOBText(region, pos)
+	if err != nil {
+		return geom.Rect{}, err
+	}
+	r, err := e.db.ResolveGLOB(g)
+	if err != nil {
+		return geom.Rect{}, errAt(pos, "region %q: %v", region, err)
+	}
+	e.regionCache[region] = r
+	return r, nil
+}
+
+// fieldKind selects what a comparison inspects.
+type fieldKind int
+
+const (
+	fieldType fieldKind = iota + 1
+	fieldName
+	fieldGLOB
+	fieldProp
+)
+
+// cmpExpr compares a field against a literal.
+type cmpExpr struct {
+	kind   fieldKind
+	key    string // for fieldProp
+	value  string
+	negate bool
+}
+
+func (c cmpExpr) eval(e *evalObject) (bool, error) {
+	var got string
+	switch c.kind {
+	case fieldType:
+		got = e.obj.Type
+	case fieldName:
+		got = e.obj.GLOB.Name()
+	case fieldGLOB:
+		got = e.obj.GLOB.String()
+	case fieldProp:
+		got = e.obj.Properties[c.key]
+	}
+	match := strings.EqualFold(got, c.value)
+	if c.negate {
+		return !match, nil
+	}
+	return match, nil
+}
+
+// andExpr, orExpr, notExpr are the boolean combinators.
+type andExpr struct{ l, r Expr }
+
+func (x andExpr) eval(e *evalObject) (bool, error) {
+	ok, err := x.l.eval(e)
+	if err != nil || !ok {
+		return false, err
+	}
+	return x.r.eval(e)
+}
+
+type orExpr struct{ l, r Expr }
+
+func (x orExpr) eval(e *evalObject) (bool, error) {
+	ok, err := x.l.eval(e)
+	if err != nil || ok {
+		return ok, err
+	}
+	return x.r.eval(e)
+}
+
+type notExpr struct{ inner Expr }
+
+func (x notExpr) eval(e *evalObject) (bool, error) {
+	ok, err := x.inner.eval(e)
+	return !ok, err
+}
+
+// withinExpr matches objects fully inside a named region.
+type withinExpr struct {
+	region string
+	pos    int
+}
+
+func (x withinExpr) eval(e *evalObject) (bool, error) {
+	r, err := e.resolve(x.region, x.pos)
+	if err != nil {
+		return false, err
+	}
+	return r.ContainsRect(e.obj.Bounds), nil
+}
+
+// intersectsExpr matches objects whose bounds intersect a named
+// region.
+type intersectsExpr struct {
+	region string
+	pos    int
+}
+
+func (x intersectsExpr) eval(e *evalObject) (bool, error) {
+	r, err := e.resolve(x.region, x.pos)
+	if err != nil {
+		return false, err
+	}
+	return r.Intersects(e.obj.Bounds), nil
+}
+
+// containsExpr matches objects whose bounds contain the point.
+type containsExpr struct{ pt geom.Point }
+
+func (x containsExpr) eval(e *evalObject) (bool, error) {
+	return e.obj.Bounds.ContainsPoint(x.pt), nil
+}
+
+// nearExpr matches objects within dist of the point.
+type nearExpr struct {
+	pt   geom.Point
+	dist float64
+}
+
+func (x nearExpr) eval(e *evalObject) (bool, error) {
+	return e.obj.Bounds.DistToPoint(x.pt) <= x.dist, nil
+}
+
+// Run executes a parsed query against the database.
+func (q *Query) Run(db *spatialdb.DB) ([]spatialdb.Object, error) {
+	objs := db.Objects()
+	ctx := &evalObject{db: db, regionCache: make(map[string]geom.Rect)}
+	var out []spatialdb.Object
+	for i := range objs {
+		ctx.obj = &objs[i]
+		if q.Where != nil {
+			ok, err := q.Where.eval(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		out = append(out, objs[i])
+	}
+	if q.Nearest != nil {
+		pt := *q.Nearest
+		sort.SliceStable(out, func(i, j int) bool {
+			return out[i].Bounds.DistToPoint(pt) < out[j].Bounds.DistToPoint(pt)
+		})
+	}
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out, nil
+}
+
+// Exec parses and runs a query in one step.
+func Exec(db *spatialdb.DB, src string) ([]spatialdb.Object, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return q.Run(db)
+}
+
+// parseGLOBText wraps glob parsing with positioned errors.
+func parseGLOBText(s string, pos int) (glob.GLOB, error) {
+	g, err := glob.Parse(s)
+	if err != nil {
+		return glob.GLOB{}, errAt(pos, "bad GLOB %q: %v", s, err)
+	}
+	return g, nil
+}

@@ -1,0 +1,152 @@
+// Package mwql implements the spatial query language of §5.1: the
+// paper notes that "modeling the physical space allows SQL queries on
+// objects and regions", giving the example "Where is the nearest
+// region that has power outlets and high Bluetooth signal?". mwql is
+// that query surface over the spatial database:
+//
+//	SELECT objects
+//	WHERE type = 'Room' AND prop('power-outlets') = 'yes'
+//	  AND prop('bluetooth') = 'high'
+//	NEAREST (0, 0) LIMIT 1
+//
+// Supported predicates: comparisons on type, name, glob and
+// prop('key'); the spatial functions within('GLOB'),
+// intersects('GLOB'), contains(x, y) and near((x, y), dist); boolean
+// AND/OR/NOT with parentheses. Results can be ordered by NEAREST
+// (x, y) and truncated with LIMIT n.
+package mwql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokIdent
+	tokKeyword
+	tokString
+	tokNumber
+	tokLParen
+	tokRParen
+	tokComma
+	tokEq
+	tokNeq
+)
+
+// keywords are case-insensitive reserved words.
+var keywords = map[string]bool{
+	"SELECT": true, "WHERE": true, "AND": true, "OR": true, "NOT": true,
+	"NEAREST": true, "LIMIT": true,
+}
+
+// token is one lexeme with its source position (byte offset) for
+// error messages.
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// SyntaxError reports a lexing or parsing failure with its position.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("mwql: position %d: %s", e.Pos, e.Msg)
+}
+
+func errAt(pos int, format string, args ...interface{}) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex splits the input into tokens.
+func lex(src string) ([]token, error) {
+	var out []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			out = append(out, token{kind: tokLParen, text: "(", pos: i})
+			i++
+		case c == ')':
+			out = append(out, token{kind: tokRParen, text: ")", pos: i})
+			i++
+		case c == ',':
+			out = append(out, token{kind: tokComma, text: ",", pos: i})
+			i++
+		case c == '=':
+			out = append(out, token{kind: tokEq, text: "=", pos: i})
+			i++
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				out = append(out, token{kind: tokNeq, text: "!=", pos: i})
+				i += 2
+			} else {
+				return nil, errAt(i, "unexpected '!'")
+			}
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			for j < len(src) && src[j] != quote {
+				j++
+			}
+			if j >= len(src) {
+				return nil, errAt(i, "unterminated string")
+			}
+			out = append(out, token{kind: tokString, text: src[i+1 : j], pos: i})
+			i = j + 1
+		case c == '-' || c == '.' || (c >= '0' && c <= '9'):
+			j := i
+			if src[j] == '-' {
+				j++
+			}
+			digits := false
+			for j < len(src) && (src[j] == '.' || (src[j] >= '0' && src[j] <= '9')) {
+				if src[j] != '.' {
+					digits = true
+				}
+				j++
+			}
+			if !digits {
+				return nil, errAt(i, "malformed number")
+			}
+			out = append(out, token{kind: tokNumber, text: src[i:j], pos: i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			word := src[i:j]
+			kind := tokIdent
+			if keywords[strings.ToUpper(word)] {
+				kind = tokKeyword
+			}
+			out = append(out, token{kind: kind, text: word, pos: i})
+			i = j
+		default:
+			return nil, errAt(i, "unexpected character %q", string(c))
+		}
+	}
+	out = append(out, token{kind: tokEOF, pos: len(src)})
+	return out, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}

@@ -1,0 +1,267 @@
+package mwql
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"middlewhere/internal/building"
+	"middlewhere/internal/spatialdb"
+)
+
+func paperDB(t *testing.T) *spatialdb.DB {
+	t.Helper()
+	db, err := building.PaperFloor().NewDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func ids(objs []spatialdb.Object) []string {
+	out := make([]string, len(objs))
+	for i, o := range objs {
+		out[i] = o.ID()
+	}
+	return out
+}
+
+func TestPaperExampleQuery(t *testing.T) {
+	// §5.1: "Where is the nearest region that has power outlets and
+	// high Bluetooth signal?"
+	db := paperDB(t)
+	got, err := Exec(db, `SELECT objects
+		WHERE prop('power-outlets') = 'yes' AND prop('bluetooth') = 'high'
+		NEAREST (0, 0) LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID() != "CS/Floor3/NetLab" {
+		t.Errorf("got %v", ids(got))
+	}
+}
+
+func TestTypeAndNameComparisons(t *testing.T) {
+	db := paperDB(t)
+	tests := []struct {
+		name  string
+		query string
+		want  []string
+	}{
+		{
+			"all rooms",
+			`SELECT objects WHERE type = 'Room'`,
+			[]string{"CS/Floor3/3105", "CS/Floor3/HCILab", "CS/Floor3/NetLab"},
+		},
+		{
+			"by name",
+			`SELECT objects WHERE name = 'NetLab'`,
+			[]string{"CS/Floor3/NetLab"},
+		},
+		{
+			"by glob",
+			`SELECT objects WHERE glob = 'CS/Floor3/3105'`,
+			[]string{"CS/Floor3/3105"},
+		},
+		{
+			"negation",
+			`SELECT objects WHERE type = 'Corridor' AND name != 'MainCorridor'`,
+			[]string{"CS/Floor3/LabCorridor"},
+		},
+		{
+			"case insensitive",
+			`select objects where TYPE = 'room' and NAME = 'netlab'`,
+			[]string{"CS/Floor3/NetLab"},
+		},
+		{
+			"or",
+			`SELECT objects WHERE name = 'NetLab' OR name = 'HCILab'`,
+			[]string{"CS/Floor3/HCILab", "CS/Floor3/NetLab"},
+		},
+		{
+			"not",
+			`SELECT objects WHERE type = 'Display' AND NOT within('CS/Floor3/NetLab')`,
+			[]string{"CS/Floor3/HCILab/display2"},
+		},
+		{
+			"parens precedence",
+			`SELECT objects WHERE type = 'Room' AND (name = 'NetLab' OR name = '3105')`,
+			[]string{"CS/Floor3/3105", "CS/Floor3/NetLab"},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Exec(db, tt.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotIDs := ids(got)
+			if len(gotIDs) != len(tt.want) {
+				t.Fatalf("got %v, want %v", gotIDs, tt.want)
+			}
+			for i := range tt.want {
+				if gotIDs[i] != tt.want[i] {
+					t.Errorf("got %v, want %v", gotIDs, tt.want)
+					break
+				}
+			}
+		})
+	}
+}
+
+func TestSpatialPredicates(t *testing.T) {
+	db := paperDB(t)
+	// Objects within the NetLab: the room itself and its display.
+	got, err := Exec(db, `SELECT objects WHERE within('CS/Floor3/NetLab')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Errorf("within = %v", ids(got))
+	}
+	// Intersecting a coordinate region spanning the east wing rooms.
+	got, err = Exec(db, `SELECT objects WHERE type = 'Room'
+		AND intersects('CS/Floor3/(355,0),(415,0),(415,30),(355,30)')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 { // NetLab + HCILab
+		t.Errorf("intersects = %v", ids(got))
+	}
+	// Point containment.
+	got, err = Exec(db, `SELECT objects WHERE contains(340, 10) AND type = 'Room'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID() != "CS/Floor3/3105" {
+		t.Errorf("contains = %v", ids(got))
+	}
+	// Near: displays within 20 units of a point in the NetLab.
+	got, err = Exec(db, `SELECT objects WHERE type = 'Display' AND near((365, 5), 20)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID() != "CS/Floor3/NetLab/display1" {
+		t.Errorf("near = %v", ids(got))
+	}
+}
+
+func TestNearestOrderingAndLimit(t *testing.T) {
+	db := paperDB(t)
+	got, err := Exec(db, `SELECT objects WHERE type = 'Room' NEAREST (500, 0)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].ID() != "CS/Floor3/HCILab" {
+		t.Errorf("nearest order = %v", ids(got))
+	}
+	got, err = Exec(db, `SELECT objects NEAREST (500, 0) LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Errorf("limit = %v", ids(got))
+	}
+}
+
+func TestSelectAll(t *testing.T) {
+	db := paperDB(t)
+	got, err := Exec(db, `SELECT objects`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(db.Objects()) {
+		t.Errorf("select all = %d of %d", len(got), len(db.Objects()))
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	db := paperDB(t)
+	tests := []struct {
+		name  string
+		query string
+		frag  string
+	}{
+		{"missing select", `WHERE type = 'Room'`, "expected SELECT"},
+		{"bad target", `SELECT people`, "expected 'objects'"},
+		{"unterminated string", `SELECT objects WHERE type = 'Room`, "unterminated"},
+		{"bad operator", `SELECT objects WHERE type < 'Room'`, "unexpected character"},
+		{"unknown field", `SELECT objects WHERE color = 'red'`, "unknown field"},
+		{"trailing junk", `SELECT objects LIMIT 1 banana`, "trailing input"},
+		{"bad limit", `SELECT objects LIMIT 0`, "positive integer"},
+		{"limit nan", `SELECT objects LIMIT x`, "needs a number"},
+		{"missing paren", `SELECT objects WHERE (type = 'Room'`, "expected ')'"},
+		{"prop needs key", `SELECT objects WHERE prop(5) = 'x'`, "quoted key"},
+		{"near missing dist", `SELECT objects WHERE near((1,2))`, "expected ','"},
+		{"duplicate where", `SELECT objects WHERE type='Room' WHERE type='Room'`, "duplicate WHERE"},
+		{"bang alone", `SELECT objects WHERE type ! 'Room'`, "unexpected '!'"},
+		{"bad number", `SELECT objects NEAREST (-, 2)`, "malformed number"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Exec(db, tt.query)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			var se *SyntaxError
+			if !errors.As(err, &se) {
+				t.Fatalf("err %T: %v", err, err)
+			}
+			if !strings.Contains(err.Error(), tt.frag) {
+				t.Errorf("err = %v, want fragment %q", err, tt.frag)
+			}
+		})
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	db := paperDB(t)
+	// Unknown symbolic region at evaluation time.
+	_, err := Exec(db, `SELECT objects WHERE within('CS/Floor3/Atlantis')`)
+	if err == nil || !strings.Contains(err.Error(), "Atlantis") {
+		t.Errorf("err = %v", err)
+	}
+	// Bad GLOB text in a region function.
+	_, err = Exec(db, `SELECT objects WHERE within('((')`)
+	if err == nil {
+		t.Error("bad GLOB should fail")
+	}
+}
+
+func TestNumbersAndNegatives(t *testing.T) {
+	db := paperDB(t)
+	got, err := Exec(db, `SELECT objects WHERE near((-5, -5), 400) AND type = 'Floor'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Errorf("negative coordinates: %v", ids(got))
+	}
+	// Floats.
+	if _, err := Exec(db, `SELECT objects WHERE near((1.5, 2.25), 10.75)`); err != nil {
+		t.Errorf("float literals: %v", err)
+	}
+}
+
+func TestQuickQueryParserNeverPanics(t *testing.T) {
+	// Random strings must lex/parse to an error, never a panic.
+	f := func(raw []byte) bool {
+		_, err := Parse(string(raw))
+		// Almost everything is an error; success is fine too.
+		_ = err
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// Prefixed with SELECT to reach deeper parser states.
+	g := func(raw []byte) bool {
+		_, err := Parse("SELECT objects WHERE " + string(raw))
+		_ = err
+		return true
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

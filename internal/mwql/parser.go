@@ -1,0 +1,355 @@
+package mwql
+
+import (
+	"strconv"
+
+	"middlewhere/internal/geom"
+)
+
+// Query is a parsed mwql statement.
+type Query struct {
+	// Where is the filter expression; nil selects everything.
+	Where Expr
+	// Nearest, when set, orders results by distance to the point.
+	Nearest *geom.Point
+	// Limit truncates the result; 0 means no limit.
+	Limit int
+}
+
+// Expr is a boolean filter node evaluated per object.
+type Expr interface {
+	// eval reports whether the object matches.
+	eval(obj *evalObject) (bool, error)
+}
+
+// Parse parses an mwql statement.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, errAt(p.peek().pos, "trailing input %q", p.peek().text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+// expectKeyword consumes a specific keyword.
+func (p *parser) expectKeyword(word string) error {
+	t := p.next()
+	if t.kind != tokKeyword || !equalFold(t.text, word) {
+		return errAt(t.pos, "expected %s, found %q", word, t.text)
+	}
+	return nil
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'a' <= ca && ca <= 'z' {
+			ca -= 'a' - 'A'
+		}
+		if 'a' <= cb && cb <= 'z' {
+			cb -= 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// parseQuery := SELECT objects [WHERE expr] [NEAREST point] [LIMIT n]
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	t := p.next()
+	if t.kind != tokIdent || !equalFold(t.text, "objects") {
+		return nil, errAt(t.pos, "expected 'objects', found %q", t.text)
+	}
+	q := &Query{}
+	for {
+		t := p.peek()
+		if t.kind != tokKeyword {
+			break
+		}
+		switch {
+		case equalFold(t.text, "WHERE"):
+			if q.Where != nil {
+				return nil, errAt(t.pos, "duplicate WHERE")
+			}
+			p.next()
+			expr, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			q.Where = expr
+		case equalFold(t.text, "NEAREST"):
+			if q.Nearest != nil {
+				return nil, errAt(t.pos, "duplicate NEAREST")
+			}
+			p.next()
+			pt, err := p.parsePoint()
+			if err != nil {
+				return nil, err
+			}
+			q.Nearest = &pt
+		case equalFold(t.text, "LIMIT"):
+			if q.Limit != 0 {
+				return nil, errAt(t.pos, "duplicate LIMIT")
+			}
+			p.next()
+			n := p.next()
+			if n.kind != tokNumber {
+				return nil, errAt(n.pos, "LIMIT needs a number")
+			}
+			v, err := strconv.Atoi(n.text)
+			if err != nil || v <= 0 {
+				return nil, errAt(n.pos, "LIMIT needs a positive integer")
+			}
+			q.Limit = v
+		default:
+			return nil, errAt(t.pos, "unexpected keyword %q", t.text)
+		}
+	}
+	return q, nil
+}
+
+// parsePoint := '(' num ',' num ')'
+func (p *parser) parsePoint() (geom.Point, error) {
+	if t := p.next(); t.kind != tokLParen {
+		return geom.Point{}, errAt(t.pos, "expected '('")
+	}
+	x, err := p.parseNumber()
+	if err != nil {
+		return geom.Point{}, err
+	}
+	if t := p.next(); t.kind != tokComma {
+		return geom.Point{}, errAt(t.pos, "expected ','")
+	}
+	y, err := p.parseNumber()
+	if err != nil {
+		return geom.Point{}, err
+	}
+	if t := p.next(); t.kind != tokRParen {
+		return geom.Point{}, errAt(t.pos, "expected ')'")
+	}
+	return geom.Pt(x, y), nil
+}
+
+func (p *parser) parseNumber() (float64, error) {
+	t := p.next()
+	if t.kind != tokNumber {
+		return 0, errAt(t.pos, "expected number, found %q", t.text)
+	}
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, errAt(t.pos, "bad number %q", t.text)
+	}
+	return v, nil
+}
+
+// parseOr := parseAnd (OR parseAnd)*
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokKeyword && equalFold(p.peek().text, "OR") {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = orExpr{left, right}
+	}
+	return left, nil
+}
+
+// parseAnd := parseNot (AND parseNot)*
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokKeyword && equalFold(p.peek().text, "AND") {
+		p.next()
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = andExpr{left, right}
+	}
+	return left, nil
+}
+
+// parseNot := NOT parseNot | parsePrimary
+func (p *parser) parseNot() (Expr, error) {
+	if p.peek().kind == tokKeyword && equalFold(p.peek().text, "NOT") {
+		p.next()
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return notExpr{inner}, nil
+	}
+	return p.parsePrimary()
+}
+
+// parsePrimary := '(' or ')' | function | comparison
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	if t.kind == tokLParen {
+		p.next()
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if t := p.next(); t.kind != tokRParen {
+			return nil, errAt(t.pos, "expected ')'")
+		}
+		return inner, nil
+	}
+	if t.kind != tokIdent {
+		return nil, errAt(t.pos, "expected predicate, found %q", t.text)
+	}
+	switch {
+	case equalFold(t.text, "within"), equalFold(t.text, "intersects"):
+		return p.parseRegionFunc(t.text)
+	case equalFold(t.text, "contains"):
+		return p.parseContains()
+	case equalFold(t.text, "near"):
+		return p.parseNear()
+	default:
+		return p.parseComparison()
+	}
+}
+
+// parseRegionFunc := (within|intersects) '(' string ')'
+func (p *parser) parseRegionFunc(name string) (Expr, error) {
+	p.next() // function name
+	if t := p.next(); t.kind != tokLParen {
+		return nil, errAt(t.pos, "expected '(' after %s", name)
+	}
+	arg := p.next()
+	if arg.kind != tokString {
+		return nil, errAt(arg.pos, "%s needs a quoted GLOB", name)
+	}
+	if t := p.next(); t.kind != tokRParen {
+		return nil, errAt(t.pos, "expected ')'")
+	}
+	if equalFold(name, "within") {
+		return withinExpr{region: arg.text, pos: arg.pos}, nil
+	}
+	return intersectsExpr{region: arg.text, pos: arg.pos}, nil
+}
+
+// parseContains := contains '(' num ',' num ')'
+func (p *parser) parseContains() (Expr, error) {
+	p.next()
+	if t := p.next(); t.kind != tokLParen {
+		return nil, errAt(t.pos, "expected '(' after contains")
+	}
+	x, err := p.parseNumber()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.next(); t.kind != tokComma {
+		return nil, errAt(t.pos, "expected ','")
+	}
+	y, err := p.parseNumber()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.next(); t.kind != tokRParen {
+		return nil, errAt(t.pos, "expected ')'")
+	}
+	return containsExpr{pt: geom.Pt(x, y)}, nil
+}
+
+// parseNear := near '(' point ',' num ')'
+func (p *parser) parseNear() (Expr, error) {
+	p.next()
+	if t := p.next(); t.kind != tokLParen {
+		return nil, errAt(t.pos, "expected '(' after near")
+	}
+	pt, err := p.parsePoint()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.next(); t.kind != tokComma {
+		return nil, errAt(t.pos, "expected ','")
+	}
+	dist, err := p.parseNumber()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.next(); t.kind != tokRParen {
+		return nil, errAt(t.pos, "expected ')'")
+	}
+	return nearExpr{pt: pt, dist: dist}, nil
+}
+
+// parseComparison := field (=|!=) string, with field one of type,
+// name, glob, prop('key').
+func (p *parser) parseComparison() (Expr, error) {
+	field := p.next()
+	var key string
+	var kind fieldKind
+	switch {
+	case equalFold(field.text, "type"):
+		kind = fieldType
+	case equalFold(field.text, "name"):
+		kind = fieldName
+	case equalFold(field.text, "glob"):
+		kind = fieldGLOB
+	case equalFold(field.text, "prop"):
+		kind = fieldProp
+		if t := p.next(); t.kind != tokLParen {
+			return nil, errAt(t.pos, "expected '(' after prop")
+		}
+		arg := p.next()
+		if arg.kind != tokString {
+			return nil, errAt(arg.pos, "prop needs a quoted key")
+		}
+		key = arg.text
+		if t := p.next(); t.kind != tokRParen {
+			return nil, errAt(t.pos, "expected ')'")
+		}
+	default:
+		return nil, errAt(field.pos, "unknown field %q (want type, name, glob, or prop)", field.text)
+	}
+	op := p.next()
+	if op.kind != tokEq && op.kind != tokNeq {
+		return nil, errAt(op.pos, "expected = or != after field")
+	}
+	val := p.next()
+	if val.kind != tokString {
+		return nil, errAt(val.pos, "expected quoted value")
+	}
+	return cmpExpr{kind: kind, key: key, value: val.text, negate: op.kind == tokNeq}, nil
+}

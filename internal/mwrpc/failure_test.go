@@ -1,0 +1,156 @@
+package mwrpc
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestServerSurvivesGarbageBytes throws raw garbage at the server: the
+// offending connection is dropped, the server keeps serving others.
+func TestServerSurvivesGarbageBytes(t *testing.T) {
+	_, addr := startServer(t)
+
+	// A well-behaved client for later.
+	good, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+
+	// Raw garbage: not even a frame header.
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.Write([]byte("GET / HTTP/1.1\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	raw.Close()
+
+	// A frame header claiming an absurd size.
+	huge, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 1<<31)
+	if _, err := huge.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	// The server must close the connection on an oversized frame.
+	huge.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := huge.Read(buf); err == nil {
+		t.Error("server kept an oversized-frame connection open")
+	}
+	huge.Close()
+
+	// A valid length prefix with invalid JSON.
+	badJSON, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("{not-json")
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := badJSON.Write(append(hdr[:], payload...)); err != nil {
+		t.Fatal(err)
+	}
+	badJSON.Close()
+
+	// The good client is unaffected.
+	var reply echoReply
+	if err := good.Call("echo", echoArgs{Text: "still alive"}, &reply); err != nil {
+		t.Fatalf("good client broken after garbage: %v", err)
+	}
+	if reply.Text != "still alive" {
+		t.Errorf("reply = %q", reply.Text)
+	}
+}
+
+// TestServerIgnoresNonRequestFrames sends a syntactically valid frame
+// with a kind the server does not handle.
+func TestServerIgnoresNonRequestFrames(t *testing.T) {
+	_, addr := startServer(t)
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	body, _ := json.Marshal(wire{Kind: "push", Stream: "spoofed"})
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := raw.Write(append(hdr[:], body...)); err != nil {
+		t.Fatal(err)
+	}
+	// Follow with a real request on the same connection: the server
+	// must still answer it.
+	req, _ := json.Marshal(wire{Kind: "req", ID: 1, Method: "echo",
+		Params: json.RawMessage(`{"text":"hi"}`)})
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(req)))
+	if _, err := raw.Write(append(hdr[:], req...)); err != nil {
+		t.Fatal(err)
+	}
+	raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	resp, err := readFrame(raw)
+	if err != nil {
+		t.Fatalf("no response after spoofed push: %v", err)
+	}
+	if resp.Kind != "resp" || resp.ID != 1 {
+		t.Errorf("resp = %+v", resp)
+	}
+}
+
+// TestClientSurvivesServerGarbage: a server that writes garbage makes
+// the client fail cleanly, not hang.
+func TestClientSurvivesServerGarbage(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		conn.Write([]byte("!!!!this is not a frame!!!!"))
+		conn.Close()
+	}()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Timeout = 2 * time.Second
+	err = c.Call("echo", echoArgs{Text: "x"}, nil)
+	if err == nil {
+		t.Error("call against garbage server should fail")
+	}
+}
+
+// TestSlowLorisHeader: a connection that sends half a header and
+// stalls must not wedge the server's other work (each connection has
+// its own goroutine).
+func TestSlowLorisHeader(t *testing.T) {
+	_, addr := startServer(t)
+	stall, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stall.Close()
+	if _, err := stall.Write([]byte{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	// Meanwhile a real client gets served.
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Call("echo", echoArgs{Text: "ok"}, nil); err != nil {
+		t.Fatalf("server wedged by slow loris: %v", err)
+	}
+}

@@ -1,0 +1,449 @@
+// Package mwrpc is MiddleWhere's distribution substrate — the
+// substitute for the CORBA ORB (Orbacus) the paper deploys on. It
+// implements a minimal framed JSON-RPC protocol over TCP with two
+// interaction patterns, matching what the middleware needs from CORBA:
+//
+//   - request/reply: clients call named methods and block for the
+//     result (the pull mode of §7), and
+//   - server push: the server sends asynchronous messages tagged with a
+//     stream name over the same connection (the push mode — trigger
+//     notifications, §4.3).
+//
+// Wire format: each message is a 4-byte big-endian length followed by
+// a JSON object. Messages are small (queries, notifications); the
+// frame size is capped to keep a misbehaving peer from ballooning
+// memory.
+package mwrpc
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// maxFrame bounds a single message.
+const maxFrame = 1 << 20
+
+// wire is the on-the-wire message envelope.
+type wire struct {
+	// Kind is "req", "resp", or "push".
+	Kind string `json:"kind"`
+	// ID correlates requests and responses.
+	ID uint64 `json:"id,omitempty"`
+	// Method names the called procedure (requests).
+	Method string `json:"method,omitempty"`
+	// Params carries the request payload.
+	Params json.RawMessage `json:"params,omitempty"`
+	// Result carries the response payload.
+	Result json.RawMessage `json:"result,omitempty"`
+	// Error carries a response error message.
+	Error string `json:"error,omitempty"`
+	// Stream names the push channel (pushes).
+	Stream string `json:"stream,omitempty"`
+}
+
+// Sentinel errors.
+var (
+	ErrClosed      = errors.New("mwrpc: connection closed")
+	ErrTimeout     = errors.New("mwrpc: call timed out")
+	ErrNoMethod    = errors.New("mwrpc: unknown method")
+	ErrFrameTooBig = errors.New("mwrpc: frame exceeds limit")
+)
+
+// writeFrame writes one length-prefixed JSON message.
+func writeFrame(w io.Writer, m wire) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("mwrpc: marshal: %w", err)
+	}
+	if len(body) > maxFrame {
+		return ErrFrameTooBig
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// readFrame reads one length-prefixed JSON message.
+func readFrame(r io.Reader) (wire, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return wire{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return wire{}, ErrFrameTooBig
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return wire{}, err
+	}
+	var m wire
+	if err := json.Unmarshal(body, &m); err != nil {
+		return wire{}, fmt.Errorf("mwrpc: unmarshal: %w", err)
+	}
+	return m, nil
+}
+
+// ---------------------------------------------------------------------------
+// Server
+
+// ServerConn is the server's view of one client connection. Handlers
+// may retain it to push messages until OnClose fires.
+type ServerConn struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	closed bool
+
+	onClose []func()
+}
+
+// Push sends an asynchronous message on a named stream.
+func (c *ServerConn) Push(stream string, payload interface{}) error {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("mwrpc: push marshal: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	return writeFrame(c.conn, wire{Kind: "push", Stream: stream, Result: body})
+}
+
+// OnClose registers a cleanup callback run when the connection drops.
+// If the connection is already closed the callback runs immediately.
+func (c *ServerConn) OnClose(fn func()) {
+	c.mu.Lock()
+	closed := c.closed
+	if !closed {
+		c.onClose = append(c.onClose, fn)
+	}
+	c.mu.Unlock()
+	if closed {
+		fn()
+	}
+}
+
+func (c *ServerConn) close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	cbs := c.onClose
+	c.onClose = nil
+	c.conn.Close()
+	c.mu.Unlock()
+	for _, fn := range cbs {
+		fn()
+	}
+}
+
+// respond sends a response frame.
+func (c *ServerConn) respond(id uint64, result interface{}, herr error) error {
+	m := wire{Kind: "resp", ID: id}
+	if herr != nil {
+		m.Error = herr.Error()
+	} else {
+		body, err := json.Marshal(result)
+		if err != nil {
+			m.Error = "mwrpc: marshal result: " + err.Error()
+		} else {
+			m.Result = body
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	return writeFrame(c.conn, m)
+}
+
+// Handler serves one method. It runs on the connection's reader
+// goroutine; slow work should be handed off.
+type Handler func(conn *ServerConn, params json.RawMessage) (interface{}, error)
+
+// Server dispatches framed requests to registered handlers.
+type Server struct {
+	mu       sync.Mutex
+	handlers map[string]Handler
+	ln       net.Listener
+	conns    map[*ServerConn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{
+		handlers: make(map[string]Handler),
+		conns:    make(map[*ServerConn]struct{}),
+	}
+}
+
+// Register installs a handler for a method name.
+func (s *Server) Register(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = h
+}
+
+// Listen starts accepting on addr ("host:port"; ":0" picks a free
+// port) and serves in background goroutines until Close. It returns
+// the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("mwrpc: listen: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			sc := &ServerConn{conn: conn}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				sc.close()
+				return
+			}
+			s.conns[sc] = struct{}{}
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.serveConn(sc)
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) serveConn(sc *ServerConn) {
+	defer func() {
+		sc.close()
+		s.mu.Lock()
+		delete(s.conns, sc)
+		s.mu.Unlock()
+	}()
+	for {
+		m, err := readFrame(sc.conn)
+		if err != nil {
+			return
+		}
+		if m.Kind != "req" {
+			continue
+		}
+		s.mu.Lock()
+		h := s.handlers[m.Method]
+		s.mu.Unlock()
+		if h == nil {
+			_ = sc.respond(m.ID, nil, fmt.Errorf("%w: %s", ErrNoMethod, m.Method))
+			continue
+		}
+		result, herr := h(sc, m.Params)
+		if err := sc.respond(m.ID, result, herr); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the listener, drops all connections, and waits for the
+// serving goroutines to exit.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]*ServerConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.close()
+	}
+	s.wg.Wait()
+}
+
+// ---------------------------------------------------------------------------
+// Client
+
+// PushFunc consumes pushed messages on a stream.
+type PushFunc func(payload json.RawMessage)
+
+// Client is a connection to an mwrpc server.
+type Client struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	nextID  uint64
+	pending map[uint64]chan wire
+	onPush  map[string]PushFunc
+	closed  bool
+	done    chan struct{}
+
+	// Timeout bounds each Call; zero means 10 seconds.
+	Timeout time.Duration
+}
+
+// Dial connects to an mwrpc server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("mwrpc: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		conn:    conn,
+		pending: make(map[uint64]chan wire),
+		onPush:  make(map[string]PushFunc),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	for {
+		m, err := readFrame(c.conn)
+		if err != nil {
+			c.failAll()
+			return
+		}
+		switch m.Kind {
+		case "resp":
+			c.mu.Lock()
+			ch := c.pending[m.ID]
+			delete(c.pending, m.ID)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- m
+			}
+		case "push":
+			c.mu.Lock()
+			fn := c.onPush[m.Stream]
+			c.mu.Unlock()
+			if fn != nil {
+				fn(m.Result)
+			}
+		}
+	}
+}
+
+func (c *Client) failAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+}
+
+// OnPush installs the consumer for a push stream. It replaces any
+// previous consumer for that stream.
+func (c *Client) OnPush(stream string, fn PushFunc) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onPush[stream] = fn
+}
+
+// Call invokes a remote method and decodes the result into result
+// (which may be nil to discard it).
+func (c *Client) Call(method string, params, result interface{}) error {
+	body, err := json.Marshal(params)
+	if err != nil {
+		return fmt.Errorf("mwrpc: marshal params: %w", err)
+	}
+	ch := make(chan wire, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	err = writeFrame(c.conn, wire{Kind: "req", ID: id, Method: method, Params: body})
+	c.mu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return err
+	}
+
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case m, ok := <-ch:
+		if !ok {
+			return ErrClosed
+		}
+		if m.Error != "" {
+			return errors.New(m.Error)
+		}
+		if result != nil {
+			if err := json.Unmarshal(m.Result, result); err != nil {
+				return fmt.Errorf("mwrpc: unmarshal result: %w", err)
+			}
+		}
+		return nil
+	case <-timer.C:
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrTimeout, method)
+	}
+}
+
+// Close drops the connection and waits for the reader to exit.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.done
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.conn.Close()
+	<-c.done
+}

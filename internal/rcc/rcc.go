@@ -1,0 +1,297 @@
+// Package rcc implements the Region Connection Calculus relations the
+// Location Service derives between spatial regions (§4.6.1): the
+// RCC-8 base relations (DC, EC, PO, TPP, NTPP, their inverses, and
+// EQ) evaluated in O(1) on minimum bounding rectangles, plus
+// MiddleWhere's three passage-aware refinements of external connection
+// (ECFP, ECRP, ECNP) decided from door data.
+package rcc
+
+import (
+	"fmt"
+
+	"middlewhere/internal/geom"
+)
+
+// Relation is an RCC-8 base relation. Any two regions are related by
+// exactly one of them.
+type Relation int
+
+// The eight jointly exhaustive, pairwise disjoint RCC-8 relations.
+const (
+	// DC: disconnected — the regions share no point.
+	DC Relation = iota + 1
+	// EC: externally connected — boundaries touch, interiors disjoint.
+	EC
+	// PO: partial overlap — interiors intersect, neither contains the
+	// other.
+	PO
+	// TPP: a is a tangential proper part of b (inside, touching b's
+	// boundary).
+	TPP
+	// NTPP: a is a non-tangential proper part of b (strictly inside).
+	NTPP
+	// TPPi: inverse of TPP — b is a tangential proper part of a.
+	TPPi
+	// NTPPi: inverse of NTPP.
+	NTPPi
+	// EQ: the regions coincide.
+	EQ
+)
+
+// String implements fmt.Stringer.
+func (r Relation) String() string {
+	switch r {
+	case DC:
+		return "DC"
+	case EC:
+		return "EC"
+	case PO:
+		return "PO"
+	case TPP:
+		return "TPP"
+	case NTPP:
+		return "NTPP"
+	case TPPi:
+		return "TPPi"
+	case NTPPi:
+		return "NTPPi"
+	case EQ:
+		return "EQ"
+	default:
+		return fmt.Sprintf("Relation(%d)", int(r))
+	}
+}
+
+// Inverse returns the converse relation: Relate(a,b).Inverse() ==
+// Relate(b,a).
+func (r Relation) Inverse() Relation {
+	switch r {
+	case TPP:
+		return TPPi
+	case TPPi:
+		return TPP
+	case NTPP:
+		return NTPPi
+	case NTPPi:
+		return NTPP
+	default:
+		return r
+	}
+}
+
+// Connected reports whether the relation implies the regions share at
+// least one point (everything except DC).
+func (r Relation) Connected() bool { return r != DC }
+
+// ProperPart reports whether the relation makes the first region a
+// proper part of the second.
+func (r Relation) ProperPart() bool { return r == TPP || r == NTPP }
+
+// Relate returns the RCC-8 relation between rectangles a and b.
+// Evaluating a relation is O(1) given the vertices, as the paper
+// notes.
+func Relate(a, b geom.Rect) Relation {
+	switch {
+	case a.Eq(b):
+		return EQ
+	case !a.Intersects(b):
+		return DC
+	case !a.Overlaps(b):
+		// Boundary contact only.
+		return EC
+	case b.ContainsRect(a):
+		if touchesBoundary(a, b) {
+			return TPP
+		}
+		return NTPP
+	case a.ContainsRect(b):
+		if touchesBoundary(b, a) {
+			return TPPi
+		}
+		return NTPPi
+	default:
+		return PO
+	}
+}
+
+// touchesBoundary reports whether inner (contained in outer) touches
+// outer's boundary.
+func touchesBoundary(inner, outer geom.Rect) bool {
+	return inner.Min.X <= outer.Min.X+geom.Eps ||
+		inner.Min.Y <= outer.Min.Y+geom.Eps ||
+		inner.Max.X >= outer.Max.X-geom.Eps ||
+		inner.Max.Y >= outer.Max.Y-geom.Eps
+}
+
+// RelatePolygons returns the RCC-8 relation between two simple
+// polygons. It is used when MBR-level screening is not precise enough
+// (e.g. L-shaped rooms).
+func RelatePolygons(a, b geom.Polygon) Relation {
+	polyEq := func(p, q geom.Polygon) bool {
+		if len(p) != len(q) || len(p) == 0 {
+			return false
+		}
+		// Same ring possibly rotated.
+		for off := 0; off < len(q); off++ {
+			all := true
+			for i := range p {
+				if !p[i].Eq(q[(i+off)%len(q)]) {
+					all = false
+					break
+				}
+			}
+			if all {
+				return true
+			}
+		}
+		return false
+	}
+	switch {
+	case polyEq(a, b):
+		return EQ
+	case !a.IntersectsPolygon(b):
+		return DC
+	}
+	aInB := b.ContainsPolygon(a)
+	bInA := a.ContainsPolygon(b)
+	switch {
+	case aInB && bInA:
+		return EQ
+	case aInB:
+		if polygonTouches(a, b) {
+			return TPP
+		}
+		return NTPP
+	case bInA:
+		if polygonTouches(b, a) {
+			return TPPi
+		}
+		return NTPPi
+	}
+	// Interiors overlap or only boundaries touch. Approximate the
+	// interior test: if any vertex of one is strictly inside the other
+	// (not on the boundary) or edge midpoints are, call it PO.
+	if interiorsMeet(a, b) {
+		return PO
+	}
+	return EC
+}
+
+// polygonTouches reports whether inner's boundary touches outer's
+// boundary (inner contained in outer).
+func polygonTouches(inner, outer geom.Polygon) bool {
+	for _, e := range inner.Edges() {
+		for _, f := range outer.Edges() {
+			if e.Intersects(f) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// interiorsMeet heuristically tests whether the interiors of a and b
+// intersect by sampling vertices and edge midpoints.
+func interiorsMeet(a, b geom.Polygon) bool {
+	strictlyInside := func(p geom.Point, poly geom.Polygon) bool {
+		if !poly.ContainsPoint(p) {
+			return false
+		}
+		for _, e := range poly.Edges() {
+			if e.ContainsPoint(p) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, v := range a {
+		if strictlyInside(v, b) {
+			return true
+		}
+	}
+	for _, v := range b {
+		if strictlyInside(v, a) {
+			return true
+		}
+	}
+	for _, e := range a.Edges() {
+		if strictlyInside(e.Midpoint(), b) {
+			return true
+		}
+	}
+	for _, e := range b.Edges() {
+		if strictlyInside(e.Midpoint(), a) {
+			return true
+		}
+	}
+	return false
+}
+
+// Passage classifies how two externally connected regions can be
+// traversed (§4.6.1).
+type Passage int
+
+// Passage kinds between externally connected regions.
+const (
+	// PassageNone: a shared wall with no opening (ECNP).
+	PassageNone Passage = iota + 1
+	// PassageRestricted: a normally locked door needing a card swipe or
+	// key (ECRP).
+	PassageRestricted
+	// PassageFree: an open doorway or unlocked door (ECFP).
+	PassageFree
+)
+
+// String implements fmt.Stringer.
+func (p Passage) String() string {
+	switch p {
+	case PassageNone:
+		return "ECNP"
+	case PassageRestricted:
+		return "ECRP"
+	case PassageFree:
+		return "ECFP"
+	default:
+		return fmt.Sprintf("Passage(%d)", int(p))
+	}
+}
+
+// Door is an opening between two regions: a segment on their shared
+// boundary plus its passage kind.
+type Door struct {
+	// Span is the door's segment in universe coordinates.
+	Span geom.Segment
+	// Kind is the passage the door provides.
+	Kind Passage
+}
+
+// ECRelation refines an EC pair given the doors of the environment:
+// ECFP when some free-passage door lies on the shared boundary, ECRP
+// when only restricted doors do, and ECNP otherwise. The result is
+// meaningless (and PassageNone is returned) when the regions are not
+// externally connected.
+func ECRelation(a, b geom.Rect, doors []Door) Passage {
+	if Relate(a, b) != EC {
+		return PassageNone
+	}
+	shared, ok := a.Intersect(b)
+	if !ok {
+		return PassageNone
+	}
+	best := PassageNone
+	for _, d := range doors {
+		if !onRect(d.Span, shared) {
+			continue
+		}
+		if d.Kind > best {
+			best = d.Kind
+		}
+	}
+	return best
+}
+
+// onRect reports whether the door segment lies (within Eps) inside the
+// degenerate shared-boundary rectangle.
+func onRect(s geom.Segment, r geom.Rect) bool {
+	return r.ContainsPoint(s.A) && r.ContainsPoint(s.B)
+}

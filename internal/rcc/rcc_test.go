@@ -1,0 +1,211 @@
+package rcc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"middlewhere/internal/geom"
+)
+
+func TestRelateRects(t *testing.T) {
+	base := geom.R(0, 0, 10, 10)
+	tests := []struct {
+		name string
+		give geom.Rect
+		want Relation
+	}{
+		{"equal", geom.R(0, 0, 10, 10), EQ},
+		{"disjoint", geom.R(20, 20, 30, 30), DC},
+		{"edge touch", geom.R(10, 0, 20, 10), EC},
+		{"corner touch", geom.R(10, 10, 20, 20), EC},
+		{"overlap", geom.R(5, 5, 15, 15), PO},
+		// give sits inside base, so from base's perspective the
+		// relation is the inverse part-of.
+		{"inside touching", geom.R(0, 2, 5, 8), TPPi},
+		{"strictly inside", geom.R(2, 2, 8, 8), NTPPi},
+		{"contains touching", geom.R(0, 0, 5, 5).Union(geom.R(0, 0, 10, 10)).Union(geom.R(-5, -5, 10, 10)), TPPi},
+		{"contains strictly", geom.R(-5, -5, 15, 15), NTPP}, // base inside give -> from base's view it's NTPP
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Relate(base, tt.give)
+			if tt.name == "contains touching" {
+				// base shares the (0..10) edges with give=(-5..10):
+				// give contains base, base touches boundary -> TPP from
+				// base's perspective.
+				if got != TPP {
+					t.Errorf("got %v, want TPP", got)
+				}
+				return
+			}
+			if got != tt.want {
+				t.Errorf("Relate = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRelateInverses(t *testing.T) {
+	a := geom.R(2, 2, 8, 8)
+	b := geom.R(0, 0, 10, 10)
+	if got := Relate(a, b); got != NTPP {
+		t.Fatalf("Relate(a,b) = %v", got)
+	}
+	if got := Relate(b, a); got != NTPPi {
+		t.Fatalf("Relate(b,a) = %v", got)
+	}
+	for _, r := range []Relation{DC, EC, PO, TPP, NTPP, TPPi, NTPPi, EQ} {
+		if r.Inverse().Inverse() != r {
+			t.Errorf("double inverse of %v != itself", r)
+		}
+	}
+	if TPP.Inverse() != TPPi || NTPPi.Inverse() != NTPP || EQ.Inverse() != EQ || PO.Inverse() != PO {
+		t.Error("Inverse mapping wrong")
+	}
+}
+
+func TestRelationPredicates(t *testing.T) {
+	if DC.Connected() {
+		t.Error("DC should not be connected")
+	}
+	for _, r := range []Relation{EC, PO, TPP, NTPP, TPPi, NTPPi, EQ} {
+		if !r.Connected() {
+			t.Errorf("%v should be connected", r)
+		}
+	}
+	if !TPP.ProperPart() || !NTPP.ProperPart() {
+		t.Error("TPP/NTPP are proper parts")
+	}
+	if EQ.ProperPart() || TPPi.ProperPart() {
+		t.Error("EQ/TPPi are not proper parts")
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	want := map[Relation]string{
+		DC: "DC", EC: "EC", PO: "PO", TPP: "TPP",
+		NTPP: "NTPP", TPPi: "TPPi", NTPPi: "NTPPi", EQ: "EQ",
+	}
+	for r, s := range want {
+		if r.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(r), r.String(), s)
+		}
+	}
+	if Relation(99).String() != "Relation(99)" {
+		t.Error("unknown relation string")
+	}
+}
+
+func TestQuickRelateConverse(t *testing.T) {
+	// Relate(a,b) is always the inverse of Relate(b,a), and exactly
+	// one base relation holds.
+	rng := rand.New(rand.NewSource(17))
+	f := func(seed int64) bool {
+		_ = seed
+		mk := func() geom.Rect {
+			// Integer grid so touching configurations actually occur.
+			x, y := float64(rng.Intn(10)), float64(rng.Intn(10))
+			return geom.R(x, y, x+float64(1+rng.Intn(6)), y+float64(1+rng.Intn(6)))
+		}
+		a, b := mk(), mk()
+		ra, rb := Relate(a, b), Relate(b, a)
+		return ra.Inverse() == rb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+var lRoom = geom.Polygon{
+	geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(4, 2), geom.Pt(2, 2), geom.Pt(2, 4), geom.Pt(0, 4),
+}
+
+func TestRelatePolygons(t *testing.T) {
+	square := func(x, y, s float64) geom.Polygon {
+		return geom.Polygon{
+			geom.Pt(x, y), geom.Pt(x+s, y), geom.Pt(x+s, y+s), geom.Pt(x, y+s),
+		}
+	}
+	tests := []struct {
+		name string
+		a, b geom.Polygon
+		want Relation
+	}{
+		{"equal", lRoom, lRoom, EQ},
+		{"rotated ring equal", square(0, 0, 2),
+			geom.Polygon{geom.Pt(2, 0), geom.Pt(2, 2), geom.Pt(0, 2), geom.Pt(0, 0)}, EQ},
+		{"disjoint", square(10, 10, 2), lRoom, DC},
+		{"inside L", square(0.5, 0.5, 1), lRoom, NTPP},
+		{"contains", lRoom, square(0.5, 0.5, 1), NTPPi},
+		{"tangential part", square(0, 0, 1), lRoom, TPP},
+		{"overlap", square(3, 1, 3), lRoom, PO},
+		{"edge contact", square(4, 0, 2), lRoom, EC},
+		// The notch square's MBR intersects the L, but the polygons are
+		// disjoint — the polygon test must see through the MBR.
+		{"notch", square(2.5, 2.5, 1), lRoom, DC},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := RelatePolygons(tt.a, tt.b); got != tt.want {
+				t.Errorf("RelatePolygons = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestECRelationDoors(t *testing.T) {
+	roomA := geom.R(0, 0, 10, 10)
+	roomB := geom.R(10, 0, 20, 10)
+	roomC := geom.R(0, 10, 10, 20)
+	doors := []Door{
+		// Free door in the wall between A and B.
+		{Span: geom.Seg(geom.Pt(10, 4), geom.Pt(10, 6)), Kind: PassageFree},
+		// Restricted (locked) door between A and C.
+		{Span: geom.Seg(geom.Pt(3, 10), geom.Pt(5, 10)), Kind: PassageRestricted},
+	}
+	if got := ECRelation(roomA, roomB, doors); got != PassageFree {
+		t.Errorf("A-B = %v, want ECFP", got)
+	}
+	if got := ECRelation(roomA, roomC, doors); got != PassageRestricted {
+		t.Errorf("A-C = %v, want ECRP", got)
+	}
+	// B and C touch only at the corner (10,10); no door there.
+	if got := ECRelation(roomB, roomC, doors); got != PassageNone {
+		t.Errorf("B-C = %v, want ECNP", got)
+	}
+	// Non-EC pairs yield PassageNone.
+	if got := ECRelation(roomA, geom.R(50, 50, 60, 60), doors); got != PassageNone {
+		t.Errorf("disjoint = %v", got)
+	}
+	if got := ECRelation(roomA, roomA, doors); got != PassageNone {
+		t.Errorf("same region = %v", got)
+	}
+}
+
+func TestECRelationPicksStrongestPassage(t *testing.T) {
+	roomA := geom.R(0, 0, 10, 10)
+	roomB := geom.R(10, 0, 20, 10)
+	doors := []Door{
+		{Span: geom.Seg(geom.Pt(10, 1), geom.Pt(10, 2)), Kind: PassageRestricted},
+		{Span: geom.Seg(geom.Pt(10, 7), geom.Pt(10, 8)), Kind: PassageFree},
+	}
+	if got := ECRelation(roomA, roomB, doors); got != PassageFree {
+		t.Errorf("strongest passage = %v, want ECFP", got)
+	}
+	// A door elsewhere in the building does not count.
+	far := []Door{{Span: geom.Seg(geom.Pt(50, 0), geom.Pt(50, 2)), Kind: PassageFree}}
+	if got := ECRelation(roomA, roomB, far); got != PassageNone {
+		t.Errorf("far door = %v, want ECNP", got)
+	}
+}
+
+func TestPassageString(t *testing.T) {
+	if PassageNone.String() != "ECNP" || PassageRestricted.String() != "ECRP" ||
+		PassageFree.String() != "ECFP" {
+		t.Error("passage strings wrong")
+	}
+	if Passage(9).String() != "Passage(9)" {
+		t.Error("unknown passage string")
+	}
+}

@@ -1,0 +1,196 @@
+// Package registry is the stand-in for the Gaia Space Repository (§7):
+// the service-discovery component applications query to find the
+// Location Service. Services register a name and address with a TTL
+// and keep the entry alive with heartbeats; clients look names up.
+// The registry runs over the mwrpc substrate.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"encoding/json"
+
+	"middlewhere/internal/mwrpc"
+)
+
+// Entry is one registered service.
+type Entry struct {
+	// Name is the service name, e.g. "location-service".
+	Name string `json:"name"`
+	// Addr is the service's dialable TCP address.
+	Addr string `json:"addr"`
+	// Expires is when the entry lapses without a heartbeat.
+	Expires time.Time `json:"expires"`
+}
+
+// Sentinel errors.
+var (
+	ErrNotFound = errors.New("registry: service not found")
+	ErrBadEntry = errors.New("registry: bad entry")
+)
+
+// Server is the registry service.
+type Server struct {
+	mu      sync.Mutex
+	entries map[string]Entry
+	now     func() time.Time
+	rpc     *mwrpc.Server
+}
+
+// NewServer creates a registry server. The clock is injectable for
+// tests; nil uses time.Now.
+func NewServer(now func() time.Time) *Server {
+	if now == nil {
+		now = time.Now
+	}
+	s := &Server{
+		entries: make(map[string]Entry),
+		now:     now,
+		rpc:     mwrpc.NewServer(),
+	}
+	s.rpc.Register("registry.register", s.handleRegister)
+	s.rpc.Register("registry.lookup", s.handleLookup)
+	s.rpc.Register("registry.list", s.handleList)
+	s.rpc.Register("registry.deregister", s.handleDeregister)
+	return s
+}
+
+// Listen binds the registry to addr and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	return s.rpc.Listen(addr)
+}
+
+// Close shuts the registry down.
+func (s *Server) Close() { s.rpc.Close() }
+
+type registerArgs struct {
+	Name string `json:"name"`
+	Addr string `json:"addr"`
+	// TTLSeconds is how long the entry lives without a heartbeat;
+	// registering again renews it.
+	TTLSeconds float64 `json:"ttlSeconds"`
+}
+
+func (s *Server) handleRegister(_ *mwrpc.ServerConn, params json.RawMessage) (interface{}, error) {
+	var a registerArgs
+	if err := json.Unmarshal(params, &a); err != nil {
+		return nil, err
+	}
+	if a.Name == "" || a.Addr == "" {
+		return nil, fmt.Errorf("%w: need name and addr", ErrBadEntry)
+	}
+	ttl := time.Duration(a.TTLSeconds * float64(time.Second))
+	if ttl <= 0 {
+		ttl = 30 * time.Second
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries[a.Name] = Entry{Name: a.Name, Addr: a.Addr, Expires: s.now().Add(ttl)}
+	return "ok", nil
+}
+
+type lookupArgs struct {
+	Name string `json:"name"`
+}
+
+func (s *Server) handleLookup(_ *mwrpc.ServerConn, params json.RawMessage) (interface{}, error) {
+	var a lookupArgs
+	if err := json.Unmarshal(params, &a); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pruneLocked()
+	e, ok := s.entries[a.Name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, a.Name)
+	}
+	return e, nil
+}
+
+func (s *Server) handleList(_ *mwrpc.ServerConn, _ json.RawMessage) (interface{}, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pruneLocked()
+	out := make([]Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+func (s *Server) handleDeregister(_ *mwrpc.ServerConn, params json.RawMessage) (interface{}, error) {
+	var a lookupArgs
+	if err := json.Unmarshal(params, &a); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.entries, a.Name)
+	return "ok", nil
+}
+
+// pruneLocked drops expired entries. Caller holds the lock.
+func (s *Server) pruneLocked() {
+	now := s.now()
+	for name, e := range s.entries {
+		if now.After(e.Expires) {
+			delete(s.entries, name)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Client
+
+// Client talks to a registry server.
+type Client struct {
+	rpc *mwrpc.Client
+}
+
+// Dial connects to a registry.
+func Dial(addr string) (*Client, error) {
+	c, err := mwrpc.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{rpc: c}, nil
+}
+
+// Close drops the connection.
+func (c *Client) Close() { c.rpc.Close() }
+
+// Register advertises a service; call it periodically to heartbeat.
+func (c *Client) Register(name, addr string, ttl time.Duration) error {
+	return c.rpc.Call("registry.register", registerArgs{
+		Name: name, Addr: addr, TTLSeconds: ttl.Seconds(),
+	}, nil)
+}
+
+// Lookup resolves a service name to its entry.
+func (c *Client) Lookup(name string) (Entry, error) {
+	var e Entry
+	if err := c.rpc.Call("registry.lookup", lookupArgs{Name: name}, &e); err != nil {
+		return Entry{}, err
+	}
+	return e, nil
+}
+
+// List returns all live entries.
+func (c *Client) List() ([]Entry, error) {
+	var out []Entry
+	if err := c.rpc.Call("registry.list", struct{}{}, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Deregister removes a service entry.
+func (c *Client) Deregister(name string) error {
+	return c.rpc.Call("registry.deregister", lookupArgs{Name: name}, nil)
+}

@@ -1,0 +1,143 @@
+package registry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func startRegistry(t *testing.T) (*Client, *fakeClock) {
+	t.Helper()
+	clock := &fakeClock{now: time.Date(2026, 7, 5, 10, 0, 0, 0, time.UTC)}
+	srv := NewServer(clock.Now)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c, clock
+}
+
+func TestRegisterAndLookup(t *testing.T) {
+	c, _ := startRegistry(t)
+	if err := c.Register("location-service", "10.0.0.5:7000", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	e, err := c.Lookup("location-service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Addr != "10.0.0.5:7000" || e.Name != "location-service" {
+		t.Errorf("entry = %+v", e)
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	c, _ := startRegistry(t)
+	_, err := c.Lookup("nothing")
+	if err == nil || !strings.Contains(err.Error(), "not found") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	c, _ := startRegistry(t)
+	if err := c.Register("", "addr", time.Minute); err == nil {
+		t.Error("empty name should fail")
+	}
+	if err := c.Register("svc", "", time.Minute); err == nil {
+		t.Error("empty addr should fail")
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	c, clock := startRegistry(t)
+	if err := c.Register("svc", "a:1", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(5 * time.Second)
+	if _, err := c.Lookup("svc"); err != nil {
+		t.Fatalf("entry expired early: %v", err)
+	}
+	clock.Advance(6 * time.Second)
+	if _, err := c.Lookup("svc"); err == nil {
+		t.Error("entry should have expired")
+	}
+	// Heartbeat renews.
+	if err := c.Register("svc", "a:1", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(8 * time.Second)
+	if err := c.Register("svc", "a:1", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(8 * time.Second)
+	if _, err := c.Lookup("svc"); err != nil {
+		t.Errorf("heartbeat did not renew: %v", err)
+	}
+}
+
+func TestListAndDeregister(t *testing.T) {
+	c, _ := startRegistry(t)
+	for _, name := range []string{"b-svc", "a-svc", "c-svc"} {
+		if err := c.Register(name, "x:1", time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := c.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].Name != "a-svc" || got[2].Name != "c-svc" {
+		t.Errorf("list = %+v", got)
+	}
+	if err := c.Deregister("b-svc"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = c.List()
+	if len(got) != 2 {
+		t.Errorf("after deregister = %+v", got)
+	}
+	// Deregistering a missing name is not an error.
+	if err := c.Deregister("zz"); err != nil {
+		t.Errorf("deregister missing = %v", err)
+	}
+}
+
+func TestDefaultTTL(t *testing.T) {
+	c, clock := startRegistry(t)
+	if err := c.Register("svc", "a:1", 0); err != nil { // defaults to 30s
+		t.Fatal(err)
+	}
+	clock.Advance(29 * time.Second)
+	if _, err := c.Lookup("svc"); err != nil {
+		t.Errorf("default TTL too short: %v", err)
+	}
+	clock.Advance(2 * time.Second)
+	if _, err := c.Lookup("svc"); err == nil {
+		t.Error("default TTL should have expired")
+	}
+}

@@ -1,0 +1,201 @@
+// Package relations implements MiddleWhere's spatial relationship
+// functions (§4.6): probabilistic relations between mobile objects and
+// regions (containment, usage, distance) and between pairs of mobile
+// objects (proximity, co-location, distance). Region-region relations
+// (RCC-8 and the passage-aware EC refinements) live in the rcc and
+// topo packages; this package adds the probability layer on top of
+// fused location estimates.
+//
+// Probabilities attached to relations derive from the probabilities of
+// the participating locations: where the relation depends on two
+// independently located objects, the joint probability is the product
+// of the two location probabilities, scaled by how much of the
+// location uncertainty is compatible with the relation.
+package relations
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+
+	"middlewhere/internal/fusion"
+	"middlewhere/internal/geom"
+	"middlewhere/internal/glob"
+	"middlewhere/internal/spatialdb"
+	"middlewhere/internal/topo"
+)
+
+// Located is a fused location estimate for a mobile object: the
+// inferred rectangle and the probability the object is in it.
+type Located struct {
+	// Rect is the estimated location region.
+	Rect geom.Rect
+	// Prob is P(object in Rect).
+	Prob float64
+	// Symbolic is the finest symbolic region containing Rect, when
+	// known (used by co-location).
+	Symbolic glob.GLOB
+}
+
+// Sentinel errors.
+var (
+	ErrNoUsageRegion = errors.New("relations: object has no usage region")
+	ErrNotLocated    = errors.New("relations: object region unknown")
+)
+
+// Containment returns the probability that an object with the given
+// readings lies within region (§4.6.2a). It is fusion.ProbRegion
+// exposed at the relation layer.
+func Containment(universe geom.Rect, readings []fusion.Reading, region geom.Rect) float64 {
+	return fusion.ProbRegion(universe, readings, region)
+}
+
+// UsageRegion derives an object's usage region (§4.6.2b): the area a
+// person must occupy to use the object. The object's "usage-radius"
+// property gives the extent; the usage region is the object's bounds
+// expanded by that radius.
+func UsageRegion(obj spatialdb.Object) (geom.Rect, error) {
+	raw, ok := obj.Properties["usage-radius"]
+	if !ok {
+		return geom.Rect{}, fmt.Errorf("%w: %s", ErrNoUsageRegion, obj.ID())
+	}
+	radius, err := strconv.ParseFloat(raw, 64)
+	if err != nil || radius < 0 {
+		return geom.Rect{}, fmt.Errorf("%w: %s has bad usage-radius %q", ErrNoUsageRegion, obj.ID(), raw)
+	}
+	return obj.Bounds.Expand(radius), nil
+}
+
+// InUsage returns the probability that the located person can use the
+// object: Containment within the object's usage region.
+func InUsage(universe geom.Rect, readings []fusion.Reading, obj spatialdb.Object) (float64, error) {
+	ur, err := UsageRegion(obj)
+	if err != nil {
+		return 0, err
+	}
+	return Containment(universe, readings, ur), nil
+}
+
+// DistToRegion returns the Euclidean distance from a located object to
+// a region (§4.6.2c): zero when the estimate intersects the region,
+// the gap between the rectangles otherwise.
+func DistToRegion(a Located, region geom.Rect) float64 {
+	return a.Rect.DistToRect(region)
+}
+
+// maxRectDist returns the largest distance between any point of a and
+// any point of b — the pessimistic bound proximity uses.
+func maxRectDist(a, b geom.Rect) float64 {
+	var max float64
+	for _, p := range a.Vertices() {
+		for _, q := range b.Vertices() {
+			if d := p.Dist(q); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// Proximity returns the probability that two located objects are
+// within threshold of each other (§4.6.3a). The geometric part
+// interpolates between the optimistic (closest points) and pessimistic
+// (farthest points) distances of the two uncertainty rectangles; the
+// result is scaled by the joint location probability.
+func Proximity(a, b Located, threshold float64) float64 {
+	if threshold < 0 {
+		return 0
+	}
+	min := a.Rect.DistToRect(b.Rect)
+	max := maxRectDist(a.Rect, b.Rect)
+	var spatial float64
+	switch {
+	case max <= threshold:
+		spatial = 1
+	case min > threshold:
+		spatial = 0
+	default:
+		// Fraction of the [min, max] distance range within threshold.
+		spatial = (threshold - min) / (max - min)
+	}
+	return clamp01(a.Prob * b.Prob * spatial)
+}
+
+// CoLocated reports whether two located objects are in the same
+// symbolic region at the given granularity (§4.6.3b), and the
+// probability of that event (the joint probability of both location
+// estimates when the truncated GLOBs agree).
+func CoLocated(a, b Located, gran glob.Granularity) (bool, float64) {
+	if a.Symbolic.IsZero() || b.Symbolic.IsZero() {
+		return false, 0
+	}
+	ga := a.Symbolic.Truncate(gran)
+	gb := b.Symbolic.Truncate(gran)
+	if ga.IsZero() || gb.IsZero() || !ga.Equal(gb) {
+		return false, 0
+	}
+	// Both GLOBs must actually reach the requested granularity: a
+	// building-level estimate cannot witness room-level co-location.
+	if ga.Depth() < int(gran) {
+		return false, 0
+	}
+	return true, clamp01(a.Prob * b.Prob)
+}
+
+// EuclideanDist returns the distance between the centres of two
+// located objects' estimate rectangles (§4.6.3c).
+func EuclideanDist(a, b Located) float64 {
+	return a.Rect.Center().Dist(b.Rect.Center())
+}
+
+// PathDist returns the path distance between two located objects: the
+// length of the shortest traversable route between the regions
+// containing their estimates (§4.6.1, §4.6.3c). The objects are
+// assigned to graph regions by their estimate centres.
+func PathDist(g *topo.Graph, a, b Located, policy topo.TraversalPolicy) (float64, error) {
+	ra, err := regionOf(g, a)
+	if err != nil {
+		return 0, err
+	}
+	rb, err := regionOf(g, b)
+	if err != nil {
+		return 0, err
+	}
+	if ra == rb {
+		return EuclideanDist(a, b), nil
+	}
+	base, err := g.PathDistance(ra, rb, policy)
+	if err != nil {
+		return 0, err
+	}
+	return base, nil
+}
+
+// regionOf finds the graph region containing the estimate's centre,
+// preferring the smallest-area match.
+func regionOf(g *topo.Graph, l Located) (string, error) {
+	c := l.Rect.Center()
+	best := ""
+	bestArea := math.Inf(1)
+	for _, r := range g.Regions() {
+		if r.Rect.ContainsPoint(c) && r.Rect.Area() < bestArea {
+			best, bestArea = r.ID, r.Rect.Area()
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("%w: point %v", ErrNotLocated, c)
+	}
+	return best, nil
+}
+
+func clamp01(v float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v > 1:
+		return 1
+	default:
+		return v
+	}
+}

@@ -1,0 +1,213 @@
+package relations
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"middlewhere/internal/building"
+	"middlewhere/internal/fusion"
+	"middlewhere/internal/geom"
+	"middlewhere/internal/glob"
+	"middlewhere/internal/spatialdb"
+	"middlewhere/internal/topo"
+)
+
+var universe = geom.R(0, 0, 100, 100)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+func TestContainmentDelegatesToFusion(t *testing.T) {
+	readings := []fusion.Reading{
+		{ID: "s", Rect: geom.R(10, 10, 20, 20), P: 0.9, Q: 0.01},
+	}
+	region := geom.R(5, 5, 25, 25)
+	want := fusion.ProbRegion(universe, readings, region)
+	if got := Containment(universe, readings, region); !almostEq(got, want) {
+		t.Errorf("Containment = %v, want %v", got, want)
+	}
+}
+
+func TestUsageRegion(t *testing.T) {
+	obj := spatialdb.Object{
+		GLOB:       glob.MustParse("CS/F/display"),
+		Bounds:     geom.R(10, 10, 16, 10),
+		Properties: map[string]string{"usage-radius": "6"},
+	}
+	ur, err := UsageRegion(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ur.Eq(geom.R(4, 4, 22, 16)) {
+		t.Errorf("usage region = %v", ur)
+	}
+	// No property.
+	if _, err := UsageRegion(spatialdb.Object{GLOB: glob.MustParse("CS/F/x")}); !errors.Is(err, ErrNoUsageRegion) {
+		t.Errorf("missing property err = %v", err)
+	}
+	// Bad property value.
+	obj.Properties["usage-radius"] = "wide"
+	if _, err := UsageRegion(obj); !errors.Is(err, ErrNoUsageRegion) {
+		t.Errorf("bad value err = %v", err)
+	}
+	obj.Properties["usage-radius"] = "-2"
+	if _, err := UsageRegion(obj); !errors.Is(err, ErrNoUsageRegion) {
+		t.Errorf("negative value err = %v", err)
+	}
+}
+
+func TestInUsage(t *testing.T) {
+	obj := spatialdb.Object{
+		GLOB:       glob.MustParse("CS/F/display"),
+		Bounds:     geom.R(40, 40, 46, 40),
+		Properties: map[string]string{"usage-radius": "6"},
+	}
+	// q scales with the sensed area over the universe, as the paper's
+	// z = z0·area(A)/area(U) calibration prescribes; a fixed large q
+	// would drown a small reading in false-positive mass.
+	near := []fusion.Reading{{ID: "s", Rect: geom.R(42, 38, 44, 42), P: 0.95, Q: 0.05 * 8 / 10000}}
+	far := []fusion.Reading{{ID: "s", Rect: geom.R(80, 80, 82, 82), P: 0.95, Q: 0.05 * 4 / 10000}}
+	pNear, err := InUsage(universe, near, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pFar, err := InUsage(universe, far, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pNear <= pFar {
+		t.Errorf("near usage %v should beat far usage %v", pNear, pFar)
+	}
+	if pNear < 0.5 {
+		t.Errorf("near usage probability too small: %v", pNear)
+	}
+	if _, err := InUsage(universe, near, spatialdb.Object{GLOB: glob.MustParse("CS/F/y")}); err == nil {
+		t.Error("object without usage region should error")
+	}
+}
+
+func TestDistToRegion(t *testing.T) {
+	a := Located{Rect: geom.R(0, 0, 10, 10), Prob: 0.9}
+	if d := DistToRegion(a, geom.R(13, 0, 20, 10)); !almostEq(d, 3) {
+		t.Errorf("dist = %v", d)
+	}
+	if d := DistToRegion(a, geom.R(5, 5, 20, 10)); d != 0 {
+		t.Errorf("overlapping dist = %v", d)
+	}
+}
+
+func TestProximity(t *testing.T) {
+	a := Located{Rect: geom.R(0, 0, 2, 2), Prob: 0.9}
+	b := Located{Rect: geom.R(3, 0, 5, 2), Prob: 0.8}
+	// Farthest corners: (0,0)-(5,2) = sqrt(29) ~ 5.39.
+	// Certain proximity: threshold above the max distance.
+	if got := Proximity(a, b, 6); !almostEq(got, 0.72) {
+		t.Errorf("certain proximity = %v, want 0.9*0.8", got)
+	}
+	// Impossible: threshold below the min distance (1).
+	if got := Proximity(a, b, 0.5); got != 0 {
+		t.Errorf("impossible proximity = %v", got)
+	}
+	// Partial: threshold between min and max scales the joint
+	// probability.
+	partial := Proximity(a, b, 3)
+	if partial <= 0 || partial >= 0.72 {
+		t.Errorf("partial proximity = %v, want within (0, 0.72)", partial)
+	}
+	// Monotone in threshold.
+	if Proximity(a, b, 4) <= partial {
+		t.Error("proximity should grow with threshold")
+	}
+	// Negative threshold.
+	if Proximity(a, b, -1) != 0 {
+		t.Error("negative threshold should be 0")
+	}
+	// Symmetry.
+	if !almostEq(Proximity(a, b, 3), Proximity(b, a, 3)) {
+		t.Error("proximity not symmetric")
+	}
+}
+
+func TestCoLocated(t *testing.T) {
+	a := Located{Prob: 0.9, Symbolic: glob.MustParse("CS/Floor3/NetLab")}
+	b := Located{Prob: 0.8, Symbolic: glob.MustParse("CS/Floor3/NetLab")}
+	c := Located{Prob: 0.9, Symbolic: glob.MustParse("CS/Floor3/HCILab")}
+	ok, p := CoLocated(a, b, glob.GranRoom)
+	if !ok || !almostEq(p, 0.72) {
+		t.Errorf("same room = %v %v", ok, p)
+	}
+	ok, _ = CoLocated(a, c, glob.GranRoom)
+	if ok {
+		t.Error("different rooms should not be room-co-located")
+	}
+	// Different rooms, same floor.
+	ok, p = CoLocated(a, c, glob.GranFloor)
+	if !ok || !almostEq(p, 0.81) {
+		t.Errorf("same floor = %v %v", ok, p)
+	}
+	// Estimate too coarse for the requested granularity.
+	coarse := Located{Prob: 0.9, Symbolic: glob.MustParse("CS")}
+	ok, _ = CoLocated(coarse, a, glob.GranRoom)
+	if ok {
+		t.Error("building-level estimate cannot witness room co-location")
+	}
+	// Missing symbolic locations.
+	ok, _ = CoLocated(Located{Prob: 1}, a, glob.GranRoom)
+	if ok {
+		t.Error("unlocated object cannot be co-located")
+	}
+}
+
+func TestEuclideanDist(t *testing.T) {
+	a := Located{Rect: geom.R(0, 0, 10, 10)}
+	b := Located{Rect: geom.R(30, 0, 40, 10)}
+	if d := EuclideanDist(a, b); !almostEq(d, 30) {
+		t.Errorf("dist = %v", d)
+	}
+}
+
+func TestPathDist(t *testing.T) {
+	b := building.PaperFloor()
+	g, err := b.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inNetLab := Located{Rect: geom.R(368, 13, 372, 17), Prob: 0.9}
+	inHCILab := Located{Rect: geom.R(393, 13, 397, 17), Prob: 0.9}
+	d, err := PathDist(g, inNetLab, inHCILab, topo.FreeOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	straight := EuclideanDist(inNetLab, inHCILab)
+	if d <= straight {
+		t.Errorf("path distance %v should exceed straight line %v (walls!)", d, straight)
+	}
+	// Same region: falls back to Euclidean.
+	other := Located{Rect: geom.R(362, 20, 366, 24), Prob: 0.9}
+	d, err = PathDist(g, inNetLab, other, topo.FreeOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(d, EuclideanDist(inNetLab, other)) {
+		t.Errorf("same-room path = %v", d)
+	}
+	// Outside every region.
+	lost := Located{Rect: geom.R(480, 90, 482, 92), Prob: 0.5}
+	if _, err := PathDist(g, inNetLab, lost, topo.FreeOnly); !errors.Is(err, ErrNotLocated) {
+		t.Errorf("lost object err = %v", err)
+	}
+}
+
+func TestRegionOfPrefersSmallest(t *testing.T) {
+	// A point inside a room is also inside the floor region; the room
+	// must win. The paper floor's graph only holds rooms/corridors,
+	// so craft a graph with nesting.
+	g := topo.NewGraph()
+	g.AddRegion("floor", geom.R(0, 0, 100, 100))
+	g.AddRegion("room", geom.R(10, 10, 20, 20))
+	l := Located{Rect: geom.R(14, 14, 16, 16)}
+	got, err := regionOf(g, l)
+	if err != nil || got != "room" {
+		t.Errorf("regionOf = %q, %v", got, err)
+	}
+}

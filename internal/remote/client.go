@@ -1,0 +1,165 @@
+package remote
+
+import (
+	"encoding/json"
+	"sync"
+
+	"middlewhere/internal/model"
+	"middlewhere/internal/mwrpc"
+)
+
+// LocationClient is the application-side handle to a remote Location
+// Service. It satisfies adapter.Sink and adapter.Registrar, so
+// adapters can run on machines other than the service (as the paper's
+// CORBA adapters do).
+type LocationClient struct {
+	rpc *mwrpc.Client
+
+	mu       sync.Mutex
+	handlers map[string]func(NotificationDTO)
+}
+
+// DialLocation connects to a remote Location Service.
+func DialLocation(addr string) (*LocationClient, error) {
+	c, err := mwrpc.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	lc := &LocationClient{rpc: c, handlers: make(map[string]func(NotificationDTO))}
+	c.OnPush(NotifyStream, lc.onNotify)
+	return lc, nil
+}
+
+// Close drops the connection (server-side subscriptions owned by this
+// connection are cleaned up by the server).
+func (c *LocationClient) Close() { c.rpc.Close() }
+
+func (c *LocationClient) onNotify(payload json.RawMessage) {
+	var n NotificationDTO
+	if err := json.Unmarshal(payload, &n); err != nil {
+		return
+	}
+	c.mu.Lock()
+	fn := c.handlers[n.SubscriptionID]
+	c.mu.Unlock()
+	if fn != nil {
+		fn(n)
+	}
+}
+
+// Ingest forwards a sensor reading (adapter.Sink).
+func (c *LocationClient) Ingest(r model.Reading) error {
+	return c.rpc.Call("mw.ingest", toReadingDTO(r), nil)
+}
+
+// RegisterSensor registers a sensor calibration (adapter.Registrar).
+func (c *LocationClient) RegisterSensor(sensorID string, spec model.SensorSpec) error {
+	return c.rpc.Call("mw.registerSensor", registerSensorArgs{
+		SensorID: sensorID,
+		Spec:     toSpecDTO(spec),
+	}, nil)
+}
+
+// Locate asks where an object is.
+func (c *LocationClient) Locate(object string) (LocationDTO, error) {
+	var out LocationDTO
+	err := c.rpc.Call("mw.locate", objectArgs{Object: object}, &out)
+	return out, err
+}
+
+// ProbInRegion asks for the probability that an object is in a region
+// (GLOB string).
+func (c *LocationClient) ProbInRegion(object, region string) (prob float64, band string, err error) {
+	var out probReply
+	err = c.rpc.Call("mw.probInRegion", regionQueryArgs{Object: object, Region: region}, &out)
+	return out.Prob, out.Band, err
+}
+
+// ObjectsInRegion asks who is in a region with at least minProb.
+func (c *LocationClient) ObjectsInRegion(region string, minProb float64) (map[string]float64, error) {
+	var out map[string]float64
+	err := c.rpc.Call("mw.objectsInRegion", regionQueryArgs{Region: region, MinProb: minProb}, &out)
+	return out, err
+}
+
+// Subscribe registers a notification condition; handler runs on the
+// client's push-reader goroutine. It returns the subscription ID.
+func (c *LocationClient) Subscribe(args SubscribeArgs, handler func(NotificationDTO)) (string, error) {
+	var out subscribeReply
+	if err := c.rpc.Call("mw.subscribe", args, &out); err != nil {
+		return "", err
+	}
+	c.mu.Lock()
+	c.handlers[out.SubscriptionID] = handler
+	c.mu.Unlock()
+	return out.SubscriptionID, nil
+}
+
+// Unsubscribe removes a subscription.
+func (c *LocationClient) Unsubscribe(id string) error {
+	c.mu.Lock()
+	delete(c.handlers, id)
+	c.mu.Unlock()
+	return c.rpc.Call("mw.unsubscribe", unsubscribeArgs{SubscriptionID: id}, nil)
+}
+
+// Relate returns the RCC-8 relation and passage between two regions.
+func (c *LocationClient) Relate(a, b string) (relation, passage string, err error) {
+	var out relateReply
+	err = c.rpc.Call("mw.relate", relateArgs{A: a, B: b}, &out)
+	return out.Relation, out.Passage, err
+}
+
+// Route returns the shortest route between two regions; policy is
+// "free" or "restricted".
+func (c *LocationClient) Route(from, to, policy string) (RouteReply, error) {
+	var out RouteReply
+	err := c.rpc.Call("mw.route", routeArgs{From: from, To: to, Policy: policy}, &out)
+	return out, err
+}
+
+// Proximity returns the probability two objects are within threshold.
+func (c *LocationClient) Proximity(a, b string, threshold float64) (float64, error) {
+	var out probReply
+	err := c.rpc.Call("mw.proximity", proximityArgs{A: a, B: b, Threshold: threshold}, &out)
+	return out.Prob, err
+}
+
+// CoLocated reports whether two objects share a region at granularity
+// "building", "floor", or "room".
+func (c *LocationClient) CoLocated(a, b, granularity string) (bool, float64, error) {
+	var out coLocatedReply
+	err := c.rpc.Call("mw.coLocated", coLocatedArgs{A: a, B: b, Granularity: granularity}, &out)
+	return out.CoLocated, out.Prob, err
+}
+
+// Query runs an mwql statement ("SELECT objects WHERE ...") against
+// the service's spatial database.
+func (c *LocationClient) Query(query string) ([]ObjectDTO, error) {
+	var out []ObjectDTO
+	err := c.rpc.Call("mw.query", queryArgs{Query: query}, &out)
+	return out, err
+}
+
+// Distribution fetches an object's full spatial posterior.
+func (c *LocationClient) Distribution(object string) ([]RegionProbDTO, error) {
+	var out []RegionProbDTO
+	err := c.rpc.Call("mw.distribution", distributionArgs{Object: object}, &out)
+	return out, err
+}
+
+// History fetches an object's recorded location trail (requires the
+// service to run with history enabled).
+func (c *LocationClient) History(object string) ([]LocationDTO, error) {
+	var out []LocationDTO
+	err := c.rpc.Call("mw.history", objectArgs{Object: object}, &out)
+	return out, err
+}
+
+// DefineRegion creates an application-defined symbolic region on the
+// service; points are polygon vertices in the GLOB prefix's frame.
+func (c *LocationClient) DefineRegion(globStr string, points [][2]float64, properties map[string]string) error {
+	return c.rpc.Call("mw.defineRegion", defineRegionArgs{
+		GLOB: globStr, Points: points, Properties: properties,
+	}, nil)
+}

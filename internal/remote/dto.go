@@ -1,0 +1,247 @@
+// Package remote exposes the Location Service over the mwrpc
+// substrate: the server side publishes the §4 API (ingest, queries,
+// subscriptions, spatial relations) as RPC methods, and LocationClient
+// gives applications and adapters the same interface remotely —
+// mirroring how the paper's applications talk to MiddleWhere through
+// CORBA. Trigger notifications arrive as server pushes (§4.3's push
+// mode).
+package remote
+
+import (
+	"fmt"
+	"time"
+
+	"middlewhere/internal/core"
+	"middlewhere/internal/fusion"
+	"middlewhere/internal/glob"
+	"middlewhere/internal/model"
+)
+
+// ReadingDTO is the wire form of a sensor reading.
+type ReadingDTO struct {
+	SensorID        string  `json:"sensorId"`
+	SensorType      string  `json:"sensorType,omitempty"`
+	MObjectID       string  `json:"mobjectId"`
+	Location        string  `json:"location"`
+	DetectionRadius float64 `json:"detectionRadius,omitempty"`
+	// Time is RFC 3339 with nanoseconds.
+	Time string `json:"time"`
+}
+
+// toDTO converts a reading for the wire.
+func toReadingDTO(r model.Reading) ReadingDTO {
+	return ReadingDTO{
+		SensorID:        r.SensorID,
+		SensorType:      r.SensorType,
+		MObjectID:       r.MObjectID,
+		Location:        r.Location.String(),
+		DetectionRadius: r.DetectionRadius,
+		Time:            r.Time.Format(time.RFC3339Nano),
+	}
+}
+
+// toReading converts a wire reading back to the model form.
+func (d ReadingDTO) toReading() (model.Reading, error) {
+	loc, err := glob.Parse(d.Location)
+	if err != nil {
+		return model.Reading{}, fmt.Errorf("remote: reading location: %w", err)
+	}
+	at, err := time.Parse(time.RFC3339Nano, d.Time)
+	if err != nil {
+		return model.Reading{}, fmt.Errorf("remote: reading time: %w", err)
+	}
+	return model.Reading{
+		SensorID:        d.SensorID,
+		SensorType:      d.SensorType,
+		MObjectID:       d.MObjectID,
+		Location:        loc,
+		DetectionRadius: d.DetectionRadius,
+		Time:            at,
+	}, nil
+}
+
+// TDFDTO encodes a temporal degradation function.
+type TDFDTO struct {
+	// Kind is "constant", "linear", "exp", or "step".
+	Kind string `json:"kind"`
+	// SpanSeconds parameterizes linear (span) and exp (half-life).
+	SpanSeconds float64 `json:"spanSeconds,omitempty"`
+	// Steps parameterizes step tdfs.
+	Steps []StepDTO `json:"steps,omitempty"`
+}
+
+// StepDTO is one discrete degradation step.
+type StepDTO struct {
+	AgeSeconds float64 `json:"ageSeconds"`
+	Factor     float64 `json:"factor"`
+}
+
+func toTDFDTO(f model.TDF) TDFDTO {
+	switch v := f.(type) {
+	case model.LinearTDF:
+		return TDFDTO{Kind: "linear", SpanSeconds: v.Span.Seconds()}
+	case model.ExponentialTDF:
+		return TDFDTO{Kind: "exp", SpanSeconds: v.HalfLife.Seconds()}
+	case model.StepTDF:
+		out := TDFDTO{Kind: "step"}
+		for _, s := range v.Steps {
+			out.Steps = append(out.Steps, StepDTO{AgeSeconds: s.Age.Seconds(), Factor: s.Factor})
+		}
+		return out
+	default:
+		return TDFDTO{Kind: "constant"}
+	}
+}
+
+func (d TDFDTO) toTDF() model.TDF {
+	switch d.Kind {
+	case "linear":
+		return model.LinearTDF{Span: secs(d.SpanSeconds)}
+	case "exp":
+		return model.ExponentialTDF{HalfLife: secs(d.SpanSeconds)}
+	case "step":
+		f := model.StepTDF{}
+		for _, s := range d.Steps {
+			f.Steps = append(f.Steps, model.Step{Age: secs(s.AgeSeconds), Factor: s.Factor})
+		}
+		return f
+	default:
+		return model.ConstantTDF{}
+	}
+}
+
+func secs(v float64) time.Duration { return time.Duration(v * float64(time.Second)) }
+
+// SensorSpecDTO is the wire form of a sensor calibration.
+type SensorSpecDTO struct {
+	Type           string  `json:"type"`
+	X              float64 `json:"x"`
+	Y              float64 `json:"y"`
+	Z              float64 `json:"z"`
+	ResolutionKind string  `json:"resolutionKind"` // "distance" or "symbolic"
+	Radius         float64 `json:"radius,omitempty"`
+	Region         string  `json:"region,omitempty"`
+	TTLSeconds     float64 `json:"ttlSeconds"`
+	TDF            TDFDTO  `json:"tdf"`
+}
+
+func toSpecDTO(s model.SensorSpec) SensorSpecDTO {
+	out := SensorSpecDTO{
+		Type:       s.Type,
+		X:          s.Errors.X,
+		Y:          s.Errors.Y,
+		Z:          s.Errors.Z,
+		TTLSeconds: s.TTL.Seconds(),
+		TDF:        toTDFDTO(s.TDFOrDefault()),
+	}
+	switch s.Resolution.Kind {
+	case model.ResolutionSymbolic:
+		out.ResolutionKind = "symbolic"
+		out.Region = s.Resolution.Region.String()
+	default:
+		out.ResolutionKind = "distance"
+		out.Radius = s.Resolution.Radius
+	}
+	return out
+}
+
+func (d SensorSpecDTO) toSpec() (model.SensorSpec, error) {
+	spec := model.SensorSpec{
+		Type:    d.Type,
+		Errors:  model.ErrorModel{X: d.X, Y: d.Y, Z: d.Z},
+		TTL:     secs(d.TTLSeconds),
+		Degrade: d.TDF.toTDF(),
+	}
+	switch d.ResolutionKind {
+	case "symbolic":
+		region, err := glob.Parse(d.Region)
+		if err != nil {
+			return model.SensorSpec{}, fmt.Errorf("remote: spec region: %w", err)
+		}
+		spec.Resolution = model.SymbolicResolution(region)
+	default:
+		spec.Resolution = model.DistanceResolution(d.Radius)
+	}
+	if err := spec.Validate(); err != nil {
+		return model.SensorSpec{}, err
+	}
+	return spec, nil
+}
+
+// RectDTO is an axis-aligned rectangle on the wire.
+type RectDTO struct {
+	MinX float64 `json:"minX"`
+	MinY float64 `json:"minY"`
+	MaxX float64 `json:"maxX"`
+	MaxY float64 `json:"maxY"`
+}
+
+// LocationDTO is the wire form of a Location answer.
+type LocationDTO struct {
+	Object     string   `json:"object"`
+	Rect       RectDTO  `json:"rect"`
+	Prob       float64  `json:"prob"`
+	Band       string   `json:"band"`
+	Symbolic   string   `json:"symbolic"`
+	Coordinate string   `json:"coordinate,omitempty"`
+	Support    []string `json:"support,omitempty"`
+	Discarded  []string `json:"discarded,omitempty"`
+	Time       string   `json:"time"`
+}
+
+func toLocationDTO(l core.Location) LocationDTO {
+	return LocationDTO{
+		Object: l.Object,
+		Rect: RectDTO{
+			MinX: l.Rect.Min.X, MinY: l.Rect.Min.Y,
+			MaxX: l.Rect.Max.X, MaxY: l.Rect.Max.Y,
+		},
+		Prob:       l.Prob,
+		Band:       l.Band.String(),
+		Symbolic:   l.Symbolic.String(),
+		Coordinate: l.Coordinate.String(),
+		Support:    l.Support,
+		Discarded:  l.Discarded,
+		Time:       l.At.Format(time.RFC3339Nano),
+	}
+}
+
+// NotificationDTO is the wire form of a trigger notification.
+type NotificationDTO struct {
+	SubscriptionID string  `json:"subscriptionId"`
+	Object         string  `json:"object"`
+	Region         RectDTO `json:"region"`
+	Prob           float64 `json:"prob"`
+	Band           string  `json:"band"`
+	Time           string  `json:"time"`
+}
+
+func toNotificationDTO(n core.Notification) NotificationDTO {
+	return NotificationDTO{
+		SubscriptionID: n.SubscriptionID,
+		Object:         n.Object,
+		Region: RectDTO{
+			MinX: n.Region.Min.X, MinY: n.Region.Min.Y,
+			MaxX: n.Region.Max.X, MaxY: n.Region.Max.Y,
+		},
+		Prob: n.Prob,
+		Band: n.Band.String(),
+		Time: n.At.Format(time.RFC3339Nano),
+	}
+}
+
+// bandFromString parses a band name; unknown strings map to zero.
+func bandFromString(s string) fusion.Band {
+	switch s {
+	case "low":
+		return fusion.BandLow
+	case "medium":
+		return fusion.BandMedium
+	case "high":
+		return fusion.BandHigh
+	case "very-high":
+		return fusion.BandVeryHigh
+	default:
+		return 0
+	}
+}

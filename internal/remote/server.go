@@ -1,0 +1,461 @@
+package remote
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"middlewhere/internal/core"
+	"middlewhere/internal/geom"
+	"middlewhere/internal/glob"
+	"middlewhere/internal/mwql"
+	"middlewhere/internal/mwrpc"
+	"middlewhere/internal/topo"
+)
+
+// NotifyStream is the push stream carrying trigger notifications.
+const NotifyStream = "mw.notify"
+
+// Server publishes a Location Service over mwrpc.
+type Server struct {
+	svc *core.Service
+	rpc *mwrpc.Server
+
+	mu sync.Mutex
+	// subs maps subscription ID -> owning connection, for cleanup when
+	// a client drops.
+	subs map[string]*mwrpc.ServerConn
+}
+
+// NewServer wraps a Location Service. Call Listen to serve.
+func NewServer(svc *core.Service) *Server {
+	s := &Server{
+		svc:  svc,
+		rpc:  mwrpc.NewServer(),
+		subs: make(map[string]*mwrpc.ServerConn),
+	}
+	s.rpc.Register("mw.ingest", s.handleIngest)
+	s.rpc.Register("mw.registerSensor", s.handleRegisterSensor)
+	s.rpc.Register("mw.locate", s.handleLocate)
+	s.rpc.Register("mw.probInRegion", s.handleProbInRegion)
+	s.rpc.Register("mw.objectsInRegion", s.handleObjectsInRegion)
+	s.rpc.Register("mw.subscribe", s.handleSubscribe)
+	s.rpc.Register("mw.unsubscribe", s.handleUnsubscribe)
+	s.rpc.Register("mw.relate", s.handleRelate)
+	s.rpc.Register("mw.route", s.handleRoute)
+	s.rpc.Register("mw.proximity", s.handleProximity)
+	s.rpc.Register("mw.coLocated", s.handleCoLocated)
+	s.rpc.Register("mw.query", s.handleQuery)
+	s.rpc.Register("mw.distribution", s.handleDistribution)
+	s.rpc.Register("mw.history", s.handleHistory)
+	s.rpc.Register("mw.defineRegion", s.handleDefineRegion)
+	return s
+}
+
+// Listen binds to addr and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) { return s.rpc.Listen(addr) }
+
+// Close stops serving (the wrapped Location Service is not closed; its
+// owner closes it).
+func (s *Server) Close() { s.rpc.Close() }
+
+func (s *Server) handleIngest(_ *mwrpc.ServerConn, params json.RawMessage) (interface{}, error) {
+	var d ReadingDTO
+	if err := json.Unmarshal(params, &d); err != nil {
+		return nil, err
+	}
+	r, err := d.toReading()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.svc.Ingest(r); err != nil {
+		return nil, err
+	}
+	return "ok", nil
+}
+
+type registerSensorArgs struct {
+	SensorID string        `json:"sensorId"`
+	Spec     SensorSpecDTO `json:"spec"`
+}
+
+func (s *Server) handleRegisterSensor(_ *mwrpc.ServerConn, params json.RawMessage) (interface{}, error) {
+	var a registerSensorArgs
+	if err := json.Unmarshal(params, &a); err != nil {
+		return nil, err
+	}
+	spec, err := a.Spec.toSpec()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.svc.RegisterSensor(a.SensorID, spec); err != nil {
+		return nil, err
+	}
+	return "ok", nil
+}
+
+type objectArgs struct {
+	Object string `json:"object"`
+}
+
+func (s *Server) handleLocate(_ *mwrpc.ServerConn, params json.RawMessage) (interface{}, error) {
+	var a objectArgs
+	if err := json.Unmarshal(params, &a); err != nil {
+		return nil, err
+	}
+	loc, err := s.svc.LocateObject(a.Object)
+	if err != nil {
+		return nil, err
+	}
+	return toLocationDTO(loc), nil
+}
+
+type regionQueryArgs struct {
+	Object string `json:"object,omitempty"`
+	Region string `json:"region"`
+	// MinProb filters objectsInRegion results.
+	MinProb float64 `json:"minProb,omitempty"`
+}
+
+type probReply struct {
+	Prob float64 `json:"prob"`
+	Band string  `json:"band"`
+}
+
+func (s *Server) handleProbInRegion(_ *mwrpc.ServerConn, params json.RawMessage) (interface{}, error) {
+	var a regionQueryArgs
+	if err := json.Unmarshal(params, &a); err != nil {
+		return nil, err
+	}
+	region, err := glob.Parse(a.Region)
+	if err != nil {
+		return nil, err
+	}
+	p, band, err := s.svc.ProbInRegion(a.Object, region)
+	if err != nil {
+		return nil, err
+	}
+	return probReply{Prob: p, Band: band.String()}, nil
+}
+
+func (s *Server) handleObjectsInRegion(_ *mwrpc.ServerConn, params json.RawMessage) (interface{}, error) {
+	var a regionQueryArgs
+	if err := json.Unmarshal(params, &a); err != nil {
+		return nil, err
+	}
+	region, err := glob.Parse(a.Region)
+	if err != nil {
+		return nil, err
+	}
+	return s.svc.ObjectsInRegion(region, a.MinProb)
+}
+
+// SubscribeArgs configures a remote subscription (§4.3).
+type SubscribeArgs struct {
+	Object       string  `json:"object,omitempty"`
+	Region       string  `json:"region"`
+	MinProb      float64 `json:"minProb,omitempty"`
+	MinBand      string  `json:"minBand,omitempty"`
+	EveryReading bool    `json:"everyReading,omitempty"`
+}
+
+type subscribeReply struct {
+	SubscriptionID string `json:"subscriptionId"`
+}
+
+func (s *Server) handleSubscribe(conn *mwrpc.ServerConn, params json.RawMessage) (interface{}, error) {
+	var a SubscribeArgs
+	if err := json.Unmarshal(params, &a); err != nil {
+		return nil, err
+	}
+	region, err := glob.Parse(a.Region)
+	if err != nil {
+		return nil, err
+	}
+	id, err := s.svc.Subscribe(core.Subscription{
+		Object:       a.Object,
+		Region:       region,
+		MinProb:      a.MinProb,
+		MinBand:      bandFromString(a.MinBand),
+		EveryReading: a.EveryReading,
+		Handler: func(n core.Notification) {
+			// Best effort: a dead connection is cleaned up by OnClose.
+			_ = conn.Push(NotifyStream, toNotificationDTO(n))
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.subs[id] = conn
+	s.mu.Unlock()
+	conn.OnClose(func() {
+		s.mu.Lock()
+		_, mine := s.subs[id]
+		delete(s.subs, id)
+		s.mu.Unlock()
+		if mine {
+			_ = s.svc.Unsubscribe(id)
+		}
+	})
+	return subscribeReply{SubscriptionID: id}, nil
+}
+
+type unsubscribeArgs struct {
+	SubscriptionID string `json:"subscriptionId"`
+}
+
+func (s *Server) handleUnsubscribe(conn *mwrpc.ServerConn, params json.RawMessage) (interface{}, error) {
+	var a unsubscribeArgs
+	if err := json.Unmarshal(params, &a); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	owner, ok := s.subs[a.SubscriptionID]
+	if ok && owner == conn {
+		delete(s.subs, a.SubscriptionID)
+	}
+	s.mu.Unlock()
+	if !ok || owner != conn {
+		return nil, fmt.Errorf("remote: subscription %s not owned by caller", a.SubscriptionID)
+	}
+	if err := s.svc.Unsubscribe(a.SubscriptionID); err != nil {
+		return nil, err
+	}
+	return "ok", nil
+}
+
+type queryArgs struct {
+	// Query is an mwql statement (§5.1's SQL-style queries).
+	Query string `json:"query"`
+}
+
+// ObjectDTO is the wire form of a spatial object row.
+type ObjectDTO struct {
+	GLOB       string            `json:"glob"`
+	Type       string            `json:"type"`
+	Bounds     RectDTO           `json:"bounds"`
+	Properties map[string]string `json:"properties,omitempty"`
+}
+
+func (s *Server) handleQuery(_ *mwrpc.ServerConn, params json.RawMessage) (interface{}, error) {
+	var a queryArgs
+	if err := json.Unmarshal(params, &a); err != nil {
+		return nil, err
+	}
+	objs, err := mwql.Exec(s.svc.DB(), a.Query)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ObjectDTO, 0, len(objs))
+	for _, o := range objs {
+		out = append(out, ObjectDTO{
+			GLOB: o.ID(),
+			Type: o.Type,
+			Bounds: RectDTO{
+				MinX: o.Bounds.Min.X, MinY: o.Bounds.Min.Y,
+				MaxX: o.Bounds.Max.X, MaxY: o.Bounds.Max.Y,
+			},
+			Properties: o.Properties,
+		})
+	}
+	return out, nil
+}
+
+type relateArgs struct {
+	A string `json:"a"`
+	B string `json:"b"`
+}
+
+type relateReply struct {
+	Relation string `json:"relation"`
+	Passage  string `json:"passage"`
+}
+
+func (s *Server) handleRelate(_ *mwrpc.ServerConn, params json.RawMessage) (interface{}, error) {
+	var a relateArgs
+	if err := json.Unmarshal(params, &a); err != nil {
+		return nil, err
+	}
+	ga, err := glob.Parse(a.A)
+	if err != nil {
+		return nil, err
+	}
+	gb, err := glob.Parse(a.B)
+	if err != nil {
+		return nil, err
+	}
+	rel, pass, err := s.svc.RelateRegions(ga, gb)
+	if err != nil {
+		return nil, err
+	}
+	return relateReply{Relation: rel.String(), Passage: pass.String()}, nil
+}
+
+type routeArgs struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Policy is "free" or "restricted".
+	Policy string `json:"policy,omitempty"`
+}
+
+// RouteReply is the wire form of a route.
+type RouteReply struct {
+	Regions []string `json:"regions"`
+	Length  float64  `json:"length"`
+}
+
+func policyFromString(s string) topo.TraversalPolicy {
+	if s == "restricted" {
+		return topo.AllowRestricted
+	}
+	return topo.FreeOnly
+}
+
+func (s *Server) handleRoute(_ *mwrpc.ServerConn, params json.RawMessage) (interface{}, error) {
+	var a routeArgs
+	if err := json.Unmarshal(params, &a); err != nil {
+		return nil, err
+	}
+	from, err := glob.Parse(a.From)
+	if err != nil {
+		return nil, err
+	}
+	to, err := glob.Parse(a.To)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := s.svc.RouteBetween(from, to, policyFromString(a.Policy))
+	if err != nil {
+		return nil, err
+	}
+	return RouteReply{Regions: rt.Regions, Length: rt.Length}, nil
+}
+
+type proximityArgs struct {
+	A         string  `json:"a"`
+	B         string  `json:"b"`
+	Threshold float64 `json:"threshold"`
+}
+
+func (s *Server) handleProximity(_ *mwrpc.ServerConn, params json.RawMessage) (interface{}, error) {
+	var a proximityArgs
+	if err := json.Unmarshal(params, &a); err != nil {
+		return nil, err
+	}
+	p, err := s.svc.Proximity(a.A, a.B, a.Threshold)
+	if err != nil {
+		return nil, err
+	}
+	return probReply{Prob: p}, nil
+}
+
+type coLocatedArgs struct {
+	A string `json:"a"`
+	B string `json:"b"`
+	// Granularity is "building", "floor", or "room".
+	Granularity string `json:"granularity"`
+}
+
+type coLocatedReply struct {
+	CoLocated bool    `json:"coLocated"`
+	Prob      float64 `json:"prob"`
+}
+
+func granFromString(s string) glob.Granularity {
+	switch s {
+	case "building":
+		return glob.GranBuilding
+	case "floor":
+		return glob.GranFloor
+	default:
+		return glob.GranRoom
+	}
+}
+
+func (s *Server) handleCoLocated(_ *mwrpc.ServerConn, params json.RawMessage) (interface{}, error) {
+	var a coLocatedArgs
+	if err := json.Unmarshal(params, &a); err != nil {
+		return nil, err
+	}
+	ok, p, err := s.svc.CoLocated(a.A, a.B, granFromString(a.Granularity))
+	if err != nil {
+		return nil, err
+	}
+	return coLocatedReply{CoLocated: ok, Prob: p}, nil
+}
+
+// distributionArgs asks for an object's spatial posterior.
+type distributionArgs struct {
+	Object string `json:"object"`
+}
+
+// RegionProbDTO is one posterior cell on the wire.
+type RegionProbDTO struct {
+	Rect     RectDTO `json:"rect"`
+	Symbolic string  `json:"symbolic,omitempty"`
+	Prob     float64 `json:"prob"`
+}
+
+func (s *Server) handleDistribution(_ *mwrpc.ServerConn, params json.RawMessage) (interface{}, error) {
+	var a distributionArgs
+	if err := json.Unmarshal(params, &a); err != nil {
+		return nil, err
+	}
+	cells, err := s.svc.Distribution(a.Object)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RegionProbDTO, 0, len(cells))
+	for _, c := range cells {
+		out = append(out, RegionProbDTO{
+			Rect: RectDTO{
+				MinX: c.Rect.Min.X, MinY: c.Rect.Min.Y,
+				MaxX: c.Rect.Max.X, MaxY: c.Rect.Max.Y,
+			},
+			Symbolic: c.Symbolic.String(),
+			Prob:     c.Prob,
+		})
+	}
+	return out, nil
+}
+
+func (s *Server) handleHistory(_ *mwrpc.ServerConn, params json.RawMessage) (interface{}, error) {
+	var a objectArgs
+	if err := json.Unmarshal(params, &a); err != nil {
+		return nil, err
+	}
+	trail := s.svc.History(a.Object)
+	out := make([]LocationDTO, 0, len(trail))
+	for _, loc := range trail {
+		out = append(out, toLocationDTO(loc))
+	}
+	return out, nil
+}
+
+// defineRegionArgs creates an application-defined region remotely.
+type defineRegionArgs struct {
+	GLOB string `json:"glob"`
+	// Points are polygon vertices in the GLOB prefix's frame.
+	Points     [][2]float64      `json:"points"`
+	Properties map[string]string `json:"properties,omitempty"`
+}
+
+func (s *Server) handleDefineRegion(_ *mwrpc.ServerConn, params json.RawMessage) (interface{}, error) {
+	var a defineRegionArgs
+	if err := json.Unmarshal(params, &a); err != nil {
+		return nil, err
+	}
+	g, err := glob.Parse(a.GLOB)
+	if err != nil {
+		return nil, err
+	}
+	poly := make(geom.Polygon, 0, len(a.Points))
+	for _, p := range a.Points {
+		poly = append(poly, geom.Pt(p[0], p[1]))
+	}
+	if err := s.svc.DefineRegion(g, poly, a.Properties); err != nil {
+		return nil, err
+	}
+	return "ok", nil
+}

@@ -1,0 +1,110 @@
+// Package render draws ASCII floor plans: the object table's rooms and
+// corridors as outlines, with single-character markers for tracked
+// objects. cmd/simulate uses it for live terminal visualization; it is
+// debug tooling, not part of the middleware surface.
+package render
+
+import (
+	"sort"
+	"strings"
+
+	"middlewhere/internal/geom"
+	"middlewhere/internal/spatialdb"
+)
+
+// Marker places a labelled point on the map.
+type Marker struct {
+	// Label is the single character drawn (e.g. '0'..'9', 'A'..).
+	Label rune
+	// Pos is the position in universe coordinates.
+	Pos geom.Point
+}
+
+// Floor renders the database's rooms/corridors into a width-column
+// ASCII map. Height follows from the universe aspect ratio, halved to
+// compensate for terminal character cells being roughly twice as tall
+// as wide. Walls are '#', interiors ' ', markers overwrite walls.
+func Floor(db *spatialdb.DB, markers []Marker, width int) string {
+	u := db.Universe()
+	if width < 8 {
+		width = 8
+	}
+	if u.Width() <= 0 || u.Height() <= 0 {
+		return ""
+	}
+	height := int(float64(width) * u.Height() / u.Width() / 2)
+	if height < 4 {
+		height = 4
+	}
+
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = make([]rune, width)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+
+	// toCell maps universe coords to grid cells (row 0 at the top).
+	toCell := func(p geom.Point) (row, col int) {
+		col = int((p.X - u.Min.X) / u.Width() * float64(width))
+		row = int((u.Max.Y - p.Y) / u.Height() * float64(height))
+		if col >= width {
+			col = width - 1
+		}
+		if col < 0 {
+			col = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		if row < 0 {
+			row = 0
+		}
+		return row, col
+	}
+
+	// Draw region outlines, larger regions first so room walls win.
+	regions := db.IntersectingObjects(u, spatialdb.ObjectFilter{})
+	sort.Slice(regions, func(i, j int) bool {
+		return regions[i].Bounds.Area() > regions[j].Bounds.Area()
+	})
+	for _, o := range regions {
+		switch o.Type {
+		case "Room", "Corridor", "Region":
+		default:
+			continue
+		}
+		r := o.Bounds
+		r0, c0 := toCell(geom.Pt(r.Min.X, r.Max.Y)) // top-left
+		r1, c1 := toCell(geom.Pt(r.Max.X, r.Min.Y)) // bottom-right
+		for c := c0; c <= c1; c++ {
+			grid[r0][c] = '#'
+			grid[r1][c] = '#'
+		}
+		for rr := r0; rr <= r1; rr++ {
+			grid[rr][c0] = '#'
+			grid[rr][c1] = '#'
+		}
+		// Label the region with the first letter of its name inside the
+		// top-left corner, if there is room.
+		name := o.GLOB.Name()
+		if r1 > r0+1 && c1 > c0+len(name) {
+			for i, ch := range name {
+				grid[r0+1][c0+1+i] = ch
+			}
+		}
+	}
+
+	for _, m := range markers {
+		r, c := toCell(m.Pos)
+		grid[r][c] = m.Label
+	}
+
+	var b strings.Builder
+	for _, row := range grid {
+		b.WriteString(strings.TrimRight(string(row), " "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,63 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"middlewhere/internal/building"
+	"middlewhere/internal/geom"
+)
+
+func TestFloorRendersRoomsAndMarkers(t *testing.T) {
+	db, err := building.PaperFloor().NewDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Floor(db, []Marker{
+		{Label: 'A', Pos: geom.Pt(370, 15)}, // NetLab
+		{Label: 'B', Pos: geom.Pt(100, 37)}, // MainCorridor
+	}, 120)
+	if out == "" {
+		t.Fatal("empty render")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Aspect: 120 cols over a 500x100 universe -> 12 rows.
+	if len(lines) != 12 {
+		t.Errorf("rows = %d", len(lines))
+	}
+	for _, line := range lines {
+		if len(line) > 120 {
+			t.Errorf("line too long: %d", len(line))
+		}
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("no walls drawn")
+	}
+	if !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Error("markers missing")
+	}
+	// Room labels appear where they fit.
+	for _, label := range []string{"3105", "MainCorridor", "HCILab"} {
+		if !strings.Contains(out, label) {
+			t.Errorf("room label %q missing", label)
+		}
+	}
+}
+
+func TestFloorSmallAndDegenerate(t *testing.T) {
+	db, err := building.Synthetic("T", 1, 1, 10, 8, 4).NewDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny width is clamped.
+	out := Floor(db, nil, 1)
+	if out == "" {
+		t.Error("clamped render empty")
+	}
+	// Markers outside the universe are clamped into the grid, not
+	// panicking.
+	out = Floor(db, []Marker{{Label: 'X', Pos: geom.Pt(-100, 999)}}, 40)
+	if !strings.Contains(out, "X") {
+		t.Error("out-of-range marker lost")
+	}
+}

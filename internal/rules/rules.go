@@ -1,0 +1,486 @@
+// Package rules implements a small Datalog engine — the stand-in for
+// the XSB Prolog system the paper uses to reason over region relations
+// (§4.6.1). The Location Service loads the derived spatial facts
+// (ecfp/2, ecrp/2, ecnp/2, contains/2, ...) as the extensional
+// database and evaluates rules such as transitively-reachable,
+// same-floor, or application-defined policies, bottom-up.
+//
+// The engine supports:
+//
+//   - Horn rules with variables and constants
+//   - semi-naive bottom-up evaluation to a fixpoint
+//   - stratified negation (negated body literals)
+//   - the built-in predicates neq/2 and eq/2
+//
+// Programs that are not stratifiable (negation through a recursive
+// cycle) are rejected at Evaluate time.
+package rules
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Term is a constant or a variable. Variables begin with an uppercase
+// letter or '_'; anything else is a constant. Use V and C to construct
+// terms explicitly.
+type Term struct {
+	value string
+	isVar bool
+}
+
+// V makes a variable term.
+func V(name string) Term { return Term{value: name, isVar: true} }
+
+// C makes a constant term.
+func C(value string) Term { return Term{value: value} }
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.isVar }
+
+// Value returns the term's name (variable) or value (constant).
+func (t Term) Value() string { return t.value }
+
+// String implements fmt.Stringer.
+func (t Term) String() string {
+	if t.isVar {
+		return "?" + t.value
+	}
+	return t.value
+}
+
+// Atom is a predicate applied to terms, e.g. ecfp(roomA, roomB).
+type Atom struct {
+	Predicate string
+	Args      []Term
+}
+
+// A builds an atom.
+func A(pred string, args ...Term) Atom {
+	return Atom{Predicate: pred, Args: args}
+}
+
+// Ground reports whether the atom contains no variables.
+func (a Atom) Ground() bool {
+	for _, t := range a.Args {
+		if t.IsVar() {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements fmt.Stringer.
+func (a Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.String()
+	}
+	return a.Predicate + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Literal is an atom or its negation in a rule body.
+type Literal struct {
+	Atom    Atom
+	Negated bool
+}
+
+// Pos builds a positive body literal.
+func Pos(a Atom) Literal { return Literal{Atom: a} }
+
+// Neg builds a negated body literal.
+func Neg(a Atom) Literal { return Literal{Atom: a, Negated: true} }
+
+// Rule is head :- body.
+type Rule struct {
+	Head Atom
+	Body []Literal
+}
+
+// R builds a rule.
+func R(head Atom, body ...Literal) Rule { return Rule{Head: head, Body: body} }
+
+// fact is a ground atom in canonical string form for set membership.
+type fact string
+
+func factOf(pred string, args []string) fact {
+	return fact(pred + "(" + strings.Join(args, ",") + ")")
+}
+
+// Engine holds facts and rules and evaluates queries.
+type Engine struct {
+	rules []Rule
+	// facts: predicate -> list of ground argument tuples.
+	facts map[string][][]string
+	seen  map[fact]bool
+	// evaluated marks the fixpoint as current; mutations clear it.
+	evaluated bool
+}
+
+// Sentinel errors.
+var (
+	ErrNotStratified = errors.New("rules: program is not stratifiable")
+	ErrUnsafeRule    = errors.New("rules: unsafe rule")
+	ErrBadQuery      = errors.New("rules: bad query")
+)
+
+// Builtin predicates evaluated directly rather than looked up.
+const (
+	builtinNeq = "neq"
+	builtinEq  = "eq"
+)
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{
+		facts: make(map[string][][]string),
+		seen:  make(map[fact]bool),
+	}
+}
+
+// AddFact asserts a ground fact. Duplicate facts are ignored.
+func (e *Engine) AddFact(pred string, args ...string) {
+	key := factOf(pred, args)
+	if e.seen[key] {
+		return
+	}
+	e.seen[key] = true
+	e.facts[pred] = append(e.facts[pred], append([]string(nil), args...))
+	e.evaluated = false
+}
+
+// AddRule adds a rule. Rules must be safe: every head variable and
+// every variable in a negated or builtin literal must appear in a
+// positive, non-builtin body literal.
+func (e *Engine) AddRule(r Rule) error {
+	bound := make(map[string]bool)
+	for _, l := range r.Body {
+		if l.Negated || isBuiltin(l.Atom.Predicate) {
+			continue
+		}
+		for _, t := range l.Atom.Args {
+			if t.IsVar() {
+				bound[t.Value()] = true
+			}
+		}
+	}
+	check := func(a Atom, what string) error {
+		for _, t := range a.Args {
+			if t.IsVar() && !bound[t.Value()] {
+				return fmt.Errorf("%w: variable %s in %s not bound by a positive literal", ErrUnsafeRule, t, what)
+			}
+		}
+		return nil
+	}
+	if err := check(r.Head, "head"); err != nil {
+		return err
+	}
+	for _, l := range r.Body {
+		if l.Negated || isBuiltin(l.Atom.Predicate) {
+			if err := check(l.Atom, "literal "+l.Atom.String()); err != nil {
+				return err
+			}
+		}
+	}
+	e.rules = append(e.rules, r)
+	e.evaluated = false
+	return nil
+}
+
+func isBuiltin(pred string) bool { return pred == builtinNeq || pred == builtinEq }
+
+// stratify orders predicates so that negation never crosses a cycle.
+// Returns predicate strata (lower evaluates first).
+func (e *Engine) stratify() (map[string]int, error) {
+	stratum := make(map[string]int)
+	preds := make(map[string]bool)
+	for _, r := range e.rules {
+		preds[r.Head.Predicate] = true
+		for _, l := range r.Body {
+			if !isBuiltin(l.Atom.Predicate) {
+				preds[l.Atom.Predicate] = true
+			}
+		}
+	}
+	for p := range e.facts {
+		preds[p] = true
+	}
+	for p := range preds {
+		stratum[p] = 0
+	}
+	// Bellman-Ford-style relaxation: head stratum >= body stratum, and
+	// strictly greater across negation. If a stratum exceeds the
+	// number of predicates, there is a negative cycle.
+	limit := len(preds) + 1
+	for changed, iters := true, 0; changed; iters++ {
+		changed = false
+		if iters > limit {
+			return nil, ErrNotStratified
+		}
+		for _, r := range e.rules {
+			h := r.Head.Predicate
+			for _, l := range r.Body {
+				if isBuiltin(l.Atom.Predicate) {
+					continue
+				}
+				need := stratum[l.Atom.Predicate]
+				if l.Negated {
+					need++
+				}
+				if stratum[h] < need {
+					stratum[h] = need
+					changed = true
+				}
+			}
+		}
+	}
+	return stratum, nil
+}
+
+// Evaluate computes the fixpoint of all rules over the facts. It is
+// called implicitly by Query; callers only need it to surface
+// stratification errors early.
+func (e *Engine) Evaluate() error {
+	if e.evaluated {
+		return nil
+	}
+	strata, err := e.stratify()
+	if err != nil {
+		return err
+	}
+	maxStratum := 0
+	for _, s := range strata {
+		if s > maxStratum {
+			maxStratum = s
+		}
+	}
+	for s := 0; s <= maxStratum; s++ {
+		var active []Rule
+		for _, r := range e.rules {
+			if strata[r.Head.Predicate] == s {
+				active = append(active, r)
+			}
+		}
+		e.fixpoint(active)
+	}
+	e.evaluated = true
+	return nil
+}
+
+// fixpoint runs semi-naive bottom-up iteration of the given rules
+// until no new fact appears: after the initial full pass, each round
+// only joins against the facts derived in the previous round (the
+// delta), which keeps long derivation chains linear instead of
+// re-deriving the whole closure every iteration.
+func (e *Engine) fixpoint(active []Rule) {
+	delta := e.applyRules(active, nil)
+	for len(delta) > 0 {
+		delta = e.applyRules(active, delta)
+	}
+}
+
+// deltaSet holds the facts derived in the previous semi-naive round,
+// grouped by predicate for direct iteration.
+type deltaSet map[string][][]string
+
+// applyRules derives new head facts. With delta == nil every rule body
+// is evaluated against the full fact store (the naive first pass).
+// Otherwise each rule is evaluated once per positive body literal,
+// requiring that literal to match a delta fact — the semi-naive
+// restriction. It returns the set of newly derived facts.
+func (e *Engine) applyRules(active []Rule, delta deltaSet) deltaSet {
+	newDelta := make(deltaSet)
+	derive := func(r Rule, restrictIdx int) {
+		for _, binding := range e.matchBody(r.Body, map[string]string{}, 0, restrictIdx, delta) {
+			args := make([]string, len(r.Head.Args))
+			for i, t := range r.Head.Args {
+				if t.IsVar() {
+					args[i] = binding[t.Value()]
+				} else {
+					args[i] = t.Value()
+				}
+			}
+			key := factOf(r.Head.Predicate, args)
+			if !e.seen[key] {
+				e.seen[key] = true
+				e.facts[r.Head.Predicate] = append(e.facts[r.Head.Predicate], args)
+				newDelta[r.Head.Predicate] = append(newDelta[r.Head.Predicate], args)
+			}
+		}
+	}
+	for _, r := range active {
+		if delta == nil {
+			derive(r, -1)
+			continue
+		}
+		for idx, l := range r.Body {
+			if l.Negated || isBuiltin(l.Atom.Predicate) {
+				continue
+			}
+			if len(delta[l.Atom.Predicate]) == 0 {
+				continue
+			}
+			derive(r, idx)
+		}
+	}
+	return newDelta
+}
+
+// matchBody enumerates all variable bindings satisfying the body
+// literals from position idx onward. When restrictIdx >= 0, the
+// literal at that position only matches facts present in delta.
+func (e *Engine) matchBody(body []Literal, binding map[string]string, idx, restrictIdx int, delta deltaSet) []map[string]string {
+	if idx == len(body) {
+		out := make(map[string]string, len(binding))
+		for k, v := range binding {
+			out[k] = v
+		}
+		return []map[string]string{out}
+	}
+	l := body[idx]
+	var results []map[string]string
+
+	if isBuiltin(l.Atom.Predicate) {
+		lhs := resolve(l.Atom.Args[0], binding)
+		rhs := resolve(l.Atom.Args[1], binding)
+		ok := lhs == rhs
+		if l.Atom.Predicate == builtinNeq {
+			ok = !ok
+		}
+		if l.Negated {
+			ok = !ok
+		}
+		if ok {
+			results = append(results, e.matchBody(body, binding, idx+1, restrictIdx, delta)...)
+		}
+		return results
+	}
+
+	if l.Negated {
+		// Negation as failure over the (stratified) facts so far.
+		args := make([]string, len(l.Atom.Args))
+		for i, t := range l.Atom.Args {
+			args[i] = resolve(t, binding)
+		}
+		if !e.seen[factOf(l.Atom.Predicate, args)] {
+			results = append(results, e.matchBody(body, binding, idx+1, restrictIdx, delta)...)
+		}
+		return results
+	}
+
+	source := e.facts[l.Atom.Predicate]
+	if idx == restrictIdx {
+		source = delta[l.Atom.Predicate]
+	}
+	for _, tuple := range source {
+		if len(tuple) != len(l.Atom.Args) {
+			continue
+		}
+		next := binding
+		copied := false
+		ok := true
+		for i, t := range l.Atom.Args {
+			if t.IsVar() {
+				if v, bound := next[t.Value()]; bound {
+					if v != tuple[i] {
+						ok = false
+						break
+					}
+				} else {
+					if !copied {
+						tmp := make(map[string]string, len(next)+1)
+						for k, v := range next {
+							tmp[k] = v
+						}
+						next, copied = tmp, true
+					}
+					next[t.Value()] = tuple[i]
+				}
+			} else if t.Value() != tuple[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			results = append(results, e.matchBody(body, next, idx+1, restrictIdx, delta)...)
+		}
+	}
+	return results
+}
+
+func resolve(t Term, binding map[string]string) string {
+	if t.IsVar() {
+		return binding[t.Value()]
+	}
+	return t.Value()
+}
+
+// Query evaluates the program (if needed) and returns every binding of
+// the pattern's variables, sorted deterministically. Ground patterns
+// return a single empty binding when the fact holds and no bindings
+// otherwise.
+func (e *Engine) Query(pattern Atom) ([]map[string]string, error) {
+	if isBuiltin(pattern.Predicate) {
+		return nil, fmt.Errorf("%w: cannot query builtin %s", ErrBadQuery, pattern.Predicate)
+	}
+	if err := e.Evaluate(); err != nil {
+		return nil, err
+	}
+	results := e.matchBody([]Literal{Pos(pattern)}, map[string]string{}, 0, -1, nil)
+	sort.Slice(results, func(i, j int) bool {
+		return bindingKey(results[i]) < bindingKey(results[j])
+	})
+	// Deduplicate (a pattern with repeated variables can match a tuple
+	// several ways that produce identical bindings).
+	out := results[:0]
+	var last string
+	for i, b := range results {
+		k := bindingKey(b)
+		if i == 0 || k != last {
+			out = append(out, b)
+			last = k
+		}
+	}
+	return out, nil
+}
+
+// Holds reports whether a ground atom is derivable.
+func (e *Engine) Holds(pattern Atom) (bool, error) {
+	if !pattern.Ground() {
+		return false, fmt.Errorf("%w: Holds needs a ground atom", ErrBadQuery)
+	}
+	res, err := e.Query(pattern)
+	if err != nil {
+		return false, err
+	}
+	return len(res) > 0, nil
+}
+
+// Facts returns the tuples currently stored for a predicate (after
+// evaluation, the derived ones included). The result is a copy.
+func (e *Engine) Facts(pred string) [][]string {
+	tuples := e.facts[pred]
+	out := make([][]string, len(tuples))
+	for i, t := range tuples {
+		out[i] = append([]string(nil), t...)
+	}
+	return out
+}
+
+func bindingKey(b map[string]string) string {
+	keys := make([]string, 0, len(b))
+	for k := range b {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(b[k])
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}

@@ -1,0 +1,284 @@
+package rules
+
+import (
+	"errors"
+	"testing"
+)
+
+// reachabilityEngine loads the classic edge/path program over the
+// floor graph: path(X,Y) :- ecfp(X,Y). path(X,Z) :- path(X,Y), ecfp(Y,Z).
+func reachabilityEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := NewEngine()
+	e.AddFact("ecfp", "r1", "corridor")
+	e.AddFact("ecfp", "corridor", "r1")
+	e.AddFact("ecfp", "corridor", "r3")
+	e.AddFact("ecfp", "r3", "corridor")
+	e.AddFact("ecrp", "corridor", "r2")
+	if err := e.AddRule(R(A("path", V("X"), V("Y")), Pos(A("ecfp", V("X"), V("Y"))))); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddRule(R(
+		A("path", V("X"), V("Z")),
+		Pos(A("path", V("X"), V("Y"))),
+		Pos(A("ecfp", V("Y"), V("Z"))),
+	)); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	e := reachabilityEngine(t)
+	ok, err := e.Holds(A("path", C("r1"), C("r3")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("r1 should reach r3 through the corridor")
+	}
+	// r2 is behind a restricted door: not free-reachable.
+	ok, err = e.Holds(A("path", C("r1"), C("r2")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("r1 must not free-reach r2")
+	}
+}
+
+func TestQueryBindings(t *testing.T) {
+	e := reachabilityEngine(t)
+	res, err := e.Query(A("path", C("r1"), V("Where")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]bool)
+	for _, b := range res {
+		got[b["Where"]] = true
+	}
+	// r1 reaches corridor, r3, and itself (r1->corridor->r1).
+	for _, want := range []string{"corridor", "r3", "r1"} {
+		if !got[want] {
+			t.Errorf("missing binding Where=%s (got %v)", want, got)
+		}
+	}
+	if len(got) != 3 {
+		t.Errorf("bindings = %v", got)
+	}
+}
+
+func TestQueryGroundPattern(t *testing.T) {
+	e := reachabilityEngine(t)
+	res, err := e.Query(A("ecfp", C("r1"), C("corridor")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || len(res[0]) != 0 {
+		t.Errorf("ground query = %v", res)
+	}
+	res, err = e.Query(A("ecfp", C("r1"), C("r2")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Errorf("false ground query = %v", res)
+	}
+}
+
+func TestNegationStratified(t *testing.T) {
+	// blocked(X,Y): adjacent but with no free passage.
+	e := NewEngine()
+	e.AddFact("adjacent", "a", "b")
+	e.AddFact("adjacent", "a", "c")
+	e.AddFact("ecfp", "a", "b")
+	if err := e.AddRule(R(
+		A("blocked", V("X"), V("Y")),
+		Pos(A("adjacent", V("X"), V("Y"))),
+		Neg(A("ecfp", V("X"), V("Y"))),
+	)); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := e.Holds(A("blocked", C("a"), C("c")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("a-c should be blocked")
+	}
+	ok, err = e.Holds(A("blocked", C("a"), C("b")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("a-b has a free door")
+	}
+}
+
+func TestNonStratifiableRejected(t *testing.T) {
+	// p(X) :- q(X), not p(X) — negation through recursion.
+	e := NewEngine()
+	e.AddFact("q", "a")
+	if err := e.AddRule(R(A("p", V("X")), Pos(A("q", V("X"))), Neg(A("p", V("X"))))); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Evaluate(); !errors.Is(err, ErrNotStratified) {
+		t.Errorf("err = %v, want ErrNotStratified", err)
+	}
+	// Query surfaces the same error.
+	if _, err := e.Query(A("p", V("X"))); !errors.Is(err, ErrNotStratified) {
+		t.Errorf("query err = %v", err)
+	}
+}
+
+func TestUnsafeRulesRejected(t *testing.T) {
+	e := NewEngine()
+	// Head variable not bound.
+	err := e.AddRule(R(A("p", V("X"), V("Y")), Pos(A("q", V("X")))))
+	if !errors.Is(err, ErrUnsafeRule) {
+		t.Errorf("unbound head var: %v", err)
+	}
+	// Negated literal variable not bound.
+	err = e.AddRule(R(A("p", V("X")), Pos(A("q", V("X"))), Neg(A("r", V("Z")))))
+	if !errors.Is(err, ErrUnsafeRule) {
+		t.Errorf("unbound negated var: %v", err)
+	}
+	// Builtin with unbound variable.
+	err = e.AddRule(R(A("p", V("X")), Pos(A("q", V("X"))), Pos(A("neq", V("X"), V("W")))))
+	if !errors.Is(err, ErrUnsafeRule) {
+		t.Errorf("unbound builtin var: %v", err)
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	e := NewEngine()
+	e.AddFact("room", "a")
+	e.AddFact("room", "b")
+	// different(X,Y) :- room(X), room(Y), neq(X,Y).
+	if err := e.AddRule(R(
+		A("different", V("X"), V("Y")),
+		Pos(A("room", V("X"))),
+		Pos(A("room", V("Y"))),
+		Pos(A("neq", V("X"), V("Y"))),
+	)); err != nil {
+		t.Fatal(err)
+	}
+	// same(X,Y) :- room(X), room(Y), eq(X,Y).
+	if err := e.AddRule(R(
+		A("same", V("X"), V("Y")),
+		Pos(A("room", V("X"))),
+		Pos(A("room", V("Y"))),
+		Pos(A("eq", V("X"), V("Y"))),
+	)); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := e.Holds(A("different", C("a"), C("b"))); !ok {
+		t.Error("a,b should differ")
+	}
+	if ok, _ := e.Holds(A("different", C("a"), C("a"))); ok {
+		t.Error("a,a should not differ")
+	}
+	if ok, _ := e.Holds(A("same", C("a"), C("a"))); !ok {
+		t.Error("a,a should be same")
+	}
+	if _, err := e.Query(A("neq", C("a"), C("b"))); !errors.Is(err, ErrBadQuery) {
+		t.Error("querying a builtin should fail")
+	}
+}
+
+func TestHoldsRequiresGround(t *testing.T) {
+	e := NewEngine()
+	e.AddFact("p", "a")
+	if _, err := e.Holds(A("p", V("X"))); !errors.Is(err, ErrBadQuery) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDuplicateFactsIgnored(t *testing.T) {
+	e := NewEngine()
+	e.AddFact("p", "a")
+	e.AddFact("p", "a")
+	if got := e.Facts("p"); len(got) != 1 {
+		t.Errorf("Facts = %v", got)
+	}
+}
+
+func TestFactsReturnsCopy(t *testing.T) {
+	e := NewEngine()
+	e.AddFact("p", "a", "b")
+	fs := e.Facts("p")
+	fs[0][0] = "mutated"
+	if got := e.Facts("p"); got[0][0] != "a" {
+		t.Error("Facts exposed internal storage")
+	}
+}
+
+func TestIncrementalFactsReevaluate(t *testing.T) {
+	e := reachabilityEngine(t)
+	if ok, _ := e.Holds(A("path", C("r1"), C("r9"))); ok {
+		t.Fatal("r9 unknown yet")
+	}
+	// A new wing opens.
+	e.AddFact("ecfp", "r3", "r9")
+	ok, err := e.Holds(A("path", C("r1"), C("r9")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("path should extend to the new room after re-evaluation")
+	}
+}
+
+func TestRepeatedVariablePattern(t *testing.T) {
+	e := NewEngine()
+	e.AddFact("edge", "a", "a")
+	e.AddFact("edge", "a", "b")
+	res, err := e.Query(A("edge", V("X"), V("X")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0]["X"] != "a" {
+		t.Errorf("self-edge query = %v", res)
+	}
+}
+
+func TestTermAndAtomStrings(t *testing.T) {
+	if V("X").String() != "?X" || C("a").String() != "a" {
+		t.Error("term strings")
+	}
+	if got := A("p", V("X"), C("a")).String(); got != "p(?X,a)" {
+		t.Errorf("atom string = %q", got)
+	}
+	if !A("p", C("a")).Ground() || A("p", V("X")).Ground() {
+		t.Error("Ground detection")
+	}
+}
+
+func TestDeepRecursionChain(t *testing.T) {
+	// A 200-node chain exercises the fixpoint loop.
+	e := NewEngine()
+	for i := 0; i < 200; i++ {
+		e.AddFact("next", nodeName(i), nodeName(i+1))
+	}
+	if err := e.AddRule(R(A("reach", V("X"), V("Y")), Pos(A("next", V("X"), V("Y"))))); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddRule(R(
+		A("reach", V("X"), V("Z")),
+		Pos(A("reach", V("X"), V("Y"))),
+		Pos(A("next", V("Y"), V("Z"))),
+	)); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := e.Holds(A("reach", C(nodeName(0)), C(nodeName(200))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("end of chain unreachable")
+	}
+}
+
+func nodeName(i int) string {
+	return "n" + string(rune('0'+i/100)) + string(rune('0'+(i/10)%10)) + string(rune('0'+i%10))
+}

@@ -1,0 +1,266 @@
+// Package sim simulates the physical deployment the paper evaluates
+// on: people moving through a building, observed by stochastic sensor
+// models with the error structure of §4.1.1 (carry probability x,
+// detection probability y, misidentification probability z). It
+// substitutes for the Ubisense/RFID/biometric/GPS hardware — and,
+// unlike the hardware, it knows ground truth, which lets the
+// experiments measure fusion accuracy directly.
+//
+// The simulator is deterministic for a fixed seed and advances on an
+// explicit Step clock; nothing runs in the background.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"middlewhere/internal/building"
+	"middlewhere/internal/geom"
+	"middlewhere/internal/topo"
+)
+
+// PersonState is a ground-truth snapshot of one simulated person.
+type PersonState struct {
+	// ID is the person's mobile-object ID.
+	ID string
+	// Pos is the true position in universe coordinates.
+	Pos geom.Point
+	// Room is the GLOB string of the region containing Pos.
+	Room string
+	// EnteredRoom is true on the step the person crossed into Room.
+	EnteredRoom bool
+}
+
+// person is the internal movement state.
+type person struct {
+	id    string
+	pos   geom.Point
+	route []geom.Point // remaining waypoints
+	dwell time.Duration
+	room  string
+	moved bool // entered a new room this step
+}
+
+// Config tunes the simulation.
+type Config struct {
+	// People is the number of simulated persons.
+	People int
+	// Seed fixes the random stream.
+	Seed int64
+	// Speed is movement speed in universe units per second.
+	Speed float64
+	// Step is the simulated time per Step() call.
+	Step time.Duration
+	// DwellMin/DwellMax bound how long a person lingers in a room
+	// before picking a new destination.
+	DwellMin, DwellMax time.Duration
+	// Start is the simulated wall-clock origin.
+	Start time.Time
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.People <= 0 {
+		c.People = 5
+	}
+	if c.Speed <= 0 {
+		c.Speed = 4 // ~walking pace in ft/s
+	}
+	if c.Step <= 0 {
+		c.Step = time.Second
+	}
+	if c.DwellMin <= 0 {
+		c.DwellMin = 5 * time.Second
+	}
+	if c.DwellMax < c.DwellMin {
+		c.DwellMax = c.DwellMin + 25*time.Second
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Date(2026, 7, 5, 9, 0, 0, 0, time.UTC)
+	}
+	return c
+}
+
+// Sim is the building simulation.
+type Sim struct {
+	cfg    Config
+	bld    *building.Building
+	graph  *topo.Graph
+	rooms  []topo.Region
+	rng    *rand.Rand
+	people []*person
+	now    time.Time
+}
+
+// New creates a simulation over a building.
+func New(b *building.Building, cfg Config) (*Sim, error) {
+	cfg = cfg.withDefaults()
+	g, err := b.Graph()
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	rooms := g.Regions()
+	if len(rooms) == 0 {
+		return nil, fmt.Errorf("sim: building %s has no regions", b.Name)
+	}
+	s := &Sim{
+		cfg:   cfg,
+		bld:   b,
+		graph: g,
+		rooms: rooms,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		now:   cfg.Start,
+	}
+	for i := 0; i < cfg.People; i++ {
+		start := rooms[s.rng.Intn(len(rooms))]
+		p := &person{
+			id:   fmt.Sprintf("person-%02d", i),
+			pos:  s.randomPointIn(start.Rect),
+			room: start.ID,
+		}
+		p.dwell = s.randomDwell()
+		s.people = append(s.people, p)
+	}
+	return s, nil
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() time.Time { return s.now }
+
+// Graph exposes the topology graph the simulation routes over.
+func (s *Sim) Graph() *topo.Graph { return s.graph }
+
+func (s *Sim) randomPointIn(r geom.Rect) geom.Point {
+	// Keep a small margin so noisy sensors stay in the universe.
+	m := 0.5
+	w, h := r.Width()-2*m, r.Height()-2*m
+	if w <= 0 || h <= 0 {
+		return r.Center()
+	}
+	return geom.Pt(r.Min.X+m+s.rng.Float64()*w, r.Min.Y+m+s.rng.Float64()*h)
+}
+
+func (s *Sim) randomDwell() time.Duration {
+	span := s.cfg.DwellMax - s.cfg.DwellMin
+	if span <= 0 {
+		return s.cfg.DwellMin
+	}
+	return s.cfg.DwellMin + time.Duration(s.rng.Int63n(int64(span)))
+}
+
+// pickRoute chooses a new destination room and builds the waypoint
+// list: door midpoints along the shortest route plus a random interior
+// point of the destination.
+func (s *Sim) pickRoute(p *person) {
+	for attempts := 0; attempts < 8; attempts++ {
+		dst := s.rooms[s.rng.Intn(len(s.rooms))]
+		if dst.ID == p.room {
+			continue
+		}
+		// Simulated people carry badges: locked doors (ECRP) are
+		// passable, so nobody gets trapped in a card-controlled room.
+		rt, err := s.graph.ShortestRoute(p.room, dst.ID, topo.AllowRestricted)
+		if err != nil {
+			continue
+		}
+		// Skip the first waypoint (the current room centre); end at a
+		// random interior point instead of the centre.
+		way := append([]geom.Point(nil), rt.Waypoints[1:]...)
+		if len(way) > 0 {
+			way[len(way)-1] = s.randomPointIn(dst.Rect)
+		}
+		p.route = way
+		return
+	}
+	// Nowhere to go (isolated region): stay put and dwell again.
+	p.dwell = s.randomDwell()
+}
+
+// Step advances the simulation by the configured step: dwell timers
+// tick down, people move along their routes at walking speed, and room
+// membership is updated.
+func (s *Sim) Step() {
+	dt := s.cfg.Step
+	s.now = s.now.Add(dt)
+	for _, p := range s.people {
+		p.moved = false
+		if len(p.route) == 0 {
+			if p.dwell > 0 {
+				p.dwell -= dt
+				continue
+			}
+			s.pickRoute(p)
+			if len(p.route) == 0 {
+				continue
+			}
+		}
+		budget := s.cfg.Speed * dt.Seconds()
+		for budget > 0 && len(p.route) > 0 {
+			target := p.route[0]
+			d := p.pos.Dist(target)
+			if d <= budget {
+				p.pos = target
+				p.route = p.route[1:]
+				budget -= d
+			} else {
+				dir := target.Sub(p.pos).Scale(1 / d)
+				p.pos = p.pos.Add(dir.Scale(budget))
+				budget = 0
+			}
+		}
+		if len(p.route) == 0 {
+			p.dwell = s.randomDwell()
+		}
+		// Update room membership.
+		if room := s.roomAt(p.pos); room != "" && room != p.room {
+			p.room = room
+			p.moved = true
+		}
+	}
+}
+
+// roomAt returns the smallest region containing the point.
+func (s *Sim) roomAt(pt geom.Point) string {
+	best, bestArea := "", geom.Rect{}.Area()
+	first := true
+	for _, r := range s.rooms {
+		if !r.Rect.ContainsPoint(pt) {
+			continue
+		}
+		if first || r.Rect.Area() < bestArea {
+			best, bestArea, first = r.ID, r.Rect.Area(), false
+		}
+	}
+	return best
+}
+
+// People returns the ground-truth snapshot, sorted by ID.
+func (s *Sim) People() []PersonState {
+	out := make([]PersonState, 0, len(s.people))
+	for _, p := range s.people {
+		out = append(out, PersonState{
+			ID:          p.id,
+			Pos:         p.pos,
+			Room:        p.room,
+			EnteredRoom: p.moved,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// TruePosition returns the ground-truth position of a person.
+func (s *Sim) TruePosition(id string) (geom.Point, bool) {
+	for _, p := range s.people {
+		if p.id == id {
+			return p.pos, true
+		}
+	}
+	return geom.Point{}, false
+}
+
+// Rand exposes the simulation's random stream so sensor models share
+// the deterministic seed.
+func (s *Sim) Rand() *rand.Rand { return s.rng }

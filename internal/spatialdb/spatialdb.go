@@ -1,0 +1,664 @@
+// Package spatialdb is MiddleWhere's spatial database (§5) — the
+// in-process substitute for the PostGIS/PostgreSQL instance the paper
+// deploys. It stores
+//
+//   - the physical-space object table (Table 1: ObjectIdentifier,
+//     GlobPrefix, ObjectType, GeometryType, Points),
+//   - the sensor-reading table (Table 2) with temporal information,
+//   - the per-sensor metadata table (confidence and time-to-live,
+//     §5.2), and
+//   - location triggers (§5.3) evaluated on every reading insert.
+//
+// Geometry is indexed with an R-tree so containment/intersection
+// queries and trigger matching stay sub-linear in table size, the role
+// PostGIS's GiST indexes play in the paper's deployment. All methods
+// are safe for concurrent use.
+package spatialdb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"middlewhere/internal/coords"
+	"middlewhere/internal/geom"
+	"middlewhere/internal/glob"
+	"middlewhere/internal/model"
+	"middlewhere/internal/rtree"
+)
+
+// Object is one row of the physical-space table (Table 1) plus the
+// spatial properties of §5.1 (location, dimension, orientation and
+// free-form attributes such as "power-outlets").
+type Object struct {
+	// GLOB names the object: GlobPrefix + ObjectIdentifier.
+	GLOB glob.GLOB
+	// Type is the semantic type: "Floor", "Room", "Corridor", "Door",
+	// "Display", "Table", ...
+	Type string
+	// Kind is the geometry type (point, line, polygon).
+	Kind glob.Kind
+	// LocalPoints is the geometry in the coordinate frame of the
+	// object's GlobPrefix, as stored in the Points column.
+	LocalPoints []geom.Point
+	// Bounds is the MBR of the geometry in the universe frame,
+	// maintained by the database.
+	Bounds geom.Rect
+	// Polygon is the exact geometry in the universe frame (for
+	// polygon objects); nil for points and lines.
+	Polygon geom.Polygon
+	// Properties holds free-form attributes used by property queries
+	// ("power-outlets": "yes", "bluetooth": "high").
+	Properties map[string]string
+}
+
+// ID returns the object's full GLOB string, the primary key of the
+// object table.
+func (o Object) ID() string { return o.GLOB.String() }
+
+// Sentinel errors.
+var (
+	ErrNotFound      = errors.New("spatialdb: not found")
+	ErrDuplicate     = errors.New("spatialdb: duplicate")
+	ErrBadGeometry   = errors.New("spatialdb: bad geometry")
+	ErrUnknownSensor = errors.New("spatialdb: unknown sensor")
+	ErrBadTrigger    = errors.New("spatialdb: bad trigger")
+)
+
+// TriggerEvent is delivered to a trigger's callback when a matching
+// sensor reading is inserted (§5.3).
+type TriggerEvent struct {
+	// TriggerID identifies the fired trigger.
+	TriggerID string
+	// Reading is the inserted reading that satisfied the spatial
+	// condition.
+	Reading model.Reading
+	// Region is the trigger's region.
+	Region geom.Rect
+}
+
+// TriggerFunc receives trigger events. It is called synchronously on
+// the inserting goroutine; long-running work must be handed off by the
+// callee (the Location Service hands events to its notifier).
+type TriggerFunc func(TriggerEvent)
+
+// trigger is a registered spatial trigger condition.
+type trigger struct {
+	id string
+	// mobject filters on the observed object; empty matches any.
+	mobject string
+	region  geom.Rect
+	fn      TriggerFunc
+}
+
+// maxReadingsPerObject bounds the stored rows per mobile object; the
+// newest rows are kept. 64 comfortably covers every deployed sensor
+// reporting at once with history to spare.
+const maxReadingsPerObject = 64
+
+// DB is the spatial database. Create with New.
+type DB struct {
+	mu sync.RWMutex
+
+	frames  *coords.Tree
+	objects map[string]*Object
+	objIdx  *rtree.Tree
+
+	// readings: mobject ID -> readings, newest last.
+	readings map[string][]model.Reading
+	// sensors: sensor ID -> spec (the §5.2 sensor table).
+	sensors map[string]model.SensorSpec
+
+	triggers   map[string]*trigger
+	triggerIdx *rtree.Tree
+
+	// hooks run after every successful reading insert (and after the
+	// matching triggers), outside the database lock.
+	hooks []func(model.Reading)
+
+	universe geom.Rect
+}
+
+// New creates a database over the given coordinate frame tree. The
+// universe rectangle (the building's floor area, the paper's U) bounds
+// all geometry and probability reasoning.
+func New(frames *coords.Tree, universe geom.Rect) *DB {
+	return &DB{
+		frames:     frames,
+		objects:    make(map[string]*Object),
+		objIdx:     rtree.New(),
+		readings:   make(map[string][]model.Reading),
+		sensors:    make(map[string]model.SensorSpec),
+		triggers:   make(map[string]*trigger),
+		triggerIdx: rtree.New(),
+		universe:   universe,
+	}
+}
+
+// Universe returns the universe rectangle.
+func (db *DB) Universe() geom.Rect { return db.universe }
+
+// Frames returns the coordinate frame tree the database resolves
+// against.
+func (db *DB) Frames() *coords.Tree { return db.frames }
+
+// ---------------------------------------------------------------------------
+// Object table
+
+// InsertObject adds an object. Its geometry is resolved from the
+// GlobPrefix frame into the universe frame.
+func (db *DB) InsertObject(o Object) error {
+	if o.GLOB.IsZero() {
+		return fmt.Errorf("%w: empty GLOB", ErrBadGeometry)
+	}
+	if len(o.LocalPoints) == 0 {
+		return fmt.Errorf("%w: object %s has no points", ErrBadGeometry, o.ID())
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	id := o.ID()
+	if _, ok := db.objects[id]; ok {
+		return fmt.Errorf("%w: object %s", ErrDuplicate, id)
+	}
+	resolved, poly, err := db.resolveLocked(o.GLOB.Prefix(), o.LocalPoints)
+	if err != nil {
+		return fmt.Errorf("insert object %s: %w", id, err)
+	}
+	stored := o
+	stored.LocalPoints = append([]geom.Point(nil), o.LocalPoints...)
+	stored.Bounds = resolved
+	if o.Kind == glob.KindPolygon {
+		stored.Polygon = poly
+	}
+	if o.Properties != nil {
+		props := make(map[string]string, len(o.Properties))
+		for k, v := range o.Properties {
+			props[k] = v
+		}
+		stored.Properties = props
+	}
+	db.objects[id] = &stored
+	db.objIdx.Insert(stored.Bounds, id)
+	return nil
+}
+
+// resolveLocked converts local-frame points into the universe frame.
+// Caller holds at least the read lock.
+func (db *DB) resolveLocked(prefix glob.GLOB, pts []geom.Point) (geom.Rect, geom.Polygon, error) {
+	frame, ok := db.frames.FrameForGLOBPath(prefix.Path)
+	if !ok {
+		return geom.Rect{}, nil, fmt.Errorf("no coordinate frame for prefix %q", prefix.String())
+	}
+	root, err := db.frames.Root(frame)
+	if err != nil {
+		return geom.Rect{}, nil, err
+	}
+	poly, err := db.frames.ConvertPolygon(geom.Polygon(pts), frame, root)
+	if err != nil {
+		return geom.Rect{}, nil, err
+	}
+	return poly.Bounds(), poly, nil
+}
+
+// GetObject returns an object by its GLOB string.
+func (db *DB) GetObject(id string) (Object, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	o, ok := db.objects[id]
+	if !ok {
+		return Object{}, fmt.Errorf("%w: object %s", ErrNotFound, id)
+	}
+	return o.clone(), nil
+}
+
+// DeleteObject removes an object.
+func (db *DB) DeleteObject(id string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	o, ok := db.objects[id]
+	if !ok {
+		return fmt.Errorf("%w: object %s", ErrNotFound, id)
+	}
+	db.objIdx.Delete(o.Bounds, id)
+	delete(db.objects, id)
+	return nil
+}
+
+// Objects returns all objects sorted by ID.
+func (db *DB) Objects() []Object {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]Object, 0, len(db.objects))
+	for _, o := range db.objects {
+		out = append(out, o.clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+func (o *Object) clone() Object {
+	out := *o
+	out.LocalPoints = append([]geom.Point(nil), o.LocalPoints...)
+	out.Polygon = append(geom.Polygon(nil), o.Polygon...)
+	if o.Properties != nil {
+		props := make(map[string]string, len(o.Properties))
+		for k, v := range o.Properties {
+			props[k] = v
+		}
+		out.Properties = props
+	}
+	return out
+}
+
+// ObjectFilter narrows object queries.
+type ObjectFilter struct {
+	// Type restricts to a semantic type; empty matches all.
+	Type string
+	// Prefix restricts to objects under a GLOB prefix; zero matches
+	// all.
+	Prefix glob.GLOB
+	// Properties lists attributes the object must carry with the given
+	// values.
+	Properties map[string]string
+}
+
+func (f ObjectFilter) match(o *Object) bool {
+	if f.Type != "" && !strings.EqualFold(f.Type, o.Type) {
+		return false
+	}
+	if !f.Prefix.IsZero() && !o.GLOB.HasPrefix(f.Prefix) {
+		return false
+	}
+	for k, v := range f.Properties {
+		if o.Properties[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// IntersectingObjects returns objects whose universe-frame MBR
+// intersects r, filtered, sorted by ID.
+func (db *DB) IntersectingObjects(r geom.Rect, f ObjectFilter) []Object {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []Object
+	for _, it := range db.objIdx.SearchIntersect(r) {
+		o := db.objects[it.ID]
+		if o != nil && f.match(o) {
+			out = append(out, o.clone())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// ContainedObjects returns objects fully inside r, filtered, sorted by
+// ID.
+func (db *DB) ContainedObjects(r geom.Rect, f ObjectFilter) []Object {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []Object
+	for _, it := range db.objIdx.SearchContained(r) {
+		o := db.objects[it.ID]
+		if o != nil && f.match(o) {
+			out = append(out, o.clone())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// ObjectsAt returns the objects whose MBR contains the point (deepest
+// GLOB first — the room before the floor).
+func (db *DB) ObjectsAt(p geom.Point, f ObjectFilter) []Object {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []Object
+	for _, it := range db.objIdx.SearchContaining(p) {
+		o := db.objects[it.ID]
+		if o != nil && f.match(o) {
+			out = append(out, o.clone())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if d1, d2 := out[i].GLOB.Depth(), out[j].GLOB.Depth(); d1 != d2 {
+			return d1 > d2
+		}
+		return out[i].ID() < out[j].ID()
+	})
+	return out
+}
+
+// Nearest answers property queries such as "the nearest region with
+// power outlets and high Bluetooth signal" (§5.1): the k objects
+// passing the filter closest to p.
+func (db *DB) Nearest(p geom.Point, k int, f ObjectFilter) []Object {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	// Over-fetch from the index and filter; property predicates cannot
+	// be pushed into the R-tree.
+	var out []Object
+	fetch := k * 4
+	if fetch < 16 {
+		fetch = 16
+	}
+	for len(out) < k {
+		items := db.objIdx.Nearest(p, fetch)
+		out = out[:0]
+		for _, it := range items {
+			o := db.objects[it.ID]
+			if o != nil && f.match(o) {
+				out = append(out, o.clone())
+				if len(out) == k {
+					break
+				}
+			}
+		}
+		if len(items) < fetch {
+			break // exhausted the table
+		}
+		fetch *= 2
+	}
+	return out
+}
+
+// ResolveGLOB converts any GLOB — symbolic or coordinate — to its MBR
+// in the universe frame. Symbolic GLOBs are looked up in the object
+// table; coordinate GLOBs are transformed from their prefix frame.
+func (db *DB) ResolveGLOB(g glob.GLOB) (geom.Rect, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.resolveGLOBLocked(g)
+}
+
+func (db *DB) resolveGLOBLocked(g glob.GLOB) (geom.Rect, error) {
+	if g.IsZero() {
+		return geom.Rect{}, fmt.Errorf("%w: empty GLOB", ErrBadGeometry)
+	}
+	if g.IsCoordinate() {
+		r, _, err := db.resolveLocked(g.Prefix(), g.PlanarPoints())
+		return r, err
+	}
+	if o, ok := db.objects[g.String()]; ok {
+		return o.Bounds, nil
+	}
+	return geom.Rect{}, fmt.Errorf("%w: symbolic location %s", ErrNotFound, g.String())
+}
+
+// ---------------------------------------------------------------------------
+// Sensor tables
+
+// RegisterSensor records a sensor instance and its calibrated spec in
+// the sensor metadata table (§5.2).
+func (db *DB) RegisterSensor(sensorID string, spec model.SensorSpec) error {
+	if sensorID == "" {
+		return fmt.Errorf("%w: empty sensor id", ErrUnknownSensor)
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.sensors[sensorID] = spec
+	return nil
+}
+
+// SensorSpec returns the spec registered for a sensor.
+func (db *DB) SensorSpec(sensorID string) (model.SensorSpec, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	spec, ok := db.sensors[sensorID]
+	if !ok {
+		return model.SensorSpec{}, fmt.Errorf("%w: %s", ErrUnknownSensor, sensorID)
+	}
+	return spec, nil
+}
+
+// Sensors returns the registered sensor IDs, sorted.
+func (db *DB) Sensors() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.sensors))
+	for id := range db.sensors {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InsertReading stores a sensor reading (resolving its location to a
+// universe-frame MBR if the adapter has not already) and fires any
+// matching triggers synchronously. The sensor must be registered.
+func (db *DB) InsertReading(r model.Reading) error {
+	if r.MObjectID == "" {
+		return fmt.Errorf("spatialdb: reading without mobject id")
+	}
+	db.mu.Lock()
+	spec, ok := db.sensors[r.SensorID]
+	if !ok {
+		db.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownSensor, r.SensorID)
+	}
+	if r.SensorType == "" {
+		r.SensorType = spec.Type
+	}
+	if !r.Region.Valid() || r.Region.Area() == 0 {
+		rect, err := db.resolveReadingLocked(r, spec)
+		if err != nil {
+			db.mu.Unlock()
+			return fmt.Errorf("insert reading from %s: %w", r.SensorID, err)
+		}
+		r.Region = rect
+	}
+	// Movement detection: compare with the previous reading from the
+	// same sensor for the same object.
+	prev := db.readings[r.MObjectID]
+	for i := len(prev) - 1; i >= 0; i-- {
+		if prev[i].SensorID == r.SensorID {
+			if !prev[i].Region.Eq(r.Region) {
+				r.Moving = true
+			}
+			break
+		}
+	}
+	rows := append(db.readings[r.MObjectID], r)
+	// Bound per-object storage: long-TTL sensors (desktop sessions,
+	// biometric long readings) must not accumulate without limit. The
+	// newest rows win; fusion only consumes the latest row per sensor
+	// anyway.
+	if len(rows) > maxReadingsPerObject {
+		rows = append(rows[:0], rows[len(rows)-maxReadingsPerObject:]...)
+	}
+	db.readings[r.MObjectID] = rows
+
+	// Collect matching triggers under the lock, fire after release.
+	var fired []TriggerEvent
+	var fns []TriggerFunc
+	for _, it := range db.triggerIdx.SearchIntersect(r.Region) {
+		tr := db.triggers[it.ID]
+		if tr == nil {
+			continue
+		}
+		if tr.mobject != "" && tr.mobject != r.MObjectID {
+			continue
+		}
+		fired = append(fired, TriggerEvent{TriggerID: tr.id, Reading: r, Region: tr.region})
+		fns = append(fns, tr.fn)
+	}
+	hooks := db.hooks
+	db.mu.Unlock()
+
+	for i, fn := range fns {
+		fn(fired[i])
+	}
+	for _, h := range hooks {
+		h(r)
+	}
+	return nil
+}
+
+// AddInsertHook registers a callback invoked after every successful
+// reading insert, once the matching triggers have fired. Hooks run on
+// the inserting goroutine outside the database lock. The Location
+// Service uses one to observe readings that fall outside any trigger
+// region (exit detection for entry/exit subscriptions).
+func (db *DB) AddInsertHook(fn func(model.Reading)) {
+	if fn == nil {
+		return
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.hooks = append(db.hooks, fn)
+}
+
+// resolveReadingLocked computes the reading's universe-frame MBR from
+// its GLOB location and detection radius.
+func (db *DB) resolveReadingLocked(r model.Reading, spec model.SensorSpec) (geom.Rect, error) {
+	if r.Location.IsZero() {
+		return geom.Rect{}, fmt.Errorf("%w: reading has no location", ErrBadGeometry)
+	}
+	if r.Location.IsCoordinate() {
+		rect, err := db.resolveGLOBLocked(r.Location)
+		if err != nil {
+			return geom.Rect{}, err
+		}
+		radius := r.DetectionRadius
+		if radius == 0 && spec.Resolution.Kind == model.ResolutionDistance {
+			radius = spec.Resolution.Radius
+		}
+		return rect.Expand(radius), nil
+	}
+	return db.resolveGLOBLocked(r.Location)
+}
+
+// ReadingsFor returns the unexpired readings for a mobile object at
+// time now, applying each sensor's TTL from the metadata table.
+// Expired rows are pruned as a side effect.
+func (db *DB) ReadingsFor(mobjectID string, now time.Time) []model.Reading {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rows := db.readings[mobjectID]
+	var live []model.Reading
+	for _, r := range rows {
+		spec, ok := db.sensors[r.SensorID]
+		if !ok {
+			continue
+		}
+		if !r.Expired(now, spec.TTL) {
+			live = append(live, r)
+		}
+	}
+	if len(live) == 0 {
+		delete(db.readings, mobjectID)
+	} else {
+		db.readings[mobjectID] = live
+	}
+	return append([]model.Reading(nil), live...)
+}
+
+// LatestPerSensor returns, for each sensor that has an unexpired
+// reading for the object, only its newest one — the working set for
+// fusion.
+func (db *DB) LatestPerSensor(mobjectID string, now time.Time) []model.Reading {
+	rows := db.ReadingsFor(mobjectID, now)
+	latest := make(map[string]model.Reading, len(rows))
+	for _, r := range rows {
+		if cur, ok := latest[r.SensorID]; !ok || r.Time.After(cur.Time) {
+			latest[r.SensorID] = r
+		}
+	}
+	out := make([]model.Reading, 0, len(latest))
+	for _, r := range latest {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SensorID < out[j].SensorID })
+	return out
+}
+
+// MobileObjects returns the IDs of all objects with stored readings,
+// sorted.
+func (db *DB) MobileObjects() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.readings))
+	for id := range db.readings {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExpireReadings removes every reading for every object that has
+// outlived its sensor's TTL at time now, and expires readings matching
+// the filter immediately (used by the biometric logout flow, §6.3).
+func (db *DB) ExpireReadings(now time.Time, match func(model.Reading) bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for id, rows := range db.readings {
+		var live []model.Reading
+		for _, r := range rows {
+			spec, ok := db.sensors[r.SensorID]
+			if !ok || r.Expired(now, spec.TTL) {
+				continue
+			}
+			if match != nil && match(r) {
+				continue
+			}
+			live = append(live, r)
+		}
+		if len(live) == 0 {
+			delete(db.readings, id)
+		} else {
+			db.readings[id] = live
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Triggers
+
+// AddTrigger registers a spatial trigger: fn fires whenever a reading
+// for mobjectID (any object if empty) intersects region. The trigger
+// region is indexed so inserts stay sub-linear in the number of
+// triggers.
+func (db *DB) AddTrigger(id, mobjectID string, region geom.Rect, fn TriggerFunc) error {
+	if id == "" || fn == nil {
+		return fmt.Errorf("%w: need id and callback", ErrBadTrigger)
+	}
+	if !region.Valid() || region.Area() <= 0 {
+		return fmt.Errorf("%w: degenerate region %v", ErrBadTrigger, region)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.triggers[id]; ok {
+		return fmt.Errorf("%w: trigger %s", ErrDuplicate, id)
+	}
+	tr := &trigger{id: id, mobject: mobjectID, region: region, fn: fn}
+	db.triggers[id] = tr
+	db.triggerIdx.Insert(region, id)
+	return nil
+}
+
+// RemoveTrigger unregisters a trigger.
+func (db *DB) RemoveTrigger(id string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	tr, ok := db.triggers[id]
+	if !ok {
+		return fmt.Errorf("%w: trigger %s", ErrNotFound, id)
+	}
+	db.triggerIdx.Delete(tr.region, id)
+	delete(db.triggers, id)
+	return nil
+}
+
+// TriggerCount returns the number of registered triggers.
+func (db *DB) TriggerCount() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.triggers)
+}

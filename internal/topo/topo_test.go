@@ -1,0 +1,266 @@
+package topo
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"middlewhere/internal/geom"
+	"middlewhere/internal/rcc"
+)
+
+// corridorFloor builds a small floor:
+//
+//	+------+------+------+
+//	| R1   | R2   | R3   |
+//	+--d1--+--d2--+--d3--+
+//	|      corridor      |
+//	+--------------------+
+//
+// d1 free, d2 restricted, d3 free. R2-R3 share a wall without a door.
+func corridorFloor(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph()
+	g.AddRegion("R1", geom.R(0, 10, 10, 20))
+	g.AddRegion("R2", geom.R(10, 10, 20, 20))
+	g.AddRegion("R3", geom.R(20, 10, 30, 20))
+	g.AddRegion("corridor", geom.R(0, 0, 30, 10))
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.AddDoor("R1", "corridor", rcc.Door{
+		Span: geom.Seg(geom.Pt(4, 10), geom.Pt(6, 10)), Kind: rcc.PassageFree}))
+	must(g.AddDoor("R2", "corridor", rcc.Door{
+		Span: geom.Seg(geom.Pt(14, 10), geom.Pt(16, 10)), Kind: rcc.PassageRestricted}))
+	must(g.AddDoor("R3", "corridor", rcc.Door{
+		Span: geom.Seg(geom.Pt(24, 10), geom.Pt(26, 10)), Kind: rcc.PassageFree}))
+	return g
+}
+
+func TestRegionsAndLookup(t *testing.T) {
+	g := corridorFloor(t)
+	if _, ok := g.Region("R1"); !ok {
+		t.Error("R1 missing")
+	}
+	if _, ok := g.Region("nope"); ok {
+		t.Error("unexpected region")
+	}
+	ids := g.Regions()
+	if len(ids) != 4 || ids[0].ID != "R1" || ids[3].ID != "corridor" {
+		t.Errorf("Regions = %v", ids)
+	}
+}
+
+func TestAddDoorUnknownRegion(t *testing.T) {
+	g := NewGraph()
+	g.AddRegion("A", geom.R(0, 0, 1, 1))
+	err := g.AddDoor("A", "B", rcc.Door{})
+	if !errors.Is(err, ErrUnknownRegion) {
+		t.Errorf("err = %v", err)
+	}
+	err = g.AddDoor("Z", "A", rcc.Door{})
+	if !errors.Is(err, ErrUnknownRegion) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRelationWithPassage(t *testing.T) {
+	g := corridorFloor(t)
+	rel, pass, err := g.Relation("R1", "corridor")
+	if err != nil || rel != rcc.EC || pass != rcc.PassageFree {
+		t.Errorf("R1-corridor = %v %v %v", rel, pass, err)
+	}
+	rel, pass, err = g.Relation("R2", "corridor")
+	if err != nil || rel != rcc.EC || pass != rcc.PassageRestricted {
+		t.Errorf("R2-corridor = %v %v %v", rel, pass, err)
+	}
+	// R1 and R2 share a wall but no door: ECNP.
+	rel, pass, err = g.Relation("R1", "R2")
+	if err != nil || rel != rcc.EC || pass != rcc.PassageNone {
+		t.Errorf("R1-R2 = %v %v %v", rel, pass, err)
+	}
+	// Disjoint pair.
+	rel, _, err = g.Relation("R1", "R3")
+	if err != nil || rel != rcc.DC {
+		t.Errorf("R1-R3 = %v %v", rel, err)
+	}
+	if _, _, err := g.Relation("R1", "nope"); !errors.Is(err, ErrUnknownRegion) {
+		t.Errorf("unknown = %v", err)
+	}
+	if _, _, err := g.Relation("nope", "R1"); !errors.Is(err, ErrUnknownRegion) {
+		t.Errorf("unknown = %v", err)
+	}
+}
+
+func TestShortestRouteFreeOnly(t *testing.T) {
+	g := corridorFloor(t)
+	// R1 -> R3 through the corridor using the two free doors.
+	rt, err := g.ShortestRoute("R1", "R3", FreeOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRegions := []string{"R1", "corridor", "R3"}
+	if len(rt.Regions) != 3 {
+		t.Fatalf("route regions = %v", rt.Regions)
+	}
+	for i, id := range wantRegions {
+		if rt.Regions[i] != id {
+			t.Errorf("region[%d] = %s, want %s", i, rt.Regions[i], id)
+		}
+	}
+	// Length: centre R1 (5,15) -> door d1 (5,10) -> door d3 (25,10) ->
+	// centre R3 (25,15) = 5 + 20 + 5 = 30.
+	if math.Abs(rt.Length-30) > 1e-9 {
+		t.Errorf("length = %v, want 30", rt.Length)
+	}
+	// Waypoints chain source centre .. target centre.
+	if !rt.Waypoints[0].Eq(geom.Pt(5, 15)) ||
+		!rt.Waypoints[len(rt.Waypoints)-1].Eq(geom.Pt(25, 15)) {
+		t.Errorf("waypoints = %v", rt.Waypoints)
+	}
+}
+
+func TestRouteRespectsPolicy(t *testing.T) {
+	g := corridorFloor(t)
+	// R2 is behind a restricted door: unreachable under FreeOnly.
+	if _, err := g.ShortestRoute("R1", "R2", FreeOnly); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("err = %v, want ErrNoRoute", err)
+	}
+	// With a key it works: R1 -> corridor -> R2.
+	rt, err := g.ShortestRoute("R1", "R2", AllowRestricted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// centre R1 (5,15) -> d1 (5,10) -> d2 (15,10) -> centre R2 (15,15):
+	// 5 + 10 + 5 = 20.
+	if math.Abs(rt.Length-20) > 1e-9 {
+		t.Errorf("length = %v, want 20", rt.Length)
+	}
+}
+
+func TestPathVsEuclideanDistance(t *testing.T) {
+	g := corridorFloor(t)
+	pd, err := g.PathDistance("R1", "R3", FreeOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed, err := g.EuclideanDistance("R1", "R3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ed >= pd {
+		t.Errorf("euclidean %v should be shorter than path %v", ed, pd)
+	}
+	if math.Abs(ed-20) > 1e-9 { // centres (5,15) and (25,15)
+		t.Errorf("euclidean = %v, want 20", ed)
+	}
+	if _, err := g.EuclideanDistance("R1", "zz"); !errors.Is(err, ErrUnknownRegion) {
+		t.Error("unknown region should error")
+	}
+	if _, err := g.EuclideanDistance("zz", "R1"); !errors.Is(err, ErrUnknownRegion) {
+		t.Error("unknown region should error")
+	}
+}
+
+func TestSameRegionRoute(t *testing.T) {
+	g := corridorFloor(t)
+	rt, err := g.ShortestRoute("R1", "R1", FreeOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Length != 0 || len(rt.Regions) != 1 {
+		t.Errorf("self route = %+v", rt)
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	g := corridorFloor(t)
+	if _, err := g.ShortestRoute("zz", "R1", FreeOnly); !errors.Is(err, ErrUnknownRegion) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := g.ShortestRoute("R1", "zz", FreeOnly); !errors.Is(err, ErrUnknownRegion) {
+		t.Errorf("err = %v", err)
+	}
+	// Island region with no doors at all.
+	g.AddRegion("island", geom.R(100, 100, 110, 110))
+	if _, err := g.ShortestRoute("R1", "island", AllowRestricted); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("err = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := corridorFloor(t)
+	g.AddRegion("island", geom.R(100, 100, 110, 110))
+	free, err := g.Reachable("corridor", FreeOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// corridor, R1, R3 (R2 is behind the locked door).
+	want := []string{"R1", "R3", "corridor"}
+	if len(free) != len(want) {
+		t.Fatalf("free reachable = %v", free)
+	}
+	for i := range want {
+		if free[i] != want[i] {
+			t.Errorf("free[%d] = %s, want %s", i, free[i], want[i])
+		}
+	}
+	all, err := g.Reachable("corridor", AllowRestricted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 {
+		t.Errorf("restricted reachable = %v", all)
+	}
+	if _, err := g.Reachable("zz", FreeOnly); !errors.Is(err, ErrUnknownRegion) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMultipleDoorsPickShortest(t *testing.T) {
+	// Two doors between the same pair: Dijkstra must route through the
+	// one giving the shorter total path.
+	g := NewGraph()
+	g.AddRegion("A", geom.R(0, 0, 10, 10))
+	g.AddRegion("B", geom.R(10, 0, 20, 10))
+	if err := g.AddDoor("A", "B", rcc.Door{
+		Span: geom.Seg(geom.Pt(10, 1), geom.Pt(10, 1)), Kind: rcc.PassageFree}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddDoor("A", "B", rcc.Door{
+		Span: geom.Seg(geom.Pt(10, 5), geom.Pt(10, 5)), Kind: rcc.PassageFree}); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := g.ShortestRoute("A", "B", FreeOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Centres (5,5) and (15,5): the (10,5) door is on the straight
+	// line, total 10.
+	if math.Abs(rt.Length-10) > 1e-9 {
+		t.Errorf("length = %v, want 10", rt.Length)
+	}
+}
+
+func TestAutoConnectCountsECPairs(t *testing.T) {
+	g := corridorFloor(t)
+	// EC pairs: R1-R2, R2-R3, R1-corridor, R2-corridor, R3-corridor.
+	if got := g.AutoConnect(); got != 5 {
+		t.Errorf("AutoConnect = %d, want 5", got)
+	}
+}
+
+func TestDoorsAccessor(t *testing.T) {
+	g := corridorFloor(t)
+	if ds := g.Doors("R1", "corridor"); len(ds) != 1 {
+		t.Errorf("Doors = %v", ds)
+	}
+	if ds := g.Doors("corridor", "R1"); len(ds) != 1 {
+		t.Error("doors should be symmetric")
+	}
+	if ds := g.Doors("R1", "R3"); ds != nil {
+		t.Errorf("no doors expected, got %v", ds)
+	}
+}

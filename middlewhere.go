@@ -1,0 +1,409 @@
+// Package middlewhere is a Go implementation of MiddleWhere, the
+// distributed middleware for location awareness in ubiquitous
+// computing applications (Ranganathan, Al-Muhtadi, Chetan, Campbell,
+// Mickunas — Middleware 2004).
+//
+// MiddleWhere separates location-sensitive applications from location
+// sensing technologies: adapters convert heterogeneous sensor readings
+// (UWB tags, RFID badges, biometric logins, GPS, card swipes) into a
+// common representation, a spatial database stores them together with
+// a geometric model of the physical space, and a probabilistic
+// reasoning engine fuses them into a consolidated, probability-
+// annotated view of where every person and device is.
+//
+// # Quick start
+//
+//	bld := middlewhere.PaperFloor()
+//	svc, err := middlewhere.New(bld)
+//	if err != nil { ... }
+//	defer svc.Close()
+//
+//	// Plug in a sensor and feed a reading.
+//	ubi, _ := middlewhere.NewUbisense("ubi-1", middlewhere.MustParseGLOB("CS/Floor3"),
+//	    0.9, svc, svc, middlewhere.AdapterOptions{})
+//	_ = ubi.ReportFix("alice", middlewhere.Pt(370, 15), time.Now())
+//
+//	// Pull: where is alice?
+//	loc, _ := svc.LocateObject("alice")
+//	fmt.Println(loc.Symbolic, loc.Prob, loc.Band)
+//
+//	// Push: tell me when anyone enters the NetLab.
+//	svc.Subscribe(middlewhere.Subscription{
+//	    Region:  middlewhere.MustParseGLOB("CS/Floor3/NetLab"),
+//	    MinProb: 0.5,
+//	    Handler: func(n middlewhere.Notification) { fmt.Println(n.Object, "entered") },
+//	})
+//
+// The package is a facade: each subsystem lives in its own internal
+// package (see DESIGN.md for the inventory), and the types here are
+// aliases so applications need a single import.
+package middlewhere
+
+import (
+	"middlewhere/internal/adapter"
+	"middlewhere/internal/building"
+	"middlewhere/internal/calibrate"
+	"middlewhere/internal/core"
+	"middlewhere/internal/fusion"
+	"middlewhere/internal/geom"
+	"middlewhere/internal/glob"
+	"middlewhere/internal/model"
+	"middlewhere/internal/mwql"
+	"middlewhere/internal/rcc"
+	"middlewhere/internal/registry"
+	"middlewhere/internal/remote"
+	"middlewhere/internal/rules"
+	"middlewhere/internal/sim"
+	"middlewhere/internal/spatialdb"
+	"middlewhere/internal/topo"
+)
+
+// ---------------------------------------------------------------------------
+// Location Service (the paper's §4)
+
+type (
+	// Service is the Location Service: the single source of location
+	// information for applications. Create with New; Close when done.
+	Service = core.Service
+	// Location is the consolidated answer to "where is X?".
+	Location = core.Location
+	// Notification is delivered when a subscribed condition becomes
+	// true.
+	Notification = core.Notification
+	// Subscription configures a region-based notification.
+	Subscription = core.Subscription
+	// PrivacyPolicy limits how precisely an object's location is
+	// revealed.
+	PrivacyPolicy = core.PrivacyPolicy
+	// AccessPolicy is a per-requester disclosure policy (§4.5).
+	AccessPolicy = core.AccessPolicy
+	// RegionProb is one cell of a spatial probability distribution.
+	RegionProb = core.RegionProb
+	// ServiceOption configures New.
+	ServiceOption = core.Option
+)
+
+// New builds a Location Service over a building model.
+func New(b *Building, opts ...ServiceOption) (*Service, error) {
+	return core.New(b, opts...)
+}
+
+// WithClock injects a time source (tests and simulations).
+var WithClock = core.WithClock
+
+// WithHistory records a bounded trail of fused estimates per object,
+// queryable with Service.History.
+var WithHistory = core.WithHistory
+
+// Service errors.
+var (
+	ErrUnknownObject = core.ErrUnknownObject
+	ErrBadSub        = core.ErrBadSub
+)
+
+// ---------------------------------------------------------------------------
+// Buildings and physical space (§5)
+
+type (
+	// Building bundles coordinate frames, the universe rectangle, the
+	// object table rows, and doors.
+	Building = building.Building
+	// DoorSpec connects two regions with a door.
+	DoorSpec = building.DoorSpec
+	// SpatialObject is a row of the physical-space table (Table 1).
+	SpatialObject = spatialdb.Object
+	// ObjectFilter narrows spatial-database object queries.
+	ObjectFilter = spatialdb.ObjectFilter
+	// SpatialDB is the spatial database (PostGIS substitute).
+	SpatialDB = spatialdb.DB
+)
+
+// PaperFloor returns the floor of the paper's Figure 8 / Table 1.
+func PaperFloor() *Building { return building.PaperFloor() }
+
+// SyntheticBuilding generates a rows x cols grid floor for experiments.
+func SyntheticBuilding(name string, rows, cols int, roomW, roomH, corridorH float64) *Building {
+	return building.Synthetic(name, rows, cols, roomW, roomH, corridorH)
+}
+
+// MultiStoreyBuilding generates a building with several identical
+// floors connected by stairwells, each floor in its own coordinate
+// frame (§3's hierarchical coordinate systems).
+func MultiStoreyBuilding(name string, floors, rows, cols int, roomW, roomH, corridorH float64) *Building {
+	return building.MultiStorey(name, floors, rows, cols, roomW, roomH, corridorH)
+}
+
+// LoadPlan reads a JSON floor plan; SavePlan is the method on
+// *Building.
+var LoadPlan = building.LoadPlan
+
+// ---------------------------------------------------------------------------
+// Location model (§3)
+
+type (
+	// GLOB is the hierarchical Gaia LOcation Byte-string.
+	GLOB = glob.GLOB
+	// Granularity names a reveal depth (building/floor/room).
+	Granularity = glob.Granularity
+	// Point is a planar position.
+	Point = geom.Point
+	// Rect is an axis-aligned rectangle (MBR).
+	Rect = geom.Rect
+	// Polygon is a simple polygon.
+	Polygon = geom.Polygon
+)
+
+// Granularity levels for privacy policies and co-location queries.
+const (
+	GranBuilding = glob.GranBuilding
+	GranFloor    = glob.GranFloor
+	GranRoom     = glob.GranRoom
+)
+
+// ParseGLOB parses the textual GLOB form.
+var ParseGLOB = glob.Parse
+
+// MustParseGLOB parses a GLOB and panics on error (literals, tests).
+var MustParseGLOB = glob.MustParse
+
+// SymbolicGLOB builds a symbolic GLOB from path segments.
+var SymbolicGLOB = glob.Symbolic
+
+// CoordPointGLOB builds a coordinate point GLOB under a prefix.
+var CoordPointGLOB = glob.CoordinatePoint
+
+// CoordRectGLOB builds a coordinate polygon GLOB for an MBR.
+var CoordRectGLOB = glob.CoordinateRect
+
+// Pt builds a Point.
+var Pt = geom.Pt
+
+// R builds a Rect from two corners.
+var R = geom.R
+
+// ---------------------------------------------------------------------------
+// Quality model and readings (§3.2, §4.1.1)
+
+type (
+	// Reading is one sensor observation in the common representation.
+	Reading = model.Reading
+	// SensorSpec is a sensor technology's calibration record.
+	SensorSpec = model.SensorSpec
+	// ErrorModel carries the x/y/z probabilities of §4.1.1.
+	ErrorModel = model.ErrorModel
+	// TDF is a temporal degradation function.
+	TDF = model.TDF
+	// LinearTDF degrades confidence linearly over a span.
+	LinearTDF = model.LinearTDF
+	// ExponentialTDF degrades confidence with a half-life.
+	ExponentialTDF = model.ExponentialTDF
+	// StepTDF degrades confidence in discrete steps.
+	StepTDF = model.StepTDF
+	// ConstantTDF never degrades confidence.
+	ConstantTDF = model.ConstantTDF
+)
+
+// Paper-calibrated sensor specs (§6, plus the §1.1 technologies).
+var (
+	UbisenseSpec       = model.UbisenseSpec
+	RFIDSpec           = model.RFIDSpec
+	BiometricShortSpec = model.BiometricShortSpec
+	BiometricLongSpec  = model.BiometricLongSpec
+	GPSSpec            = model.GPSSpec
+	CardReaderSpec     = model.CardReaderSpec
+	BluetoothSpec      = model.BluetoothSpec
+	DesktopLoginSpec   = model.DesktopLoginSpec
+)
+
+// ---------------------------------------------------------------------------
+// Probability bands (§4.4)
+
+// Band classifies a probability against the deployed sensors.
+type Band = fusion.Band
+
+// The four §4.4 probability bands.
+const (
+	BandLow      = fusion.BandLow
+	BandMedium   = fusion.BandMedium
+	BandHigh     = fusion.BandHigh
+	BandVeryHigh = fusion.BandVeryHigh
+)
+
+// ---------------------------------------------------------------------------
+// Spatial relations (§4.6)
+
+type (
+	// RCCRelation is an RCC-8 base relation between regions.
+	RCCRelation = rcc.Relation
+	// Passage refines external connection (free/restricted/none).
+	Passage = rcc.Passage
+	// TraversalPolicy says which passages routes may use.
+	TraversalPolicy = topo.TraversalPolicy
+	// Route is a traversable path between regions.
+	Route = topo.Route
+	// RuleEngine is the Datalog engine for reasoning over derived
+	// spatial facts.
+	RuleEngine = rules.Engine
+)
+
+// RCC-8 relations.
+const (
+	DC    = rcc.DC
+	EC    = rcc.EC
+	PO    = rcc.PO
+	TPP   = rcc.TPP
+	NTPP  = rcc.NTPP
+	TPPi  = rcc.TPPi
+	NTPPi = rcc.NTPPi
+	EQ    = rcc.EQ
+)
+
+// Passage kinds.
+const (
+	PassageNone       = rcc.PassageNone
+	PassageRestricted = rcc.PassageRestricted
+	PassageFree       = rcc.PassageFree
+)
+
+// Traversal policies.
+const (
+	FreeOnly        = topo.FreeOnly
+	AllowRestricted = topo.AllowRestricted
+)
+
+// ---------------------------------------------------------------------------
+// Adapters (§6)
+
+type (
+	// AdapterOptions carries the programmable filter/rate knobs.
+	AdapterOptions = adapter.Options
+	// UbisenseAdapter wraps the UWB tag technology.
+	UbisenseAdapter = adapter.Ubisense
+	// RFIDAdapter wraps an RF badge base station.
+	RFIDAdapter = adapter.RFID
+	// BiometricAdapter wraps a fingerprint/login device.
+	BiometricAdapter = adapter.Biometric
+	// GPSAdapter wraps a GPS receiver.
+	GPSAdapter = adapter.GPS
+	// CardReaderAdapter wraps a door badge reader.
+	CardReaderAdapter = adapter.CardReader
+	// GeoReference anchors geodetic coordinates to a building frame.
+	GeoReference = adapter.GeoReference
+	// BluetoothAdapter wraps a Bluetooth inquiry-scanning station.
+	BluetoothAdapter = adapter.Bluetooth
+	// DesktopLoginAdapter wraps workstation session events.
+	DesktopLoginAdapter = adapter.DesktopLogin
+)
+
+// Adapter constructors.
+var (
+	NewUbisense     = adapter.NewUbisense
+	NewRFID         = adapter.NewRFID
+	NewBiometric    = adapter.NewBiometric
+	NewGPS          = adapter.NewGPS
+	NewCardReader   = adapter.NewCardReader
+	NewBluetooth    = adapter.NewBluetooth
+	NewDesktopLogin = adapter.NewDesktopLogin
+)
+
+// ---------------------------------------------------------------------------
+// Simulation (hardware substitute)
+
+type (
+	// Sim is the building simulator with ground truth.
+	Sim = sim.Sim
+	// SimConfig tunes the simulation.
+	SimConfig = sim.Config
+	// PersonState is a ground-truth snapshot of a simulated person.
+	PersonState = sim.PersonState
+	// Observer is a simulated sensor installation.
+	Observer = sim.Observer
+	// UbisenseField simulates UWB coverage.
+	UbisenseField = sim.UbisenseField
+	// RFIDStation simulates an RF badge base station.
+	RFIDStation = sim.RFIDStation
+	// CardReaderDoor simulates a badge reader on a door.
+	CardReaderDoor = sim.CardReaderDoor
+	// BiometricDesk simulates a login station.
+	BiometricDesk = sim.BiometricDesk
+	// GPSSatellites simulates GPS coverage over an outdoor area.
+	GPSSatellites = sim.GPSSatellites
+)
+
+// Simulation constructors.
+var (
+	NewSim           = sim.New
+	NewUbisenseField = sim.NewUbisenseField
+	NewRFIDStation   = sim.NewRFIDStation
+	NewBiometricDesk = sim.NewBiometricDesk
+	NewGPSSatellites = sim.NewGPSSatellites
+	RunSim           = sim.Run
+)
+
+// ---------------------------------------------------------------------------
+// Distribution (§7: CORBA + Gaia Space Repository substitutes)
+
+type (
+	// RemoteServer publishes a Location Service over TCP.
+	RemoteServer = remote.Server
+	// RemoteClient is the application-side handle to a remote service.
+	RemoteClient = remote.LocationClient
+	// SubscribeArgs configures a remote subscription.
+	SubscribeArgs = remote.SubscribeArgs
+	// NotificationDTO is a notification received over the wire.
+	NotificationDTO = remote.NotificationDTO
+	// RegistryServer is the service-discovery registry.
+	RegistryServer = registry.Server
+	// RegistryClient talks to a registry.
+	RegistryClient = registry.Client
+)
+
+// Distribution constructors.
+var (
+	NewRemoteServer   = remote.NewServer
+	DialLocation      = remote.DialLocation
+	NewRegistryServer = registry.NewServer
+	DialRegistry      = registry.Dial
+)
+
+// ---------------------------------------------------------------------------
+// Spatial queries (§5.1's SQL-style queries over the object table)
+
+// SpatialQuery is a parsed mwql statement.
+type SpatialQuery = mwql.Query
+
+// ParseQuery parses an mwql statement such as
+// "SELECT objects WHERE prop('power-outlets') = 'yes' NEAREST (0,0) LIMIT 1".
+var ParseQuery = mwql.Parse
+
+// ExecQuery parses and runs an mwql statement against a spatial
+// database.
+var ExecQuery = mwql.Exec
+
+// ---------------------------------------------------------------------------
+// Calibration (the paper's §11 future work, implemented)
+
+type (
+	// CalibrationTrial is one ground-truth-labelled detection
+	// opportunity.
+	CalibrationTrial = calibrate.Trial
+	// CalibrationEpisode summarizes a presence episode for carry-
+	// probability estimation.
+	CalibrationEpisode = calibrate.Episode
+	// DecaySample is an empirical point for tdf fitting.
+	DecaySample = calibrate.DecaySample
+	// TDFFit is a fitted temporal degradation function.
+	TDFFit = calibrate.TDFFit
+	// YZEstimate carries estimated detection/misreport probabilities.
+	YZEstimate = calibrate.YZEstimate
+)
+
+// Calibration estimators: detection model, carry probability (labelled
+// and EM), tdf fitting, and full-spec assembly.
+var (
+	EstimateYZ            = calibrate.EstimateYZ
+	EstimateCarryLabelled = calibrate.EstimateCarryLabelled
+	EstimateCarryEM       = calibrate.EstimateCarryEM
+	FitTDF                = calibrate.FitTDF
+	CalibrateSpec         = calibrate.CalibrateSpec
+)

@@ -1,0 +1,364 @@
+// Integration tests over the public facade: a full deployment —
+// registry, location-service daemon, remote adapters, remote clients —
+// wired through real TCP sockets, plus facade-level sanity checks.
+package middlewhere_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"middlewhere"
+)
+
+func fixedClock() func() time.Time {
+	t0 := time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)
+	return func() time.Time { return t0 }
+}
+
+// TestFacadeLocalFlow exercises the library fully in-process through
+// the public API only.
+func TestFacadeLocalFlow(t *testing.T) {
+	bld := middlewhere.PaperFloor()
+	svc, err := middlewhere.New(bld, middlewhere.WithClock(fixedClock()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	floor := middlewhere.MustParseGLOB("CS/Floor3")
+	ubi, err := middlewhere.NewUbisense("ubi-1", floor, 0.9, svc, svc, middlewhere.AdapterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := middlewhere.NewRFID("rf-1", floor, middlewhere.Pt(370, 15), 15, 0.8,
+		svc, svc, middlewhere.AdapterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := fixedClock()()
+	if err := ubi.ReportFix("alice", middlewhere.Pt(370, 15), now); err != nil {
+		t.Fatal(err)
+	}
+	if err := rf.ReportBadge("alice", now); err != nil {
+		t.Fatal(err)
+	}
+
+	loc, err := svc.LocateObject("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Symbolic.String() != "CS/Floor3/NetLab" {
+		t.Errorf("symbolic = %s", loc.Symbolic)
+	}
+	if loc.Band < middlewhere.BandMedium {
+		t.Errorf("band = %v", loc.Band)
+	}
+	// Privacy policy through the facade.
+	svc.SetPrivacy("alice", middlewhere.PrivacyPolicy{MaxGranularity: middlewhere.GranFloor})
+	loc, _ = svc.LocateObject("alice")
+	if loc.Symbolic.String() != "CS/Floor3" {
+		t.Errorf("privacy-limited symbolic = %s", loc.Symbolic)
+	}
+	svc.SetPrivacy("alice", middlewhere.PrivacyPolicy{})
+
+	// Rule engine over derived facts.
+	e := svc.RuleEngine()
+	if err := e.Evaluate(); err != nil {
+		t.Fatal(err)
+	}
+	if facts := e.Facts("ecfp"); len(facts) == 0 {
+		t.Error("no ecfp facts")
+	}
+
+	// Spatial helpers exported on the facade.
+	if rel, pass, err := svc.RelateRegions(
+		middlewhere.MustParseGLOB("CS/Floor3/NetLab"),
+		middlewhere.MustParseGLOB("CS/Floor3/MainCorridor"),
+	); err != nil || rel != middlewhere.EC || pass != middlewhere.PassageFree {
+		t.Errorf("relate = %v %v %v", rel, pass, err)
+	}
+}
+
+// TestFullStackDeployment runs registry + daemon + two clients over
+// TCP: an adapter host feeding readings and an application host
+// querying and subscribing — the paper's §7 deployment picture.
+func TestFullStackDeployment(t *testing.T) {
+	// Service discovery.
+	reg := middlewhere.NewRegistryServer(nil)
+	regAddr, err := reg.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	// The location-service daemon.
+	svc, err := middlewhere.New(middlewhere.PaperFloor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	srv := middlewhere.NewRemoteServer(svc)
+	svcAddr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// The daemon registers itself.
+	regClient, err := middlewhere.DialRegistry(regAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer regClient.Close()
+	if err := regClient.Register("location-service", svcAddr, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	// An application discovers the service through the registry.
+	appReg, err := middlewhere.DialRegistry(regAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer appReg.Close()
+	entry, err := appReg.Lookup("location-service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := middlewhere.DialLocation(entry.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+
+	// A separate adapter host connects too.
+	adapterHost, err := middlewhere.DialLocation(entry.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adapterHost.Close()
+	floor := middlewhere.MustParseGLOB("CS/Floor3")
+	ubi, err := middlewhere.NewUbisense("remote-ubi", floor, 0.9,
+		adapterHost, adapterHost, middlewhere.AdapterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The application subscribes, the adapter host reports, the
+	// notification crosses two TCP connections.
+	notified := make(chan middlewhere.NotificationDTO, 4)
+	if _, err := app.Subscribe(middlewhere.SubscribeArgs{
+		Region:  "CS/Floor3/NetLab",
+		MinProb: 0.3,
+	}, func(n middlewhere.NotificationDTO) { notified <- n }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ubi.ReportFix("walker", middlewhere.Pt(370, 15), time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-notified:
+		if n.Object != "walker" {
+			t.Errorf("notification = %+v", n)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("no cross-host notification")
+	}
+
+	// And the application can query.
+	loc, err := app.Locate("walker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Symbolic != "CS/Floor3/NetLab" {
+		t.Errorf("remote locate = %+v", loc)
+	}
+}
+
+// TestSimulatedDeploymentEndToEnd drives the full simulated world into
+// a service through the facade and checks tracking quality, including
+// card readers placed on the paper floor's locked room.
+func TestSimulatedDeploymentEndToEnd(t *testing.T) {
+	bld := middlewhere.PaperFloor()
+	s, err := middlewhere.NewSim(bld, middlewhere.SimConfig{
+		People:   4,
+		Seed:     13,
+		DwellMin: 3 * time.Second,
+		DwellMax: 8 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := middlewhere.New(bld, middlewhere.WithClock(s.Now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	floor := middlewhere.MustParseGLOB("CS/Floor3")
+	ubi, err := middlewhere.NewUbisense("ubi", floor, 1.0, svc, svc, middlewhere.AdapterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	card, err := middlewhere.NewCardReader("card-3105",
+		middlewhere.MustParseGLOB("CS/Floor3/3105"), svc, svc, middlewhere.AdapterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observers := []middlewhere.Observer{
+		middlewhere.NewUbisenseField(ubi, bld.Universe, 1.0, s.Rand()),
+		&middlewhere.CardReaderDoor{Adapter: card, Room: "CS/Floor3/3105"},
+	}
+	correctRoom, total := 0, 0
+	if err := middlewhere.RunSim(s, 200, observers...); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		s.Step()
+		for _, o := range observers {
+			if err := o.Observe(s.Now(), s.People()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%10 != 0 {
+			continue
+		}
+		for _, p := range s.People() {
+			loc, err := svc.LocateObject(p.ID)
+			if err != nil {
+				continue
+			}
+			total++
+			if loc.Symbolic.String() == p.Room {
+				correctRoom++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("nobody located")
+	}
+	acc := float64(correctRoom) / float64(total)
+	if acc < 0.7 {
+		t.Errorf("room accuracy = %.2f (%d/%d)", acc, correctRoom, total)
+	}
+}
+
+// TestSyntheticBuildingFacade checks the synthetic generator through
+// the facade.
+func TestSyntheticBuildingFacade(t *testing.T) {
+	bld := middlewhere.SyntheticBuilding("X", 2, 2, 10, 8, 4)
+	svc, err := middlewhere.New(bld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if got := len(svc.DB().Objects()); got != 1+2+4 {
+		t.Errorf("objects = %d", got)
+	}
+	rt, err := svc.RouteBetween(
+		middlewhere.MustParseGLOB("X/F/r0c0"),
+		middlewhere.MustParseGLOB("X/F/r1c1"),
+		middlewhere.FreeOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.Regions) < 3 {
+		t.Errorf("route = %v", rt.Regions)
+	}
+}
+
+// TestSoakLargeDeployment is a scale check: a 10x10-room floor, 40
+// people, 4 technologies, subscriptions on every room — run for 300
+// simulated seconds and verify the service stays consistent.
+func TestSoakLargeDeployment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	bld := middlewhere.SyntheticBuilding("SOAK", 10, 10, 15, 12, 6)
+	s, err := middlewhere.NewSim(bld, middlewhere.SimConfig{
+		People:   40,
+		Seed:     99,
+		DwellMin: 2 * time.Second,
+		DwellMax: 8 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := middlewhere.New(bld, middlewhere.WithClock(s.Now), middlewhere.WithHistory(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	frame := middlewhere.MustParseGLOB("SOAK/F")
+	ubi, err := middlewhere.NewUbisense("soak-ubi", frame, 0.9, svc, svc, middlewhere.AdapterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var observers []middlewhere.Observer
+	observers = append(observers, middlewhere.NewUbisenseField(ubi, bld.Universe, 0.9, s.Rand()))
+	for i, pos := range []middlewhere.Point{
+		middlewhere.Pt(30, 30), middlewhere.Pt(100, 90), middlewhere.Pt(140, 150),
+	} {
+		rf, err := middlewhere.NewRFID(fmt.Sprintf("soak-rf-%d", i), frame, pos, 25, 0.8,
+			svc, svc, middlewhere.AdapterOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		observers = append(observers, middlewhere.NewRFIDStation(rf, pos, 25, 0.8, s.Rand()))
+	}
+
+	// One entry subscription per room (100 triggers).
+	var notifications int64
+	var mu sync.Mutex
+	for _, room := range bld.Rooms() {
+		g, err := middlewhere.ParseGLOB(room)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := svc.Subscribe(middlewhere.Subscription{
+			Region:  g,
+			MinProb: 0.4,
+			Handler: func(middlewhere.Notification) {
+				mu.Lock()
+				notifications++
+				mu.Unlock()
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i := 0; i < 300; i++ {
+		s.Step()
+		for _, o := range observers {
+			if err := o.Observe(s.Now(), s.People()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Sanity: most people locatable, probabilities sane, notifications
+	// flowed.
+	located := 0
+	for _, p := range s.People() {
+		loc, err := svc.LocateObject(p.ID)
+		if err != nil {
+			continue
+		}
+		located++
+		if loc.Prob < 0 || loc.Prob > 1 {
+			t.Errorf("%s: prob %v", p.ID, loc.Prob)
+		}
+	}
+	if located < 30 {
+		t.Errorf("only %d/40 located", located)
+	}
+	mu.Lock()
+	n := notifications
+	mu.Unlock()
+	if n == 0 {
+		t.Error("no notifications in 300s with 40 people and 100 room triggers")
+	}
+	t.Logf("soak: located %d/40, %d notifications", located, n)
+}
