@@ -1,0 +1,36 @@
+# Development targets. CI (.github/workflows/ci.yml) runs exactly
+# these, so a green `make check` locally means a green pipeline.
+
+GO ?= go
+
+.PHONY: build test race bench vet fmt fmt-write check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration per benchmark: a smoke run that keeps bench_test.go and
+# internal/bench compiling and executable without burning CI minutes.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails when any file needs reformatting (the CI gate).
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Rewrites files in place (the local fix for a failing fmt gate).
+fmt-write:
+	gofmt -l -w .
+
+check: build vet fmt test race bench

@@ -1,0 +1,229 @@
+package building
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"middlewhere/internal/geom"
+	"middlewhere/internal/rcc"
+	"middlewhere/internal/topo"
+)
+
+func TestPaperFloorMaterializes(t *testing.T) {
+	b := PaperFloor()
+	db, err := b.NewDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(db.Objects()); got != len(b.Objects) {
+		t.Errorf("db has %d objects, building declares %d", got, len(b.Objects))
+	}
+	if !db.Universe().Eq(geom.R(0, 0, 500, 100)) {
+		t.Errorf("universe = %v", db.Universe())
+	}
+	if got := b.Rooms(); !reflect.DeepEqual(got, []string{
+		"CS/Floor3/3105", "CS/Floor3/HCILab", "CS/Floor3/NetLab",
+	}) {
+		t.Errorf("rooms = %v", got)
+	}
+}
+
+func TestPaperFloorRoomsDisjoint(t *testing.T) {
+	b := PaperFloor()
+	db, err := b.NewDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var regions []struct {
+		id string
+		r  geom.Rect
+	}
+	for _, o := range db.Objects() {
+		if o.Type == TypeRoom || o.Type == TypeCorridor {
+			regions = append(regions, struct {
+				id string
+				r  geom.Rect
+			}{o.GLOB.String(), o.Bounds})
+		}
+	}
+	for i := 0; i < len(regions); i++ {
+		for j := i + 1; j < len(regions); j++ {
+			if regions[i].r.Overlaps(regions[j].r) {
+				t.Errorf("%s and %s share interior area", regions[i].id, regions[j].id)
+			}
+		}
+	}
+}
+
+func TestPaperFloorEveryRegionReachable(t *testing.T) {
+	b := PaperFloor()
+	g, err := b.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := g.Regions()
+	if len(all) != 5 {
+		t.Fatalf("regions = %d, want 5 (3 rooms + 2 corridors)", len(all))
+	}
+	reach, err := g.Reachable(all[0].ID, topo.AllowRestricted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reach) != len(all) {
+		t.Errorf("only %d of %d regions reachable: %v", len(reach), len(all), reach)
+	}
+	// The locked office must not be reachable without a badge.
+	free, err := g.Reachable("CS/Floor3/NetLab", topo.FreeOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range free {
+		if id == "CS/Floor3/3105" {
+			t.Error("3105 reachable through free passages")
+		}
+	}
+}
+
+func TestSyntheticShape(t *testing.T) {
+	b := Synthetic("G", 3, 4, 10, 8, 4)
+	if want := geom.R(0, 0, 40, 36); !b.Universe.Eq(want) {
+		t.Errorf("universe = %v, want %v", b.Universe, want)
+	}
+	if got, want := len(b.Objects), 1+3+12; got != want {
+		t.Errorf("objects = %d, want %d", got, want)
+	}
+	if got := len(b.Rooms()); got != 12 {
+		t.Errorf("rooms = %d", got)
+	}
+	g, err := b.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reach, err := g.Reachable("G/F/r0c0", topo.FreeOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(reach), 15; got != want {
+		t.Errorf("reachable = %d regions, want %d", got, want)
+	}
+	// Regions tile the universe: total region area == universe area.
+	var sum float64
+	for _, r := range g.Regions() {
+		sum += r.Rect.Area()
+	}
+	if diff := sum - b.Universe.Area(); diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("region area %v != universe area %v", sum, b.Universe.Area())
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic("D", 2, 3, 20, 15, 8)
+	b := Synthetic("D", 2, 3, 20, 15, 8)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same arguments produced different plans")
+	}
+}
+
+func TestMultiStorey(t *testing.T) {
+	b := MultiStorey("T", 3, 2, 2, 10, 8, 4)
+	if want := geom.R(0, 0, 20, 72); !b.Universe.Eq(want) {
+		t.Errorf("universe = %v, want %v", b.Universe, want)
+	}
+	// Per floor: 1 floor object + 2 corridors + 4 rooms.
+	if got, want := len(b.Objects), 3*(1+2+4); got != want {
+		t.Errorf("objects = %d, want %d", got, want)
+	}
+	g, err := b.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stairwells connect the storeys: the whole building is one free
+	// component.
+	reach, err := g.Reachable("T/F0/r0c0", topo.FreeOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(reach), 3*(2+4); got != want {
+		t.Errorf("reachable = %d regions, want %d", got, want)
+	}
+	// Floor frames offset room geometry: the same local room on floor 2
+	// sits 48 units above its floor-0 twin.
+	r0, ok := g.Region("T/F0/r0c0")
+	if !ok {
+		t.Fatal("missing T/F0/r0c0")
+	}
+	r2, ok := g.Region("T/F2/r0c0")
+	if !ok {
+		t.Fatal("missing T/F2/r0c0")
+	}
+	if want := geom.R(r0.Rect.Min.X, r0.Rect.Min.Y+48, r0.Rect.Max.X, r0.Rect.Max.Y+48); !r2.Rect.Eq(want) {
+		t.Errorf("floor-2 room = %v, want %v", r2.Rect, want)
+	}
+
+	if !reflect.DeepEqual(b, MultiStorey("T", 3, 2, 2, 10, 8, 4)) {
+		t.Error("same arguments produced different plans")
+	}
+}
+
+func TestPlanRoundTrip(t *testing.T) {
+	orig := PaperFloor()
+	var buf bytes.Buffer
+	if err := orig.SavePlan(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPlan(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Errorf("round trip changed the building:\norig %+v\ngot  %+v", orig, got)
+	}
+	// The reloaded building materializes identically.
+	db, err := got.NewDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Objects()) != len(orig.Objects) {
+		t.Errorf("reloaded db has %d objects", len(db.Objects()))
+	}
+}
+
+func TestLoadPlanErrors(t *testing.T) {
+	cases := map[string]string{
+		"truncated":      `{`,
+		"missing name":   `{"universe":{"minX":0,"minY":0,"maxX":10,"maxY":10},"frames":[{"name":"B"}]}`,
+		"no frames":      `{"name":"B","universe":{"minX":0,"minY":0,"maxX":10,"maxY":10}}`,
+		"empty universe": `{"name":"B","universe":{"minX":0,"minY":0,"maxX":0,"maxY":0},"frames":[{"name":"B"}]}`,
+		"bad geometry kind": `{"name":"B","universe":{"minX":0,"minY":0,"maxX":10,"maxY":10},
+			"frames":[{"name":"B"}],
+			"objects":[{"glob":"B/room","type":"Room","kind":"blob","points":[[0,0],[1,0],[1,1],[0,1]]}]}`,
+		"bad door kind": `{"name":"B","universe":{"minX":0,"minY":0,"maxX":10,"maxY":10},
+			"frames":[{"name":"B"}],
+			"objects":[{"glob":"B/room","type":"Room","kind":"polygon","points":[[0,0],[1,0],[1,1],[0,1]]}],
+			"doors":[{"roomA":"B/room","roomB":"B/room","span":[0,0,1,0],"kind":"revolving"}]}`,
+		"door to unknown region": `{"name":"B","universe":{"minX":0,"minY":0,"maxX":10,"maxY":10},
+			"frames":[{"name":"B"}],
+			"objects":[{"glob":"B/room","type":"Room","kind":"polygon","points":[[0,0],[1,0],[1,1],[0,1]]}],
+			"doors":[{"roomA":"B/room","roomB":"B/ghost","span":[0,0,1,0],"kind":"free"}]}`,
+		"unknown frame parent": `{"name":"B","universe":{"minX":0,"minY":0,"maxX":10,"maxY":10},
+			"frames":[{"name":"B"},{"name":"B/f","parent":"B/ghost"}]}`,
+	}
+	for name, plan := range cases {
+		if _, err := LoadPlan(strings.NewReader(plan)); err == nil {
+			t.Errorf("%s: LoadPlan accepted a bad plan", name)
+		}
+	}
+}
+
+func TestGraphRejectsDoorToUnknownRegion(t *testing.T) {
+	b := Synthetic("Z", 1, 1, 10, 8, 4)
+	b.Doors = append(b.Doors, DoorSpec{
+		RoomA: "Z/F/r0c0", RoomB: "Z/F/nowhere",
+		Span: geom.Seg(geom.Pt(0, 0), geom.Pt(1, 0)), Kind: rcc.PassageFree,
+	})
+	if _, err := b.Graph(); err == nil {
+		t.Error("Graph accepted a door to an unknown region")
+	}
+}

@@ -1,0 +1,63 @@
+package building
+
+import (
+	"middlewhere/internal/geom"
+	"middlewhere/internal/rcc"
+)
+
+// PaperFloor returns the CS-building 3rd-floor model of the paper's
+// Figure 5 / Table 1: the NetLab, the HCI lab, office 3105 behind a
+// card-locked door, the main corridor spine, and the short lab
+// corridor, plus the static objects (two wall displays and a light
+// switch) the usage-relation examples reason about.
+//
+// The frame tree exercises §3's hierarchical coordinate systems: the
+// floor frame is the building frame, and the NetLab has its own local
+// frame with origin at the room's south-west corner, so objects inside
+// it are specified in room-local coordinates.
+func PaperFloor() *Building {
+	b := &Building{
+		Name:     "CS",
+		Universe: geom.R(0, 0, 500, 100),
+		Frames: []FrameSpec{
+			{Name: "CS"},
+			{Name: "CS/Floor3", Parent: "CS"},
+			{Name: "CS/Floor3/NetLab", Parent: "CS/Floor3", Origin: geom.Pt(360, 0)},
+		},
+	}
+
+	b.addPolygon("CS/Floor3", TypeFloor, geom.R(0, 0, 500, 100), nil)
+	b.addPolygon("CS/Floor3/3105", TypeRoom, geom.R(320, 0, 350, 30), nil)
+	b.addPolygon("CS/Floor3/NetLab", TypeRoom, geom.R(360, 0, 380, 30),
+		map[string]string{"power-outlets": "yes", "bluetooth": "high"})
+	b.addPolygon("CS/Floor3/HCILab", TypeRoom, geom.R(380, 0, 410, 30), nil)
+	b.addPolygon("CS/Floor3/MainCorridor", TypeCorridor, geom.R(0, 30, 500, 45), nil)
+	b.addPolygon("CS/Floor3/LabCorridor", TypeCorridor, geom.R(350, 0, 360, 30), nil)
+
+	// display1 hangs on the NetLab's south wall and is specified in the
+	// NetLab's local frame: local x 2..8 resolves to universe x 362..368.
+	b.addLine("CS/Floor3/NetLab/display1", TypeDisplay,
+		geom.Seg(geom.Pt(2, 0), geom.Pt(8, 0)),
+		map[string]string{"usage-radius": "6"})
+	// display2 is in the HCI lab, which has no local frame, so its
+	// geometry is floor-frame.
+	b.addLine("CS/Floor3/HCILab/display2", TypeDisplay,
+		geom.Seg(geom.Pt(400, 0), geom.Pt(406, 0)),
+		map[string]string{"usage-radius": "6"})
+	// The light switch has no usage region configured.
+	b.addPoint("CS/Floor3/3105/lightswitch1", TypeSwitch, geom.Pt(322, 2), nil)
+
+	// Doors. Every room opens onto the main corridor; 3105 is behind a
+	// card reader (restricted passage). The lab corridor joins the main
+	// corridor but is walled off from the adjacent rooms.
+	b.addDoor("CS/Floor3/NetLab", "CS/Floor3/MainCorridor",
+		geom.Seg(geom.Pt(368, 30), geom.Pt(372, 30)), rcc.PassageFree)
+	b.addDoor("CS/Floor3/HCILab", "CS/Floor3/MainCorridor",
+		geom.Seg(geom.Pt(393, 30), geom.Pt(397, 30)), rcc.PassageFree)
+	b.addDoor("CS/Floor3/3105", "CS/Floor3/MainCorridor",
+		geom.Seg(geom.Pt(333, 30), geom.Pt(337, 30)), rcc.PassageRestricted)
+	b.addDoor("CS/Floor3/LabCorridor", "CS/Floor3/MainCorridor",
+		geom.Seg(geom.Pt(353, 30), geom.Pt(357, 30)), rcc.PassageFree)
+
+	return b
+}

@@ -1,0 +1,226 @@
+package building
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"middlewhere/internal/geom"
+	"middlewhere/internal/glob"
+	"middlewhere/internal/rcc"
+	"middlewhere/internal/spatialdb"
+)
+
+// ErrBadPlan reports an invalid floor-plan file.
+var ErrBadPlan = errors.New("building: bad plan")
+
+// The JSON floor-plan format. One file describes one building:
+//
+//	{
+//	  "name": "UIUC",
+//	  "universe": {"minX": 0, "minY": 0, "maxX": 200, "maxY": 60},
+//	  "frames": [
+//	    {"name": "UIUC"},
+//	    {"name": "UIUC/CS", "parent": "UIUC", "x": 100}
+//	  ],
+//	  "objects": [
+//	    {"glob": "UIUC/CS/hall", "type": "Corridor", "kind": "polygon",
+//	     "points": [[0,0],[30,0],[30,60],[0,60]],
+//	     "properties": {"power-outlets": "yes"}}
+//	  ],
+//	  "doors": [
+//	    {"roomA": "UIUC/quad", "roomB": "UIUC/CS/hall",
+//	     "span": [100, 28, 100, 32], "kind": "free"}
+//	  ]
+//	}
+//
+// Frames are named by GLOB path; a frame without a parent is a root,
+// and x/y/theta/scale give its transform in the parent frame. Object
+// points are local to the deepest declared frame of the object's GLOB
+// prefix; door spans are universe coordinates; door kinds are "free"
+// and "restricted".
+type planFile struct {
+	Name     string       `json:"name"`
+	Universe planRect     `json:"universe"`
+	Frames   []planFrame  `json:"frames"`
+	Objects  []planObject `json:"objects"`
+	Doors    []planDoor   `json:"doors,omitempty"`
+}
+
+type planRect struct {
+	MinX float64 `json:"minX"`
+	MinY float64 `json:"minY"`
+	MaxX float64 `json:"maxX"`
+	MaxY float64 `json:"maxY"`
+}
+
+type planFrame struct {
+	Name   string  `json:"name"`
+	Parent string  `json:"parent,omitempty"`
+	X      float64 `json:"x,omitempty"`
+	Y      float64 `json:"y,omitempty"`
+	Theta  float64 `json:"theta,omitempty"`
+	Scale  float64 `json:"scale,omitempty"`
+}
+
+type planObject struct {
+	GLOB       string            `json:"glob"`
+	Type       string            `json:"type"`
+	Kind       string            `json:"kind"`
+	Points     [][2]float64      `json:"points"`
+	Properties map[string]string `json:"properties,omitempty"`
+}
+
+type planDoor struct {
+	RoomA string     `json:"roomA"`
+	RoomB string     `json:"roomB"`
+	Span  [4]float64 `json:"span"`
+	Kind  string     `json:"kind"`
+}
+
+// geometry kind names used in plan files.
+var kindNames = map[glob.Kind]string{
+	glob.KindSymbolic: "symbolic",
+	glob.KindPoint:    "point",
+	glob.KindLine:     "line",
+	glob.KindPolygon:  "polygon",
+}
+
+func kindFromName(s string) (glob.Kind, error) {
+	for k, name := range kindNames {
+		if name == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: unknown geometry kind %q", ErrBadPlan, s)
+}
+
+// passage kind names used in plan files.
+var passageNames = map[rcc.Passage]string{
+	rcc.PassageNone:       "none",
+	rcc.PassageRestricted: "restricted",
+	rcc.PassageFree:       "free",
+}
+
+func passageFromName(s string) (rcc.Passage, error) {
+	for p, name := range passageNames {
+		if name == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: unknown door kind %q", ErrBadPlan, s)
+}
+
+// LoadPlan parses a JSON floor plan into a Building and validates it
+// end to end: the frame tree must build, every object must insert into
+// a spatial database, and every door must reference a known region.
+func LoadPlan(r io.Reader) (*Building, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var pf planFile
+	if err := dec.Decode(&pf); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPlan, err)
+	}
+	if pf.Name == "" {
+		return nil, fmt.Errorf("%w: missing building name", ErrBadPlan)
+	}
+	if len(pf.Frames) == 0 {
+		return nil, fmt.Errorf("%w: no frames", ErrBadPlan)
+	}
+	b := &Building{
+		Name:     pf.Name,
+		Universe: geom.R(pf.Universe.MinX, pf.Universe.MinY, pf.Universe.MaxX, pf.Universe.MaxY),
+	}
+	if b.Universe.Area() <= 0 {
+		return nil, fmt.Errorf("%w: empty universe", ErrBadPlan)
+	}
+	for _, f := range pf.Frames {
+		b.Frames = append(b.Frames, FrameSpec{
+			Name: f.Name, Parent: f.Parent,
+			Origin: geom.Pt(f.X, f.Y), Theta: f.Theta, Scale: f.Scale,
+		})
+	}
+	for _, o := range pf.Objects {
+		g, err := glob.Parse(o.GLOB)
+		if err != nil {
+			return nil, fmt.Errorf("%w: object glob %q: %v", ErrBadPlan, o.GLOB, err)
+		}
+		kind, err := kindFromName(o.Kind)
+		if err != nil {
+			return nil, err
+		}
+		pts := make([]geom.Point, len(o.Points))
+		for i, p := range o.Points {
+			pts[i] = geom.Pt(p[0], p[1])
+		}
+		b.Objects = append(b.Objects, spatialdb.Object{
+			GLOB: g, Type: o.Type, Kind: kind,
+			LocalPoints: pts, Properties: o.Properties,
+		})
+	}
+	for _, d := range pf.Doors {
+		kind, err := passageFromName(d.Kind)
+		if err != nil {
+			return nil, err
+		}
+		b.Doors = append(b.Doors, DoorSpec{
+			RoomA: d.RoomA, RoomB: d.RoomB,
+			Span: geom.Seg(geom.Pt(d.Span[0], d.Span[1]), geom.Pt(d.Span[2], d.Span[3])),
+			Kind: kind,
+		})
+	}
+	// Validate by materializing once: Graph builds the database too, so
+	// this catches bad frames, bad geometry, duplicates, and doors that
+	// reference unknown regions.
+	if _, err := b.Graph(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPlan, err)
+	}
+	return b, nil
+}
+
+// SavePlan writes the building as an indented JSON floor plan that
+// LoadPlan parses back into an identical Building.
+func (b *Building) SavePlan(w io.Writer) error {
+	pf := planFile{
+		Name: b.Name,
+		Universe: planRect{
+			MinX: b.Universe.Min.X, MinY: b.Universe.Min.Y,
+			MaxX: b.Universe.Max.X, MaxY: b.Universe.Max.Y,
+		},
+	}
+	for _, f := range b.Frames {
+		pf.Frames = append(pf.Frames, planFrame{
+			Name: f.Name, Parent: f.Parent,
+			X: f.Origin.X, Y: f.Origin.Y, Theta: f.Theta, Scale: f.Scale,
+		})
+	}
+	for _, o := range b.Objects {
+		name, ok := kindNames[o.Kind]
+		if !ok {
+			return fmt.Errorf("%w: object %s has unknown geometry kind %v", ErrBadPlan, o.GLOB, o.Kind)
+		}
+		pts := make([][2]float64, len(o.LocalPoints))
+		for i, p := range o.LocalPoints {
+			pts[i] = [2]float64{p.X, p.Y}
+		}
+		pf.Objects = append(pf.Objects, planObject{
+			GLOB: o.GLOB.String(), Type: o.Type, Kind: name,
+			Points: pts, Properties: o.Properties,
+		})
+	}
+	for _, d := range b.Doors {
+		name, ok := passageNames[d.Kind]
+		if !ok {
+			return fmt.Errorf("%w: door %s-%s has unknown kind %v", ErrBadPlan, d.RoomA, d.RoomB, d.Kind)
+		}
+		pf.Doors = append(pf.Doors, planDoor{
+			RoomA: d.RoomA, RoomB: d.RoomB,
+			Span: [4]float64{d.Span.A.X, d.Span.A.Y, d.Span.B.X, d.Span.B.Y},
+			Kind: name,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(pf)
+}

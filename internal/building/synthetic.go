@@ -1,0 +1,108 @@
+package building
+
+import (
+	"fmt"
+	"math"
+
+	"middlewhere/internal/geom"
+	"middlewhere/internal/rcc"
+)
+
+// Synthetic generates a deterministic rows x cols grid floor for
+// experiments and load tests. Each row holds cols rooms of size
+// roomW x roomH with a full-width corridor of height corridorH above
+// it; the corridor of row i also serves the rooms of row i+1, so the
+// whole floor is connected through free doors. The plan tiles the
+// universe exactly: width cols*roomW, height rows*(roomH+corridorH).
+//
+// GLOBs follow the pattern NAME/F (floor, also the floor frame),
+// NAME/F/corridor{i}, and NAME/F/r{i}c{j}. The same arguments always
+// produce an identical plan.
+func Synthetic(name string, rows, cols int, roomW, roomH, corridorH float64) *Building {
+	floorGLOB := name + "/F"
+	rowH := roomH + corridorH
+	b := &Building{
+		Name:     name,
+		Universe: geom.R(0, 0, float64(cols)*roomW, float64(rows)*rowH),
+		Frames: []FrameSpec{
+			{Name: name},
+			{Name: floorGLOB, Parent: name},
+		},
+	}
+	b.addPolygon(floorGLOB, TypeFloor, b.Universe, nil)
+	buildGridFloor(b, floorGLOB, rows, cols, roomW, roomH, corridorH, 0)
+	return b
+}
+
+// MultiStorey generates a building of identical Synthetic-style grid
+// floors stacked vertically, each in its own coordinate frame
+// NAME/F{k} (origin at the floor's south-west corner in the building
+// frame), joined by free stairwell doors between the top corridor of
+// one floor and the bottom corridor of the next. It exercises the
+// GLOB hierarchy and the frame tree at depth: room geometry is
+// floor-local and only resolves to universe coordinates through the
+// per-floor transform.
+func MultiStorey(name string, floors, rows, cols int, roomW, roomH, corridorH float64) *Building {
+	rowH := roomH + corridorH
+	floorH := float64(rows) * rowH
+	width := float64(cols) * roomW
+	b := &Building{
+		Name:     name,
+		Universe: geom.R(0, 0, width, float64(floors)*floorH),
+		Frames:   []FrameSpec{{Name: name}},
+	}
+	for k := 0; k < floors; k++ {
+		floorGLOB := fmt.Sprintf("%s/F%d", name, k)
+		yOff := float64(k) * floorH
+		b.Frames = append(b.Frames, FrameSpec{
+			Name: floorGLOB, Parent: name, Origin: geom.Pt(0, yOff),
+		})
+		// The floor object's prefix frame is the building root, so its
+		// geometry is universe-frame; the rooms below are floor-local.
+		b.addPolygon(floorGLOB, TypeFloor, geom.R(0, yOff, width, yOff+floorH), nil)
+		buildGridFloor(b, floorGLOB, rows, cols, roomW, roomH, corridorH, yOff)
+		if k > 0 {
+			// Stairwell joining the previous floor's top corridor to this
+			// floor's bottom corridor, at the floors' shared boundary.
+			b.addDoor(
+				fmt.Sprintf("%s/F%d/corridor%d", name, k-1, rows-1),
+				fmt.Sprintf("%s/corridor0", floorGLOB),
+				geom.Seg(geom.Pt(0, yOff), geom.Pt(2, yOff)),
+				rcc.PassageFree)
+		}
+	}
+	return b
+}
+
+// buildGridFloor appends the rooms, corridors, and doors of one grid
+// floor under floorGLOB. Object geometry is expressed in the floor's
+// local frame; door spans are universe-frame, offset by yOff (zero for
+// single-floor buildings whose floor frame is the identity).
+func buildGridFloor(b *Building, floorGLOB string, rows, cols int, roomW, roomH, corridorH float64, yOff float64) {
+	rowH := roomH + corridorH
+	width := float64(cols) * roomW
+	halfSpan := math.Min(1.5, roomW/4)
+	for i := 0; i < rows; i++ {
+		y0 := float64(i) * rowH
+		corridor := fmt.Sprintf("%s/corridor%d", floorGLOB, i)
+		b.addPolygon(corridor, TypeCorridor, geom.R(0, y0+roomH, width, y0+rowH), nil)
+		for j := 0; j < cols; j++ {
+			x0 := float64(j) * roomW
+			room := fmt.Sprintf("%s/r%dc%d", floorGLOB, i, j)
+			b.addPolygon(room, TypeRoom, geom.R(x0, y0, x0+roomW, y0+roomH), nil)
+			cx := x0 + roomW/2
+			// Door on the room's shared edge with its row corridor.
+			b.addDoor(room, corridor,
+				geom.Seg(geom.Pt(cx-halfSpan, yOff+y0+roomH), geom.Pt(cx+halfSpan, yOff+y0+roomH)),
+				rcc.PassageFree)
+			if i > 0 {
+				// The corridor below also opens into this room through the
+				// rooms' bottom edge.
+				below := fmt.Sprintf("%s/corridor%d", floorGLOB, i-1)
+				b.addDoor(below, room,
+					geom.Seg(geom.Pt(cx-halfSpan, yOff+y0), geom.Pt(cx+halfSpan, yOff+y0)),
+					rcc.PassageFree)
+			}
+		}
+	}
+}

@@ -196,12 +196,18 @@ type pqItem struct {
 	dist float64
 	prev int // index into the visited list, -1 for the source
 	self int // index of this item in the visited list when popped
+	seq  int // insertion order, breaks distance ties deterministically
 }
 
 type priorityQueue []*pqItem
 
-func (q priorityQueue) Len() int            { return len(q) }
-func (q priorityQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q priorityQueue) Len() int { return len(q) }
+func (q priorityQueue) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	return q[i].seq < q[j].seq
+}
 func (q priorityQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
 func (q *priorityQueue) Push(x interface{}) { *q = append(*q, x.(*pqItem)) }
 func (q *priorityQueue) Pop() interface{} {
@@ -232,6 +238,7 @@ func (g *Graph) ShortestRoute(from, to string, policy TraversalPolicy) (Route, e
 	var visited []*pqItem
 	bestDist := make(map[searchNode]float64)
 	pq := &priorityQueue{}
+	seq := 0
 	start := &pqItem{node: searchNode{region: from, at: src.Rect.Center()}, dist: 0, prev: -1}
 	heap.Push(pq, start)
 	bestDist[start.node] = 0
@@ -250,8 +257,15 @@ func (g *Graph) ShortestRoute(from, to string, policy TraversalPolicy) (Route, e
 			return g.assembleRoute(visited, cur, dst, total), nil
 		}
 
-		for next, doors := range g.doors[cur.node.region] {
-			for _, d := range doors {
+		// Expand neighbours in sorted order so equal-cost ties always
+		// resolve the same way (map iteration order is randomized).
+		neighbours := make([]string, 0, len(g.doors[cur.node.region]))
+		for next := range g.doors[cur.node.region] {
+			neighbours = append(neighbours, next)
+		}
+		sort.Strings(neighbours)
+		for _, next := range neighbours {
+			for _, d := range g.doors[cur.node.region][next] {
 				if !policy.passable(d) {
 					continue
 				}
@@ -260,7 +274,8 @@ func (g *Graph) ShortestRoute(from, to string, policy TraversalPolicy) (Route, e
 				nd := cur.dist + cur.node.at.Dist(mid)
 				if old, ok := bestDist[nn]; !ok || nd < old-geom.Eps {
 					bestDist[nn] = nd
-					heap.Push(pq, &pqItem{node: nn, dist: nd, prev: cur.self})
+					seq++
+					heap.Push(pq, &pqItem{node: nn, dist: nd, prev: cur.self, seq: seq})
 				}
 			}
 		}
