@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench vet fmt fmt-write check
+.PHONY: build test race bench vet fmt fmt-write chaos check
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,12 @@ bench:
 vet:
 	$(GO) vet ./...
 
+# Fault-injection suite: the faultnet harness plus the chaos tests
+# that drive the remote stack through it, under the race detector.
+chaos:
+	$(GO) test -race -count=1 ./internal/faultnet/
+	$(GO) test -race -count=1 -run '^TestChaos' -v ./internal/remote/
+
 # Fails when any file needs reformatting (the CI gate).
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -33,4 +39,4 @@ fmt:
 fmt-write:
 	gofmt -l -w .
 
-check: build vet fmt test race bench
+check: build vet fmt test race bench chaos

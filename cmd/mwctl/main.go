@@ -11,6 +11,8 @@
 //	mwctl -addr localhost:7700 relate CS/Floor3/NetLab CS/Floor3/MainCorridor
 //	mwctl -addr localhost:7700 ingest ubi-1 alice 'CS/Floor3/(370,15)'
 //	mwctl -addr localhost:7700 query "SELECT objects WHERE type = 'Room'"
+//	mwctl -addr localhost:7700 health
+//	mwctl -addr localhost:7700 -retries 8 -timeout 3s locate alice
 //	mwctl -registry localhost:7600 locate alice
 package main
 
@@ -31,16 +33,22 @@ func main() {
 		addr    = flag.String("addr", "", "location service address")
 		regAddr = flag.String("registry", "", "registry address (looks up -name instead of -addr)")
 		name    = flag.String("name", "location-service", "service name for registry lookup")
+		retries = flag.Int("retries", 0, "dial/reconnect attempts per round (0 = default)")
+		timeout = flag.Duration("timeout", 0, "per-call RPC timeout (0 = default)")
 	)
 	flag.Parse()
-	if err := run(*addr, *regAddr, *name, flag.Args()); err != nil {
+	opts := middlewhere.RemoteDialOptions{
+		DialAttempts: *retries,
+		CallTimeout:  *timeout,
+	}
+	if err := run(*addr, *regAddr, *name, opts, flag.Args()); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, regAddr, name string, args []string) error {
+func run(addr, regAddr, name string, opts middlewhere.RemoteDialOptions, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: mwctl [flags] <locate|prob|who|watch|route|relate|query|dist|history|ingest> ...")
+		return fmt.Errorf("usage: mwctl [flags] <locate|prob|who|watch|route|relate|query|dist|history|ingest|health> ...")
 	}
 	if addr == "" && regAddr != "" {
 		reg, err := middlewhere.DialRegistry(regAddr)
@@ -57,7 +65,7 @@ func run(addr, regAddr, name string, args []string) error {
 	if addr == "" {
 		return fmt.Errorf("need -addr or -registry")
 	}
-	c, err := middlewhere.DialLocation(addr)
+	c, err := middlewhere.DialLocationOptions(addr, opts)
 	if err != nil {
 		return err
 	}
@@ -225,6 +233,22 @@ func run(addr, regAddr, name string, args []string) error {
 			DetectionRadius: radius,
 			Time:            time.Now(),
 		})
+	case "health":
+		if len(rest) != 0 {
+			return fmt.Errorf("usage: health")
+		}
+		h, err := c.ServerHealth()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("server: %s up=%s ingested=%d notifications=%d subs=%d sensors=%d queue=%d/%d\n",
+			h.Status, (time.Duration(h.UptimeSeconds * float64(time.Second))).Round(time.Second),
+			h.Ingested, h.Notifications, h.Subscriptions, h.Sensors, h.QueueDepth, h.QueueCap)
+		ch := c.Health()
+		fmt.Printf("client: %s conn=%s reconnects=%d malformed=%d deduped=%d sensors=%d subs=%d\n",
+			ch.State, ch.Conn, ch.Reconnects, ch.MalformedNotifications, ch.DedupedNotifications,
+			ch.Sensors, ch.Subscriptions)
+		return nil
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}

@@ -51,7 +51,7 @@ func TestMwctlCommands(t *testing.T) {
 	_, svcAddr := startDeployment(t)
 
 	// Feed a reading first.
-	if err := run(svcAddr, "", "", []string{
+	if err := run(svcAddr, "", "", middlewhere.RemoteDialOptions{}, []string{
 		"ingest", "test-ubi", "alice", "CS/Floor3/(370,15)", "0.5"}); err != nil {
 		t.Fatalf("ingest: %v", err)
 	}
@@ -64,9 +64,10 @@ func TestMwctlCommands(t *testing.T) {
 		{"query", "SELECT objects WHERE type = 'Room'"},
 		{"dist", "alice"},
 		{"history", "alice"},
+		{"health"},
 	}
 	for _, args := range tests {
-		if err := run(svcAddr, "", "", args); err != nil {
+		if err := run(svcAddr, "", "", middlewhere.RemoteDialOptions{}, args); err != nil {
 			t.Errorf("%v: %v", args, err)
 		}
 	}
@@ -74,12 +75,12 @@ func TestMwctlCommands(t *testing.T) {
 
 func TestMwctlRegistryLookup(t *testing.T) {
 	regAddr, _ := startDeployment(t)
-	if err := run("", regAddr, "location-service", []string{
+	if err := run("", regAddr, "location-service", middlewhere.RemoteDialOptions{}, []string{
 		"relate", "CS/Floor3/NetLab", "CS/Floor3/MainCorridor"}); err != nil {
 		t.Fatalf("registry-resolved command: %v", err)
 	}
 	// Unknown service name.
-	err := run("", regAddr, "no-such-service", []string{"locate", "x"})
+	err := run("", regAddr, "no-such-service", middlewhere.RemoteDialOptions{}, []string{"locate", "x"})
 	if err == nil || !strings.Contains(err.Error(), "not found") {
 		t.Errorf("err = %v", err)
 	}
@@ -101,16 +102,17 @@ func TestMwctlUsageErrors(t *testing.T) {
 		{[]string{"dist"}, "usage: dist"},
 		{[]string{"history"}, "usage: history"},
 		{[]string{"ingest", "a", "b"}, "usage: ingest"},
+		{[]string{"health", "x"}, "usage: health"},
 		{[]string{"frobnicate"}, "unknown command"},
 	}
 	for _, tt := range tests {
-		err := run(svcAddr, "", "", tt.args)
+		err := run(svcAddr, "", "", middlewhere.RemoteDialOptions{}, tt.args)
 		if err == nil || !strings.Contains(err.Error(), tt.frag) {
 			t.Errorf("%v: err = %v, want %q", tt.args, err, tt.frag)
 		}
 	}
 	// No address at all.
-	if err := run("", "", "", []string{"locate", "x"}); err == nil {
+	if err := run("", "", "", middlewhere.RemoteDialOptions{}, []string{"locate", "x"}); err == nil {
 		t.Error("missing address should fail")
 	}
 }

@@ -72,7 +72,13 @@ type Base struct {
 
 	mu       sync.Mutex
 	lastSent map[string]time.Time
-	closed   bool
+	// lastPrune is when lastSent was last swept; entries older than a
+	// few MinIntervals are dead weight (the next reading for that
+	// object passes the rate limit regardless), so they are pruned
+	// rather than accumulated forever — one entry per mobile object ID
+	// ever seen would otherwise grow without bound.
+	lastPrune time.Time
+	closed    bool
 
 	// Forwarded/Dropped count emitted and suppressed readings (for
 	// diagnostics and the adapter tests).
@@ -125,6 +131,26 @@ func (b *Base) Close() {
 	b.closed = true
 }
 
+// pruneRetention is how many MinIntervals a rate-limiter entry
+// survives without a new reading before it is swept.
+const pruneRetention = 4
+
+// pruneLastSent sweeps rate-limiter entries that can no longer
+// suppress anything. Called with b.mu held; runs at most once per
+// MinInterval, so its cost amortizes to O(1) per emit.
+func (b *Base) pruneLastSent(now time.Time) {
+	if now.Sub(b.lastPrune) < b.opts.MinInterval {
+		return
+	}
+	b.lastPrune = now
+	horizon := pruneRetention * b.opts.MinInterval
+	for id, last := range b.lastSent {
+		if now.Sub(last) > horizon {
+			delete(b.lastSent, id)
+		}
+	}
+}
+
 // emit applies filtering and rate limiting, stamps the adapter
 // identity, and forwards the reading to the sink.
 func (b *Base) emit(r model.Reading) error {
@@ -149,6 +175,7 @@ func (b *Base) emit(r model.Reading) error {
 			return nil
 		}
 		b.lastSent[r.MObjectID] = now
+		b.pruneLastSent(now)
 	}
 	b.forwarded++
 	b.mu.Unlock()

@@ -1,0 +1,297 @@
+// Graceful degradation for adapters whose sink is remote: when the
+// Location Service is unreachable, readings buffer locally (bounded,
+// with an explicit drop policy) instead of erroring back into device
+// code, a circuit breaker quarantines a persistently failing sink so
+// every emit doesn't pay a timeout, and a Healthy/Degraded/Down state
+// summarizes the pipeline for operators (surfaced through mwctl).
+package adapter
+
+import (
+	"sync"
+	"time"
+
+	"middlewhere/internal/core"
+	"middlewhere/internal/model"
+)
+
+// DropPolicy says which reading to discard when the buffer is full.
+type DropPolicy int
+
+// Drop policies.
+const (
+	// DropOldest discards the oldest buffered reading (prefer fresh
+	// data — the right default for location fixes, where a newer
+	// reading supersedes an older one anyway).
+	DropOldest DropPolicy = iota
+	// DropNewest discards the incoming reading (preserve history).
+	DropNewest
+)
+
+// ResilientOptions tunes a ResilientSink. The zero value is usable.
+type ResilientOptions struct {
+	// BufferSize bounds the number of readings held while the sink is
+	// down (default 256).
+	BufferSize int
+	// Policy picks the victim when the buffer overflows.
+	Policy DropPolicy
+	// FailureThreshold is how many consecutive delivery failures open
+	// the circuit breaker (default 3).
+	FailureThreshold int
+	// Cooldown is how long an open breaker quarantines the sink before
+	// probing it again (default 1s).
+	Cooldown time.Duration
+	// RetryInterval paces drain attempts while readings are buffered
+	// and the breaker is closed (default 50ms).
+	RetryInterval time.Duration
+	// Clock supplies time (tests); defaults to time.Now.
+	Clock func() time.Time
+}
+
+func (o ResilientOptions) withDefaults() ResilientOptions {
+	if o.BufferSize <= 0 {
+		o.BufferSize = 256
+	}
+	if o.FailureThreshold <= 0 {
+		o.FailureThreshold = 3
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = time.Second
+	}
+	if o.RetryInterval <= 0 {
+		o.RetryInterval = 50 * time.Millisecond
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	return o
+}
+
+// ResilientStats counts what the sink did.
+type ResilientStats struct {
+	// Forwarded reached the sink; Buffered entered the buffer at least
+	// once; Dropped were discarded by the overflow policy.
+	Forwarded, Buffered, Dropped uint64
+	// BreakerOpens counts closed→open transitions.
+	BreakerOpens int
+	// Pending is the current buffer depth.
+	Pending int
+}
+
+// ResilientSink wraps any Sink (typically a remote LocationClient)
+// with a bounded ingest buffer and a circuit breaker. Ingest never
+// returns a sink error: delivery failures degrade service (buffering,
+// then dropping by policy) instead of propagating into device code.
+type ResilientSink struct {
+	sink Sink
+	opts ResilientOptions
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []model.Reading
+	stats  ResilientStats
+	closed bool
+	done   chan struct{}
+
+	// breaker state
+	consecFails int
+	openUntil   time.Time
+}
+
+// NewResilientSink wraps sink. Close releases the drain goroutine.
+func NewResilientSink(sink Sink, opts ResilientOptions) *ResilientSink {
+	r := &ResilientSink{
+		sink: sink,
+		opts: opts.withDefaults(),
+		done: make(chan struct{}),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	go r.drain()
+	return r
+}
+
+// Ingest implements Sink. The fast path delivers synchronously; when
+// the sink is failing (or order would be violated because readings are
+// already buffered), the reading is buffered and delivered in the
+// background, preserving arrival order.
+func (r *ResilientSink) Ingest(reading model.Reading) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	if len(r.buf) == 0 && !r.breakerOpen() {
+		r.mu.Unlock()
+		if err := r.sink.Ingest(reading); err == nil {
+			r.mu.Lock()
+			r.noteSuccess()
+			r.stats.Forwarded++
+			r.mu.Unlock()
+			return nil
+		}
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return ErrClosed
+		}
+		r.noteFailure()
+	}
+	r.enqueue(reading)
+	r.mu.Unlock()
+	return nil
+}
+
+// enqueue adds a reading under r.mu, applying the drop policy.
+func (r *ResilientSink) enqueue(reading model.Reading) {
+	if len(r.buf) >= r.opts.BufferSize {
+		r.stats.Dropped++
+		if r.opts.Policy == DropNewest {
+			return
+		}
+		r.buf = r.buf[1:]
+	}
+	r.buf = append(r.buf, reading)
+	r.stats.Buffered++
+	r.cond.Signal()
+}
+
+// breakerOpen reports quarantine state; called with r.mu held.
+func (r *ResilientSink) breakerOpen() bool {
+	return r.consecFails >= r.opts.FailureThreshold &&
+		r.opts.Clock().Before(r.openUntil)
+}
+
+// noteFailure records a delivery failure; called with r.mu held.
+func (r *ResilientSink) noteFailure() {
+	r.consecFails++
+	if r.consecFails == r.opts.FailureThreshold {
+		r.stats.BreakerOpens++
+	}
+	if r.consecFails >= r.opts.FailureThreshold {
+		r.openUntil = r.opts.Clock().Add(r.opts.Cooldown)
+	}
+}
+
+// noteSuccess closes the breaker; called with r.mu held.
+func (r *ResilientSink) noteSuccess() {
+	r.consecFails = 0
+}
+
+// drain delivers buffered readings in order, probing a quarantined
+// sink after each cooldown.
+func (r *ResilientSink) drain() {
+	defer close(r.done)
+	r.mu.Lock()
+	for {
+		for !r.closed && len(r.buf) == 0 {
+			r.cond.Wait()
+		}
+		if r.closed {
+			r.mu.Unlock()
+			return
+		}
+		if r.breakerOpen() {
+			wait := r.openUntil.Sub(r.opts.Clock())
+			r.mu.Unlock()
+			r.sleep(wait)
+			r.mu.Lock()
+			continue
+		}
+		head := r.buf[0]
+		r.mu.Unlock()
+		err := r.sink.Ingest(head)
+		r.mu.Lock()
+		if err != nil {
+			r.noteFailure()
+			if !r.breakerOpen() {
+				r.mu.Unlock()
+				r.sleep(r.opts.RetryInterval)
+				r.mu.Lock()
+			}
+			continue
+		}
+		r.noteSuccess()
+		r.stats.Forwarded++
+		// The head may have been dropped by an overflow while unlocked;
+		// only pop if it is still there.
+		if len(r.buf) > 0 {
+			r.buf = r.buf[1:]
+		}
+	}
+}
+
+// sleep waits without holding r.mu, waking early on Close.
+func (r *ResilientSink) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-r.done:
+	}
+}
+
+// Health classifies the pipeline: Healthy when the breaker is closed
+// and nothing is buffered, Degraded while readings are queued or
+// recent failures occurred, Down while the breaker quarantines the
+// sink (or after Close).
+func (r *ResilientSink) Health() core.HealthState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch {
+	case r.closed:
+		return core.Down
+	case r.breakerOpen():
+		return core.Down
+	case len(r.buf) > 0 || r.consecFails > 0:
+		return core.Degraded
+	default:
+		return core.Healthy
+	}
+}
+
+// Stats snapshots the counters.
+func (r *ResilientSink) Stats() ResilientStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.stats
+	s.Pending = len(r.buf)
+	return s
+}
+
+// Flush blocks until the buffer drains or the timeout expires,
+// reporting whether it drained.
+func (r *ResilientSink) Flush(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		r.mu.Lock()
+		empty := len(r.buf) == 0
+		closed := r.closed
+		r.mu.Unlock()
+		if empty {
+			return true
+		}
+		if closed || time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Close stops the drain goroutine; buffered readings still undelivered
+// are dropped (counted in Stats). Flush first for a clean handover.
+func (r *ResilientSink) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		<-r.done
+		return
+	}
+	r.closed = true
+	r.stats.Dropped += uint64(len(r.buf))
+	r.buf = nil
+	r.cond.Signal()
+	r.mu.Unlock()
+	<-r.done
+}

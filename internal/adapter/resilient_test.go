@@ -1,0 +1,228 @@
+package adapter
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"middlewhere/internal/core"
+	"middlewhere/internal/geom"
+	"middlewhere/internal/glob"
+	"middlewhere/internal/model"
+)
+
+// flakySink fails while broken, recording what got through.
+type flakySink struct {
+	mu     sync.Mutex
+	broken bool
+	got    []model.Reading
+	calls  int
+}
+
+func (f *flakySink) Ingest(r model.Reading) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if f.broken {
+		return errors.New("sink down")
+	}
+	f.got = append(f.got, r)
+	return nil
+}
+
+func (f *flakySink) setBroken(b bool) {
+	f.mu.Lock()
+	f.broken = b
+	f.mu.Unlock()
+}
+
+func (f *flakySink) received() []model.Reading {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]model.Reading(nil), f.got...)
+}
+
+func TestResilientSinkFastPath(t *testing.T) {
+	sink := &flakySink{}
+	rs := NewResilientSink(sink, ResilientOptions{})
+	defer rs.Close()
+
+	t0 := time.Now()
+	for i := 0; i < 5; i++ {
+		if err := rs.Ingest(model.Reading{MObjectID: "bob", SensorID: "s", Time: t0}); err != nil {
+			t.Fatalf("ingest: %v", err)
+		}
+	}
+	if got := len(sink.received()); got != 5 {
+		t.Fatalf("forwarded %d readings, want 5", got)
+	}
+	st := rs.Stats()
+	if st.Forwarded != 5 || st.Buffered != 0 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v, want 5 forwarded, none buffered/dropped", st)
+	}
+	if h := rs.Health(); h != core.Healthy {
+		t.Fatalf("health = %v, want healthy", h)
+	}
+}
+
+func TestResilientSinkBuffersAndRecovers(t *testing.T) {
+	sink := &flakySink{broken: true}
+	rs := NewResilientSink(sink, ResilientOptions{
+		FailureThreshold: 3,
+		Cooldown:         20 * time.Millisecond,
+		RetryInterval:    5 * time.Millisecond,
+	})
+	defer rs.Close()
+
+	t0 := time.Now()
+	for i := 0; i < 4; i++ {
+		if err := rs.Ingest(model.Reading{MObjectID: "obj", SensorID: "s", Time: t0.Add(time.Duration(i) * time.Second)}); err != nil {
+			t.Fatalf("ingest: %v", err)
+		}
+	}
+	// Let failures accumulate until the breaker opens.
+	deadline := time.Now().Add(2 * time.Second)
+	for rs.Health() != core.Down {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never opened; stats %+v", rs.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	sink.setBroken(false)
+	if !rs.Flush(2 * time.Second) {
+		t.Fatalf("buffer did not drain after recovery; stats %+v", rs.Stats())
+	}
+	got := sink.received()
+	if len(got) != 4 {
+		t.Fatalf("delivered %d readings, want 4", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Time.Before(got[i-1].Time) {
+			t.Fatalf("delivery out of order at %d: %v after %v", i, got[i].Time, got[i-1].Time)
+		}
+	}
+	// Health returns to Healthy once drained and the breaker closes.
+	deadline = time.Now().Add(2 * time.Second)
+	for rs.Health() != core.Healthy {
+		if time.Now().After(deadline) {
+			t.Fatalf("health stuck at %v after recovery", rs.Health())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := rs.Stats(); st.BreakerOpens < 1 {
+		t.Fatalf("stats = %+v, want at least one breaker open", st)
+	}
+}
+
+func TestResilientSinkDropOldest(t *testing.T) {
+	sink := &flakySink{broken: true}
+	rs := NewResilientSink(sink, ResilientOptions{
+		BufferSize:       3,
+		Policy:           DropOldest,
+		FailureThreshold: 1,
+		Cooldown:         time.Hour, // keep the breaker open for the whole test
+	})
+	defer rs.Close()
+
+	t0 := time.Now()
+	ids := []string{"a", "b", "c", "d", "e"}
+	for _, id := range ids {
+		if err := rs.Ingest(model.Reading{MObjectID: id, SensorID: "s", Time: t0}); err != nil {
+			t.Fatalf("ingest %s: %v", id, err)
+		}
+	}
+	st := rs.Stats()
+	if st.Pending != 3 {
+		t.Fatalf("pending = %d, want 3", st.Pending)
+	}
+	if st.Dropped < 2 {
+		t.Fatalf("dropped = %d, want >= 2", st.Dropped)
+	}
+
+	if st.Buffered != 5 {
+		t.Fatalf("buffered = %d, want 5", st.Buffered)
+	}
+	if h := rs.Health(); h != core.Down {
+		t.Fatalf("health with open breaker = %v, want down", h)
+	}
+}
+
+func TestResilientSinkDropNewest(t *testing.T) {
+	sink := &flakySink{broken: true}
+	rs := NewResilientSink(sink, ResilientOptions{
+		BufferSize:       2,
+		Policy:           DropNewest,
+		FailureThreshold: 1,
+		Cooldown:         time.Hour,
+	})
+	defer rs.Close()
+
+	t0 := time.Now()
+	for _, id := range []string{"a", "b", "c"} {
+		if err := rs.Ingest(model.Reading{MObjectID: id, SensorID: "s", Time: t0}); err != nil {
+			t.Fatalf("ingest %s: %v", id, err)
+		}
+	}
+	st := rs.Stats()
+	if st.Pending != 2 || st.Dropped != 1 {
+		t.Fatalf("stats = %+v, want pending 2 dropped 1", st)
+	}
+}
+
+func TestResilientSinkClose(t *testing.T) {
+	sink := &flakySink{broken: true}
+	rs := NewResilientSink(sink, ResilientOptions{
+		FailureThreshold: 1,
+		Cooldown:         time.Hour,
+	})
+	if err := rs.Ingest(model.Reading{MObjectID: "x", SensorID: "s", Time: time.Now()}); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	rs.Close()
+	if err := rs.Ingest(model.Reading{MObjectID: "y", SensorID: "s", Time: time.Now()}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ingest after close = %v, want ErrClosed", err)
+	}
+	if h := rs.Health(); h != core.Down {
+		t.Fatalf("health after close = %v, want down", h)
+	}
+	rs.Close() // idempotent
+}
+
+// TestRateLimiterPruning exercises the lastSent sweep: a long parade
+// of distinct object IDs must not grow the map without bound.
+func TestRateLimiterPruning(t *testing.T) {
+	sink := &flakySink{}
+	now := time.Unix(1_000_000, 0)
+	clock := func() time.Time { return now }
+	b, err := NewBase("s1", model.RFIDSpec(0.9), sink, nil, Options{
+		MinInterval: time.Second,
+		Clock:       clock,
+	})
+	if err != nil {
+		t.Fatalf("NewBase: %v", err)
+	}
+	defer b.Close()
+
+	for i := 0; i < 1000; i++ {
+		r := model.Reading{
+			MObjectID: fmt.Sprintf("obj-%d", i),
+			Location:  glob.CoordinatePoint(glob.GLOB{}, geom.Pt(0, 0)),
+			Time:      now,
+		}
+		if err := b.emit(r); err != nil {
+			t.Fatalf("emit %d: %v", i, err)
+		}
+		now = now.Add(2 * time.Second)
+	}
+	b.mu.Lock()
+	size := len(b.lastSent)
+	b.mu.Unlock()
+	// Retention is 4 MinIntervals and emits are 2s apart, so only the
+	// last few entries may survive a sweep.
+	if size > 16 {
+		t.Fatalf("lastSent grew to %d entries, want pruned (<= 16)", size)
+	}
+}

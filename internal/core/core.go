@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"middlewhere/internal/building"
@@ -120,6 +121,12 @@ type Service struct {
 	stop     chan struct{}
 	done     chan struct{}
 
+	// started anchors Health's uptime.
+	started time.Time
+	// ingested and notified count readings accepted and notifications
+	// dispatched since start (heartbeat counters for Health).
+	ingested, notified atomic.Uint64
+
 	// history is non-nil when WithHistory is enabled.
 	history *historyRecorder
 }
@@ -181,6 +188,7 @@ func New(b *building.Building, opts ...Option) (*Service, error) {
 	for _, o := range opts {
 		o.apply(s)
 	}
+	s.started = s.now()
 	db.AddInsertHook(s.observeExit)
 	if s.history != nil {
 		db.AddInsertHook(s.observeForHistory)
@@ -271,7 +279,11 @@ func (s *Service) RegisterSensor(sensorID string, spec model.SensorSpec) error {
 // Ingest stores a sensor reading; database triggers fire and matching
 // subscriptions are evaluated.
 func (s *Service) Ingest(r model.Reading) error {
-	return s.db.InsertReading(r)
+	if err := s.db.InsertReading(r); err != nil {
+		return err
+	}
+	s.ingested.Add(1)
+	return nil
 }
 
 // classifier builds the §4.4 probability classifier from the
@@ -497,6 +509,7 @@ func (s *Service) onTrigger(sub *subscription) spatialdb.TriggerFunc {
 		}
 		select {
 		case s.notifyCh <- dispatch{fn: sub.spec.Handler, n: n}:
+			s.notified.Add(1)
 		case <-s.stop:
 		}
 	}
@@ -520,6 +533,71 @@ func (s *Service) Subscriptions() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.subs)
+}
+
+// HealthState classifies a component's ability to do its job.
+type HealthState int
+
+// Health states, from best to worst.
+const (
+	Healthy HealthState = iota
+	Degraded
+	Down
+)
+
+// String names the state.
+func (h HealthState) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	default:
+		return "down"
+	}
+}
+
+// Health is the service's heartbeat snapshot (§4's Location Service as
+// a long-running daemon needs to report whether it is keeping up).
+type Health struct {
+	// State summarizes: Healthy normally, Degraded when the
+	// notification queue is running more than half full (handlers are
+	// not keeping up), Down after Close.
+	State HealthState
+	// Uptime is time since New, on the service clock.
+	Uptime time.Duration
+	// Ingested counts readings accepted since start.
+	Ingested uint64
+	// Notifications counts notifications dispatched since start.
+	Notifications uint64
+	// Subscriptions is the number of active subscriptions.
+	Subscriptions int
+	// Sensors is the number of registered sensor instances.
+	Sensors int
+	// QueueDepth/QueueCap describe the notification backlog.
+	QueueDepth, QueueCap int
+}
+
+// Health reports the service's current heartbeat state.
+func (s *Service) Health() Health {
+	h := Health{
+		Uptime:        s.now().Sub(s.started),
+		Ingested:      s.ingested.Load(),
+		Notifications: s.notified.Load(),
+		Subscriptions: s.Subscriptions(),
+		Sensors:       len(s.db.Sensors()),
+		QueueDepth:    len(s.notifyCh),
+		QueueCap:      cap(s.notifyCh),
+	}
+	select {
+	case <-s.stop:
+		h.State = Down
+	default:
+		if h.QueueDepth*2 > h.QueueCap {
+			h.State = Degraded
+		}
+	}
+	return h
 }
 
 // ---------------------------------------------------------------------------

@@ -319,12 +319,46 @@ type Client struct {
 	Timeout time.Duration
 }
 
-// Dial connects to an mwrpc server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+// Options configures dialing and per-call behaviour. The zero value
+// uses the defaults that Dial has always applied.
+type Options struct {
+	// DialTimeout bounds the TCP connect; zero means 5 seconds.
+	DialTimeout time.Duration
+	// CallTimeout bounds each Call; zero means 10 seconds.
+	CallTimeout time.Duration
+}
+
+// DefaultDialTimeout and DefaultCallTimeout are the zero-value
+// Options behaviours.
+const (
+	DefaultDialTimeout = 5 * time.Second
+	DefaultCallTimeout = 10 * time.Second
+)
+
+func (o Options) dialTimeout() time.Duration {
+	if o.DialTimeout <= 0 {
+		return DefaultDialTimeout
+	}
+	return o.DialTimeout
+}
+
+// Dial connects to an mwrpc server with default options.
+func Dial(addr string) (*Client, error) { return DialOptions(addr, Options{}) }
+
+// DialOptions connects to an mwrpc server with explicit timeouts.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, opts.dialTimeout())
 	if err != nil {
 		return nil, fmt.Errorf("mwrpc: dial %s: %w", addr, err)
 	}
+	c := NewClient(conn)
+	c.Timeout = opts.CallTimeout
+	return c, nil
+}
+
+// NewClient runs the mwrpc client protocol over an existing connection
+// (tests wrap conns in fault injectors before handing them in).
+func NewClient(conn net.Conn) *Client {
 	c := &Client{
 		conn:    conn,
 		pending: make(map[uint64]chan wire),
@@ -332,8 +366,12 @@ func Dial(addr string) (*Client, error) {
 		done:    make(chan struct{}),
 	}
 	go c.readLoop()
-	return c, nil
+	return c
 }
+
+// Done is closed when the connection dies — by Close or by a transport
+// failure. Reconnecting layers watch it to know when to redial.
+func (c *Client) Done() <-chan struct{} { return c.done }
 
 func (c *Client) readLoop() {
 	defer close(c.done)

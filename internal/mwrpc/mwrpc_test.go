@@ -293,3 +293,31 @@ func TestFrameTooBig(t *testing.T) {
 		t.Errorf("err = %v, want ErrFrameTooBig", err)
 	}
 }
+
+func TestDialOptionsAndDone(t *testing.T) {
+	srv, addr := startServer(t)
+	c, err := DialOptions(addr, Options{DialTimeout: time.Second, CallTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Timeout != 2*time.Second {
+		t.Errorf("CallTimeout not applied: %v", c.Timeout)
+	}
+	select {
+	case <-c.Done():
+		t.Fatal("Done closed while connection healthy")
+	default:
+	}
+	var reply echoReply
+	if err := c.Call("echo", echoArgs{Text: "opt"}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	// Killing the server closes Done without the client calling Close.
+	srv.Close()
+	select {
+	case <-c.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("Done not closed after server shutdown")
+	}
+}

@@ -1,0 +1,261 @@
+package remote
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"middlewhere/internal/building"
+	"middlewhere/internal/core"
+	"middlewhere/internal/faultnet"
+	"middlewhere/internal/glob"
+	"middlewhere/internal/model"
+)
+
+// Chaos tests drive the client/server stack through a faultnet proxy
+// and assert the acceptance properties of the fault-tolerant
+// distribution layer: sessions resume after a forced disconnect, frame
+// loss delays but never duplicates notifications, and a dead server
+// leaves no client goroutines behind. `make chaos` runs exactly these
+// (plus the faultnet package) under -race.
+
+// chaosOpts are aggressive-but-bounded reconnect settings so the tests
+// finish quickly and deterministically.
+func chaosOpts(seed int64) DialOptions {
+	return DialOptions{
+		DialTimeout:  2 * time.Second,
+		CallTimeout:  2 * time.Second,
+		DialAttempts: 8,
+		BackoffBase:  5 * time.Millisecond,
+		BackoffMax:   100 * time.Millisecond,
+		JitterSeed:   seed,
+	}
+}
+
+// startChaosStack brings up service + server behind a faultnet proxy
+// and dials a client through it.
+func startChaosStack(t *testing.T, cfg faultnet.Config, opts DialOptions) (*LocationClient, *faultnet.Proxy, *core.Service) {
+	t.Helper()
+	svc, err := core.New(building.PaperFloor(), core.WithClock(func() time.Time { return t0 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	srv := NewServer(svc)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	proxy, err := faultnet.NewProxy(addr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(proxy.Close)
+	c, err := DialLocationOptions(proxy.Addr(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c, proxy, svc
+}
+
+// ingestUntilNotified keeps ingesting a qualifying reading for obj
+// until its notification lands (each ingest is identical, so repeats
+// fuse to the same posterior and the replay guard can dedup cleanly).
+func ingestUntilNotified(t *testing.T, c *LocationClient, obj string, arrived func(string) bool) {
+	t.Helper()
+	r := model.Reading{
+		SensorID:  "chaos-s",
+		MObjectID: obj,
+		Location:  glob.MustParse("CS/Floor3/(370,15)"),
+		Time:      t0,
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for !arrived(obj) {
+		if time.Now().After(deadline) {
+			t.Fatalf("notification for %s never arrived", obj)
+		}
+		// Transport errors are retried inside call(); a failed round
+		// surfaces here and the next attempt starts a fresh one.
+		_ = c.Ingest(r)
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestChaosReconnectResumesSession(t *testing.T) {
+	c, proxy, _ := startChaosStack(t, faultnet.Config{Seed: 1}, chaosOpts(1))
+
+	spec := model.UbisenseSpec(0.95)
+	spec.TTL = time.Minute
+	if err := c.RegisterSensor("chaos-s", spec); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	counts := map[string]int{}
+	arrived := func(obj string) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return counts[obj] > 0
+	}
+	subID, err := c.Subscribe(SubscribeArgs{Region: "CS/Floor3/NetLab", MinProb: 0.3},
+		func(n NotificationDTO) {
+			mu.Lock()
+			counts[n.Object]++
+			mu.Unlock()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Baseline: the stack works before any fault.
+	ingestUntilNotified(t, c, "alice", arrived)
+
+	// Forced mid-session disconnect. The very next calls ride the
+	// reconnect; the session (sensor + subscription) must resume with
+	// no application-level re-registration.
+	proxy.KillConnections()
+	ingestUntilNotified(t, c, "bob", arrived)
+
+	loc, err := c.Locate("alice")
+	if err != nil {
+		t.Fatalf("Locate after reconnect: %v", err)
+	}
+	if loc.Symbolic != "CS/Floor3/NetLab" {
+		t.Errorf("post-reconnect locate = %s", loc.Symbolic)
+	}
+	h := c.Health()
+	if h.Reconnects < 1 {
+		t.Errorf("reconnects = %d, want >= 1", h.Reconnects)
+	}
+	if h.Conn != StateConnected {
+		t.Errorf("conn state = %v, want connected", h.Conn)
+	}
+	if h.Subscriptions != 1 || h.Sensors != 1 {
+		t.Errorf("session table = %d subs %d sensors, want 1/1", h.Subscriptions, h.Sensors)
+	}
+	// The stable subscription ID survives reconnection.
+	if err := c.Unsubscribe(subID); err != nil {
+		t.Errorf("unsubscribe after reconnect: %v", err)
+	}
+}
+
+func TestChaosFrameDropsExactlyOnce(t *testing.T) {
+	// 10% of frames vanish; a dropped frame severs the link (TCP either
+	// delivers in order or dies), so this also exercises reconnection.
+	c, _, _ := startChaosStack(t, faultnet.Config{Seed: 7, FrameDropRate: 0.10}, chaosOpts(7))
+
+	spec := model.UbisenseSpec(0.95)
+	spec.TTL = time.Minute
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := c.RegisterSensor("chaos-s", spec); err == nil {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("RegisterSensor never succeeded: %v", err)
+		}
+	}
+	var mu sync.Mutex
+	counts := map[string]int{}
+	arrived := func(obj string) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return counts[obj] > 0
+	}
+	for {
+		_, err := c.Subscribe(SubscribeArgs{Region: "CS/Floor3/NetLab", MinProb: 0.3},
+			func(n NotificationDTO) {
+				mu.Lock()
+				counts[n.Object]++
+				mu.Unlock()
+			})
+		if err == nil {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("Subscribe never succeeded: %v", err)
+		}
+	}
+
+	const objects = 8
+	for i := 0; i < objects; i++ {
+		ingestUntilNotified(t, c, fmt.Sprintf("obj-%d", i), arrived)
+	}
+	// Queries still answer through the lossy link.
+	for i := 0; i < objects; i++ {
+		obj := fmt.Sprintf("obj-%d", i)
+		locDeadline := time.Now().Add(10 * time.Second)
+		for {
+			if _, err := c.Locate(obj); err == nil {
+				break
+			} else if time.Now().After(locDeadline) {
+				t.Fatalf("Locate(%s) never succeeded: %v", obj, err)
+			}
+		}
+	}
+
+	// Settle, then assert exactly-once delivery: entry-edge triggers
+	// plus the client replay guard keep re-subscription replays out.
+	time.Sleep(300 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < objects; i++ {
+		obj := fmt.Sprintf("obj-%d", i)
+		if counts[obj] != 1 {
+			t.Errorf("%s notified %d times, want exactly 1", obj, counts[obj])
+		}
+	}
+}
+
+func TestChaosServerDeathNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	svc, err := core.New(building.PaperFloor(), core.WithClock(func() time.Time { return t0 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(svc)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := faultnet.NewProxy(addr, faultnet.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := chaosOpts(3)
+	opts.DialAttempts = 2
+	c, err := DialLocationOptions(proxy.Addr(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Subscribe(SubscribeArgs{Region: "CS/Floor3/NetLab"}, func(NotificationDTO) {}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the whole server side; the client's bounded reconnect rounds
+	// must fail (not hang) and Close must release everything.
+	proxy.Close()
+	srv.Close()
+	if _, err := c.Locate("anyone"); err == nil {
+		t.Error("call against dead server should fail")
+	}
+	c.Close()
+	svc.Close()
+
+	// Goroutine count returns to baseline (allow slack for runtime
+	// background goroutines).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines: %d before, %d after close\n%s",
+				before, n, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

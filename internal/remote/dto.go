@@ -230,6 +230,19 @@ func toNotificationDTO(n core.Notification) NotificationDTO {
 	}
 }
 
+// HealthDTO is the wire form of the service heartbeat.
+type HealthDTO struct {
+	// Status is "healthy", "degraded", or "down".
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Ingested      uint64  `json:"ingested"`
+	Notifications uint64  `json:"notifications"`
+	Subscriptions int     `json:"subscriptions"`
+	Sensors       int     `json:"sensors"`
+	QueueDepth    int     `json:"queueDepth"`
+	QueueCap      int     `json:"queueCap"`
+}
+
 // bandFromString parses a band name; unknown strings map to zero.
 func bandFromString(s string) fusion.Band {
 	switch s {

@@ -49,7 +49,22 @@ func NewServer(svc *core.Service) *Server {
 	s.rpc.Register("mw.distribution", s.handleDistribution)
 	s.rpc.Register("mw.history", s.handleHistory)
 	s.rpc.Register("mw.defineRegion", s.handleDefineRegion)
+	s.rpc.Register("mw.health", s.handleHealth)
 	return s
+}
+
+func (s *Server) handleHealth(_ *mwrpc.ServerConn, _ json.RawMessage) (interface{}, error) {
+	h := s.svc.Health()
+	return HealthDTO{
+		Status:        h.State.String(),
+		UptimeSeconds: h.Uptime.Seconds(),
+		Ingested:      h.Ingested,
+		Notifications: h.Notifications,
+		Subscriptions: h.Subscriptions,
+		Sensors:       h.Sensors,
+		QueueDepth:    h.QueueDepth,
+		QueueCap:      h.QueueCap,
+	}, nil
 }
 
 // Listen binds to addr and returns the bound address.

@@ -214,6 +214,27 @@ func Run(s *Sim, n int, observers ...Observer) error {
 	return nil
 }
 
+// RunTolerant advances the simulation n steps like Run, but a failing
+// observer does not abort the run: the world keeps moving and the
+// other sensors keep reporting, the way a real deployment degrades
+// when one technology's sink is down. It returns the number of failed
+// observations and the first error seen (nil when everything worked).
+func RunTolerant(s *Sim, n int, observers ...Observer) (failed int, first error) {
+	for i := 0; i < n; i++ {
+		s.Step()
+		snapshot := s.People()
+		for _, o := range observers {
+			if err := o.Observe(s.Now(), snapshot); err != nil {
+				failed++
+				if first == nil {
+					first = err
+				}
+			}
+		}
+	}
+	return failed, first
+}
+
 // GPSSatellites simulates GPS coverage over an outdoor area: carried
 // receivers inside the coverage get a fix with probability y, with
 // noise matched to the reported accuracy. Indoors (outside coverage)

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -234,5 +235,54 @@ func TestEndToEndFusionAccuracy(t *testing.T) {
 	// few more. Anything under 5 units on a 60x46 floor is tracking.
 	if mean > 5 {
 		t.Errorf("mean localization error = %.2f units over %d samples", mean, samples)
+	}
+}
+
+// failingObserver errors on every observation after the first k.
+type failingObserver struct {
+	ok    int
+	seen  int
+	calls int
+}
+
+func (f *failingObserver) Observe(time.Time, []PersonState) error {
+	f.calls++
+	if f.calls > f.ok {
+		f.seen++
+		return errTestSink
+	}
+	return nil
+}
+
+var errTestSink = errors.New("sim test: sink down")
+
+func TestRunTolerantSurvivesObserverErrors(t *testing.T) {
+	b := synthetic(t)
+	s, err := New(b, Config{People: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &failingObserver{ok: 3}
+	failed, first := RunTolerant(s, 10, bad)
+	if failed != 7 {
+		t.Errorf("failed = %d, want 7", failed)
+	}
+	if first == nil {
+		t.Error("first error not reported")
+	}
+	if bad.calls != 10 {
+		t.Errorf("observer called %d times, want all 10 steps", bad.calls)
+	}
+	// Run, by contrast, aborts on the first error.
+	s2, err := New(b, Config{People: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad2 := &failingObserver{ok: 3}
+	if err := Run(s2, 10, bad2); err == nil {
+		t.Error("Run should abort on observer error")
+	}
+	if bad2.calls >= 10 {
+		t.Errorf("Run called observer %d times, should have aborted early", bad2.calls)
 	}
 }

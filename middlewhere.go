@@ -101,6 +101,21 @@ var (
 	ErrBadSub        = core.ErrBadSub
 )
 
+// Health reporting (the fault-tolerance heartbeat).
+type (
+	// Health is the Location Service's heartbeat snapshot.
+	Health = core.Health
+	// HealthState classifies a component: Healthy, Degraded, or Down.
+	HealthState = core.HealthState
+)
+
+// Health states.
+const (
+	Healthy  = core.Healthy
+	Degraded = core.Degraded
+	Down     = core.Down
+)
+
 // ---------------------------------------------------------------------------
 // Buildings and physical space (§5)
 
@@ -306,6 +321,29 @@ var (
 	NewDesktopLogin = adapter.NewDesktopLogin
 )
 
+// Graceful degradation for adapters feeding a remote sink.
+type (
+	// ResilientSink wraps any sink with a bounded buffer and a circuit
+	// breaker so sink outages degrade instead of erroring into device
+	// code.
+	ResilientSink = adapter.ResilientSink
+	// ResilientOptions tunes a ResilientSink.
+	ResilientOptions = adapter.ResilientOptions
+	// ResilientStats counts forwarded/buffered/dropped readings.
+	ResilientStats = adapter.ResilientStats
+	// DropPolicy picks the overflow victim (DropOldest/DropNewest).
+	DropPolicy = adapter.DropPolicy
+)
+
+// NewResilientSink wraps a sink with buffering and a circuit breaker.
+var NewResilientSink = adapter.NewResilientSink
+
+// Overflow drop policies.
+const (
+	DropOldest = adapter.DropOldest
+	DropNewest = adapter.DropNewest
+)
+
 // ---------------------------------------------------------------------------
 // Simulation (hardware substitute)
 
@@ -338,6 +376,9 @@ var (
 	NewBiometricDesk = sim.NewBiometricDesk
 	NewGPSSatellites = sim.NewGPSSatellites
 	RunSim           = sim.Run
+	// RunSimTolerant keeps the simulation moving when an observer's
+	// sink fails (counts errors instead of aborting).
+	RunSimTolerant = sim.RunTolerant
 )
 
 // ---------------------------------------------------------------------------
@@ -352,18 +393,39 @@ type (
 	SubscribeArgs = remote.SubscribeArgs
 	// NotificationDTO is a notification received over the wire.
 	NotificationDTO = remote.NotificationDTO
+	// RemoteDialOptions tunes reconnection, backoff, and timeouts for
+	// DialLocationOptions.
+	RemoteDialOptions = remote.DialOptions
+	// ConnState is the client link state (connected/reconnecting/closed).
+	ConnState = remote.ConnState
+	// ClientHealth summarizes the client side of the link.
+	ClientHealth = remote.ClientHealth
+	// HealthDTO is the service heartbeat received over the wire.
+	HealthDTO = remote.HealthDTO
 	// RegistryServer is the service-discovery registry.
 	RegistryServer = registry.Server
 	// RegistryClient talks to a registry.
 	RegistryClient = registry.Client
 )
 
+// Client link states.
+const (
+	StateConnected    = remote.StateConnected
+	StateReconnecting = remote.StateReconnecting
+	StateClosed       = remote.StateClosed
+)
+
 // Distribution constructors.
 var (
-	NewRemoteServer   = remote.NewServer
-	DialLocation      = remote.DialLocation
-	NewRegistryServer = registry.NewServer
-	DialRegistry      = registry.Dial
+	NewRemoteServer = remote.NewServer
+	// DialLocation connects with default fault-tolerance settings
+	// (bounded retries with backoff, session resumption on reconnect).
+	DialLocation = remote.DialLocation
+	// DialLocationOptions connects with explicit fault-tolerance
+	// settings.
+	DialLocationOptions = remote.DialLocationOptions
+	NewRegistryServer   = registry.NewServer
+	DialRegistry        = registry.Dial
 )
 
 // ---------------------------------------------------------------------------
