@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench vet fmt fmt-write chaos check
+.PHONY: build test race bench vet fmt fmt-write chaos obs stats-demo check
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,28 @@ chaos:
 	$(GO) test -race -count=1 ./internal/faultnet/
 	$(GO) test -race -count=1 -run '^TestChaos' -v ./internal/remote/
 
+# Observability suite: the obs package and trace-propagation tests
+# under the race detector, then the zero-allocation guard without it
+# (the race runtime allocates inside atomics, so the guard is
+# build-tagged !race).
+obs:
+	$(GO) test -race -count=1 ./internal/obs/
+	$(GO) test -race -count=1 -run 'Trace' ./internal/remote/
+	$(GO) test -count=1 -run TestDisabledInstrumentationAllocatesNothing -v ./internal/obs/
+
+# Smoke the debug endpoint: start the daemon with tracing and the
+# debug server on ephemeral-ish ports, hit /metrics and mw.stats
+# through mwctl, then tear down.
+stats-demo:
+	@$(GO) build -o /tmp/mw-demo ./cmd/middlewhere
+	@$(GO) build -o /tmp/mwctl-demo ./cmd/mwctl
+	@/tmp/mw-demo -addr 127.0.0.1:7709 -trace -debug-addr 127.0.0.1:7779 & \
+	pid=$$!; sleep 1; rc=0; \
+	curl -sf http://127.0.0.1:7779/metrics | head -5 || rc=1; \
+	/tmp/mwctl-demo -addr 127.0.0.1:7709 stats | head -8 || rc=1; \
+	/tmp/mwctl-demo -addr 127.0.0.1:7709 health || rc=1; \
+	kill $$pid; exit $$rc
+
 # Fails when any file needs reformatting (the CI gate).
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -39,4 +61,4 @@ fmt:
 fmt-write:
 	gofmt -l -w .
 
-check: build vet fmt test race bench chaos
+check: build vet fmt test race bench chaos obs

@@ -6,8 +6,9 @@
 //
 // Usage:
 //
-//	experiments            # run everything
-//	experiments -run F9    # one experiment: F9, T1, T2, E1, E4, E5
+//	experiments                       # run everything
+//	experiments -run F9               # one experiment: F9, T1, T2, E1, E4, E5
+//	experiments -run F9 -breakdown    # F9 plus a per-stage latency table
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 func main() {
 	runName := flag.String("run", "all", "experiment to run: F9, T1, T2, E1, E4, E5, CAL, or all")
 	quick := flag.Bool("quick", false, "smaller parameters for a fast pass")
+	flag.BoolVar(&breakdown, "breakdown", false, "with F9: trace the pipeline and print per-stage latencies")
 	flag.Parse()
 	if err := run(strings.ToUpper(*runName), *quick); err != nil {
 		log.Fatal(err)
@@ -108,6 +110,10 @@ func runT2(bool) error {
 	return nil
 }
 
+// breakdown asks runF9 for the per-stage latency decomposition (set by
+// the -breakdown flag).
+var breakdown bool
+
 // runF9 reproduces Figure 9: trigger response time for consecutive
 // updates, one series per number of programmed triggers.
 func runF9(quick bool) error {
@@ -137,6 +143,41 @@ func runF9(quick bool) error {
 	}
 	fmt.Println("expected shape: response time ~independent of trigger count;")
 	fmt.Println("first update slower than the rest (initial setup), as in the paper.")
+	if breakdown {
+		fmt.Println()
+		return runF9Breakdown(quick)
+	}
+	return nil
+}
+
+// runF9Breakdown traces one F9 run and prints where the pipeline time
+// goes, stage by stage.
+func runF9Breakdown(quick bool) error {
+	triggers, updates := 100, 50
+	if quick {
+		triggers, updates = 10, 20
+	}
+	bd, err := bench.TriggerResponseBreakdown(triggers, updates)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== F9 -breakdown: per-stage latency (%d triggers, %d updates) ==\n",
+		bd.Triggers, bd.Updates)
+	fmt.Printf("%-14s %7s %10s %10s %10s\n", "stage", "count", "mean(us)", "p50(us)", "p95(us)")
+	for _, st := range bd.Stages {
+		fmt.Printf("%-14s %7d %10.1f %10.1f %10.1f\n",
+			st.Stage, st.Count, st.MeanUs, st.P50Us, st.P95Us)
+	}
+	fmt.Printf("%-14s %7s %10.1f\n", "stage sum", "", bd.StageSumUs)
+	fmt.Printf("pipeline end-to-end (trace wall time, %d complete traces): %.1f us\n",
+		bd.CompleteTraces, bd.PipelineMeanUs)
+	if bd.PipelineMeanUs > 0 {
+		fmt.Printf("stage sum / end-to-end: %.0f%%\n", 100*bd.StageSumUs/bd.PipelineMeanUs)
+	}
+	fmt.Printf("for reference: client mw.ingest RTT %.1f us, client update->notify %.1f us\n",
+		bd.ClientRTTUs, bd.EndToEndMeanUs)
+	fmt.Println("expected shape: stage sum within 20% of the measured end-to-end;")
+	fmt.Println("notify dominated by queue wait, db insert by the R-tree walk.")
 	return nil
 }
 

@@ -10,6 +10,11 @@
 //	middlewhere -addr :7700 -registry localhost:7600 -name location-service
 //	middlewhere -building synthetic -rows 5 -cols 8
 //	middlewhere -floorplan plan.json
+//	middlewhere -addr :7700 -trace -debug-addr 127.0.0.1:7771
+//
+// With -debug-addr the daemon serves /metrics (Prometheus text),
+// /debug/traces (JSON), and /debug/pprof/* on that address; -trace
+// turns on per-reading pipeline span tracing (metrics always record).
 package main
 
 import (
@@ -33,8 +38,20 @@ func main() {
 		rows         = flag.Int("rows", 4, "synthetic building: room rows")
 		cols         = flag.Int("cols", 6, "synthetic building: room columns")
 		floorplan    = flag.String("floorplan", "", "JSON floor-plan file (overrides -building)")
+		debugAddr    = flag.String("debug-addr", "", "optional address for /metrics, /debug/traces, and pprof")
+		trace        = flag.Bool("trace", false, "record per-reading pipeline span traces")
 	)
 	flag.Parse()
+	middlewhere.EnableObservability(*trace)
+	if *debugAddr != "" {
+		dbg, err := middlewhere.StartObsDebugServer(*debugAddr,
+			middlewhere.ObsDefault(), middlewhere.ObsDefaultTracer())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dbg.Close()
+		log.Printf("debug server (metrics, traces, pprof) on http://%s", dbg.Addr())
+	}
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	if err := run(*addr, *regAddr, *name, *buildingKind, *floorplan, *rows, *cols, stop); err != nil {

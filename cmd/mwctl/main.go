@@ -11,7 +11,10 @@
 //	mwctl -addr localhost:7700 relate CS/Floor3/NetLab CS/Floor3/MainCorridor
 //	mwctl -addr localhost:7700 ingest ubi-1 alice 'CS/Floor3/(370,15)'
 //	mwctl -addr localhost:7700 query "SELECT objects WHERE type = 'Room'"
-//	mwctl -addr localhost:7700 health
+//	mwctl -addr localhost:7700 health        # exits 1 unless Healthy
+//	mwctl -addr localhost:7700 health -v     # adds the client metric registry
+//	mwctl -addr localhost:7700 stats         # server obs counters/histograms
+//	mwctl -addr localhost:7700 trace 5       # recent pipeline traces
 //	mwctl -addr localhost:7700 -retries 8 -timeout 3s locate alice
 //	mwctl -registry localhost:7600 locate alice
 package main
@@ -48,7 +51,7 @@ func main() {
 
 func run(addr, regAddr, name string, opts middlewhere.RemoteDialOptions, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: mwctl [flags] <locate|prob|who|watch|route|relate|query|dist|history|ingest|health> ...")
+		return fmt.Errorf("usage: mwctl [flags] <locate|prob|who|watch|route|relate|query|dist|history|ingest|health|stats|trace> ...")
 	}
 	if addr == "" && regAddr != "" {
 		reg, err := middlewhere.DialRegistry(regAddr)
@@ -234,22 +237,124 @@ func run(addr, regAddr, name string, opts middlewhere.RemoteDialOptions, args []
 			Time:            time.Now(),
 		})
 	case "health":
-		if len(rest) != 0 {
-			return fmt.Errorf("usage: health")
+		verbose := false
+		switch {
+		case len(rest) == 1 && rest[0] == "-v":
+			verbose = true
+		case len(rest) != 0:
+			return fmt.Errorf("usage: health [-v]")
 		}
-		h, err := c.ServerHealth()
+		return runHealth(c, verbose)
+	case "stats":
+		if len(rest) != 0 {
+			return fmt.Errorf("usage: stats")
+		}
+		st, err := c.Stats(0)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("server: %s up=%s ingested=%d notifications=%d subs=%d sensors=%d queue=%d/%d\n",
-			h.Status, (time.Duration(h.UptimeSeconds * float64(time.Second))).Round(time.Second),
-			h.Ingested, h.Notifications, h.Subscriptions, h.Sensors, h.QueueDepth, h.QueueCap)
-		ch := c.Health()
-		fmt.Printf("client: %s conn=%s reconnects=%d malformed=%d deduped=%d sensors=%d subs=%d\n",
-			ch.State, ch.Conn, ch.Reconnects, ch.MalformedNotifications, ch.DedupedNotifications,
-			ch.Sensors, ch.Subscriptions)
+		printStats(st)
+		return nil
+	case "trace":
+		n := 5
+		if len(rest) > 1 {
+			return fmt.Errorf("usage: trace [n]")
+		}
+		if len(rest) == 1 {
+			v, err := strconv.Atoi(rest[0])
+			if err != nil {
+				return fmt.Errorf("usage: trace [n]: %w", err)
+			}
+			n = v
+		}
+		st, err := c.Stats(n)
+		if err != nil {
+			return err
+		}
+		if !st.Enabled && len(st.Traces) == 0 {
+			fmt.Println("(tracing disabled on the server; start the daemon with -trace)")
+			return nil
+		}
+		for _, tr := range st.Traces {
+			fmt.Printf("%s  begin=%s  total=%.1fus\n", tr.ID, tr.Begin, tr.TotalUs)
+			for _, sp := range tr.Spans {
+				fmt.Printf("  %-14s +%8.1fus  %8.1fus\n", sp.Stage, sp.OffsetUs, sp.DurUs)
+			}
+		}
+		if len(st.Traces) == 0 {
+			fmt.Println("(no traces recorded yet)")
+		}
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// runHealth prints server and client health and returns an error —
+// making mwctl exit non-zero — unless both sides are Healthy, so the
+// command is scriptable as a probe.
+func runHealth(c *middlewhere.RemoteClient, verbose bool) error {
+	h, err := c.ServerHealth()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("server: %s up=%s ingested=%d notifications=%d subs=%d sensors=%d queue=%d/%d\n",
+		h.Status, (time.Duration(h.UptimeSeconds * float64(time.Second))).Round(time.Second),
+		h.Ingested, h.Notifications, h.Subscriptions, h.Sensors, h.QueueDepth, h.QueueCap)
+	ch := c.Health()
+	fmt.Printf("client: %s conn=%s reconnects=%d malformed=%d deduped=%d sensors=%d subs=%d\n",
+		ch.State, ch.Conn, ch.Reconnects, ch.MalformedNotifications, ch.DedupedNotifications,
+		ch.Sensors, ch.Subscriptions)
+	if verbose {
+		snap := c.Metrics().Snapshot()
+		for _, cs := range snap.Counters {
+			fmt.Printf("  %-36s %d\n", cs.Name, cs.Value)
+		}
+		for _, g := range snap.Gauges {
+			fmt.Printf("  %-36s %g\n", g.Name, g.Value)
+		}
+		for _, hs := range snap.Histograms {
+			fmt.Printf("  %-36s count=%d p50=%.1fus p95=%.1fus\n", hs.Name, hs.Count, hs.P50, hs.P95)
+		}
+	}
+	if h.Status != "healthy" {
+		return fmt.Errorf("health: server is %s", h.Status)
+	}
+	if ch.State != middlewhere.Healthy {
+		return fmt.Errorf("health: client is %s", ch.State)
+	}
+	return nil
+}
+
+// printStats renders an mw.stats snapshot.
+func printStats(st middlewhere.StatsDTO) {
+	fmt.Printf("tracing enabled: %v\n", st.Enabled)
+	names := make([]string, 0, len(st.Counters))
+	for n := range st.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("%-36s %d\n", n, st.Counters[n])
+	}
+	names = names[:0]
+	for n := range st.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("%-36s %g\n", n, st.Gauges[n])
+	}
+	if len(st.Histograms) > 0 {
+		fmt.Printf("%-28s %8s %10s %10s %10s %10s\n",
+			"histogram", "count", "mean(us)", "p50(us)", "p95(us)", "p99(us)")
+		for _, h := range st.Histograms {
+			mean := 0.0
+			if h.Count > 0 {
+				mean = h.Sum / float64(h.Count)
+			}
+			fmt.Printf("%-28s %8d %10.1f %10.1f %10.1f %10.1f\n",
+				h.Name, h.Count, mean, h.P50, h.P95, h.P99)
+		}
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"middlewhere/internal/geom"
 	"middlewhere/internal/glob"
 	"middlewhere/internal/model"
+	"middlewhere/internal/obs"
 )
 
 // Sink consumes readings; *core.Service and the mwrpc client both
@@ -151,6 +152,13 @@ func (b *Base) pruneLastSent(now time.Time) {
 	}
 }
 
+// Adapter metrics, cached once so emit stays alloc-free. Per-adapter
+// breakdowns remain available through each adapter's Stats().
+var (
+	mAdapterForwarded = obs.Default().Counter("adapter_forwarded_total")
+	mAdapterDropped   = obs.Default().Counter("adapter_dropped_total")
+)
+
 // emit applies filtering and rate limiting, stamps the adapter
 // identity, and forwards the reading to the sink.
 func (b *Base) emit(r model.Reading) error {
@@ -165,6 +173,7 @@ func (b *Base) emit(r model.Reading) error {
 	if b.opts.Filter != nil && !b.opts.Filter(r) {
 		b.dropped++
 		b.mu.Unlock()
+		mAdapterDropped.Inc()
 		return nil
 	}
 	if b.opts.MinInterval > 0 {
@@ -172,6 +181,7 @@ func (b *Base) emit(r model.Reading) error {
 		if last, ok := b.lastSent[r.MObjectID]; ok && now.Sub(last) < b.opts.MinInterval {
 			b.dropped++
 			b.mu.Unlock()
+			mAdapterDropped.Inc()
 			return nil
 		}
 		b.lastSent[r.MObjectID] = now
@@ -179,6 +189,7 @@ func (b *Base) emit(r model.Reading) error {
 	}
 	b.forwarded++
 	b.mu.Unlock()
+	mAdapterForwarded.Inc()
 	return b.sink.Ingest(r)
 }
 

@@ -12,6 +12,17 @@ import (
 
 	"middlewhere/internal/core"
 	"middlewhere/internal/model"
+	"middlewhere/internal/obs"
+)
+
+// ResilientSink metrics, cached once; Pending is reported as a gauge
+// whenever the buffer length changes.
+var (
+	mResForwarded    = obs.Default().Counter("resilient_forwarded_total")
+	mResBuffered     = obs.Default().Counter("resilient_buffered_total")
+	mResDropped      = obs.Default().Counter("resilient_dropped_total")
+	mResBreakerOpens = obs.Default().Counter("resilient_breaker_opens_total")
+	mResPending      = obs.Default().Gauge("resilient_pending")
 )
 
 // DropPolicy says which reading to discard when the buffer is full.
@@ -126,6 +137,7 @@ func (r *ResilientSink) Ingest(reading model.Reading) error {
 			r.noteSuccess()
 			r.stats.Forwarded++
 			r.mu.Unlock()
+			mResForwarded.Inc()
 			return nil
 		}
 		r.mu.Lock()
@@ -144,6 +156,7 @@ func (r *ResilientSink) Ingest(reading model.Reading) error {
 func (r *ResilientSink) enqueue(reading model.Reading) {
 	if len(r.buf) >= r.opts.BufferSize {
 		r.stats.Dropped++
+		mResDropped.Inc()
 		if r.opts.Policy == DropNewest {
 			return
 		}
@@ -151,6 +164,8 @@ func (r *ResilientSink) enqueue(reading model.Reading) {
 	}
 	r.buf = append(r.buf, reading)
 	r.stats.Buffered++
+	mResBuffered.Inc()
+	mResPending.Set(float64(len(r.buf)))
 	r.cond.Signal()
 }
 
@@ -165,6 +180,7 @@ func (r *ResilientSink) noteFailure() {
 	r.consecFails++
 	if r.consecFails == r.opts.FailureThreshold {
 		r.stats.BreakerOpens++
+		mResBreakerOpens.Inc()
 	}
 	if r.consecFails >= r.opts.FailureThreshold {
 		r.openUntil = r.opts.Clock().Add(r.opts.Cooldown)
@@ -211,11 +227,13 @@ func (r *ResilientSink) drain() {
 		}
 		r.noteSuccess()
 		r.stats.Forwarded++
+		mResForwarded.Inc()
 		// The head may have been dropped by an overflow while unlocked;
 		// only pop if it is still there.
 		if len(r.buf) > 0 {
 			r.buf = r.buf[1:]
 		}
+		mResPending.Set(float64(len(r.buf)))
 	}
 }
 
@@ -290,7 +308,9 @@ func (r *ResilientSink) Close() {
 	}
 	r.closed = true
 	r.stats.Dropped += uint64(len(r.buf))
+	mResDropped.Add(uint64(len(r.buf)))
 	r.buf = nil
+	mResPending.Set(0)
 	r.cond.Signal()
 	r.mu.Unlock()
 	<-r.done

@@ -26,6 +26,7 @@ import (
 	"middlewhere/internal/geom"
 	"middlewhere/internal/glob"
 	"middlewhere/internal/model"
+	"middlewhere/internal/obs"
 	"middlewhere/internal/remote"
 	"middlewhere/internal/sim"
 	"middlewhere/internal/spatialdb"
@@ -135,6 +136,131 @@ func triggerResponseOnce(triggers, updates int) (F9Series, error) {
 		}
 	}
 	return series, nil
+}
+
+// ---------------------------------------------------------------------------
+// F9 -breakdown — per-stage latency decomposition
+
+// StageStat summarizes one pipeline stage's latency histogram.
+type StageStat struct {
+	// Stage is the span name ("ingest", "db_insert", ...).
+	Stage string
+	// Count is how many spans were observed.
+	Count uint64
+	// MeanUs, P50Us, P95Us are microsecond latencies.
+	MeanUs, P50Us, P95Us float64
+}
+
+// F9Breakdown decomposes the F9 update→notification path into its
+// pipeline stages, measured from the span traces the obs package
+// records while the harness runs.
+type F9Breakdown struct {
+	// Triggers and Updates echo the harness configuration.
+	Triggers, Updates int
+	// Stages holds the four server-side stages in pipeline order:
+	// ingest (frame decode), db_insert, trigger_eval, notify (queue
+	// wait + push).
+	Stages []StageStat
+	// StageSumUs is the sum of the per-stage means.
+	StageSumUs float64
+	// PipelineMeanUs is the measured end-to-end pipeline time: for each
+	// trace that completed all four stages, the wall time from the
+	// earliest span start to the latest span end, averaged. StageSumUs
+	// should agree with it closely because the stages are contiguous
+	// and sequential.
+	PipelineMeanUs float64
+	// CompleteTraces is how many traces contributed to PipelineMeanUs.
+	CompleteTraces int
+	// ClientRTTUs is the mean client-observed mw.ingest round trip
+	// (the rpc_ingest span), which additionally pays encode + transport.
+	ClientRTTUs float64
+	// EndToEndMeanUs is the client-measured update→notification mean —
+	// the quantity Figure 9 plots.
+	EndToEndMeanUs float64
+}
+
+// pipelineStages are the server-side stages of one reading's trip, in
+// order. The client-side rpc_ingest span overlaps them and is reported
+// separately.
+var pipelineStages = []string{"ingest", "db_insert", "trigger_eval", "notify"}
+
+// TriggerResponseBreakdown runs the F9 harness once with span tracing
+// enabled and reports where the time goes. It resets the process-global
+// registry and tracer so the numbers cover exactly this run.
+func TriggerResponseBreakdown(triggers, updates int) (F9Breakdown, error) {
+	wasEnabled := obs.Enabled()
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(wasEnabled)
+	obs.Default().Reset()
+	obs.DefaultTracer().Reset()
+
+	series, err := triggerResponseOnce(triggers, updates)
+	if err != nil {
+		return F9Breakdown{}, fmt.Errorf("bench F9 breakdown: %w", err)
+	}
+	// The last notify span is recorded just after the push frame is
+	// written, racing the client's receipt; let the tail settle.
+	time.Sleep(20 * time.Millisecond)
+
+	bd := F9Breakdown{
+		Triggers:       triggers,
+		Updates:        updates,
+		EndToEndMeanUs: mean(series.UpdateLatencies),
+	}
+	hists := map[string]obs.HistogramSnap{}
+	for _, h := range obs.Default().Snapshot().Histograms {
+		hists[h.Name] = h
+	}
+	for _, stage := range pipelineStages {
+		st := StageStat{Stage: stage}
+		if h, ok := hists["stage_"+stage+"_us"]; ok && h.Count > 0 {
+			st.Count = h.Count
+			st.MeanUs = h.Sum / float64(h.Count)
+			st.P50Us, st.P95Us = h.P50, h.P95
+			bd.StageSumUs += st.MeanUs
+		}
+		bd.Stages = append(bd.Stages, st)
+	}
+	if h, ok := hists["stage_rpc_ingest_us"]; ok && h.Count > 0 {
+		bd.ClientRTTUs = h.Sum / float64(h.Count)
+	}
+
+	// Per-trace pipeline wall time over the server-side stages only
+	// (rpc_ingest is the client's view of the same interval plus
+	// transport, so including it would double-count).
+	var walls []float64
+	for _, tr := range obs.RecentTraces(updates) {
+		var (
+			minStart time.Duration = math.MaxInt64
+			maxEnd   time.Duration
+			seen     int
+		)
+		for _, sp := range tr.Spans {
+			server := false
+			for _, s := range pipelineStages {
+				if sp.Stage == s {
+					server = true
+					break
+				}
+			}
+			if !server {
+				continue
+			}
+			seen++
+			if sp.Offset < minStart {
+				minStart = sp.Offset
+			}
+			if end := sp.Offset + sp.Dur; end > maxEnd {
+				maxEnd = end
+			}
+		}
+		if seen == len(pipelineStages) {
+			walls = append(walls, float64(maxEnd-minStart)/float64(time.Microsecond))
+		}
+	}
+	bd.CompleteTraces = len(walls)
+	bd.PipelineMeanUs = mean(walls)
+	return bd, nil
 }
 
 // ---------------------------------------------------------------------------

@@ -22,6 +22,7 @@ import (
 	"middlewhere/internal/geom"
 	"middlewhere/internal/glob"
 	"middlewhere/internal/model"
+	"middlewhere/internal/obs"
 	"middlewhere/internal/rcc"
 	"middlewhere/internal/rules"
 	"middlewhere/internal/spatialdb"
@@ -68,6 +69,10 @@ type Notification struct {
 	Band fusion.Band
 	// At is when the triggering reading was evaluated.
 	At time.Time
+	// Trace is the obs trace ID of the reading that provoked this
+	// notification (empty when tracing is disabled), so a remote
+	// subscriber can attribute the push to its cause.
+	Trace string
 }
 
 // Subscription configures a region-based notification (§4.3).
@@ -140,6 +145,9 @@ type subscription struct {
 type dispatch struct {
 	fn func(Notification)
 	n  Notification
+	// enq anchors the notify stage: queue wait plus handler execution
+	// both count against delivery, not trigger evaluation.
+	enq time.Time
 }
 
 // Option configures the service.
@@ -226,19 +234,39 @@ func (s *Service) observeExit(r model.Reading) {
 	}
 }
 
+// Core metrics, cached once so the trigger/notify paths are pure
+// atomics.
+var (
+	mIngested     = obs.Default().Counter("core_ingested_total")
+	mTriggerEvals = obs.Default().Counter("core_trigger_evals_total")
+	mTriggerUs    = obs.Default().Histogram("core_trigger_eval_us")
+	mNotified     = obs.Default().Counter("core_notifications_total")
+	mNotifyUs     = obs.Default().Histogram("core_notify_us")
+	mQueueDepth   = obs.Default().Gauge("core_notify_queue_depth")
+)
+
+// deliver runs one queued notification handler, accounting queue wait
+// plus handler time to the notify stage.
+func (s *Service) deliver(d dispatch) {
+	d.fn(d.n)
+	mNotifyUs.Observe(float64(time.Since(d.enq).Microseconds()))
+	obs.SpanSince(d.n.Trace, "notify", d.enq)
+	mQueueDepth.Set(float64(len(s.notifyCh)))
+}
+
 // notifier delivers notifications off the insert path.
 func (s *Service) notifier() {
 	defer close(s.done)
 	for {
 		select {
 		case d := <-s.notifyCh:
-			d.fn(d.n)
+			s.deliver(d)
 		case <-s.stop:
 			// Drain anything already queued, then exit.
 			for {
 				select {
 				case d := <-s.notifyCh:
-					d.fn(d.n)
+					s.deliver(d)
 				default:
 					return
 				}
@@ -279,10 +307,16 @@ func (s *Service) RegisterSensor(sensorID string, spec model.SensorSpec) error {
 // Ingest stores a sensor reading; database triggers fire and matching
 // subscriptions are evaluated.
 func (s *Service) Ingest(r model.Reading) error {
+	if r.Trace == "" && obs.Enabled() {
+		// Local ingest begins the trace here; readings arriving over
+		// mwrpc carry the ID their client stamped.
+		r.Trace = obs.BeginTrace()
+	}
 	if err := s.db.InsertReading(r); err != nil {
 		return err
 	}
 	s.ingested.Add(1)
+	mIngested.Inc()
 	return nil
 }
 
@@ -477,9 +511,20 @@ func (s *Service) Subscribe(spec Subscription) (string, error) {
 // subscription's probability condition.
 func (s *Service) onTrigger(sub *subscription) spatialdb.TriggerFunc {
 	return func(ev spatialdb.TriggerEvent) {
+		start := time.Now()
+		trace := ev.Reading.Trace
+		mTriggerEvals.Inc()
+		// The trigger_eval stage ends when the notification is handed to
+		// the queue (or the evaluation decides not to notify); queue wait
+		// belongs to notify.
+		evalDone := func() {
+			mTriggerUs.Observe(float64(time.Since(start).Microseconds()))
+			obs.SpanSince(trace, "trigger_eval", start)
+		}
 		obj := ev.Reading.MObjectID
 		p, band, err := s.probInRect(obj, sub.region)
 		if err != nil {
+			evalDone()
 			return
 		}
 		qualifies := p > 0 && p >= sub.spec.MinProb
@@ -490,6 +535,7 @@ func (s *Service) onTrigger(sub *subscription) spatialdb.TriggerFunc {
 		state, ok := s.lastTrue[sub.id]
 		if !ok { // unsubscribed concurrently
 			s.mu.Unlock()
+			evalDone()
 			return
 		}
 		was := state[obj]
@@ -497,6 +543,7 @@ func (s *Service) onTrigger(sub *subscription) spatialdb.TriggerFunc {
 		s.mu.Unlock()
 
 		if !qualifies || (was && !sub.spec.EveryReading) {
+			evalDone()
 			return
 		}
 		n := Notification{
@@ -506,10 +553,14 @@ func (s *Service) onTrigger(sub *subscription) spatialdb.TriggerFunc {
 			Prob:           p,
 			Band:           band,
 			At:             s.now(),
+			Trace:          trace,
 		}
+		evalDone()
 		select {
-		case s.notifyCh <- dispatch{fn: sub.spec.Handler, n: n}:
+		case s.notifyCh <- dispatch{fn: sub.spec.Handler, n: n, enq: time.Now()}:
 			s.notified.Add(1)
+			mNotified.Inc()
+			mQueueDepth.Set(float64(len(s.notifyCh)))
 		case <-s.stop:
 		}
 	}

@@ -4,8 +4,18 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"middlewhere/internal/geom"
+	"middlewhere/internal/obs"
+)
+
+// Fusion metrics, cached once so Evaluate stays alloc-free.
+var (
+	mEvals      = obs.Default().Counter("fusion_lattice_evals_total")
+	mEvalUs     = obs.Default().Histogram("fusion_lattice_eval_us")
+	mLatticeLen = obs.Default().Histogram("fusion_lattice_nodes",
+		1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
 )
 
 // maxLatticeNodes caps the intersection closure so pathological inputs
@@ -184,11 +194,15 @@ func (l *Lattice) link() {
 
 // Evaluate fills every node's Prob with P(object in node | readings).
 func (l *Lattice) Evaluate() {
+	start := time.Now()
 	for _, n := range l.Nodes {
 		n.Prob = ProbRegion(l.Universe, l.Readings, n.Rect)
 	}
 	l.Top.Prob = 1
 	l.Bottom.Prob = 0
+	mEvals.Inc()
+	mEvalUs.Observe(float64(time.Since(start).Microseconds()))
+	mLatticeLen.Observe(float64(len(l.Nodes)))
 }
 
 // InsertRegion adds an arbitrary query region to the lattice (used for

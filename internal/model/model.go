@@ -287,6 +287,10 @@ type Reading struct {
 	// move over recent updates; the conflict-resolution rules of §4.1.2
 	// prefer moving readings.
 	Moving bool
+	// Trace is the obs trace ID stamped at ingest (empty when tracing is
+	// disabled). It rides with the reading through the pipeline so the
+	// notification it provokes can be attributed back to it.
+	Trace string
 }
 
 // Age returns how old the reading is at time now.

@@ -24,10 +24,27 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"middlewhere/internal/obs"
 )
 
 // maxFrame bounds a single message.
 const maxFrame = 1 << 20
+
+// Frame-level metrics, cached once so the hot path is pure atomics.
+var (
+	mFramesSent     = obs.Default().Counter("mwrpc_frames_sent_total")
+	mFramesRecv     = obs.Default().Counter("mwrpc_frames_received_total")
+	mBytesSent      = obs.Default().Counter("mwrpc_bytes_sent_total")
+	mBytesRecv      = obs.Default().Counter("mwrpc_bytes_received_total")
+	mEncodeUs       = obs.Default().Histogram("mwrpc_frame_encode_us")
+	mDecodeUs       = obs.Default().Histogram("mwrpc_frame_decode_us")
+	mDecodeBad      = obs.Default().Counter("mwrpc_frames_malformed_total")
+	mCallsTotal     = obs.Default().Counter("mwrpc_calls_total")
+	mCallErrors     = obs.Default().Counter("mwrpc_call_errors_total")
+	mPushesSent     = obs.Default().Counter("mwrpc_pushes_sent_total")
+	mServedRequests = obs.Default().Counter("mwrpc_requests_served_total")
+)
 
 // wire is the on-the-wire message envelope.
 type wire struct {
@@ -45,6 +62,9 @@ type wire struct {
 	Error string `json:"error,omitempty"`
 	// Stream names the push channel (pushes).
 	Stream string `json:"stream,omitempty"`
+	// Trace carries an obs trace ID so a notification on the server can
+	// be attributed to the sensor reading (and client) that caused it.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Sentinel errors.
@@ -57,10 +77,12 @@ var (
 
 // writeFrame writes one length-prefixed JSON message.
 func writeFrame(w io.Writer, m wire) error {
+	start := time.Now()
 	body, err := json.Marshal(m)
 	if err != nil {
 		return fmt.Errorf("mwrpc: marshal: %w", err)
 	}
+	mEncodeUs.Observe(float64(time.Since(start).Microseconds()))
 	if len(body) > maxFrame {
 		return ErrFrameTooBig
 	}
@@ -70,6 +92,10 @@ func writeFrame(w io.Writer, m wire) error {
 		return err
 	}
 	_, err = w.Write(body)
+	if err == nil {
+		mFramesSent.Inc()
+		mBytesSent.Add(uint64(len(body) + 4))
+	}
 	return err
 }
 
@@ -87,10 +113,15 @@ func readFrame(r io.Reader) (wire, error) {
 	if _, err := io.ReadFull(r, body); err != nil {
 		return wire{}, err
 	}
+	start := time.Now()
 	var m wire
 	if err := json.Unmarshal(body, &m); err != nil {
+		mDecodeBad.Inc()
 		return wire{}, fmt.Errorf("mwrpc: unmarshal: %w", err)
 	}
+	mDecodeUs.Observe(float64(time.Since(start).Microseconds()))
+	mFramesRecv.Inc()
+	mBytesRecv.Add(uint64(n + 4))
 	return m, nil
 }
 
@@ -118,7 +149,11 @@ func (c *ServerConn) Push(stream string, payload interface{}) error {
 	if c.closed {
 		return ErrClosed
 	}
-	return writeFrame(c.conn, wire{Kind: "push", Stream: stream, Result: body})
+	err = writeFrame(c.conn, wire{Kind: "push", Stream: stream, Result: body})
+	if err == nil {
+		mPushesSent.Inc()
+	}
+	return err
 }
 
 // OnClose registers a cleanup callback run when the connection drops.
@@ -176,10 +211,16 @@ func (c *ServerConn) respond(id uint64, result interface{}, herr error) error {
 // goroutine; slow work should be handed off.
 type Handler func(conn *ServerConn, params json.RawMessage) (interface{}, error)
 
+// TracedHandler is a Handler that also receives the trace ID carried
+// on the request frame ("" for untraced requests), so the server side
+// can continue a span chain begun in the client.
+type TracedHandler func(conn *ServerConn, params json.RawMessage, trace string) (interface{}, error)
+
 // Server dispatches framed requests to registered handlers.
 type Server struct {
 	mu       sync.Mutex
 	handlers map[string]Handler
+	traced   map[string]TracedHandler
 	ln       net.Listener
 	conns    map[*ServerConn]struct{}
 	wg       sync.WaitGroup
@@ -190,6 +231,7 @@ type Server struct {
 func NewServer() *Server {
 	return &Server{
 		handlers: make(map[string]Handler),
+		traced:   make(map[string]TracedHandler),
 		conns:    make(map[*ServerConn]struct{}),
 	}
 }
@@ -199,6 +241,14 @@ func (s *Server) Register(method string, h Handler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.handlers[method] = h
+}
+
+// RegisterTraced installs a trace-aware handler for a method name. A
+// traced registration shadows a plain one for the same method.
+func (s *Server) RegisterTraced(method string, h TracedHandler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.traced[method] = h
 }
 
 // Listen starts accepting on addr ("host:port"; ":0" picks a free
@@ -261,13 +311,21 @@ func (s *Server) serveConn(sc *ServerConn) {
 			continue
 		}
 		s.mu.Lock()
+		th := s.traced[m.Method]
 		h := s.handlers[m.Method]
 		s.mu.Unlock()
-		if h == nil {
+		if th == nil && h == nil {
 			_ = sc.respond(m.ID, nil, fmt.Errorf("%w: %s", ErrNoMethod, m.Method))
 			continue
 		}
-		result, herr := h(sc, m.Params)
+		mServedRequests.Inc()
+		var result interface{}
+		var herr error
+		if th != nil {
+			result, herr = th(sc, m.Params, m.Trace)
+		} else {
+			result, herr = h(sc, m.Params)
+		}
 		if err := sc.respond(m.ID, result, herr); err != nil {
 			return
 		}
@@ -422,6 +480,22 @@ func (c *Client) OnPush(stream string, fn PushFunc) {
 // Call invokes a remote method and decodes the result into result
 // (which may be nil to discard it).
 func (c *Client) Call(method string, params, result interface{}) error {
+	return c.CallTraced(method, params, result, "")
+}
+
+// CallTraced is Call with a trace ID stamped onto the request frame so
+// the server can attribute its work to the originating reading. An
+// empty trace behaves exactly like Call.
+func (c *Client) CallTraced(method string, params, result interface{}, trace string) error {
+	err := c.callTraced(method, params, result, trace)
+	mCallsTotal.Inc()
+	if err != nil {
+		mCallErrors.Inc()
+	}
+	return err
+}
+
+func (c *Client) callTraced(method string, params, result interface{}, trace string) error {
 	body, err := json.Marshal(params)
 	if err != nil {
 		return fmt.Errorf("mwrpc: marshal params: %w", err)
@@ -435,7 +509,7 @@ func (c *Client) Call(method string, params, result interface{}) error {
 	c.nextID++
 	id := c.nextID
 	c.pending[id] = ch
-	err = writeFrame(c.conn, wire{Kind: "req", ID: id, Method: method, Params: body})
+	err = writeFrame(c.conn, wire{Kind: "req", ID: id, Method: method, Params: body, Trace: trace})
 	c.mu.Unlock()
 	if err != nil {
 		c.mu.Lock()

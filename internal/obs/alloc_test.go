@@ -1,0 +1,52 @@
+//go:build !race
+
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDisabledInstrumentationAllocatesNothing locks in the package's
+// cost contract: metric updates never allocate, and with tracing
+// disabled the tracing entry points are alloc-free no-ops too. The
+// file is excluded under -race because the race runtime itself
+// allocates inside atomic instrumentation.
+func TestDisabledInstrumentationAllocatesNothing(t *testing.T) {
+	was := Enabled()
+	SetEnabled(false)
+	t.Cleanup(func() { SetEnabled(was) })
+
+	r := NewRegistry()
+	// Create the handles up front, the way instrumentation sites cache
+	// them in package vars; the steady state is what must be free.
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	tr := NewTracer(r, 8)
+	start := time.Now()
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Counter.Inc", func() { c.Inc() }},
+		{"Counter.Add", func() { c.Add(3) }},
+		{"Gauge.Set", func() { g.Set(42) }},
+		{"Histogram.Observe", func() { h.Observe(123) }},
+		{"Registry.Counter cached", func() { r.Counter("c").Inc() }},
+		{"Tracer.Begin disabled", func() {
+			if id := tr.Begin(); id != "" {
+				t.Fatal("tracing unexpectedly enabled")
+			}
+		}},
+		{"Tracer.Span empty id", func() { tr.Span("", "ingest", start) }},
+		{"BeginTrace disabled", func() { _ = BeginTrace() }},
+		{"SpanSince empty id", func() { SpanSince("", "ingest", start) }},
+	}
+	for _, tc := range cases {
+		if avg := testing.AllocsPerRun(1000, tc.fn); avg != 0 {
+			t.Errorf("%s: %.1f allocs/op, want 0", tc.name, avg)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+)
+
+// DebugMux returns an http.Handler exposing reg and tr:
+//
+//	/metrics       — plain-text exposition (Prometheus-style lines)
+//	/debug/traces  — JSON array of recent traces (?n=K limits the count)
+//	/debug/pprof/* — the standard net/http/pprof profiles
+//
+// nil reg/tr default to the process-global registry and tracer. The
+// daemon mounts this behind an opt-in -debug-addr flag; it is never on
+// by default.
+func DebugMux(reg *Registry, tr *Tracer) *http.ServeMux {
+	if reg == nil {
+		reg = Default()
+	}
+	if tr == nil {
+		tr = DefaultTracer()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteMetricsText(w, reg)
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		n := 0
+		fmt.Sscanf(r.URL.Query().Get("n"), "%d", &n)
+		w.Header().Set("Content-Type", "application/json")
+		type spanJSON struct {
+			Stage    string  `json:"stage"`
+			OffsetUs float64 `json:"offsetUs"`
+			DurUs    float64 `json:"durUs"`
+		}
+		type traceJSON struct {
+			ID      string     `json:"id"`
+			Begin   string     `json:"begin"`
+			TotalUs float64    `json:"totalUs"`
+			Spans   []spanJSON `json:"spans"`
+		}
+		traces := tr.Recent(n)
+		out := make([]traceJSON, 0, len(traces))
+		for _, t := range traces {
+			tj := traceJSON{
+				ID:      t.ID,
+				Begin:   t.Begin.Format("2006-01-02T15:04:05.000000Z07:00"),
+				TotalUs: float64(t.Total().Microseconds()),
+			}
+			for _, sp := range t.Spans {
+				tj.Spans = append(tj.Spans, spanJSON{
+					Stage:    sp.Stage,
+					OffsetUs: float64(sp.Offset.Microseconds()),
+					DurUs:    float64(sp.Dur.Microseconds()),
+				})
+			}
+			out = append(out, tj)
+		}
+		json.NewEncoder(w).Encode(out)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// WriteMetricsText writes reg's snapshot in the plain-text exposition
+// format: `name value` for counters and gauges, and per-histogram
+// `name_count`, `name_sum`, quantile lines, and cumulative
+// `name_bucket{le="..."}` lines.
+func WriteMetricsText(w io.Writer, reg *Registry) {
+	snap := reg.Snapshot()
+	for _, c := range snap.Counters {
+		fmt.Fprintf(w, "%s %d\n", c.Name, c.Value)
+	}
+	for _, g := range snap.Gauges {
+		fmt.Fprintf(w, "%s %s\n", g.Name, formatFloat(g.Value))
+	}
+	for _, h := range snap.Histograms {
+		fmt.Fprintf(w, "%s_count %d\n", h.Name, h.Count)
+		fmt.Fprintf(w, "%s_sum %s\n", h.Name, formatFloat(h.Sum))
+		fmt.Fprintf(w, "%s{quantile=\"0.5\"} %s\n", h.Name, formatFloat(h.P50))
+		fmt.Fprintf(w, "%s{quantile=\"0.95\"} %s\n", h.Name, formatFloat(h.P95))
+		fmt.Fprintf(w, "%s{quantile=\"0.99\"} %s\n", h.Name, formatFloat(h.P99))
+		for _, b := range h.Buckets {
+			le := "+Inf"
+			if !math.IsInf(b.Le, 1) {
+				le = formatFloat(b.Le)
+			}
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.Name, le, b.Count)
+		}
+	}
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// MetricsTextString renders reg as the /metrics exposition text —
+// handy for CLI display and tests.
+func MetricsTextString(reg *Registry) string {
+	var b strings.Builder
+	WriteMetricsText(&b, reg)
+	return b.String()
+}
+
+// DebugServer is a running opt-in debug HTTP server.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the server's bound address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close shuts the server down.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// StartDebugServer binds addr and serves DebugMux(reg, tr) in a
+// background goroutine. nil reg/tr use the process-global instances.
+func StartDebugServer(addr string, reg *Registry, tr *Tracer) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: DebugMux(reg, tr)}
+	go srv.Serve(ln)
+	return &DebugServer{ln: ln, srv: srv}, nil
+}

@@ -1,0 +1,306 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// withTracing flips the global tracing flag for one test and restores
+// it afterwards.
+func withTracing(t *testing.T, on bool) {
+	t.Helper()
+	was := Enabled()
+	SetEnabled(on)
+	t.Cleanup(func() { SetEnabled(was) })
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if c.Name() != "hits" {
+		t.Errorf("counter name = %q", c.Name())
+	}
+	g := r.Gauge("depth")
+	g.Set(3.5)
+	if got := g.Value(); got != 3.5 {
+		t.Errorf("gauge = %g, want 3.5", got)
+	}
+	g.Set(-1)
+	if got := g.Value(); got != -1 {
+		t.Errorf("gauge = %g, want -1", got)
+	}
+}
+
+func TestRegistryHandleIdentity(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Error("same-name counters should be the same handle")
+	}
+	if r.Gauge("x") != r.Gauge("x") {
+		t.Error("same-name gauges should be the same handle")
+	}
+	if r.Histogram("x") != r.Histogram("x") {
+		t.Error("same-name histograms should be the same handle")
+	}
+	// Reset preserves identity, zeroing in place.
+	c := r.Counter("x")
+	c.Add(7)
+	h := r.Histogram("x")
+	h.Observe(12)
+	r.Reset()
+	if c != r.Counter("x") || h != r.Histogram("x") {
+		t.Error("Reset must not replace metric handles")
+	}
+	if c.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Errorf("Reset left values: counter=%d hist count=%d sum=%g",
+			c.Value(), h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramBucketPlacement(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", 10, 20, 30)
+	// One observation per region: below first bound, on a bound (counts
+	// as <=), between bounds, above the last bound (overflow).
+	for _, v := range []float64{5, 20, 25, 99} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 149 {
+		t.Errorf("sum = %g, want 149", h.Sum())
+	}
+	var snap HistogramSnap
+	for _, hs := range r.Snapshot().Histograms {
+		if hs.Name == "lat" {
+			snap = hs
+		}
+	}
+	// Cumulative buckets: <=10:1, <=20:2, <=30:3, +Inf:4.
+	wantCum := []uint64{1, 2, 3, 4}
+	if len(snap.Buckets) != len(wantCum) {
+		t.Fatalf("bucket count = %d, want %d", len(snap.Buckets), len(wantCum))
+	}
+	for i, b := range snap.Buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket %d cumulative = %d, want %d", i, b.Count, wantCum[i])
+		}
+	}
+	if !math.IsInf(snap.Buckets[len(snap.Buckets)-1].Le, 1) {
+		t.Error("last bucket bound should be +Inf")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", 10, 20, 30, 40)
+	// Ten observations in each of the four finite buckets.
+	for _, base := range []float64{5, 15, 25, 35} {
+		for i := 0; i < 10; i++ {
+			h.Observe(base)
+		}
+	}
+	// rank(0.5) = 20 lands exactly at the top of the second bucket.
+	if got := h.Quantile(0.50); got != 20 {
+		t.Errorf("P50 = %g, want 20", got)
+	}
+	// rank(0.25) = 10: the full first bucket → its upper bound.
+	if got := h.Quantile(0.25); got != 10 {
+		t.Errorf("P25 = %g, want 10", got)
+	}
+	// rank(0.95) = 38: 8/10 into the (30,40] bucket.
+	if got := h.Quantile(0.95); math.Abs(got-38) > 1e-9 {
+		t.Errorf("P95 = %g, want 38", got)
+	}
+	// Overflow observations clamp to the largest finite bound.
+	for i := 0; i < 100; i++ {
+		h.Observe(1e9)
+	}
+	if got := h.Quantile(0.99); got != 40 {
+		t.Errorf("P99 with overflow = %g, want clamp to 40", got)
+	}
+	// Empty histogram.
+	if got := r.Histogram("empty").Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %g, want 0", got)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 8
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Counter("shared").Inc()
+				r.Gauge("g").Set(float64(i))
+				r.Histogram("h").Observe(float64(i % 100))
+				if i%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Histogram("h").Count(); got != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+	// The CAS-looped sum must not lose updates: each goroutine adds
+	// sum(0..99) * perG/100.
+	want := float64(goroutines) * float64(perG/100) * (99 * 100 / 2)
+	if got := r.Histogram("h").Sum(); got != want {
+		t.Errorf("histogram sum = %g, want %g", got, want)
+	}
+}
+
+func TestTracerDisabled(t *testing.T) {
+	withTracing(t, false)
+	tr := NewTracer(NewRegistry(), 8)
+	if id := tr.Begin(); id != "" {
+		t.Errorf("Begin while disabled = %q, want empty", id)
+	}
+	tr.Span("", "ingest", time.Now()) // must be a no-op, not a panic
+	if tr.Len() != 0 {
+		t.Errorf("disabled tracer recorded %d traces", tr.Len())
+	}
+}
+
+func TestTracerSpansAndRing(t *testing.T) {
+	withTracing(t, true)
+	reg := NewRegistry()
+	tr := NewTracer(reg, 2)
+	id := tr.Begin()
+	if id == "" {
+		t.Fatal("Begin returned empty ID while enabled")
+	}
+	start := time.Now()
+	tr.Span(id, "ingest", start)
+	tr.Span(id, "db_insert", start)
+	recent := tr.Recent(10)
+	if len(recent) != 1 || recent[0].ID != id || len(recent[0].Spans) != 2 {
+		t.Fatalf("recent = %+v", recent)
+	}
+	if recent[0].Spans[0].Stage != "ingest" || recent[0].Spans[1].Stage != "db_insert" {
+		t.Errorf("stages = %v", recent[0].Spans)
+	}
+	// Spans feed the stage histograms of the tracer's registry.
+	if got := reg.Histogram("stage_ingest_us").Count(); got != 1 {
+		t.Errorf("stage_ingest_us count = %d, want 1", got)
+	}
+	// The ring evicts oldest-first at capacity.
+	id2, id3 := tr.Begin(), tr.Begin()
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d, want cap 2", tr.Len())
+	}
+	recent = tr.Recent(2)
+	if recent[0].ID != id3 || recent[1].ID != id2 {
+		t.Errorf("ring kept %q,%q; want newest %q,%q", recent[0].ID, recent[1].ID, id3, id2)
+	}
+	// A span against an unseen ID is adopted (remote trace arriving at
+	// the server's tracer).
+	tr.Span("t-remote", "notify", time.Now())
+	if got := tr.Recent(1)[0].ID; got != "t-remote" {
+		t.Errorf("adopted trace = %q, want t-remote", got)
+	}
+}
+
+func TestTracerUniqueIDs(t *testing.T) {
+	withTracing(t, true)
+	tr := NewTracer(NewRegistry(), 64)
+	seen := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		id := tr.Begin()
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestWriteMetricsText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total").Add(3)
+	r.Gauge("queue_depth").Set(2)
+	r.Histogram("lat_us", 10, 100).Observe(50)
+	text := MetricsTextString(r)
+	for _, want := range []string{
+		"requests_total 3",
+		"queue_depth 2",
+		"lat_us_count 1",
+		"lat_us_sum 50",
+		`lat_us_bucket{le="100"} 1`,
+		`lat_us_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestDebugServer(t *testing.T) {
+	withTracing(t, true)
+	reg := NewRegistry()
+	tr := NewTracer(reg, 8)
+	reg.Counter("probe_total").Inc()
+	id := tr.Begin()
+	tr.Span(id, "ingest", time.Now())
+
+	srv, err := StartDebugServer("127.0.0.1:0", reg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "probe_total 1") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	resp, err = http.Get("http://" + srv.Addr() + "/debug/traces?n=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var traces []struct {
+		ID    string `json:"id"`
+		Spans []struct {
+			Stage string  `json:"stage"`
+			DurUs float64 `json:"durUs"`
+		} `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&traces); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 1 || traces[0].ID != id {
+		t.Errorf("/debug/traces = %+v, want trace %q", traces, id)
+	}
+	if len(traces[0].Spans) != 1 || traces[0].Spans[0].Stage != "ingest" {
+		t.Errorf("/debug/traces spans = %+v, want one ingest span", traces[0].Spans)
+	}
+}

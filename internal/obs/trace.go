@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// A Span is one named, timed stage inside a trace: Offset is when the
+// stage began relative to the trace's Begin time, Dur how long it took.
+type Span struct {
+	Stage  string
+	Offset time.Duration
+	Dur    time.Duration
+}
+
+// A Trace is the record of one sensor reading's trip through the
+// pipeline, identified by the ID stamped at ingest and carried across
+// mwrpc frames.
+type Trace struct {
+	ID    string
+	Begin time.Time
+	Spans []Span
+}
+
+// Total is the wall time from the trace's begin to the end of its last
+// finishing span.
+func (t Trace) Total() time.Duration {
+	var end time.Duration
+	for _, sp := range t.Spans {
+		if e := sp.Offset + sp.Dur; e > end {
+			end = e
+		}
+	}
+	return end
+}
+
+// DefaultTraceCap is how many recent traces a Tracer retains.
+const DefaultTraceCap = 256
+
+// Tracer collects spans into per-trace records and keeps a bounded
+// ring of the most recent traces. Span timings are also observed into
+// a Registry histogram named "stage_<stage>_us", which is what the F9
+// breakdown and mw.stats read.
+//
+// All methods are safe for concurrent use. When tracing is disabled
+// (Enabled() == false) Begin returns "" and Span on an empty ID is a
+// no-op, so the hot path allocates nothing.
+type Tracer struct {
+	reg *Registry
+
+	mu   sync.Mutex
+	ring []string          // trace IDs, oldest first, len <= cap
+	byID map[string]*Trace // ID → record, evicted with the ring
+	cap  int
+}
+
+// NewTracer returns a tracer recording stage histograms into reg
+// (Default() when nil), retaining up to capacity recent traces
+// (DefaultTraceCap when <= 0).
+func NewTracer(reg *Registry, capacity int) *Tracer {
+	if reg == nil {
+		reg = Default()
+	}
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{
+		reg:  reg,
+		byID: make(map[string]*Trace),
+		cap:  capacity,
+	}
+}
+
+// traceSeq disambiguates trace IDs generated in the same process.
+var traceSeq atomic.Uint64
+
+// Begin starts a new trace and returns its ID, or "" when tracing is
+// disabled. IDs are unique within a process and unlikely to collide
+// across the processes of one deployment (wall-clock prefix + sequence).
+func (t *Tracer) Begin() string {
+	if !enabled.Load() {
+		return ""
+	}
+	now := time.Now()
+	id := "t" + strconv.FormatInt(now.UnixNano(), 36) +
+		"-" + strconv.FormatUint(traceSeq.Add(1), 36)
+	t.mu.Lock()
+	t.insert(&Trace{ID: id, Begin: now})
+	t.mu.Unlock()
+	return id
+}
+
+// insert adds rec to the ring, evicting the oldest; called with t.mu
+// held.
+func (t *Tracer) insert(rec *Trace) {
+	if len(t.ring) >= t.cap {
+		old := t.ring[0]
+		t.ring = t.ring[1:]
+		delete(t.byID, old)
+	}
+	t.ring = append(t.ring, rec.ID)
+	t.byID[rec.ID] = rec
+}
+
+// Span records that stage ran from start to now under trace id. An
+// empty id is a no-op (tracing disabled, or an untraced caller). An id
+// this tracer has not seen is adopted — that is how a server-side
+// tracer picks up a trace begun in a remote client and carried over
+// mwrpc. The stage duration is also observed (in microseconds) into
+// the "stage_<stage>_us" histogram of the tracer's registry.
+func (t *Tracer) Span(id, stage string, start time.Time) {
+	if id == "" {
+		return
+	}
+	dur := time.Since(start)
+	t.reg.Histogram("stage_" + stage + "_us").Observe(float64(dur.Microseconds()))
+	t.mu.Lock()
+	rec := t.byID[id]
+	if rec == nil {
+		// Adopted trace: its clock zero is the earliest span start we see.
+		rec = &Trace{ID: id, Begin: start}
+		t.insert(rec)
+	}
+	off := start.Sub(rec.Begin)
+	if off < 0 {
+		// A span that started before the recorded begin (clock skew or a
+		// span raced the adoption): re-anchor so offsets stay >= 0.
+		for i := range rec.Spans {
+			rec.Spans[i].Offset -= off
+		}
+		rec.Begin = start
+		off = 0
+	}
+	rec.Spans = append(rec.Spans, Span{Stage: stage, Offset: off, Dur: dur})
+	t.mu.Unlock()
+}
+
+// Recent returns up to n of the most recent traces, newest first, as
+// deep copies safe to retain.
+func (t *Tracer) Recent(n int) []Trace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 || n > len(t.ring) {
+		n = len(t.ring)
+	}
+	out := make([]Trace, 0, n)
+	for i := len(t.ring) - 1; i >= 0 && len(out) < n; i-- {
+		rec := t.byID[t.ring[i]]
+		cp := Trace{ID: rec.ID, Begin: rec.Begin, Spans: make([]Span, len(rec.Spans))}
+		copy(cp.Spans, rec.Spans)
+		out = append(out, cp)
+	}
+	return out
+}
+
+// Len returns the number of retained traces.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ring)
+}
+
+// Reset discards all retained traces.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	t.ring = t.ring[:0]
+	t.byID = make(map[string]*Trace)
+	t.mu.Unlock()
+}
+
+// defaultTracer is the process-global tracer the built-in
+// instrumentation records into, feeding the Default() registry.
+var defaultTracer = NewTracer(defaultRegistry, DefaultTraceCap)
+
+// DefaultTracer returns the process-global tracer.
+func DefaultTracer() *Tracer { return defaultTracer }
+
+// BeginTrace starts a trace on the process-global tracer ("" when
+// tracing is disabled).
+func BeginTrace() string { return defaultTracer.Begin() }
+
+// SpanSince records a stage on the process-global tracer; a no-op when
+// id is "".
+func SpanSince(id, stage string, start time.Time) { defaultTracer.Span(id, stage, start) }
+
+// RecentTraces returns recent traces from the process-global tracer.
+func RecentTraces(n int) []Trace { return defaultTracer.Recent(n) }

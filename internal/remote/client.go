@@ -8,12 +8,12 @@ import (
 	"net"
 	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"middlewhere/internal/core"
 	"middlewhere/internal/model"
 	"middlewhere/internal/mwrpc"
+	"middlewhere/internal/obs"
 )
 
 // ConnState is the client's connection lifecycle state.
@@ -65,6 +65,11 @@ type DialOptions struct {
 	// OnStateChange, when non-nil, observes connection transitions
 	// (called outside client locks, possibly from internal goroutines).
 	OnStateChange func(ConnState)
+	// Metrics receives the client's counters (reconnect rounds, replayed
+	// subscriptions, malformed pushes, ...). Nil gives each client its
+	// own registry, read back through Metrics(); pass obs.Default() to
+	// fold the client into the process-global registry.
+	Metrics *obs.Registry
 }
 
 func (o DialOptions) withDefaults() DialOptions {
@@ -141,11 +146,16 @@ type LocationClient struct {
 	serverToSub map[string]*clientSub
 	subSeq      int
 
-	// malformed counts push payloads dropped because they failed to
-	// decode; deduped counts replayed notifications suppressed after a
-	// resubscription. Both feed Health.
-	malformed atomic.Uint64
-	deduped   atomic.Uint64
+	// metrics holds the client's counters (per client unless
+	// DialOptions.Metrics shares a registry); the handles below are
+	// cached so the push path stays alloc-free.
+	metrics      *obs.Registry
+	mReconnects  *obs.Counter // reconnect rounds started
+	mResubscribe *obs.Counter // subscriptions replayed on resume
+	mMalformed   *obs.Counter // undecodable push payloads dropped
+	mDeduped     *obs.Counter // post-reconnect replays suppressed
+	mIngests     *obs.Counter // readings forwarded over mw.ingest
+	mIngestRTT   *obs.Histogram
 }
 
 // DialLocation connects to a remote Location Service with default
@@ -158,15 +168,26 @@ func DialLocation(addr string) (*LocationClient, error) {
 // The initial dial itself retries with the configured backoff.
 func DialLocationOptions(addr string, opts DialOptions) (*LocationClient, error) {
 	opts = opts.withDefaults()
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	lc := &LocationClient{
-		addr:        addr,
-		opts:        opts,
-		state:       StateReconnecting,
-		closedCh:    make(chan struct{}),
-		rng:         rand.New(rand.NewSource(opts.JitterSeed)),
-		sensors:     make(map[string]SensorSpecDTO),
-		subs:        make(map[string]*clientSub),
-		serverToSub: make(map[string]*clientSub),
+		addr:         addr,
+		opts:         opts,
+		state:        StateReconnecting,
+		closedCh:     make(chan struct{}),
+		rng:          rand.New(rand.NewSource(opts.JitterSeed)),
+		sensors:      make(map[string]SensorSpecDTO),
+		subs:         make(map[string]*clientSub),
+		serverToSub:  make(map[string]*clientSub),
+		metrics:      reg,
+		mReconnects:  reg.Counter("client_reconnect_rounds_total"),
+		mResubscribe: reg.Counter("client_resubscribed_total"),
+		mMalformed:   reg.Counter("client_malformed_pushes_total"),
+		mDeduped:     reg.Counter("client_deduped_notifications_total"),
+		mIngests:     reg.Counter("client_ingests_total"),
+		mIngestRTT:   reg.Histogram("client_ingest_rtt_us"),
 	}
 	var lastErr error
 	for attempt := 0; attempt < opts.DialAttempts; attempt++ {
@@ -313,6 +334,7 @@ func (c *LocationClient) awaitReconnect(failedEpoch int) error {
 		c.reconnectDone = done
 		c.state = StateReconnecting
 		c.reconnects++
+		c.mReconnects.Inc()
 		started = true
 		go c.reconnectLoop(done)
 	}
@@ -439,6 +461,7 @@ func (c *LocationClient) resumeSession(rpc *mwrpc.Client) error {
 			sub.serverID = out.SubscriptionID
 			sub.epoch = nextEpoch
 			c.serverToSub[out.SubscriptionID] = sub
+			c.mResubscribe.Inc()
 		}
 		c.mu.Unlock()
 	}
@@ -448,13 +471,19 @@ func (c *LocationClient) resumeSession(rpc *mwrpc.Client) error {
 // call invokes an idempotent method, reconnecting and retrying on
 // transport failures. Server-side errors return immediately.
 func (c *LocationClient) call(method string, params, result interface{}) error {
+	return c.callTraced(method, params, result, "")
+}
+
+// callTraced is call with an obs trace ID stamped on the request
+// frame; "" behaves exactly like call.
+func (c *LocationClient) callTraced(method string, params, result interface{}, trace string) error {
 	var lastErr error
 	for attempt := 0; attempt < c.opts.DialAttempts; attempt++ {
 		rpc, epoch, err := c.current()
 		if err != nil {
 			return err
 		}
-		err = rpc.Call(method, params, result)
+		err = rpc.CallTraced(method, params, result, trace)
 		if err == nil {
 			return nil
 		}
@@ -475,7 +504,7 @@ func (c *LocationClient) call(method string, params, result interface{}) error {
 func (c *LocationClient) onNotify(payload json.RawMessage) {
 	var n NotificationDTO
 	if err := json.Unmarshal(payload, &n); err != nil {
-		c.malformed.Add(1)
+		c.mMalformed.Inc()
 		return
 	}
 	c.mu.Lock()
@@ -490,7 +519,7 @@ func (c *LocationClient) onNotify(payload json.RawMessage) {
 		}
 		if sub.lastSeen[n.Object] == fp {
 			c.mu.Unlock()
-			c.deduped.Add(1)
+			c.mDeduped.Inc()
 			return
 		}
 		sub.lastSeen[n.Object] = fp
@@ -507,9 +536,29 @@ func (c *LocationClient) onNotify(payload json.RawMessage) {
 // at-least-once across reconnects: a reading whose acknowledgement was
 // lost may be stored twice, which the spatial database tolerates
 // (identical reading rows fuse to the same posterior).
+//
+// When tracing is enabled the reading's trip is traced end to end: a
+// trace ID begins here (unless the reading already carries one),
+// travels on the request frame, and comes back on the notification it
+// provokes.
 func (c *LocationClient) Ingest(r model.Reading) error {
-	return c.call("mw.ingest", toReadingDTO(r), nil)
+	trace := r.Trace
+	if trace == "" && obs.Enabled() {
+		trace = obs.BeginTrace()
+	}
+	start := time.Now()
+	err := c.callTraced("mw.ingest", toReadingDTO(r), nil, trace)
+	if err == nil {
+		c.mIngests.Inc()
+		c.mIngestRTT.Observe(float64(time.Since(start).Microseconds()))
+	}
+	obs.SpanSince(trace, "rpc_ingest", start)
+	return err
 }
+
+// Metrics returns the client's metric registry (reconnect rounds,
+// replayed subscriptions, malformed pushes, ingest round trips).
+func (c *LocationClient) Metrics() *obs.Registry { return c.metrics }
 
 // RegisterSensor registers a sensor calibration (adapter.Registrar)
 // and records it in the session table for replay after a reconnect.
@@ -692,6 +741,14 @@ func (c *LocationClient) ServerHealth() (HealthDTO, error) {
 	return out, err
 }
 
+// Stats fetches the remote service's observability snapshot; traces
+// caps the recent traces included (0 = metrics only).
+func (c *LocationClient) Stats(traces int) (StatsDTO, error) {
+	var out StatsDTO
+	err := c.call("mw.stats", StatsArgs{Traces: traces}, &out)
+	return out, err
+}
+
 // ClientHealth is the client-side view of the connection's health.
 type ClientHealth struct {
 	// State is Healthy while connected and clean, Degraded while
@@ -726,8 +783,8 @@ func (c *LocationClient) Health() ClientHealth {
 		h.LastError = c.lastErr.Error()
 	}
 	c.mu.Unlock()
-	h.MalformedNotifications = c.malformed.Load()
-	h.DedupedNotifications = c.deduped.Load()
+	h.MalformedNotifications = c.mMalformed.Value()
+	h.DedupedNotifications = c.mDeduped.Value()
 	switch {
 	case h.Conn == StateClosed:
 		h.State = core.Down

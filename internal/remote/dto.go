@@ -214,6 +214,9 @@ type NotificationDTO struct {
 	Prob           float64 `json:"prob"`
 	Band           string  `json:"band"`
 	Time           string  `json:"time"`
+	// Trace is the obs trace ID of the reading that provoked the
+	// notification (empty when tracing was off at ingest).
+	Trace string `json:"trace,omitempty"`
 }
 
 func toNotificationDTO(n core.Notification) NotificationDTO {
@@ -224,9 +227,10 @@ func toNotificationDTO(n core.Notification) NotificationDTO {
 			MinX: n.Region.Min.X, MinY: n.Region.Min.Y,
 			MaxX: n.Region.Max.X, MaxY: n.Region.Max.Y,
 		},
-		Prob: n.Prob,
-		Band: n.Band.String(),
-		Time: n.At.Format(time.RFC3339Nano),
+		Prob:  n.Prob,
+		Band:  n.Band.String(),
+		Time:  n.At.Format(time.RFC3339Nano),
+		Trace: n.Trace,
 	}
 }
 
@@ -241,6 +245,57 @@ type HealthDTO struct {
 	Sensors       int     `json:"sensors"`
 	QueueDepth    int     `json:"queueDepth"`
 	QueueCap      int     `json:"queueCap"`
+}
+
+// StatsArgs configures an mw.stats fetch.
+type StatsArgs struct {
+	// Traces caps the recent traces returned (0 = none; mwctl trace
+	// passes a positive count).
+	Traces int `json:"traces,omitempty"`
+}
+
+// BucketDTO is one cumulative histogram bucket; Le < 0 encodes the
+// +Inf overflow bucket (JSON has no infinity).
+type BucketDTO struct {
+	Le    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// HistogramDTO is the wire form of a histogram snapshot.
+type HistogramDTO struct {
+	Name    string      `json:"name"`
+	Count   uint64      `json:"count"`
+	Sum     float64     `json:"sum"`
+	P50     float64     `json:"p50"`
+	P95     float64     `json:"p95"`
+	P99     float64     `json:"p99"`
+	Buckets []BucketDTO `json:"buckets,omitempty"`
+}
+
+// SpanDTO is one stage of a trace on the wire.
+type SpanDTO struct {
+	Stage    string  `json:"stage"`
+	OffsetUs float64 `json:"offsetUs"`
+	DurUs    float64 `json:"durUs"`
+}
+
+// TraceDTO is one recorded pipeline trace on the wire.
+type TraceDTO struct {
+	ID      string    `json:"id"`
+	Begin   string    `json:"begin"`
+	TotalUs float64   `json:"totalUs"`
+	Spans   []SpanDTO `json:"spans"`
+}
+
+// StatsDTO is the wire form of the service's observability snapshot
+// (mw.stats).
+type StatsDTO struct {
+	// Enabled reports whether span tracing is on in the server process.
+	Enabled    bool               `json:"enabled"`
+	Counters   map[string]uint64  `json:"counters,omitempty"`
+	Gauges     map[string]float64 `json:"gauges,omitempty"`
+	Histograms []HistogramDTO     `json:"histograms,omitempty"`
+	Traces     []TraceDTO         `json:"traces,omitempty"`
 }
 
 // bandFromString parses a band name; unknown strings map to zero.

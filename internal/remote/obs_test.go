@@ -1,0 +1,150 @@
+package remote
+
+import (
+	"testing"
+	"time"
+
+	"middlewhere/internal/glob"
+	"middlewhere/internal/model"
+	"middlewhere/internal/obs"
+)
+
+// TestTracePropagatesAcrossRPC proves the tentpole attribution story:
+// a trace ID minted in the client's Ingest rides the mwrpc request
+// frame into the server, through the pipeline stages, and comes back
+// attached to the push notification — so a remote notification can be
+// tied to the exact sensor reading that caused it.
+func TestTracePropagatesAcrossRPC(t *testing.T) {
+	was := obs.Enabled()
+	obs.SetEnabled(true)
+	t.Cleanup(func() { obs.SetEnabled(was) })
+	obs.DefaultTracer().Reset()
+
+	c, _ := startStack(t)
+	spec := model.UbisenseSpec(0.95)
+	spec.TTL = time.Minute
+	if err := c.RegisterSensor("ubi-tr", spec); err != nil {
+		t.Fatal(err)
+	}
+	notified := make(chan NotificationDTO, 1)
+	_, err := c.Subscribe(SubscribeArgs{
+		Region:       "CS/Floor3/NetLab",
+		EveryReading: true,
+	}, func(n NotificationDTO) { notified <- n })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ingest(model.Reading{
+		SensorID:  "ubi-tr",
+		MObjectID: "alice",
+		Location:  glob.MustParse("CS/Floor3/(370,15)"),
+		Time:      t0,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var n NotificationDTO
+	select {
+	case n = <-notified:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no notification")
+	}
+	if n.Trace == "" {
+		t.Fatal("notification carries no trace ID")
+	}
+
+	// The recorded trace must contain the client-side RTT span and every
+	// server-side pipeline stage under the ID the notification named.
+	// The notify span is recorded just after the push frame is written,
+	// racing our receipt of it — poll briefly.
+	want := []string{"rpc_ingest", "ingest", "db_insert", "trigger_eval", "notify"}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		stages := map[string]bool{}
+		for _, tr := range obs.RecentTraces(0) {
+			if tr.ID != n.Trace {
+				continue
+			}
+			for _, sp := range tr.Spans {
+				stages[sp.Stage] = true
+			}
+		}
+		missing := []string{}
+		for _, s := range want {
+			if !stages[s] {
+				missing = append(missing, s)
+			}
+		}
+		if len(missing) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s missing stages %v (got %v)", n.Trace, missing, stages)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// And mw.stats must return that trace over the wire.
+	st, err := c.Stats(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Enabled {
+		t.Error("mw.stats reports tracing disabled")
+	}
+	found := false
+	for _, tr := range st.Traces {
+		if tr.ID == n.Trace {
+			found = true
+			if len(tr.Spans) < len(want) {
+				t.Errorf("mw.stats trace has %d spans, want >= %d", len(tr.Spans), len(want))
+			}
+		}
+	}
+	if !found {
+		t.Errorf("mw.stats did not return trace %s", n.Trace)
+	}
+	if st.Counters["mwrpc_frames_received_total"] == 0 {
+		t.Error("mw.stats counters missing mwrpc frame counts")
+	}
+}
+
+// TestIngestUntracedWhenDisabled checks the other half of the cost
+// contract: with tracing off, readings flow with an empty trace ID and
+// notifications carry none.
+func TestIngestUntracedWhenDisabled(t *testing.T) {
+	was := obs.Enabled()
+	obs.SetEnabled(false)
+	t.Cleanup(func() { obs.SetEnabled(was) })
+
+	c, _ := startStack(t)
+	spec := model.UbisenseSpec(0.95)
+	spec.TTL = time.Minute
+	if err := c.RegisterSensor("ubi-notr", spec); err != nil {
+		t.Fatal(err)
+	}
+	notified := make(chan NotificationDTO, 1)
+	_, err := c.Subscribe(SubscribeArgs{
+		Region:       "CS/Floor3/NetLab",
+		EveryReading: true,
+	}, func(n NotificationDTO) { notified <- n })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ingest(model.Reading{
+		SensorID:  "ubi-notr",
+		MObjectID: "bob",
+		Location:  glob.MustParse("CS/Floor3/(370,15)"),
+		Time:      t0,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-notified:
+		if n.Trace != "" {
+			t.Errorf("notification carries trace %q with tracing disabled", n.Trace)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no notification")
+	}
+}

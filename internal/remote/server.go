@@ -3,13 +3,16 @@ package remote
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"sync"
+	"time"
 
 	"middlewhere/internal/core"
 	"middlewhere/internal/geom"
 	"middlewhere/internal/glob"
 	"middlewhere/internal/mwql"
 	"middlewhere/internal/mwrpc"
+	"middlewhere/internal/obs"
 	"middlewhere/internal/topo"
 )
 
@@ -34,7 +37,7 @@ func NewServer(svc *core.Service) *Server {
 		rpc:  mwrpc.NewServer(),
 		subs: make(map[string]*mwrpc.ServerConn),
 	}
-	s.rpc.Register("mw.ingest", s.handleIngest)
+	s.rpc.RegisterTraced("mw.ingest", s.handleIngest)
 	s.rpc.Register("mw.registerSensor", s.handleRegisterSensor)
 	s.rpc.Register("mw.locate", s.handleLocate)
 	s.rpc.Register("mw.probInRegion", s.handleProbInRegion)
@@ -50,7 +53,71 @@ func NewServer(svc *core.Service) *Server {
 	s.rpc.Register("mw.history", s.handleHistory)
 	s.rpc.Register("mw.defineRegion", s.handleDefineRegion)
 	s.rpc.Register("mw.health", s.handleHealth)
+	s.rpc.Register("mw.stats", s.handleStats)
 	return s
+}
+
+// handleStats snapshots the process-global registry and tracer for
+// mwctl stats / mwctl trace.
+func (s *Server) handleStats(_ *mwrpc.ServerConn, params json.RawMessage) (interface{}, error) {
+	var a StatsArgs
+	if len(params) > 0 {
+		if err := json.Unmarshal(params, &a); err != nil {
+			return nil, err
+		}
+	}
+	return statsSnapshot(obs.Default(), obs.DefaultTracer(), a.Traces), nil
+}
+
+// statsSnapshot renders a registry (and optionally recent traces) into
+// the wire form.
+func statsSnapshot(reg *obs.Registry, tr *obs.Tracer, traces int) StatsDTO {
+	snap := reg.Snapshot()
+	out := StatsDTO{Enabled: obs.Enabled()}
+	if len(snap.Counters) > 0 {
+		out.Counters = make(map[string]uint64, len(snap.Counters))
+		for _, c := range snap.Counters {
+			out.Counters[c.Name] = c.Value
+		}
+	}
+	if len(snap.Gauges) > 0 {
+		out.Gauges = make(map[string]float64, len(snap.Gauges))
+		for _, g := range snap.Gauges {
+			out.Gauges[g.Name] = g.Value
+		}
+	}
+	for _, h := range snap.Histograms {
+		hd := HistogramDTO{
+			Name: h.Name, Count: h.Count, Sum: h.Sum,
+			P50: h.P50, P95: h.P95, P99: h.P99,
+		}
+		for _, b := range h.Buckets {
+			le := b.Le
+			if math.IsInf(le, 1) {
+				le = -1 // JSON has no +Inf; negative marks the overflow bucket
+			}
+			hd.Buckets = append(hd.Buckets, BucketDTO{Le: le, Count: b.Count})
+		}
+		out.Histograms = append(out.Histograms, hd)
+	}
+	if traces > 0 && tr != nil {
+		for _, t := range tr.Recent(traces) {
+			td := TraceDTO{
+				ID:      t.ID,
+				Begin:   t.Begin.Format(time.RFC3339Nano),
+				TotalUs: float64(t.Total().Microseconds()),
+			}
+			for _, sp := range t.Spans {
+				td.Spans = append(td.Spans, SpanDTO{
+					Stage:    sp.Stage,
+					OffsetUs: float64(sp.Offset.Microseconds()),
+					DurUs:    float64(sp.Dur.Microseconds()),
+				})
+			}
+			out.Traces = append(out.Traces, td)
+		}
+	}
+	return out
 }
 
 func (s *Server) handleHealth(_ *mwrpc.ServerConn, _ json.RawMessage) (interface{}, error) {
@@ -74,7 +141,11 @@ func (s *Server) Listen(addr string) (string, error) { return s.rpc.Listen(addr)
 // owner closes it).
 func (s *Server) Close() { s.rpc.Close() }
 
-func (s *Server) handleIngest(_ *mwrpc.ServerConn, params json.RawMessage) (interface{}, error) {
+// handleIngest is trace-aware: the trace ID the client stamped on the
+// request frame is adopted here, the decode cost is recorded as the
+// ingest stage, and the ID rides the Reading into the pipeline.
+func (s *Server) handleIngest(_ *mwrpc.ServerConn, params json.RawMessage, trace string) (interface{}, error) {
+	start := time.Now()
 	var d ReadingDTO
 	if err := json.Unmarshal(params, &d); err != nil {
 		return nil, err
@@ -83,6 +154,8 @@ func (s *Server) handleIngest(_ *mwrpc.ServerConn, params json.RawMessage) (inte
 	if err != nil {
 		return nil, err
 	}
+	r.Trace = trace
+	obs.SpanSince(trace, "ingest", start)
 	if err := s.svc.Ingest(r); err != nil {
 		return nil, err
 	}

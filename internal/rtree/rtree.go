@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"middlewhere/internal/geom"
 )
@@ -34,7 +35,17 @@ type Tree struct {
 	// tests via NewWithDegree.
 	maxEntries int
 	minEntries int
+	// visits counts nodes touched by searches since construction — the
+	// raw material for the spatialdb's rtree_node_visits metric. It is
+	// atomic because the spatial database allows concurrent readers
+	// (RLock) even though mutations are serialized.
+	visits atomic.Int64
 }
+
+// Visits returns the cumulative number of tree nodes touched by
+// SearchIntersect/SearchContained/SearchContaining/Nearest calls.
+// Callers that want per-query costs record the delta around a call.
+func (t *Tree) Visits() int64 { return t.visits.Load() }
 
 // New returns an empty R-tree with the default branching factor.
 func New() *Tree { return &Tree{} }
@@ -260,6 +271,7 @@ func (t *Tree) SearchIntersect(q geom.Rect) []Item {
 	}
 	var walk func(n *node)
 	walk = func(n *node) {
+		t.visits.Add(1)
 		for _, e := range n.entries {
 			if !e.rect.Intersects(q) {
 				continue
@@ -329,6 +341,7 @@ func (t *Tree) Nearest(p geom.Point, k int) []Item {
 	}
 	var walk func(n *node)
 	walk = func(n *node) {
+		t.visits.Add(1)
 		// Visit children nearest-first for better pruning.
 		idx := make([]int, len(n.entries))
 		for i := range idx {

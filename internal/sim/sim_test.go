@@ -12,6 +12,7 @@ import (
 	"middlewhere/internal/geom"
 	"middlewhere/internal/glob"
 	"middlewhere/internal/model"
+	"middlewhere/internal/obs"
 )
 
 func synthetic(t *testing.T) *building.Building {
@@ -263,12 +264,19 @@ func TestRunTolerantSurvivesObserverErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	bad := &failingObserver{ok: 3}
-	failed, first := RunTolerant(s, 10, bad)
-	if failed != 7 {
-		t.Errorf("failed = %d, want 7", failed)
+	errsBefore := obs.Default().Counter("sim_observer_errors_total").Value()
+	rep := RunTolerant(s, 10, bad)
+	if rep.Failed != 7 {
+		t.Errorf("rep.Failed = %d, want 7", rep.Failed)
 	}
-	if first == nil {
+	if rep.Steps != 10 || rep.Observations != 10 {
+		t.Errorf("rep = %+v, want 10 steps / 10 observations", rep)
+	}
+	if rep.Err() == nil {
 		t.Error("first error not reported")
+	}
+	if got := obs.Default().Counter("sim_observer_errors_total").Value() - errsBefore; got != 7 {
+		t.Errorf("sim_observer_errors_total advanced by %d, want 7", got)
 	}
 	if bad.calls != 10 {
 		t.Errorf("observer called %d times, want all 10 steps", bad.calls)

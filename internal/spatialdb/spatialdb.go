@@ -27,8 +27,41 @@ import (
 	"middlewhere/internal/geom"
 	"middlewhere/internal/glob"
 	"middlewhere/internal/model"
+	"middlewhere/internal/obs"
 	"middlewhere/internal/rtree"
 )
+
+// Database metrics, cached once so the hot paths are pure atomics.
+var (
+	mInserts        = obs.Default().Counter("spatialdb_inserts_total")
+	mInsertErrors   = obs.Default().Counter("spatialdb_insert_errors_total")
+	mInsertUs       = obs.Default().Histogram("spatialdb_insert_us")
+	mQueries        = obs.Default().Counter("spatialdb_queries_total")
+	mQueryUs        = obs.Default().Histogram("spatialdb_query_us")
+	mTriggerMatches = obs.Default().Counter("spatialdb_trigger_matches_total")
+	// mInsertVisits is exact: the insert path holds the exclusive lock,
+	// so its before/after Visits() delta cannot interleave with readers.
+	mInsertVisits = obs.Default().Counter("rtree_insert_visits_total")
+	// mVisitsGauge mirrors the cumulative node visits of both trees
+	// (object index + trigger index); refreshed after every insert and
+	// query rather than delta-tracked, because concurrent RLock readers
+	// would cross-attribute deltas.
+	mVisitsGauge = obs.Default().Gauge("rtree_node_visits")
+)
+
+// syncVisitsGauge refreshes the cumulative R-tree visit gauge; safe to
+// call without the database lock (tree visit counters are atomic).
+func (db *DB) syncVisitsGauge() {
+	mVisitsGauge.Set(float64(db.objIdx.Visits() + db.triggerIdx.Visits()))
+}
+
+// observeQuery records one spatial query's latency; used as
+// `defer db.observeQuery(time.Now())`.
+func (db *DB) observeQuery(start time.Time) {
+	mQueries.Inc()
+	mQueryUs.Observe(float64(time.Since(start).Microseconds()))
+	db.syncVisitsGauge()
+}
 
 // Object is one row of the physical-space table (Table 1) plus the
 // spatial properties of §5.1 (location, dimension, orientation and
@@ -283,6 +316,7 @@ func (f ObjectFilter) match(o *Object) bool {
 // IntersectingObjects returns objects whose universe-frame MBR
 // intersects r, filtered, sorted by ID.
 func (db *DB) IntersectingObjects(r geom.Rect, f ObjectFilter) []Object {
+	defer db.observeQuery(time.Now())
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	var out []Object
@@ -299,6 +333,7 @@ func (db *DB) IntersectingObjects(r geom.Rect, f ObjectFilter) []Object {
 // ContainedObjects returns objects fully inside r, filtered, sorted by
 // ID.
 func (db *DB) ContainedObjects(r geom.Rect, f ObjectFilter) []Object {
+	defer db.observeQuery(time.Now())
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	var out []Object
@@ -315,6 +350,7 @@ func (db *DB) ContainedObjects(r geom.Rect, f ObjectFilter) []Object {
 // ObjectsAt returns the objects whose MBR contains the point (deepest
 // GLOB first — the room before the floor).
 func (db *DB) ObjectsAt(p geom.Point, f ObjectFilter) []Object {
+	defer db.observeQuery(time.Now())
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	var out []Object
@@ -337,6 +373,7 @@ func (db *DB) ObjectsAt(p geom.Point, f ObjectFilter) []Object {
 // power outlets and high Bluetooth signal" (§5.1): the k objects
 // passing the filter closest to p.
 func (db *DB) Nearest(p geom.Point, k int, f ObjectFilter) []Object {
+	defer db.observeQuery(time.Now())
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	// Over-fetch from the index and filter; property predicates cannot
@@ -434,13 +471,17 @@ func (db *DB) Sensors() []string {
 // universe-frame MBR if the adapter has not already) and fires any
 // matching triggers synchronously. The sensor must be registered.
 func (db *DB) InsertReading(r model.Reading) error {
+	start := time.Now()
 	if r.MObjectID == "" {
+		mInsertErrors.Inc()
 		return fmt.Errorf("spatialdb: reading without mobject id")
 	}
 	db.mu.Lock()
+	visits0 := db.objIdx.Visits() + db.triggerIdx.Visits()
 	spec, ok := db.sensors[r.SensorID]
 	if !ok {
 		db.mu.Unlock()
+		mInsertErrors.Inc()
 		return fmt.Errorf("%w: %s", ErrUnknownSensor, r.SensorID)
 	}
 	if r.SensorType == "" {
@@ -450,6 +491,7 @@ func (db *DB) InsertReading(r model.Reading) error {
 		rect, err := db.resolveReadingLocked(r, spec)
 		if err != nil {
 			db.mu.Unlock()
+			mInsertErrors.Inc()
 			return fmt.Errorf("insert reading from %s: %w", r.SensorID, err)
 		}
 		r.Region = rect
@@ -490,7 +532,18 @@ func (db *DB) InsertReading(r model.Reading) error {
 		fns = append(fns, tr.fn)
 	}
 	hooks := db.hooks
+	visitDelta := db.objIdx.Visits() + db.triggerIdx.Visits() - visits0
 	db.mu.Unlock()
+
+	// The db_insert stage ends here: storage and trigger matching are
+	// done; what follows (trigger evaluation, hooks) is accounted to the
+	// downstream stages.
+	mInsertVisits.Add(uint64(visitDelta))
+	db.syncVisitsGauge()
+	mInsertUs.Observe(float64(time.Since(start).Microseconds()))
+	mInserts.Inc()
+	mTriggerMatches.Add(uint64(len(fns)))
+	obs.SpanSince(r.Trace, "db_insert", start)
 
 	for i, fn := range fns {
 		fn(fired[i])

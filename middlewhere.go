@@ -49,6 +49,7 @@ import (
 	"middlewhere/internal/glob"
 	"middlewhere/internal/model"
 	"middlewhere/internal/mwql"
+	"middlewhere/internal/obs"
 	"middlewhere/internal/rcc"
 	"middlewhere/internal/registry"
 	"middlewhere/internal/remote"
@@ -468,4 +469,47 @@ var (
 	EstimateCarryEM       = calibrate.EstimateCarryEM
 	FitTDF                = calibrate.FitTDF
 	CalibrateSpec         = calibrate.CalibrateSpec
+)
+
+// ---------------------------------------------------------------------------
+// Observability (metrics, pipeline traces, debug server)
+
+type (
+	// ObsRegistry is a set of named counters, gauges, and latency
+	// histograms; Default() holds the built-in instrumentation.
+	ObsRegistry = obs.Registry
+	// ObsTracer records per-reading pipeline traces.
+	ObsTracer = obs.Tracer
+	// ObsTrace is one reading's recorded trip through the pipeline.
+	ObsTrace = obs.Trace
+	// ObsSpan is one timed stage of a trace.
+	ObsSpan = obs.Span
+	// ObsDebugServer serves /metrics, /debug/traces, and pprof.
+	ObsDebugServer = obs.DebugServer
+	// StatsDTO is the observability snapshot returned by mw.stats.
+	StatsDTO = remote.StatsDTO
+	// HistogramDTO is a histogram snapshot on the wire.
+	HistogramDTO = remote.HistogramDTO
+	// TraceDTO is a pipeline trace on the wire.
+	TraceDTO = remote.TraceDTO
+	// SimReport summarizes a tolerant simulation run.
+	SimReport = sim.RunReport
+)
+
+var (
+	// EnableObservability turns span tracing on or off process-wide.
+	// Metric counters and histograms always record (they are
+	// allocation-free); tracing is the part worth gating.
+	EnableObservability = obs.SetEnabled
+	// ObservabilityEnabled reports whether span tracing is on.
+	ObservabilityEnabled = obs.Enabled
+	// ObsDefault returns the process-global metrics registry.
+	ObsDefault = obs.Default
+	// ObsDefaultTracer returns the process-global tracer.
+	ObsDefaultTracer = obs.DefaultTracer
+	// StartObsDebugServer serves /metrics, /debug/traces, and
+	// /debug/pprof/* on addr (e.g. "127.0.0.1:7771").
+	StartObsDebugServer = obs.StartDebugServer
+	// ObsMetricsText renders a registry in the Prometheus text shape.
+	ObsMetricsText = obs.MetricsTextString
 )
