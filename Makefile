@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench vet fmt fmt-write chaos obs stats-demo check
+.PHONY: build test race bench bench-compare vet fmt fmt-write chaos obs stats-demo check
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,14 @@ race:
 # internal/bench compiling and executable without burning CI minutes.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Regression gate for the hot paths: re-runs the benchmarks recorded in
+# BENCH_1.json and fails when any is >30% slower than its recorded
+# ns/op (fastest of 3 runs, to filter scheduler noise). Re-record after
+# an intentional change with:
+#   go run ./cmd/benchcompare -ref BENCH_1.json -update
+bench-compare:
+	$(GO) run ./cmd/benchcompare -ref BENCH_1.json -tolerance 0.30
 
 vet:
 	$(GO) vet ./...
@@ -61,4 +69,4 @@ fmt:
 fmt-write:
 	gofmt -l -w .
 
-check: build vet fmt test race bench chaos obs
+check: build vet fmt test race bench bench-compare chaos obs

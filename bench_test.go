@@ -321,24 +321,154 @@ func BenchmarkIngest(b *testing.B) {
 	}
 }
 
-func BenchmarkRPCRoundTrip(b *testing.B) {
+// benchRegionService populates a service with n mobile objects spread
+// across the floor, one reading each.
+func benchRegionService(b *testing.B, objects int, opts ...middlewhere.ServiceOption) *middlewhere.Service {
+	b.Helper()
+	bld := middlewhere.PaperFloor()
+	now := time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)
+	opts = append([]middlewhere.ServiceOption{middlewhere.WithClock(func() time.Time { return now })}, opts...)
+	svc, err := middlewhere.New(bld, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(svc.Close)
+	spec := middlewhere.UbisenseSpec(0.9)
+	spec.TTL = time.Hour
+	if err := svc.RegisterSensor("s0", spec); err != nil {
+		b.Fatal(err)
+	}
+	floor := middlewhere.MustParseGLOB("CS/Floor3")
+	rs := make([]middlewhere.Reading, objects)
+	for i := range rs {
+		rs[i] = middlewhere.Reading{
+			SensorID:  "s0",
+			MObjectID: fmt.Sprintf("p%d", i),
+			Location:  middlewhere.CoordPointGLOB(floor, middlewhere.Pt(float64(i%480)+10, float64(i/480%80)+10)),
+			Time:      now,
+		}
+	}
+	if err := svc.IngestBatch(rs); err != nil {
+		b.Fatal(err)
+	}
+	return svc
+}
+
+func benchObjectsInRegion(b *testing.B, opts ...middlewhere.ServiceOption) {
+	region := middlewhere.MustParseGLOB("CS/Floor3/NetLab")
+	for _, n := range []int{8, 64, 256} {
+		b.Run(fmt.Sprintf("objects-%d", n), func(b *testing.B) {
+			svc := benchRegionService(b, n, opts...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := svc.ObjectsInRegion(region, 0.3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkObjectsInRegionSerial(b *testing.B) {
+	benchObjectsInRegion(b, middlewhere.WithParallelism(1))
+}
+
+// BenchmarkObjectsInRegionParallel pins four workers rather than
+// relying on GOMAXPROCS so the pool path is exercised even on a
+// single-CPU CI box; there the chunked fan-out should match serial
+// within noise, and speed up per added core on real hardware.
+func BenchmarkObjectsInRegionParallel(b *testing.B) {
+	benchObjectsInRegion(b, middlewhere.WithParallelism(4))
+}
+
+func BenchmarkIngestBatch(b *testing.B) {
+	floor := middlewhere.MustParseGLOB("CS/Floor3")
+	now := time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)
+	ids := make([]string, 8)
+	for j := range ids {
+		ids[j] = fmt.Sprintf("m%d", j)
+	}
+	for _, size := range []int{1, 16, 128} {
+		b.Run(fmt.Sprintf("size-%d", size), func(b *testing.B) {
+			svc := benchService(b)
+			batch := make([]middlewhere.Reading, size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range batch {
+					batch[j] = middlewhere.Reading{
+						SensorID:  "s0",
+						MObjectID: ids[j%len(ids)],
+						Location:  middlewhere.CoordPointGLOB(floor, middlewhere.Pt(float64((i+j)%400)+10, 50)),
+						Time:      now,
+					}
+				}
+				if err := svc.IngestBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(size), "readings/op")
+		})
+	}
+}
+
+func benchRPCStack(b *testing.B) *middlewhere.RemoteClient {
+	b.Helper()
 	bld := middlewhere.PaperFloor()
 	svc, err := middlewhere.New(bld)
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer svc.Close()
+	b.Cleanup(svc.Close)
 	srv := middlewhere.NewRemoteServer(svc)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer srv.Close()
+	b.Cleanup(srv.Close)
 	c, err := middlewhere.DialLocation(addr)
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer c.Close()
+	b.Cleanup(func() { c.Close() })
+	return c
+}
+
+// BenchmarkRPCIngestBatch measures the batched ingest frame; size-1 is
+// the single-reading baseline, so ns/op(size-64)/64 vs ns/op(size-1)
+// is the per-reading saving from amortizing the round trip.
+func BenchmarkRPCIngestBatch(b *testing.B) {
+	floor := middlewhere.MustParseGLOB("CS/Floor3")
+	for _, size := range []int{1, 64} {
+		b.Run(fmt.Sprintf("size-%d", size), func(b *testing.B) {
+			c := benchRPCStack(b)
+			spec := middlewhere.UbisenseSpec(0.9)
+			spec.TTL = time.Hour
+			if err := c.RegisterSensor("s0", spec); err != nil {
+				b.Fatal(err)
+			}
+			now := time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)
+			batch := make([]middlewhere.Reading, size)
+			for j := range batch {
+				batch[j] = middlewhere.Reading{
+					SensorID:  "s0",
+					MObjectID: "bob",
+					Location:  middlewhere.CoordPointGLOB(floor, middlewhere.Pt(float64(j%400)+10, 50)),
+					Time:      now,
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.IngestBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(size), "readings/op")
+		})
+	}
+}
+
+func BenchmarkRPCRoundTrip(b *testing.B) {
+	c := benchRPCStack(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		// Relate is a pure-compute call: measures the RPC overhead.

@@ -1,0 +1,196 @@
+// benchcompare guards the hot paths against performance regressions:
+// it re-runs the benchmarks recorded in a reference file (BENCH_1.json)
+// and fails when any of them got more than -tolerance slower than the
+// recorded ns/op. Run through `make bench-compare`, which CI executes
+// on every push.
+//
+//	go run ./cmd/benchcompare -ref BENCH_1.json            # check
+//	go run ./cmd/benchcompare -ref BENCH_1.json -update    # re-record
+//
+// Each benchmark runs -count times and the fastest run is compared,
+// which filters scheduler noise on shared runners.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BenchRecord is one benchmark's reference entry.
+type BenchRecord struct {
+	// BaselineNsOp is the pre-optimization figure, kept for the
+	// EXPERIMENTS.md narrative; the regression gate ignores it.
+	BaselineNsOp float64 `json:"baseline_ns_op,omitempty"`
+	// AfterNsOp is the recorded post-optimization figure the gate
+	// compares against.
+	AfterNsOp float64 `json:"after_ns_op"`
+}
+
+// RefFile is the shape of BENCH_1.json.
+type RefFile struct {
+	// Note documents how the numbers were taken.
+	Note string `json:"note,omitempty"`
+	// Benchtime and Count are the go test flags the numbers came from.
+	Benchtime string `json:"benchtime"`
+	Count     int    `json:"count"`
+	// Benchmarks maps the full benchmark name (including sub-benchmark
+	// path) to its record.
+	Benchmarks map[string]BenchRecord `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+// "BenchmarkLocateObject-4   2000   123.4 ns/op". The -GOMAXPROCS
+// suffix (absent on single-CPU machines) is stripped against the
+// requested names, never blindly: sub-benchmarks like size-128 end in
+// digits too.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	ref := flag.String("ref", "BENCH_1.json", "reference file")
+	tolerance := flag.Float64("tolerance", 0.30, "allowed slowdown fraction before failing")
+	update := flag.Bool("update", false, "re-record after_ns_op instead of checking")
+	pkg := flag.String("pkg", ".", "package holding the benchmarks")
+	flag.Parse()
+
+	data, err := os.ReadFile(*ref)
+	if err != nil {
+		fatal(err)
+	}
+	var rf RefFile
+	if err := json.Unmarshal(data, &rf); err != nil {
+		fatal(fmt.Errorf("%s: %w", *ref, err))
+	}
+	if len(rf.Benchmarks) == 0 {
+		fatal(fmt.Errorf("%s: no benchmarks recorded", *ref))
+	}
+	if rf.Benchtime == "" {
+		rf.Benchtime = "1000x"
+	}
+	if rf.Count <= 0 {
+		rf.Count = 3
+	}
+
+	names := make([]string, 0, len(rf.Benchmarks))
+	for name := range rf.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	got, err := runBenchmarks(*pkg, names, rf.Benchtime, rf.Count)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *update {
+		for name, ns := range got {
+			rec, ok := rf.Benchmarks[name]
+			if !ok {
+				continue
+			}
+			rec.AfterNsOp = ns
+			rf.Benchmarks[name] = rec
+		}
+		out, err := json.MarshalIndent(rf, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*ref, append(out, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded %d benchmarks into %s\n", len(got), *ref)
+		return
+	}
+
+	failed := false
+	for _, name := range names {
+		rec := rf.Benchmarks[name]
+		ns, ok := got[name]
+		if !ok {
+			fmt.Printf("FAIL %-50s did not run (renamed or deleted?)\n", name)
+			failed = true
+			continue
+		}
+		limit := rec.AfterNsOp * (1 + *tolerance)
+		ratio := ns / rec.AfterNsOp
+		if ns > limit {
+			fmt.Printf("FAIL %-50s %10.1f ns/op vs %10.1f recorded (%.2fx, limit %.2fx)\n",
+				name, ns, rec.AfterNsOp, ratio, 1+*tolerance)
+			failed = true
+		} else {
+			fmt.Printf("ok   %-50s %10.1f ns/op vs %10.1f recorded (%.2fx)\n",
+				name, ns, rec.AfterNsOp, ratio)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// runBenchmarks executes the named benchmarks and returns the fastest
+// ns/op observed per benchmark across the -count runs.
+func runBenchmarks(pkg string, names []string, benchtime string, count int) (map[string]float64, error) {
+	// Anchor each name so BenchmarkIngest doesn't also pull in
+	// BenchmarkIngestBatch; sub-benchmark paths select via -bench's
+	// slash-separated matching.
+	pats := make([]string, len(names))
+	for i, name := range names {
+		parts := strings.Split(name, "/")
+		for j, p := range parts {
+			parts[j] = "^" + regexp.QuoteMeta(p) + "$"
+		}
+		pats[i] = strings.Join(parts, "/")
+	}
+	args := []string{"test", "-run", "^$",
+		"-bench", strings.Join(pats, "|"),
+		"-benchtime", benchtime,
+		"-count", strconv.Itoa(count),
+		pkg,
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+	}
+	want := make(map[string]bool, len(names))
+	for _, name := range names {
+		want[name] = true
+	}
+	best := make(map[string]float64)
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		name := m[1]
+		if !want[name] {
+			if stripped := procSuffix.ReplaceAllString(name, ""); want[stripped] {
+				name = stripped
+			}
+		}
+		if prev, ok := best[name]; !ok || ns < prev {
+			best[name] = ns
+		}
+	}
+	return best, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcompare:", err)
+	os.Exit(1)
+}

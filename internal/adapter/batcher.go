@@ -1,0 +1,110 @@
+// Batched forwarding: sensor hardware reports readings one at a time,
+// but a simulation step or a burst from a busy field produces many at
+// once. A Batcher sits between adapters and a batch-capable sink,
+// accumulating readings and forwarding them in one IngestBatch call —
+// one lock acquisition (local) or one frame (remote) per batch instead
+// of per reading.
+package adapter
+
+import (
+	"sync"
+
+	"middlewhere/internal/model"
+	"middlewhere/internal/obs"
+)
+
+// Batcher metrics.
+var (
+	mBatchFlushes = obs.Default().Counter("adapter_batch_flushes_total")
+	mBatchRows    = obs.Default().Histogram("adapter_batch_rows")
+)
+
+// BatchSink ingests a slice of readings in one call. *core.Service,
+// *remote.LocationClient and *ResilientSink all satisfy it.
+type BatchSink interface {
+	IngestBatch([]model.Reading) error
+}
+
+// defaultFlushSize triggers an automatic flush; it matches the
+// resilient sink's drain chunk so a full batch travels as one unit.
+const defaultFlushSize = 64
+
+// Batcher is a Sink that accumulates readings and forwards them in
+// batches: automatically whenever flushSize readings are pending, and
+// explicitly on Flush (the simulator flushes at step boundaries).
+// Arrival order is preserved. Safe for concurrent use.
+type Batcher struct {
+	mu     sync.Mutex
+	sink   BatchSink
+	buf    []model.Reading
+	max    int
+	closed bool
+}
+
+// NewBatcher wraps a batch-capable sink. flushSize <= 0 uses the
+// default (64).
+func NewBatcher(sink BatchSink, flushSize int) *Batcher {
+	if flushSize <= 0 {
+		flushSize = defaultFlushSize
+	}
+	return &Batcher{sink: sink, max: flushSize, buf: make([]model.Reading, 0, flushSize)}
+}
+
+// Ingest implements Sink: the reading is buffered and delivered with
+// its batch. A flush triggered by a full buffer reports the sink's
+// error here.
+func (b *Batcher) Ingest(r model.Reading) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	b.buf = append(b.buf, r)
+	if len(b.buf) >= b.max {
+		return b.flushLocked()
+	}
+	return nil
+}
+
+// Flush forwards everything pending as one batch.
+func (b *Batcher) Flush() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	return b.flushLocked()
+}
+
+// flushLocked sends the buffer; called with b.mu held. The buffer is
+// cleared even on error — the batch was handed to the sink, and a
+// resilient sink owns retries from there.
+func (b *Batcher) flushLocked() error {
+	if len(b.buf) == 0 {
+		return nil
+	}
+	batch := b.buf
+	b.buf = make([]model.Reading, 0, b.max)
+	mBatchFlushes.Inc()
+	mBatchRows.Observe(float64(len(batch)))
+	return b.sink.IngestBatch(batch)
+}
+
+// Pending returns how many readings await the next flush.
+func (b *Batcher) Pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.buf)
+}
+
+// Close flushes what is pending and rejects further readings.
+func (b *Batcher) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	err := b.flushLocked()
+	b.closed = true
+	return err
+}

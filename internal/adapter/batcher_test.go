@@ -1,0 +1,216 @@
+package adapter
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"middlewhere/internal/glob"
+	"middlewhere/internal/model"
+)
+
+// batchRecorder records every IngestBatch call; it can also fail on
+// demand, for the resilient-sink interplay.
+type batchRecorder struct {
+	mu      sync.Mutex
+	broken  bool
+	batches [][]model.Reading
+}
+
+func (b *batchRecorder) IngestBatch(rs []model.Reading) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.broken {
+		return errors.New("sink down")
+	}
+	b.batches = append(b.batches, append([]model.Reading(nil), rs...))
+	return nil
+}
+
+// Ingest lets the recorder double as a plain Sink.
+func (b *batchRecorder) Ingest(r model.Reading) error {
+	return b.IngestBatch([]model.Reading{r})
+}
+
+func (b *batchRecorder) setBroken(v bool) {
+	b.mu.Lock()
+	b.broken = v
+	b.mu.Unlock()
+}
+
+func (b *batchRecorder) all() [][]model.Reading {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([][]model.Reading, len(b.batches))
+	copy(out, b.batches)
+	return out
+}
+
+func (b *batchRecorder) flat() []model.Reading {
+	var out []model.Reading
+	for _, batch := range b.all() {
+		out = append(out, batch...)
+	}
+	return out
+}
+
+func batchReading(obj string, i int) model.Reading {
+	return model.Reading{
+		SensorID:  "s1",
+		MObjectID: obj,
+		Location:  glob.MustParse("CS/Floor3/(50,50)"),
+		Time:      time.Date(2026, 7, 5, 12, 0, 0, i, time.UTC),
+	}
+}
+
+func TestBatcherAutoFlushAndOrder(t *testing.T) {
+	sink := &batchRecorder{}
+	b := NewBatcher(sink, 2)
+	for i := 0; i < 3; i++ {
+		if err := b.Ingest(batchReading("bob", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(sink.all()); got != 1 {
+		t.Fatalf("auto-flushes = %d, want 1", got)
+	}
+	if b.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", b.Pending())
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	flat := sink.flat()
+	if len(flat) != 3 {
+		t.Fatalf("delivered %d readings, want 3", len(flat))
+	}
+	for i, r := range flat {
+		if r.Time.Nanosecond() != i {
+			t.Errorf("reading %d out of order: %v", i, r.Time)
+		}
+	}
+}
+
+func TestBatcherFlushEmptyIsNoop(t *testing.T) {
+	sink := &batchRecorder{}
+	b := NewBatcher(sink, 4)
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.all()) != 0 {
+		t.Error("empty flush still called the sink")
+	}
+}
+
+func TestBatcherClose(t *testing.T) {
+	sink := &batchRecorder{}
+	b := NewBatcher(sink, 8)
+	if err := b.Ingest(batchReading("bob", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.flat()) != 1 {
+		t.Error("Close did not flush the pending reading")
+	}
+	if err := b.Ingest(batchReading("bob", 1)); !errors.Is(err, ErrClosed) {
+		t.Errorf("ingest after close = %v, want ErrClosed", err)
+	}
+	if err := b.Flush(); !errors.Is(err, ErrClosed) {
+		t.Errorf("flush after close = %v, want ErrClosed", err)
+	}
+	if err := b.Close(); err != nil {
+		t.Errorf("second close = %v", err)
+	}
+}
+
+// TestResilientSinkBatchFastPath delivers a healthy batch in one call.
+func TestResilientSinkBatchFastPath(t *testing.T) {
+	sink := &batchRecorder{}
+	rs := NewResilientSink(sink, ResilientOptions{})
+	defer rs.Close()
+	batch := []model.Reading{batchReading("bob", 0), batchReading("bob", 1)}
+	if err := rs.IngestBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	got := rs.Stats()
+	if got.Forwarded != 2 || got.Buffered != 0 {
+		t.Errorf("stats = %+v, want 2 forwarded, 0 buffered", got)
+	}
+	if calls := sink.all(); len(calls) != 1 || len(calls[0]) != 2 {
+		t.Errorf("sink calls = %v", calls)
+	}
+}
+
+// TestResilientSinkBatchDrain buffers while the sink is down, then
+// drains in chunks — not one call per reading — once it recovers.
+func TestResilientSinkBatchDrain(t *testing.T) {
+	sink := &batchRecorder{}
+	sink.setBroken(true)
+	rs := NewResilientSink(sink, ResilientOptions{
+		FailureThreshold: 100, // keep the breaker closed; we only test chunking
+		RetryInterval:    time.Millisecond,
+	})
+	defer rs.Close()
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := rs.Ingest(batchReading("bob", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sink.setBroken(false)
+	if !rs.Flush(2 * time.Second) {
+		t.Fatal("buffer did not drain")
+	}
+	flat := sink.flat()
+	if len(flat) != n {
+		t.Fatalf("delivered %d readings, want %d", len(flat), n)
+	}
+	for i, r := range flat {
+		if r.Time.Nanosecond() != i {
+			t.Errorf("reading %d out of order: %v", i, r.Time)
+		}
+	}
+	var multi bool
+	for _, call := range sink.all() {
+		if len(call) > 1 {
+			multi = true
+		}
+	}
+	if !multi {
+		t.Error("drain never used a batch call for a 10-deep buffer")
+	}
+}
+
+// TestResilientSinkBatchWhileBuffered preserves order: a batch arriving
+// while readings are queued joins the queue instead of jumping it.
+func TestResilientSinkBatchWhileBuffered(t *testing.T) {
+	sink := &batchRecorder{}
+	sink.setBroken(true)
+	rs := NewResilientSink(sink, ResilientOptions{
+		FailureThreshold: 100,
+		RetryInterval:    time.Millisecond,
+	})
+	defer rs.Close()
+	if err := rs.Ingest(batchReading("bob", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.IngestBatch([]model.Reading{batchReading("bob", 1), batchReading("bob", 2)}); err != nil {
+		t.Fatal(err)
+	}
+	sink.setBroken(false)
+	if !rs.Flush(2 * time.Second) {
+		t.Fatal("buffer did not drain")
+	}
+	flat := sink.flat()
+	if len(flat) != 3 {
+		t.Fatalf("delivered %d readings, want 3", len(flat))
+	}
+	for i, r := range flat {
+		if r.Time.Nanosecond() != i {
+			t.Errorf("reading %d out of order: %v", i, r.Time)
+		}
+	}
+}

@@ -106,7 +106,16 @@ type ResilientSink struct {
 	// breaker state
 	consecFails int
 	openUntil   time.Time
+
+	// frontDrops counts DropOldest evictions; the drain uses the delta
+	// across an unlocked delivery to tell how much of its chunk is
+	// still at the buffer's front.
+	frontDrops uint64
 }
+
+// batchDrainMax bounds one drain delivery; it matches the batcher's
+// default flush size.
+const batchDrainMax = 64
 
 // NewResilientSink wraps sink. Close releases the drain goroutine.
 func NewResilientSink(sink Sink, opts ResilientOptions) *ResilientSink {
@@ -161,6 +170,7 @@ func (r *ResilientSink) enqueue(reading model.Reading) {
 			return
 		}
 		r.buf = r.buf[1:]
+		r.frontDrops++
 	}
 	r.buf = append(r.buf, reading)
 	r.stats.Buffered++
@@ -193,9 +203,14 @@ func (r *ResilientSink) noteSuccess() {
 }
 
 // drain delivers buffered readings in order, probing a quarantined
-// sink after each cooldown.
+// sink after each cooldown. A batch-capable sink receives chunks of up
+// to batchDrainMax readings in one call; others get one at a time. A
+// batch whose delivery fails is retried whole — with a remote sink
+// that is the same at-least-once contract single readings already
+// have.
 func (r *ResilientSink) drain() {
 	defer close(r.done)
+	bs, batching := r.sink.(BatchSink)
 	r.mu.Lock()
 	for {
 		for !r.closed && len(r.buf) == 0 {
@@ -212,9 +227,22 @@ func (r *ResilientSink) drain() {
 			r.mu.Lock()
 			continue
 		}
-		head := r.buf[0]
+		n := 1
+		if batching && len(r.buf) > 1 {
+			n = len(r.buf)
+			if n > batchDrainMax {
+				n = batchDrainMax
+			}
+		}
+		chunk := append([]model.Reading(nil), r.buf[:n]...)
+		drops0 := r.frontDrops
 		r.mu.Unlock()
-		err := r.sink.Ingest(head)
+		var err error
+		if len(chunk) > 1 {
+			err = bs.IngestBatch(chunk)
+		} else {
+			err = r.sink.Ingest(chunk[0])
+		}
 		r.mu.Lock()
 		if err != nil {
 			r.noteFailure()
@@ -226,15 +254,57 @@ func (r *ResilientSink) drain() {
 			continue
 		}
 		r.noteSuccess()
-		r.stats.Forwarded++
-		mResForwarded.Inc()
-		// The head may have been dropped by an overflow while unlocked;
-		// only pop if it is still there.
-		if len(r.buf) > 0 {
-			r.buf = r.buf[1:]
+		r.stats.Forwarded += uint64(len(chunk))
+		mResForwarded.Add(uint64(len(chunk)))
+		// Overflow may have dropped some of the chunk's readings from
+		// the buffer front while unlocked; only the remainder is still
+		// there to pop.
+		pop := len(chunk) - int(r.frontDrops-drops0)
+		if pop > len(r.buf) {
+			pop = len(r.buf)
+		}
+		if pop > 0 {
+			r.buf = r.buf[pop:]
 		}
 		mResPending.Set(float64(len(r.buf)))
 	}
+}
+
+// IngestBatch implements BatchSink: a whole batch enters the pipeline
+// at once. The fast path hands it to a batch-capable healthy sink in
+// one call; otherwise the readings buffer individually and drain in
+// order.
+func (r *ResilientSink) IngestBatch(rs []model.Reading) error {
+	if len(rs) == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	if bs, ok := r.sink.(BatchSink); ok && len(r.buf) == 0 && !r.breakerOpen() {
+		r.mu.Unlock()
+		if err := bs.IngestBatch(rs); err == nil {
+			r.mu.Lock()
+			r.noteSuccess()
+			r.stats.Forwarded += uint64(len(rs))
+			r.mu.Unlock()
+			mResForwarded.Add(uint64(len(rs)))
+			return nil
+		}
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return ErrClosed
+		}
+		r.noteFailure()
+	}
+	for _, reading := range rs {
+		r.enqueue(reading)
+	}
+	r.mu.Unlock()
+	return nil
 }
 
 // sleep waits without holding r.mu, waking early on Close.

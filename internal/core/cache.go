@@ -1,0 +1,157 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"middlewhere/internal/fusion"
+	"middlewhere/internal/model"
+	"middlewhere/internal/obs"
+)
+
+// Cache metrics, cached once so the hot paths are pure atomics.
+var (
+	mCacheHits     = obs.Default().Counter("core_cache_hits_total")
+	mCacheMisses   = obs.Default().Counter("core_cache_misses_total")
+	mSensorMemoHit = obs.Default().Counter("core_sensor_memo_hits_total")
+)
+
+// defaultCacheQuantum bounds how long a cached fused estimate may be
+// served on a live clock. Epochs invalidate precisely on data change;
+// the quantum only covers what epochs cannot see — temporal
+// degradation (EffectiveDetectProb decays with reading age) and TTL
+// expiry, both of which move on the scale of seconds to hours, so a
+// quarter second of staleness is far below sensor noise.
+const defaultCacheQuantum = 250 * time.Millisecond
+
+// maxCachedObjects bounds the fused-estimate cache; at the cap an
+// arbitrary entry is evicted (every entry is equally cheap to
+// recompute on its next query).
+const maxCachedObjects = 4096
+
+// locEntry is one object's cached fusion state. Entries are immutable
+// after publication: updates store a fresh entry, so a reader holding
+// one can use it without locks. readings is shared read-only (fusion
+// Build/ProbRegion copy what they keep).
+type locEntry struct {
+	// epoch, sensorGen and objGen are the invalidation keys: the
+	// object's reading-table epoch, the sensor-table generation
+	// (specs feed p_i/q_i and the classifier) and the object-table
+	// generation (the symbolic region comes from it).
+	epoch     uint64
+	sensorGen uint64
+	objGen    uint64
+	// at is when the readings were evaluated; temporal degradation is
+	// computed against it, so validity also requires now to stay
+	// within the cache quantum of it.
+	at       time.Time
+	readings []fusion.Reading
+	// hasLoc marks that loc carries the full fused location (computed
+	// lazily by LocateObject; probInRect-only entries never pay for
+	// the lattice).
+	hasLoc bool
+	// loc is the pre-privacy location; policies apply per request.
+	loc Location
+}
+
+// valid reports whether the entry still reflects the database at the
+// given keys and time.
+func (e *locEntry) valid(epoch, sensorGen, objGen uint64, now time.Time, quantum time.Duration) bool {
+	if e == nil || e.epoch != epoch || e.sensorGen != sensorGen || e.objGen != objGen {
+		return false
+	}
+	d := now.Sub(e.at)
+	return d == 0 || (d > 0 && d < quantum)
+}
+
+// locateCache maps object IDs to their cached fusion state.
+type locateCache struct {
+	mu      sync.RWMutex
+	entries map[string]*locEntry
+}
+
+func (c *locateCache) get(id string) *locEntry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.entries[id]
+}
+
+func (c *locateCache) put(id string, e *locEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.entries) >= maxCachedObjects {
+		if _, ok := c.entries[id]; !ok {
+			for k := range c.entries {
+				delete(c.entries, k)
+				break
+			}
+		}
+	}
+	c.entries[id] = e
+}
+
+// fusionState returns the object's fusion inputs at now, serving a
+// cached set while the invalidation keys prove it current. The keys
+// are read BEFORE the rows: an insert landing in between makes the
+// stored entry conservatively stale (its epoch is already outdated),
+// never the reverse — a cached answer can therefore never survive a
+// completed newer insert for the object.
+func (s *Service) fusionState(objectID string, now time.Time) ([]fusion.Reading, *locEntry) {
+	epoch := s.db.ReadingEpoch(objectID)
+	sensorGen := s.db.SensorGeneration()
+	objGen := s.db.ObjectGeneration()
+	if e := s.cache.get(objectID); e.valid(epoch, sensorGen, objGen, now, s.quantum) {
+		mCacheHits.Inc()
+		return e.readings, e
+	}
+	mCacheMisses.Inc()
+	readings := s.fusionReadings(objectID, now)
+	e := &locEntry{
+		epoch:     epoch,
+		sensorGen: sensorGen,
+		objGen:    objGen,
+		at:        now,
+		readings:  readings,
+	}
+	s.cache.put(objectID, e)
+	return readings, e
+}
+
+// sensorMemo caches the sensor-spec table copy and the §4.4
+// classifier derived from it, keyed on the sensor generation so a
+// locate revalidates with one atomic load instead of re-scanning the
+// table.
+type sensorMemo struct {
+	mu    sync.RWMutex
+	ok    bool
+	gen   uint64
+	specs map[string]model.SensorSpec
+	cls   fusion.Classifier
+}
+
+// sensorView returns the current sensor specs and classifier,
+// refreshing the memo only when the sensor table's generation moved.
+func (s *Service) sensorView() (map[string]model.SensorSpec, fusion.Classifier) {
+	gen := s.db.SensorGeneration()
+	m := &s.sensors
+	m.mu.RLock()
+	if m.ok && m.gen == gen {
+		specs, cls := m.specs, m.cls
+		m.mu.RUnlock()
+		mSensorMemoHit.Inc()
+		return specs, cls
+	}
+	m.mu.RUnlock()
+	specs, snapGen := s.db.SensorSnapshot()
+	ps := make([]float64, 0, len(specs))
+	for _, spec := range specs {
+		ps = append(ps, spec.Errors.DetectProb())
+	}
+	cls := fusion.NewClassifier(ps)
+	m.mu.Lock()
+	if !m.ok || snapGen >= m.gen {
+		m.ok, m.gen, m.specs, m.cls = true, snapGen, specs, cls
+	}
+	m.mu.Unlock()
+	return specs, cls
+}

@@ -12,6 +12,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -118,9 +119,26 @@ type Service struct {
 	mu       sync.Mutex
 	subs     map[string]*subscription
 	lastTrue map[string]map[string]bool // subID -> object -> condition state
-	privacy  map[string]PrivacyPolicy   // object -> policy
-	acls     map[string]AccessPolicy    // object -> per-requester policy
 	seq      int
+
+	// privMu guards the read-mostly disclosure tables separately from
+	// the subscription state: applyPrivacy sits on the locate hot path
+	// and must not contend with trigger bookkeeping.
+	privMu  sync.RWMutex
+	privacy map[string]PrivacyPolicy // object -> policy
+	acls    map[string]AccessPolicy  // object -> per-requester policy
+
+	// cache holds per-object fused-location state invalidated by
+	// reading epochs; sensors memoizes the spec table + classifier;
+	// quantum bounds cached staleness on a live clock.
+	cache   locateCache
+	sensors sensorMemo
+	quantum time.Duration
+
+	// pool fans ObjectsInRegion and batched trigger evaluation across
+	// objects; nil when parallelism is 1.
+	parallelism int
+	pool        *workerPool
 
 	notifyCh chan dispatch
 	stop     chan struct{}
@@ -161,6 +179,28 @@ func (o clockOption) apply(s *Service) { s.now = o.now }
 // degradation and TTLs deterministically.
 func WithClock(now func() time.Time) Option { return clockOption{now: now} }
 
+type parallelismOption struct{ n int }
+
+func (o parallelismOption) apply(s *Service) { s.parallelism = o.n }
+
+// WithParallelism sets the worker-pool size used to fan
+// ObjectsInRegion and batched trigger evaluation across objects. Zero
+// (the default) sizes the pool to GOMAXPROCS; 1 disables the pool and
+// evaluates serially.
+func WithParallelism(n int) Option { return parallelismOption{n} }
+
+type quantumOption struct{ d time.Duration }
+
+func (o quantumOption) apply(s *Service) { s.quantum = o.d }
+
+// WithCacheQuantum sets how long a cached fused location may be served
+// on a live clock before temporal degradation forces a recompute.
+// Epoch invalidation on new readings is exact regardless; the quantum
+// only bounds time-decay staleness. Zero restricts cache hits to
+// queries at the exact cached instant (useful under a fixed test
+// clock).
+func WithCacheQuantum(d time.Duration) Option { return quantumOption{d} }
+
 // Sentinel errors.
 var (
 	ErrUnknownObject = errors.New("core: no readings for object")
@@ -189,12 +229,20 @@ func New(b *building.Building, opts ...Option) (*Service, error) {
 		lastTrue: make(map[string]map[string]bool),
 		privacy:  make(map[string]PrivacyPolicy),
 		acls:     make(map[string]AccessPolicy),
+		cache:    locateCache{entries: make(map[string]*locEntry)},
+		quantum:  defaultCacheQuantum,
 		notifyCh: make(chan dispatch, 1024),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
 	for _, o := range opts {
 		o.apply(s)
+	}
+	if s.parallelism <= 0 {
+		s.parallelism = runtime.GOMAXPROCS(0)
+	}
+	if s.parallelism > 1 {
+		s.pool = newWorkerPool(s.parallelism)
 	}
 	s.started = s.now()
 	db.AddInsertHook(s.observeExit)
@@ -287,6 +335,9 @@ func (s *Service) Close() {
 	}
 	s.mu.Unlock()
 	<-s.done
+	if s.pool != nil {
+		s.pool.close()
+	}
 }
 
 // DB exposes the underlying spatial database (adapters insert readings
@@ -320,16 +371,45 @@ func (s *Service) Ingest(r model.Reading) error {
 	return nil
 }
 
-// classifier builds the §4.4 probability classifier from the
-// registered sensors' detection probabilities.
-func (s *Service) classifier() fusion.Classifier {
-	var ps []float64
-	for _, id := range s.db.Sensors() {
-		if spec, err := s.db.SensorSpec(id); err == nil {
-			ps = append(ps, spec.Errors.DetectProb())
-		}
+// Batch-ingest metrics.
+var (
+	mBatchIngests = obs.Default().Counter("core_batch_ingests_total")
+	mBatchSize    = obs.Default().Histogram("core_batch_size")
+)
+
+// IngestBatch stores a slice of readings in one database pass,
+// amortizing lock acquisition across the batch and fanning the
+// resulting trigger evaluations out per object on the worker pool.
+// Readings that fail validation are skipped and reported in the
+// returned (joined) error; the rest are stored.
+func (s *Service) IngestBatch(rs []model.Reading) error {
+	if len(rs) == 0 {
+		return nil
 	}
-	return fusion.NewClassifier(ps)
+	if obs.Enabled() {
+		// Stamp traces on a copy; the caller's slice stays untouched.
+		stamped := make([]model.Reading, len(rs))
+		copy(stamped, rs)
+		for i := range stamped {
+			if stamped[i].Trace == "" {
+				stamped[i].Trace = obs.BeginTrace()
+			}
+		}
+		rs = stamped
+	}
+	n, err := s.db.InsertReadings(rs, s.dispatchFirings)
+	s.ingested.Add(uint64(n))
+	mIngested.Add(uint64(n))
+	mBatchIngests.Inc()
+	mBatchSize.Observe(float64(len(rs)))
+	return err
+}
+
+// classifier returns the §4.4 probability classifier for the
+// registered sensors, memoized against the sensor-table generation.
+func (s *Service) classifier() fusion.Classifier {
+	_, cls := s.sensorView()
+	return cls
 }
 
 // fusionReadings converts the object's live readings into fusion
@@ -342,10 +422,11 @@ func (s *Service) classifier() fusion.Classifier {
 func (s *Service) fusionReadings(objectID string, now time.Time) []fusion.Reading {
 	rows := s.db.LatestPerSensor(objectID, now)
 	universeArea := s.db.Universe().Area()
+	specs, _ := s.sensorView()
 	out := make([]fusion.Reading, 0, len(rows))
 	for _, r := range rows {
-		spec, err := s.db.SensorSpec(r.SensorID)
-		if err != nil {
+		spec, ok := specs[r.SensorID]
+		if !ok {
 			continue
 		}
 		p := r.EffectiveDetectProb(spec, now)
@@ -369,9 +450,14 @@ func (s *Service) fusionReadings(objectID string, now time.Time) []fusion.Readin
 // policy registered for the object.
 func (s *Service) LocateObject(objectID string) (Location, error) {
 	now := s.now()
-	readings := s.fusionReadings(objectID, now)
+	readings, entry := s.fusionState(objectID, now)
 	if len(readings) == 0 {
 		return Location{}, fmt.Errorf("%w: %s", ErrUnknownObject, objectID)
+	}
+	if entry.hasLoc {
+		// Warm path: the cached entry already carries the fused
+		// location; only the per-request privacy policy is applied.
+		return s.applyPrivacy(objectID, entry.loc), nil
 	}
 	lat := fusion.Build(s.db.Universe(), readings)
 	est, err := lat.Infer()
@@ -387,8 +473,17 @@ func (s *Service) LocateObject(objectID string) (Location, error) {
 		Coordinate: glob.CoordinateRect(glob.Symbolic(s.bld.Name), est.Rect),
 		Support:    est.Support,
 		Discarded:  est.Discarded,
-		At:         now,
+		// At is the evaluation time of the readings the estimate was
+		// fused from, which for a cache hit predates the query by less
+		// than the cache quantum.
+		At: entry.at,
 	}
+	// Publish a fresh immutable entry carrying the fused location; the
+	// keys and readings are inherited from the entry just validated.
+	filled := *entry
+	filled.hasLoc = true
+	filled.loc = loc
+	s.cache.put(objectID, &filled)
 	return s.applyPrivacy(objectID, loc), nil
 }
 
@@ -415,8 +510,8 @@ func (s *Service) symbolicRegion(r geom.Rect) glob.GLOB {
 // SetPrivacy registers a privacy policy for an object (§4.5). A zero
 // policy removes the restriction.
 func (s *Service) SetPrivacy(objectID string, p PrivacyPolicy) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.privMu.Lock()
+	defer s.privMu.Unlock()
 	if p == (PrivacyPolicy{}) {
 		delete(s.privacy, objectID)
 		return
@@ -425,9 +520,9 @@ func (s *Service) SetPrivacy(objectID string, p PrivacyPolicy) {
 }
 
 func (s *Service) applyPrivacy(objectID string, loc Location) Location {
-	s.mu.Lock()
+	s.privMu.RLock()
 	p, ok := s.privacy[objectID]
-	s.mu.Unlock()
+	s.privMu.RUnlock()
 	if !ok {
 		return loc
 	}
@@ -447,7 +542,7 @@ func (s *Service) ProbInRegion(objectID string, region glob.GLOB) (float64, fusi
 
 func (s *Service) probInRect(objectID string, rect geom.Rect) (float64, fusion.Band, error) {
 	now := s.now()
-	readings := s.fusionReadings(objectID, now)
+	readings, _ := s.fusionState(objectID, now)
 	if len(readings) == 0 {
 		return 0, 0, fmt.Errorf("%w: %s", ErrUnknownObject, objectID)
 	}
@@ -463,14 +558,28 @@ func (s *Service) ObjectsInRegion(region glob.GLOB, minProb float64) (map[string
 	if err != nil {
 		return nil, fmt.Errorf("region query: %w", err)
 	}
-	out := make(map[string]float64)
-	for _, id := range s.db.MobileObjects() {
-		p, _, err := s.probInRect(id, rect)
-		if err != nil {
-			continue
+	ids := s.db.MobileObjects()
+	// Results land in index-addressed slots, so the merge below is
+	// deterministic no matter which worker finishes first.
+	probs := make([]float64, len(ids))
+	hit := make([]bool, len(ids))
+	eval := func(i int) {
+		p, _, err := s.probInRect(ids[i], rect)
+		if err == nil && p >= minProb && p > 0 {
+			probs[i], hit[i] = p, true
 		}
-		if p >= minProb && p > 0 {
-			out[id] = p
+	}
+	if s.pool != nil && len(ids) >= parallelFanThreshold {
+		s.pool.fanOutChunked(len(ids), s.parallelism, eval)
+	} else {
+		for i := range ids {
+			eval(i)
+		}
+	}
+	out := make(map[string]float64)
+	for i, id := range ids {
+		if hit[i] {
+			out[id] = probs[i]
 		}
 	}
 	return out, nil

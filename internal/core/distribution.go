@@ -28,7 +28,7 @@ type RegionProb struct {
 // is the full posterior for those that want it.
 func (s *Service) Distribution(objectID string) ([]RegionProb, error) {
 	now := s.now()
-	readings := s.fusionReadings(objectID, now)
+	readings, _ := s.fusionState(objectID, now)
 	if len(readings) == 0 {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownObject, objectID)
 	}
@@ -74,8 +74,8 @@ type AccessPolicy struct {
 // SetAccessPolicy installs a per-requester disclosure policy for an
 // object. A zero AccessPolicy removes it.
 func (s *Service) SetAccessPolicy(objectID string, p AccessPolicy) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.privMu.Lock()
+	defer s.privMu.Unlock()
 	if p.Default == (PrivacyPolicy{}) && len(p.Grants) == 0 {
 		delete(s.acls, objectID)
 		return
@@ -101,9 +101,9 @@ func (s *Service) LocateObjectFor(requester, objectID string) (Location, error) 
 	if requester == objectID {
 		return loc, nil
 	}
-	s.mu.Lock()
+	s.privMu.RLock()
 	acl, ok := s.acls[objectID]
-	s.mu.Unlock()
+	s.privMu.RUnlock()
 	if !ok {
 		return loc, nil
 	}

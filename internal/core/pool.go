@@ -1,0 +1,156 @@
+package core
+
+import (
+	"sync"
+
+	"middlewhere/internal/obs"
+	"middlewhere/internal/spatialdb"
+)
+
+// Pool metrics, cached once so submission stays a pure atomic.
+var (
+	mPoolTasks  = obs.Default().Counter("core_pool_tasks_total")
+	mPoolInline = obs.Default().Counter("core_pool_inline_total")
+	mPoolDepth  = obs.Default().Gauge("core_pool_queue_depth")
+)
+
+// parallelFanThreshold is the object count below which ObjectsInRegion
+// stays serial: per-object evaluation is a few microseconds, so the
+// scheduling handoff only pays for itself once a handful of objects
+// can genuinely overlap.
+const parallelFanThreshold = 8
+
+// workerPool fans per-object work (ObjectsInRegion, batched trigger
+// evaluation) across a bounded set of goroutines. Submission never
+// blocks: when every worker is busy and the queue is full the task
+// runs inline on the submitting goroutine, which keeps nested fan-out
+// deadlock-free even when workers block on downstream channels (a
+// trigger handler waiting on the notification queue, say).
+type workerPool struct {
+	tasks chan func()
+	stop  chan struct{}
+	done  sync.WaitGroup
+}
+
+func newWorkerPool(size int) *workerPool {
+	if size < 1 {
+		size = 1
+	}
+	p := &workerPool{
+		tasks: make(chan func(), 2*size),
+		stop:  make(chan struct{}),
+	}
+	p.done.Add(size)
+	for i := 0; i < size; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *workerPool) worker() {
+	defer p.done.Done()
+	for {
+		select {
+		case fn := <-p.tasks:
+			fn()
+			mPoolDepth.Set(float64(len(p.tasks)))
+		case <-p.stop:
+			// Drain queued tasks so no fanOut waits forever, then exit.
+			for {
+				select {
+				case fn := <-p.tasks:
+					fn()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (p *workerPool) close() {
+	close(p.stop)
+	p.done.Wait()
+}
+
+// fanOut runs fn(0)..fn(n-1) across the pool and returns once all
+// calls have finished. Tasks that cannot be queued immediately run on
+// the caller, so fanOut makes progress even with a saturated pool.
+func (p *workerPool) fanOut(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		task := func() {
+			defer wg.Done()
+			fn(i)
+		}
+		select {
+		case p.tasks <- task:
+			mPoolTasks.Inc()
+			mPoolDepth.Set(float64(len(p.tasks)))
+		default:
+			mPoolInline.Inc()
+			task()
+		}
+	}
+	wg.Wait()
+}
+
+// fanOutChunked splits indexes 0..n-1 into at most `chunks` contiguous
+// ranges and runs each range as one pool task. For fine-grained
+// per-item work (a warm-cache region query costs well under a
+// microsecond per object) this amortizes the scheduling handoff over
+// the whole range instead of paying it per item.
+func (p *workerPool) fanOutChunked(n, chunks int, fn func(int)) {
+	if chunks > n {
+		chunks = n
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	step := (n + chunks - 1) / chunks
+	p.fanOut(chunks, func(c int) {
+		lo := c * step
+		hi := lo + step
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// dispatchFirings evaluates a batch's trigger firings, fanning out
+// across mobile objects while keeping each object's firings in
+// reading order (the entry/exit edge detection in onTrigger depends
+// on per-object ordering; different objects are independent).
+func (s *Service) dispatchFirings(fs []spatialdb.TriggerFiring) {
+	if s.pool == nil || len(fs) < 2 {
+		for _, f := range fs {
+			f.Fn(f.Event)
+		}
+		return
+	}
+	order := make([]string, 0, 8)
+	groups := make(map[string][]spatialdb.TriggerFiring, 8)
+	for _, f := range fs {
+		id := f.Event.Reading.MObjectID
+		if _, ok := groups[id]; !ok {
+			order = append(order, id)
+		}
+		groups[id] = append(groups[id], f)
+	}
+	if len(order) == 1 {
+		for _, f := range fs {
+			f.Fn(f.Event)
+		}
+		return
+	}
+	s.pool.fanOut(len(order), func(i int) {
+		for _, f := range groups[order[i]] {
+			f.Fn(f.Event)
+		}
+	})
+}

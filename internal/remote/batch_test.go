@@ -1,0 +1,57 @@
+package remote
+
+import (
+	"testing"
+	"time"
+
+	"middlewhere/internal/glob"
+	"middlewhere/internal/model"
+)
+
+// TestRemoteIngestBatch sends a batch through the wire and checks the
+// readings landed fused on the server side.
+func TestRemoteIngestBatch(t *testing.T) {
+	c, svc := startStack(t)
+	spec := model.UbisenseSpec(0.95)
+	spec.TTL = time.Minute
+	if err := c.RegisterSensor("ubi-b", spec); err != nil {
+		t.Fatal(err)
+	}
+	rs := []model.Reading{
+		{SensorID: "ubi-b", MObjectID: "alice",
+			Location: glob.MustParse("CS/Floor3/(370,15)"), Time: t0},
+		{SensorID: "ubi-b", MObjectID: "bob",
+			Location: glob.MustParse("CS/Floor3/(340,15)"), Time: t0},
+	}
+	if err := c.IngestBatch(rs); err != nil {
+		t.Fatal(err)
+	}
+	for _, obj := range []string{"alice", "bob"} {
+		loc, err := c.Locate(obj)
+		if err != nil {
+			t.Fatalf("%s: %v", obj, err)
+		}
+		if loc.Object != obj {
+			t.Errorf("located %q, want %q", loc.Object, obj)
+		}
+	}
+	if got := svc.Health().Ingested; got != 2 {
+		t.Errorf("server ingested = %d, want 2", got)
+	}
+}
+
+func TestRemoteIngestBatchEmpty(t *testing.T) {
+	c, _ := startStack(t)
+	if err := c.IngestBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}
+
+func TestRemoteIngestBatchBadReading(t *testing.T) {
+	c, _ := startStack(t)
+	rs := []model.Reading{{SensorID: "nope", MObjectID: "alice",
+		Location: glob.MustParse("CS/Floor3/(370,15)"), Time: t0}}
+	if err := c.IngestBatch(rs); err == nil {
+		t.Error("unknown sensor in batch should error")
+	}
+}

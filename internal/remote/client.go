@@ -154,7 +154,8 @@ type LocationClient struct {
 	mResubscribe *obs.Counter // subscriptions replayed on resume
 	mMalformed   *obs.Counter // undecodable push payloads dropped
 	mDeduped     *obs.Counter // post-reconnect replays suppressed
-	mIngests     *obs.Counter // readings forwarded over mw.ingest
+	mIngests     *obs.Counter // readings forwarded over mw.ingest[Batch]
+	mBatches     *obs.Counter // mw.ingestBatch frames sent
 	mIngestRTT   *obs.Histogram
 }
 
@@ -187,6 +188,7 @@ func DialLocationOptions(addr string, opts DialOptions) (*LocationClient, error)
 		mMalformed:   reg.Counter("client_malformed_pushes_total"),
 		mDeduped:     reg.Counter("client_deduped_notifications_total"),
 		mIngests:     reg.Counter("client_ingests_total"),
+		mBatches:     reg.Counter("client_ingest_batches_total"),
 		mIngestRTT:   reg.Histogram("client_ingest_rtt_us"),
 	}
 	var lastErr error
@@ -550,6 +552,37 @@ func (c *LocationClient) Ingest(r model.Reading) error {
 	err := c.callTraced("mw.ingest", toReadingDTO(r), nil, trace)
 	if err == nil {
 		c.mIngests.Inc()
+		c.mIngestRTT.Observe(float64(time.Since(start).Microseconds()))
+	}
+	obs.SpanSince(trace, "rpc_ingest", start)
+	return err
+}
+
+// IngestBatch forwards a slice of readings in one mw.ingestBatch
+// frame (adapter.BatchSink): one round trip and one server-side
+// database pass instead of len(rs). Delivery keeps Ingest's
+// at-least-once semantics across reconnects — a batch whose
+// acknowledgement was lost may be stored twice, which the spatial
+// database tolerates. One trace ID covers the whole frame; the server
+// stamps it on every reading.
+func (c *LocationClient) IngestBatch(rs []model.Reading) error {
+	if len(rs) == 0 {
+		return nil
+	}
+	var trace string
+	if obs.Enabled() {
+		trace = obs.BeginTrace()
+	}
+	args := IngestBatchArgs{Readings: make([]ReadingDTO, 0, len(rs))}
+	for _, r := range rs {
+		args.Readings = append(args.Readings, toReadingDTO(r))
+	}
+	start := time.Now()
+	var reply IngestBatchReply
+	err := c.callTraced("mw.ingestBatch", args, &reply, trace)
+	if err == nil {
+		c.mIngests.Add(uint64(len(rs)))
+		c.mBatches.Inc()
 		c.mIngestRTT.Observe(float64(time.Since(start).Microseconds()))
 	}
 	obs.SpanSince(trace, "rpc_ingest", start)

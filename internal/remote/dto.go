@@ -60,6 +60,19 @@ func (d ReadingDTO) toReading() (model.Reading, error) {
 	}, nil
 }
 
+// IngestBatchArgs is the wire form of a batched ingest: one frame
+// carrying a slice of readings that the server stores in a single
+// database pass (mw.ingestBatch).
+type IngestBatchArgs struct {
+	Readings []ReadingDTO `json:"readings"`
+}
+
+// IngestBatchReply acknowledges a batched ingest.
+type IngestBatchReply struct {
+	// Accepted is how many readings of the batch were stored.
+	Accepted int `json:"accepted"`
+}
+
 // TDFDTO encodes a temporal degradation function.
 type TDFDTO struct {
 	// Kind is "constant", "linear", "exp", or "step".

@@ -10,6 +10,7 @@ import (
 	"middlewhere/internal/core"
 	"middlewhere/internal/geom"
 	"middlewhere/internal/glob"
+	"middlewhere/internal/model"
 	"middlewhere/internal/mwql"
 	"middlewhere/internal/mwrpc"
 	"middlewhere/internal/obs"
@@ -38,6 +39,7 @@ func NewServer(svc *core.Service) *Server {
 		subs: make(map[string]*mwrpc.ServerConn),
 	}
 	s.rpc.RegisterTraced("mw.ingest", s.handleIngest)
+	s.rpc.RegisterTraced("mw.ingestBatch", s.handleIngestBatch)
 	s.rpc.Register("mw.registerSensor", s.handleRegisterSensor)
 	s.rpc.Register("mw.locate", s.handleLocate)
 	s.rpc.Register("mw.probInRegion", s.handleProbInRegion)
@@ -160,6 +162,33 @@ func (s *Server) handleIngest(_ *mwrpc.ServerConn, params json.RawMessage, trace
 		return nil, err
 	}
 	return "ok", nil
+}
+
+// handleIngestBatch decodes a batched ingest frame and stores the
+// whole slice in one database pass. The frame's trace ID is stamped on
+// every reading so each one's pipeline stays attributable. Readings
+// that fail validation are skipped server-side; the reply reports how
+// many were accepted and the error summarizes the rest.
+func (s *Server) handleIngestBatch(_ *mwrpc.ServerConn, params json.RawMessage, trace string) (interface{}, error) {
+	start := time.Now()
+	var a IngestBatchArgs
+	if err := json.Unmarshal(params, &a); err != nil {
+		return nil, err
+	}
+	rs := make([]model.Reading, 0, len(a.Readings))
+	for _, d := range a.Readings {
+		r, err := d.toReading()
+		if err != nil {
+			return nil, err
+		}
+		r.Trace = trace
+		rs = append(rs, r)
+	}
+	obs.SpanSince(trace, "ingest", start)
+	if err := s.svc.IngestBatch(rs); err != nil {
+		return nil, err
+	}
+	return IngestBatchReply{Accepted: len(rs)}, nil
 }
 
 type registerSensorArgs struct {

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"testing"
+
+	"middlewhere/internal/adapter"
+	"middlewhere/internal/core"
+	"middlewhere/internal/glob"
+)
+
+// TestRunBatchedMatchesDirect runs the same seeded simulation twice —
+// once with adapters feeding the service directly, once through a
+// Batcher flushed at step boundaries — and requires identical fused
+// answers. Batching is a transport optimization; it must not change
+// what the Location Service believes.
+func TestRunBatchedMatchesDirect(t *testing.T) {
+	b := synthetic(t)
+	frame := glob.MustParse("SIM/F")
+
+	run := func(batched bool) (*core.Service, []PersonState) {
+		s, err := New(b, Config{People: 3, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc, err := core.New(b, core.WithClock(s.Now))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(svc.Close)
+
+		var sink adapter.Sink = svc
+		var flusher *adapter.Batcher
+		if batched {
+			flusher = adapter.NewBatcher(svc, 0)
+			sink = flusher
+		}
+		ubi, err := adapter.NewUbisense("ubi-1", frame, 1.0, sink, svc, adapter.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		field := NewUbisenseField(ubi, b.Universe, 1.0, s.Rand())
+
+		const steps = 50
+		if batched {
+			if err := RunBatched(s, steps, flusher, field); err != nil {
+				t.Fatal(err)
+			}
+			if flusher.Pending() != 0 {
+				t.Errorf("batcher left %d readings pending", flusher.Pending())
+			}
+		} else {
+			if err := Run(s, steps, field); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return svc, s.People()
+	}
+
+	direct, people := run(false)
+	batched, _ := run(true)
+
+	if d, b := direct.Health().Ingested, batched.Health().Ingested; d != b || d == 0 {
+		t.Fatalf("ingested diverged: direct %d, batched %d", d, b)
+	}
+	for _, p := range people {
+		dl, derr := direct.LocateObject(p.ID)
+		bl, berr := batched.LocateObject(p.ID)
+		if (derr == nil) != (berr == nil) {
+			t.Errorf("%s: direct err %v, batched err %v", p.ID, derr, berr)
+			continue
+		}
+		if derr != nil {
+			continue
+		}
+		if dl.Rect != bl.Rect || dl.Prob != bl.Prob {
+			t.Errorf("%s: direct %+v != batched %+v", p.ID, dl, bl)
+		}
+	}
+}
+
+// flushCounter counts flushes; RunBatched must call it once per step.
+type flushCounter struct{ n int }
+
+func (f *flushCounter) Flush() error { f.n++; return nil }
+
+func TestRunBatchedFlushesPerStep(t *testing.T) {
+	b := synthetic(t)
+	s, err := New(b, Config{People: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &flushCounter{}
+	if err := RunBatched(s, 7, f); err != nil {
+		t.Fatal(err)
+	}
+	if f.n != 7 {
+		t.Errorf("flushed %d times over 7 steps", f.n)
+	}
+}

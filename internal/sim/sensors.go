@@ -215,6 +215,33 @@ func Run(s *Sim, n int, observers ...Observer) error {
 	return nil
 }
 
+// Flusher forwards accumulated readings downstream as one batch
+// (*adapter.Batcher is one). RunBatched flushes it at step boundaries.
+type Flusher interface {
+	Flush() error
+}
+
+// RunBatched advances the simulation like Run, but flushes the given
+// batcher after each step's observers have reported. With observers
+// whose adapters share the batcher as their sink, every simulation
+// step becomes one IngestBatch call instead of a database pass per
+// reading.
+func RunBatched(s *Sim, n int, batch Flusher, observers ...Observer) error {
+	for i := 0; i < n; i++ {
+		s.Step()
+		snapshot := s.People()
+		for _, o := range observers {
+			if err := o.Observe(s.Now(), snapshot); err != nil {
+				return err
+			}
+		}
+		if err := batch.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // mSimObserverErrors counts failed observations across all tolerant
 // runs in the process (the per-run figure is in RunReport.Failed).
 var mSimObserverErrors = obs.Default().Counter("sim_observer_errors_total")

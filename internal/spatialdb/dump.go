@@ -32,7 +32,7 @@ func (db *DB) DumpObjectTable() string {
 // paper's Table 2: SensorId, GlobPrefix, SensorType, MObjectId,
 // ObjLocation, DetectionRadius, DetectionTime.
 func (db *DB) DumpReadingTable() string {
-	db.mu.RLock()
+	db.readMu.RLock()
 	ids := make([]string, 0, len(db.readings))
 	for id := range db.readings {
 		ids = append(ids, id)
@@ -42,7 +42,7 @@ func (db *DB) DumpReadingTable() string {
 	for _, id := range ids {
 		rows = append(rows, db.readings[id]...)
 	}
-	db.mu.RUnlock()
+	db.readMu.RUnlock()
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-8s | %-18s | %-12s | %-10s | %-12s | %-9s | %s\n",
@@ -64,7 +64,7 @@ func (db *DB) DumpReadingTable() string {
 // DumpSensorTable renders the sensor metadata table of §5.2:
 // SensorId, Confidence(%), Time-to-live(s).
 func (db *DB) DumpSensorTable() string {
-	db.mu.RLock()
+	db.sensorMu.RLock()
 	ids := make([]string, 0, len(db.sensors))
 	for id := range db.sensors {
 		ids = append(ids, id)
@@ -74,7 +74,7 @@ func (db *DB) DumpSensorTable() string {
 	for _, id := range ids {
 		specs[id] = db.sensors[id]
 	}
-	db.mu.RUnlock()
+	db.sensorMu.RUnlock()
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-12s | %-13s | %s\n", "SensorId", "Confidence(%)", "Time-to-live(s)")

@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"middlewhere/internal/coords"
@@ -39,8 +40,11 @@ var (
 	mQueries        = obs.Default().Counter("spatialdb_queries_total")
 	mQueryUs        = obs.Default().Histogram("spatialdb_query_us")
 	mTriggerMatches = obs.Default().Counter("spatialdb_trigger_matches_total")
-	// mInsertVisits is exact: the insert path holds the exclusive lock,
-	// so its before/after Visits() delta cannot interleave with readers.
+	mBatchInserts   = obs.Default().Counter("spatialdb_batch_inserts_total")
+	mBatchRows      = obs.Default().Histogram("spatialdb_batch_rows")
+	// mInsertVisits is approximate since the per-table lock split:
+	// trigger matching runs under a shared lock, so concurrent searches
+	// can cross-attribute Visits() deltas. The totals still converge.
 	mInsertVisits = obs.Default().Counter("rtree_insert_visits_total")
 	// mVisitsGauge mirrors the cumulative node visits of both trees
 	// (object index + trigger index); refreshed after every insert and
@@ -132,25 +136,52 @@ type trigger struct {
 // reporting at once with history to spare.
 const maxReadingsPerObject = 64
 
-// DB is the spatial database. Create with New.
+// DB is the spatial database. Each table has its own lock so that
+// concurrent locates (object + sensor reads) stop contending with
+// ingest (reading writes). A goroutine that needs more than one lock
+// MUST acquire them in the fixed order
+//
+//	sensorMu → objMu → readMu → trigMu
+//
+// (hookMu is independent and never held together with the others).
 type DB struct {
-	mu sync.RWMutex
-
+	// Object table (Table 1) and its R-tree index. frames is immutable
+	// after New; it lives here because symbolic GLOB resolution walks
+	// objects and frames together. objGen counts structural changes
+	// (insert/delete), bumped under the write lock; readers use it to
+	// detect stale cached resolutions without holding objMu.
+	objMu   sync.RWMutex
 	frames  *coords.Tree
 	objects map[string]*Object
 	objIdx  *rtree.Tree
+	objGen  atomic.Uint64
 
-	// readings: mobject ID -> readings, newest last.
+	// Sensor metadata table (§5.2). sensorGen counts registrations so
+	// callers can memoize whole-table derivatives (the fusion
+	// classifier) and revalidate with one atomic load.
+	sensorMu  sync.RWMutex
+	sensors   map[string]model.SensorSpec
+	sensorGen atomic.Uint64
+
+	// Reading table (Table 2): mobject ID -> readings, newest last.
+	// epochs holds a per-object counter bumped whenever that object's
+	// row set changes in a way that can change query results (insert,
+	// forced expiry) — the precise invalidation key for fused-location
+	// caches. Entries are never deleted, so an epoch observed once can
+	// only grow.
+	readMu   sync.RWMutex
 	readings map[string][]model.Reading
-	// sensors: sensor ID -> spec (the §5.2 sensor table).
-	sensors map[string]model.SensorSpec
+	epochs   map[string]uint64
 
+	// Location triggers (§5.3) and their R-tree index.
+	trigMu     sync.RWMutex
 	triggers   map[string]*trigger
 	triggerIdx *rtree.Tree
 
 	// hooks run after every successful reading insert (and after the
-	// matching triggers), outside the database lock.
-	hooks []func(model.Reading)
+	// matching triggers), outside all table locks.
+	hookMu sync.RWMutex
+	hooks  []func(model.Reading)
 
 	universe geom.Rect
 }
@@ -164,6 +195,7 @@ func New(frames *coords.Tree, universe geom.Rect) *DB {
 		objects:    make(map[string]*Object),
 		objIdx:     rtree.New(),
 		readings:   make(map[string][]model.Reading),
+		epochs:     make(map[string]uint64),
 		sensors:    make(map[string]model.SensorSpec),
 		triggers:   make(map[string]*trigger),
 		triggerIdx: rtree.New(),
@@ -190,8 +222,8 @@ func (db *DB) InsertObject(o Object) error {
 	if len(o.LocalPoints) == 0 {
 		return fmt.Errorf("%w: object %s has no points", ErrBadGeometry, o.ID())
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.objMu.Lock()
+	defer db.objMu.Unlock()
 	id := o.ID()
 	if _, ok := db.objects[id]; ok {
 		return fmt.Errorf("%w: object %s", ErrDuplicate, id)
@@ -215,11 +247,12 @@ func (db *DB) InsertObject(o Object) error {
 	}
 	db.objects[id] = &stored
 	db.objIdx.Insert(stored.Bounds, id)
+	db.objGen.Add(1)
 	return nil
 }
 
 // resolveLocked converts local-frame points into the universe frame.
-// Caller holds at least the read lock.
+// Caller holds at least the objMu read lock.
 func (db *DB) resolveLocked(prefix glob.GLOB, pts []geom.Point) (geom.Rect, geom.Polygon, error) {
 	frame, ok := db.frames.FrameForGLOBPath(prefix.Path)
 	if !ok {
@@ -238,8 +271,8 @@ func (db *DB) resolveLocked(prefix glob.GLOB, pts []geom.Point) (geom.Rect, geom
 
 // GetObject returns an object by its GLOB string.
 func (db *DB) GetObject(id string) (Object, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.objMu.RLock()
+	defer db.objMu.RUnlock()
 	o, ok := db.objects[id]
 	if !ok {
 		return Object{}, fmt.Errorf("%w: object %s", ErrNotFound, id)
@@ -249,21 +282,22 @@ func (db *DB) GetObject(id string) (Object, error) {
 
 // DeleteObject removes an object.
 func (db *DB) DeleteObject(id string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.objMu.Lock()
+	defer db.objMu.Unlock()
 	o, ok := db.objects[id]
 	if !ok {
 		return fmt.Errorf("%w: object %s", ErrNotFound, id)
 	}
 	db.objIdx.Delete(o.Bounds, id)
 	delete(db.objects, id)
+	db.objGen.Add(1)
 	return nil
 }
 
 // Objects returns all objects sorted by ID.
 func (db *DB) Objects() []Object {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.objMu.RLock()
+	defer db.objMu.RUnlock()
 	out := make([]Object, 0, len(db.objects))
 	for _, o := range db.objects {
 		out = append(out, o.clone())
@@ -317,8 +351,8 @@ func (f ObjectFilter) match(o *Object) bool {
 // intersects r, filtered, sorted by ID.
 func (db *DB) IntersectingObjects(r geom.Rect, f ObjectFilter) []Object {
 	defer db.observeQuery(time.Now())
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.objMu.RLock()
+	defer db.objMu.RUnlock()
 	var out []Object
 	for _, it := range db.objIdx.SearchIntersect(r) {
 		o := db.objects[it.ID]
@@ -334,8 +368,8 @@ func (db *DB) IntersectingObjects(r geom.Rect, f ObjectFilter) []Object {
 // ID.
 func (db *DB) ContainedObjects(r geom.Rect, f ObjectFilter) []Object {
 	defer db.observeQuery(time.Now())
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.objMu.RLock()
+	defer db.objMu.RUnlock()
 	var out []Object
 	for _, it := range db.objIdx.SearchContained(r) {
 		o := db.objects[it.ID]
@@ -351,8 +385,8 @@ func (db *DB) ContainedObjects(r geom.Rect, f ObjectFilter) []Object {
 // GLOB first — the room before the floor).
 func (db *DB) ObjectsAt(p geom.Point, f ObjectFilter) []Object {
 	defer db.observeQuery(time.Now())
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.objMu.RLock()
+	defer db.objMu.RUnlock()
 	var out []Object
 	for _, it := range db.objIdx.SearchContaining(p) {
 		o := db.objects[it.ID]
@@ -374,8 +408,8 @@ func (db *DB) ObjectsAt(p geom.Point, f ObjectFilter) []Object {
 // passing the filter closest to p.
 func (db *DB) Nearest(p geom.Point, k int, f ObjectFilter) []Object {
 	defer db.observeQuery(time.Now())
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.objMu.RLock()
+	defer db.objMu.RUnlock()
 	// Over-fetch from the index and filter; property predicates cannot
 	// be pushed into the R-tree.
 	var out []Object
@@ -407,10 +441,15 @@ func (db *DB) Nearest(p geom.Point, k int, f ObjectFilter) []Object {
 // in the universe frame. Symbolic GLOBs are looked up in the object
 // table; coordinate GLOBs are transformed from their prefix frame.
 func (db *DB) ResolveGLOB(g glob.GLOB) (geom.Rect, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.objMu.RLock()
+	defer db.objMu.RUnlock()
 	return db.resolveGLOBLocked(g)
 }
+
+// ObjectGeneration returns a counter bumped on every object-table
+// change (insert or delete). A cached symbolic resolution is still
+// valid while the generation it was computed under is unchanged.
+func (db *DB) ObjectGeneration() uint64 { return db.objGen.Load() }
 
 func (db *DB) resolveGLOBLocked(g glob.GLOB) (geom.Rect, error) {
 	if g.IsZero() {
@@ -438,16 +477,17 @@ func (db *DB) RegisterSensor(sensorID string, spec model.SensorSpec) error {
 	if err := spec.Validate(); err != nil {
 		return err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.sensorMu.Lock()
+	defer db.sensorMu.Unlock()
 	db.sensors[sensorID] = spec
+	db.sensorGen.Add(1)
 	return nil
 }
 
 // SensorSpec returns the spec registered for a sensor.
 func (db *DB) SensorSpec(sensorID string) (model.SensorSpec, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.sensorMu.RLock()
+	defer db.sensorMu.RUnlock()
 	spec, ok := db.sensors[sensorID]
 	if !ok {
 		return model.SensorSpec{}, fmt.Errorf("%w: %s", ErrUnknownSensor, sensorID)
@@ -457,8 +497,8 @@ func (db *DB) SensorSpec(sensorID string) (model.SensorSpec, error) {
 
 // Sensors returns the registered sensor IDs, sorted.
 func (db *DB) Sensors() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.sensorMu.RLock()
+	defer db.sensorMu.RUnlock()
 	out := make([]string, 0, len(db.sensors))
 	for id := range db.sensors {
 		out = append(out, id)
@@ -467,73 +507,155 @@ func (db *DB) Sensors() []string {
 	return out
 }
 
+// SensorGeneration returns a counter bumped on every sensor
+// registration. Callers that derive state from the whole sensor table
+// (the fusion classifier, per-sensor spec lookups on the query path)
+// memoize against it and refresh only when it moves.
+func (db *DB) SensorGeneration() uint64 { return db.sensorGen.Load() }
+
+// SensorSnapshot returns a copy of the sensor metadata table together
+// with the generation it was taken at. The copy is the caller's to
+// keep; the generation lets it revalidate with one atomic load instead
+// of a lock per spec lookup.
+func (db *DB) SensorSnapshot() (map[string]model.SensorSpec, uint64) {
+	db.sensorMu.RLock()
+	defer db.sensorMu.RUnlock()
+	out := make(map[string]model.SensorSpec, len(db.sensors))
+	for id, spec := range db.sensors {
+		out[id] = spec
+	}
+	return out, db.sensorGen.Load()
+}
+
+// TriggerFiring pairs a matched trigger callback with the event it
+// should receive. InsertReadings hands the batch's firings to a
+// FiringDispatcher so the caller can fan evaluation out.
+type TriggerFiring struct {
+	Fn    TriggerFunc
+	Event TriggerEvent
+}
+
+// FiringDispatcher runs a batch's trigger firings. It is called at
+// most once per InsertReadings call, after the rows are stored and all
+// table locks are released, and must run every firing before
+// returning. Firings for the same mobile object appear in reading
+// order; a dispatcher may parallelize across objects but should
+// preserve that per-object order (entry/exit edge detection depends on
+// it).
+type FiringDispatcher func([]TriggerFiring)
+
 // InsertReading stores a sensor reading (resolving its location to a
 // universe-frame MBR if the adapter has not already) and fires any
 // matching triggers synchronously. The sensor must be registered.
 func (db *DB) InsertReading(r model.Reading) error {
-	start := time.Now()
-	if r.MObjectID == "" {
-		mInsertErrors.Inc()
-		return fmt.Errorf("spatialdb: reading without mobject id")
-	}
-	db.mu.Lock()
-	visits0 := db.objIdx.Visits() + db.triggerIdx.Visits()
-	spec, ok := db.sensors[r.SensorID]
-	if !ok {
-		db.mu.Unlock()
-		mInsertErrors.Inc()
-		return fmt.Errorf("%w: %s", ErrUnknownSensor, r.SensorID)
-	}
-	if r.SensorType == "" {
-		r.SensorType = spec.Type
-	}
-	if !r.Region.Valid() || r.Region.Area() == 0 {
-		rect, err := db.resolveReadingLocked(r, spec)
-		if err != nil {
-			db.mu.Unlock()
-			mInsertErrors.Inc()
-			return fmt.Errorf("insert reading from %s: %w", r.SensorID, err)
-		}
-		r.Region = rect
-	}
-	// Movement detection: compare with the previous reading from the
-	// same sensor for the same object.
-	prev := db.readings[r.MObjectID]
-	for i := len(prev) - 1; i >= 0; i-- {
-		if prev[i].SensorID == r.SensorID {
-			if !prev[i].Region.Eq(r.Region) {
-				r.Moving = true
-			}
-			break
-		}
-	}
-	rows := append(db.readings[r.MObjectID], r)
-	// Bound per-object storage: long-TTL sensors (desktop sessions,
-	// biometric long readings) must not accumulate without limit. The
-	// newest rows win; fusion only consumes the latest row per sensor
-	// anyway.
-	if len(rows) > maxReadingsPerObject {
-		rows = append(rows[:0], rows[len(rows)-maxReadingsPerObject:]...)
-	}
-	db.readings[r.MObjectID] = rows
+	_, err := db.InsertReadings([]model.Reading{r}, nil)
+	return err
+}
 
-	// Collect matching triggers under the lock, fire after release.
-	var fired []TriggerEvent
-	var fns []TriggerFunc
-	for _, it := range db.triggerIdx.SearchIntersect(r.Region) {
-		tr := db.triggers[it.ID]
-		if tr == nil {
-			continue
-		}
-		if tr.mobject != "" && tr.mobject != r.MObjectID {
-			continue
-		}
-		fired = append(fired, TriggerEvent{TriggerID: tr.id, Reading: r, Region: tr.region})
-		fns = append(fns, tr.fn)
+// InsertReadings stores a slice of readings with one lock acquisition
+// per table instead of one per reading, amortizing the hot-path cost
+// for batched adapters. Readings that fail validation are skipped;
+// the rest are stored. It returns the number stored and the joined
+// errors of the skipped ones.
+//
+// Trigger firings for the whole batch are collected and then run via
+// dispatch; a nil dispatch runs them serially in insertion order,
+// which makes InsertReadings(rs, nil) observably equivalent to
+// len(rs) InsertReading calls. Insert hooks run last, per stored
+// reading in order, as in the single-insert path.
+func (db *DB) InsertReadings(rs []model.Reading, dispatch FiringDispatcher) (int, error) {
+	if len(rs) == 0 {
+		return 0, nil
 	}
-	hooks := db.hooks
-	visitDelta := db.objIdx.Visits() + db.triggerIdx.Visits() - visits0
-	db.mu.Unlock()
+	start := time.Now()
+
+	// Phase 1 — validate and resolve regions under the sensor and
+	// object read locks (lock order: sensorMu → objMu).
+	prepared := make([]model.Reading, 0, len(rs))
+	var errs []error
+	db.sensorMu.RLock()
+	db.objMu.RLock()
+	for _, r := range rs {
+		if r.MObjectID == "" {
+			mInsertErrors.Inc()
+			errs = append(errs, fmt.Errorf("spatialdb: reading without mobject id"))
+			continue
+		}
+		spec, ok := db.sensors[r.SensorID]
+		if !ok {
+			mInsertErrors.Inc()
+			errs = append(errs, fmt.Errorf("%w: %s", ErrUnknownSensor, r.SensorID))
+			continue
+		}
+		if r.SensorType == "" {
+			r.SensorType = spec.Type
+		}
+		if !r.Region.Valid() || r.Region.Area() == 0 {
+			rect, err := db.resolveReadingLocked(r, spec)
+			if err != nil {
+				mInsertErrors.Inc()
+				errs = append(errs, fmt.Errorf("insert reading from %s: %w", r.SensorID, err))
+				continue
+			}
+			r.Region = rect
+		}
+		prepared = append(prepared, r)
+	}
+	db.objMu.RUnlock()
+	db.sensorMu.RUnlock()
+
+	// Phase 2 — store every row under one write lock: movement
+	// detection, append, bound, and the per-object epoch bump that
+	// invalidates fused-location caches.
+	db.readMu.Lock()
+	for i := range prepared {
+		r := &prepared[i]
+		// Movement detection: compare with the previous reading from
+		// the same sensor for the same object.
+		prev := db.readings[r.MObjectID]
+		for j := len(prev) - 1; j >= 0; j-- {
+			if prev[j].SensorID == r.SensorID {
+				if !prev[j].Region.Eq(r.Region) {
+					r.Moving = true
+				}
+				break
+			}
+		}
+		rows := append(db.readings[r.MObjectID], *r)
+		// Bound per-object storage: long-TTL sensors (desktop sessions,
+		// biometric long readings) must not accumulate without limit.
+		// The newest rows win; fusion only consumes the latest row per
+		// sensor anyway.
+		if len(rows) > maxReadingsPerObject {
+			rows = append(rows[:0], rows[len(rows)-maxReadingsPerObject:]...)
+		}
+		db.readings[r.MObjectID] = rows
+		db.epochs[r.MObjectID]++
+	}
+	db.readMu.Unlock()
+
+	// Phase 3 — match triggers for the whole batch under the shared
+	// trigger lock; firing happens after release.
+	visits0 := db.triggerIdx.Visits()
+	var firings []TriggerFiring
+	db.trigMu.RLock()
+	for _, r := range prepared {
+		for _, it := range db.triggerIdx.SearchIntersect(r.Region) {
+			tr := db.triggers[it.ID]
+			if tr == nil {
+				continue
+			}
+			if tr.mobject != "" && tr.mobject != r.MObjectID {
+				continue
+			}
+			firings = append(firings, TriggerFiring{
+				Fn:    tr.fn,
+				Event: TriggerEvent{TriggerID: tr.id, Reading: r, Region: tr.region},
+			})
+		}
+	}
+	visitDelta := db.triggerIdx.Visits() - visits0
+	db.trigMu.RUnlock()
 
 	// The db_insert stage ends here: storage and trigger matching are
 	// done; what follows (trigger evaluation, hooks) is accounted to the
@@ -541,30 +663,60 @@ func (db *DB) InsertReading(r model.Reading) error {
 	mInsertVisits.Add(uint64(visitDelta))
 	db.syncVisitsGauge()
 	mInsertUs.Observe(float64(time.Since(start).Microseconds()))
-	mInserts.Inc()
-	mTriggerMatches.Add(uint64(len(fns)))
-	obs.SpanSince(r.Trace, "db_insert", start)
+	mInserts.Add(uint64(len(prepared)))
+	mTriggerMatches.Add(uint64(len(firings)))
+	if len(rs) > 1 {
+		mBatchInserts.Inc()
+		mBatchRows.Observe(float64(len(rs)))
+	}
+	for i := range prepared {
+		obs.SpanSince(prepared[i].Trace, "db_insert", start)
+	}
 
-	for i, fn := range fns {
-		fn(fired[i])
+	if len(firings) > 0 {
+		if dispatch != nil {
+			dispatch(firings)
+		} else {
+			for _, f := range firings {
+				f.Fn(f.Event)
+			}
+		}
 	}
-	for _, h := range hooks {
-		h(r)
+	db.hookMu.RLock()
+	hooks := db.hooks
+	db.hookMu.RUnlock()
+	for i := range prepared {
+		for _, h := range hooks {
+			h(prepared[i])
+		}
 	}
-	return nil
+	if len(errs) == 1 {
+		return len(prepared), errs[0]
+	}
+	return len(prepared), errors.Join(errs...)
+}
+
+// ReadingEpoch returns the object's reading-table epoch — a counter
+// bumped whenever the object's stored rows change in a way that can
+// change query results. An unchanged epoch means a cached fusion
+// result for the object is still derived from the current rows.
+func (db *DB) ReadingEpoch(mobjectID string) uint64 {
+	db.readMu.RLock()
+	defer db.readMu.RUnlock()
+	return db.epochs[mobjectID]
 }
 
 // AddInsertHook registers a callback invoked after every successful
 // reading insert, once the matching triggers have fired. Hooks run on
-// the inserting goroutine outside the database lock. The Location
+// the inserting goroutine outside the table locks. The Location
 // Service uses one to observe readings that fall outside any trigger
 // region (exit detection for entry/exit subscriptions).
 func (db *DB) AddInsertHook(fn func(model.Reading)) {
 	if fn == nil {
 		return
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.hookMu.Lock()
+	defer db.hookMu.Unlock()
 	db.hooks = append(db.hooks, fn)
 }
 
@@ -590,12 +742,37 @@ func (db *DB) resolveReadingLocked(r model.Reading, spec model.SensorSpec) (geom
 
 // ReadingsFor returns the unexpired readings for a mobile object at
 // time now, applying each sensor's TTL from the metadata table.
-// Expired rows are pruned as a side effect.
+// Expired rows are pruned as a side effect. Pruning does not bump the
+// object's reading epoch: the removed rows were already invisible to
+// every TTL-filtered query, so cached results stay correct.
 func (db *DB) ReadingsFor(mobjectID string, now time.Time) []model.Reading {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.sensorMu.RLock()
+	defer db.sensorMu.RUnlock()
+	// Fast path under the shared lock: concurrent locates for
+	// different objects must not serialize here. Only when a row has
+	// actually expired is the exclusive lock taken to prune.
+	db.readMu.RLock()
 	rows := db.readings[mobjectID]
-	var live []model.Reading
+	live := make([]model.Reading, 0, len(rows))
+	stale := false
+	for _, r := range rows {
+		spec, ok := db.sensors[r.SensorID]
+		if !ok || r.Expired(now, spec.TTL) {
+			stale = true
+			continue
+		}
+		live = append(live, r)
+	}
+	db.readMu.RUnlock()
+	if !stale {
+		return live
+	}
+
+	db.readMu.Lock()
+	defer db.readMu.Unlock()
+	// Recompute: the rows may have changed between the locks.
+	rows = db.readings[mobjectID]
+	live = live[:0]
 	for _, r := range rows {
 		spec, ok := db.sensors[r.SensorID]
 		if !ok {
@@ -608,9 +785,9 @@ func (db *DB) ReadingsFor(mobjectID string, now time.Time) []model.Reading {
 	if len(live) == 0 {
 		delete(db.readings, mobjectID)
 	} else {
-		db.readings[mobjectID] = live
+		db.readings[mobjectID] = append([]model.Reading(nil), live...)
 	}
-	return append([]model.Reading(nil), live...)
+	return live
 }
 
 // LatestPerSensor returns, for each sensor that has an unexpired
@@ -635,8 +812,8 @@ func (db *DB) LatestPerSensor(mobjectID string, now time.Time) []model.Reading {
 // MobileObjects returns the IDs of all objects with stored readings,
 // sorted.
 func (db *DB) MobileObjects() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.readMu.RLock()
+	defer db.readMu.RUnlock()
 	out := make([]string, 0, len(db.readings))
 	for id := range db.readings {
 		out = append(out, id)
@@ -648,17 +825,24 @@ func (db *DB) MobileObjects() []string {
 // ExpireReadings removes every reading for every object that has
 // outlived its sensor's TTL at time now, and expires readings matching
 // the filter immediately (used by the biometric logout flow, §6.3).
+// Objects that lose a not-yet-expired row through the filter get their
+// reading epoch bumped: the forced expiry changes query results, so
+// cached fusion state for them must be invalidated.
 func (db *DB) ExpireReadings(now time.Time, match func(model.Reading) bool) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.sensorMu.RLock()
+	defer db.sensorMu.RUnlock()
+	db.readMu.Lock()
+	defer db.readMu.Unlock()
 	for id, rows := range db.readings {
 		var live []model.Reading
+		forced := false
 		for _, r := range rows {
 			spec, ok := db.sensors[r.SensorID]
 			if !ok || r.Expired(now, spec.TTL) {
 				continue
 			}
 			if match != nil && match(r) {
+				forced = true
 				continue
 			}
 			live = append(live, r)
@@ -667,6 +851,9 @@ func (db *DB) ExpireReadings(now time.Time, match func(model.Reading) bool) {
 			delete(db.readings, id)
 		} else {
 			db.readings[id] = live
+		}
+		if forced {
+			db.epochs[id]++
 		}
 	}
 }
@@ -685,8 +872,8 @@ func (db *DB) AddTrigger(id, mobjectID string, region geom.Rect, fn TriggerFunc)
 	if !region.Valid() || region.Area() <= 0 {
 		return fmt.Errorf("%w: degenerate region %v", ErrBadTrigger, region)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.trigMu.Lock()
+	defer db.trigMu.Unlock()
 	if _, ok := db.triggers[id]; ok {
 		return fmt.Errorf("%w: trigger %s", ErrDuplicate, id)
 	}
@@ -698,8 +885,8 @@ func (db *DB) AddTrigger(id, mobjectID string, region geom.Rect, fn TriggerFunc)
 
 // RemoveTrigger unregisters a trigger.
 func (db *DB) RemoveTrigger(id string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.trigMu.Lock()
+	defer db.trigMu.Unlock()
 	tr, ok := db.triggers[id]
 	if !ok {
 		return fmt.Errorf("%w: trigger %s", ErrNotFound, id)
@@ -711,7 +898,7 @@ func (db *DB) RemoveTrigger(id string) error {
 
 // TriggerCount returns the number of registered triggers.
 func (db *DB) TriggerCount() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.trigMu.RLock()
+	defer db.trigMu.RUnlock()
 	return len(db.triggers)
 }

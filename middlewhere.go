@@ -96,6 +96,15 @@ var WithClock = core.WithClock
 // queryable with Service.History.
 var WithHistory = core.WithHistory
 
+// WithParallelism caps the query worker pool (0 = GOMAXPROCS, 1 =
+// serial evaluation).
+var WithParallelism = core.WithParallelism
+
+// WithCacheQuantum sets how long a fused-location cache entry may
+// serve queries at a later wall-clock instant (0 = exact-instant
+// hits only).
+var WithCacheQuantum = core.WithCacheQuantum
+
 // Service errors.
 var (
 	ErrUnknownObject = core.ErrUnknownObject
@@ -334,10 +343,18 @@ type (
 	ResilientStats = adapter.ResilientStats
 	// DropPolicy picks the overflow victim (DropOldest/DropNewest).
 	DropPolicy = adapter.DropPolicy
+	// BatchSink ingests a slice of readings in one call (Service,
+	// RemoteClient, and ResilientSink all satisfy it).
+	BatchSink = adapter.BatchSink
+	// Batcher accumulates readings and forwards them in batches.
+	Batcher = adapter.Batcher
 )
 
 // NewResilientSink wraps a sink with buffering and a circuit breaker.
 var NewResilientSink = adapter.NewResilientSink
+
+// NewBatcher wraps a batch-capable sink with batched forwarding.
+var NewBatcher = adapter.NewBatcher
 
 // Overflow drop policies.
 const (
@@ -380,6 +397,9 @@ var (
 	// RunSimTolerant keeps the simulation moving when an observer's
 	// sink fails (counts errors instead of aborting).
 	RunSimTolerant = sim.RunTolerant
+	// RunSimBatched flushes a Batcher at each step boundary so a step's
+	// readings land in one IngestBatch call.
+	RunSimBatched = sim.RunBatched
 )
 
 // ---------------------------------------------------------------------------
