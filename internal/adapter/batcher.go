@@ -34,7 +34,8 @@ const defaultFlushSize = 64
 // explicitly on Flush (the simulator flushes at step boundaries).
 // Arrival order is preserved. Safe for concurrent use.
 type Batcher struct {
-	mu     sync.Mutex
+	mu     sync.Mutex // guards buf and closed; never held across delivery
+	sendMu sync.Mutex // serializes deliveries so batches leave in order
 	sink   BatchSink
 	buf    []model.Reading
 	max    int
@@ -55,36 +56,47 @@ func NewBatcher(sink BatchSink, flushSize int) *Batcher {
 // error here.
 func (b *Batcher) Ingest(r model.Reading) error {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if b.closed {
+		b.mu.Unlock()
 		return ErrClosed
 	}
 	b.buf = append(b.buf, r)
-	if len(b.buf) >= b.max {
-		return b.flushLocked()
+	full := len(b.buf) >= b.max
+	b.mu.Unlock()
+	if !full {
+		return nil
 	}
-	return nil
+	return b.flush()
 }
 
 // Flush forwards everything pending as one batch.
 func (b *Batcher) Flush() error {
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.closed {
+	closed := b.closed
+	b.mu.Unlock()
+	if closed {
 		return ErrClosed
 	}
-	return b.flushLocked()
+	return b.flush()
 }
 
-// flushLocked sends the buffer; called with b.mu held. The buffer is
-// cleared even on error — the batch was handed to the sink, and a
-// resilient sink owns retries from there.
-func (b *Batcher) flushLocked() error {
+// flush detaches the pending buffer under b.mu and delivers it with
+// the lock released, so one slow delivery (a remote round trip, a
+// resilient-sink retry) never blocks concurrent Ingest/Pending
+// callers; sendMu keeps batches leaving in arrival order. The buffer
+// is detached even if delivery fails — the batch was handed to the
+// sink, and a resilient sink owns retries from there.
+func (b *Batcher) flush() error {
+	b.sendMu.Lock()
+	defer b.sendMu.Unlock()
+	b.mu.Lock()
 	if len(b.buf) == 0 {
+		b.mu.Unlock()
 		return nil
 	}
 	batch := b.buf
 	b.buf = make([]model.Reading, 0, b.max)
+	b.mu.Unlock()
 	mBatchFlushes.Inc()
 	mBatchRows.Observe(float64(len(batch)))
 	return b.sink.IngestBatch(batch)
@@ -100,11 +112,11 @@ func (b *Batcher) Pending() int {
 // Close flushes what is pending and rejects further readings.
 func (b *Batcher) Close() error {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if b.closed {
+		b.mu.Unlock()
 		return nil
 	}
-	err := b.flushLocked()
 	b.closed = true
-	return err
+	b.mu.Unlock()
+	return b.flush()
 }

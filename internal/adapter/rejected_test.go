@@ -1,0 +1,210 @@
+package adapter
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"middlewhere/internal/model"
+	"middlewhere/internal/spatialdb"
+)
+
+// validatingSink mimics core.Service's batch-ingest contract: readings
+// from unknown sensors are rejected via *spatialdb.RejectedError while
+// the rest of the batch is stored. Registering the sensor later makes
+// its readings acceptable — the startup-ordering case the resilient
+// sink exists to absorb.
+type validatingSink struct {
+	mu    sync.Mutex
+	known map[string]bool
+	got   []model.Reading
+	calls int
+}
+
+func newValidatingSink(sensors ...string) *validatingSink {
+	v := &validatingSink{known: make(map[string]bool)}
+	for _, s := range sensors {
+		v.known[s] = true
+	}
+	return v
+}
+
+func (v *validatingSink) IngestBatch(rs []model.Reading) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.calls++
+	var rej spatialdb.RejectedError
+	for i, r := range rs {
+		if !v.known[r.SensorID] {
+			rej.Indices = append(rej.Indices, i)
+			rej.Errs = append(rej.Errs, fmt.Errorf("%w: %s", spatialdb.ErrUnknownSensor, r.SensorID))
+			continue
+		}
+		v.got = append(v.got, r)
+	}
+	if len(rej.Indices) > 0 {
+		return &rej
+	}
+	return nil
+}
+
+func (v *validatingSink) Ingest(r model.Reading) error {
+	return v.IngestBatch([]model.Reading{r})
+}
+
+func (v *validatingSink) register(sensor string) {
+	v.mu.Lock()
+	v.known[sensor] = true
+	v.mu.Unlock()
+}
+
+func (v *validatingSink) received() []model.Reading {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return append([]model.Reading(nil), v.got...)
+}
+
+func sensorReading(sensor, obj string, i int) model.Reading {
+	return model.Reading{
+		SensorID:  sensor,
+		MObjectID: obj,
+		Time:      time.Date(2026, 7, 5, 12, 0, 0, i, time.UTC),
+	}
+}
+
+// TestResilientSinkRejectedBatchNoDuplicates is the regression test
+// for the drain livelock: a chunk with one persistently-invalid
+// reading must not be retried whole (duplicating the stored rows) and
+// must not wedge the buffer. Once the sensor registers, the held-back
+// reading drains too.
+func TestResilientSinkRejectedBatchNoDuplicates(t *testing.T) {
+	sink := newValidatingSink("good")
+	rs := NewResilientSink(sink, ResilientOptions{RetryInterval: time.Millisecond})
+	defer rs.Close()
+
+	// The unknown-sensor reading goes first so the valid ones queue
+	// behind it and travel with it in one drain chunk.
+	if err := rs.Ingest(sensorReading("late", "eve", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Ingest(sensorReading("good", "bob", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Ingest(sensorReading("good", "alice", 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the drain attempt the chunk several times.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(sink.received()) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("valid readings never delivered; stats %+v", rs.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond) // several retry intervals
+	got := sink.received()
+	if len(got) != 2 {
+		t.Fatalf("delivered %d readings, want exactly 2 (no duplicates): %v", len(got), got)
+	}
+	st := rs.Stats()
+	if st.Pending != 1 {
+		t.Fatalf("pending = %d, want 1 (the rejected reading held for retry); stats %+v", st.Pending, st)
+	}
+	if st.Forwarded != 2 {
+		t.Fatalf("forwarded = %d, want 2; stats %+v", st.Forwarded, st)
+	}
+	if st.Rejected == 0 {
+		t.Fatalf("rejected = 0, want > 0; stats %+v", st)
+	}
+
+	// The self-healing path: registration lands, the reading drains.
+	sink.register("late")
+	if !rs.Flush(2 * time.Second) {
+		t.Fatalf("buffer did not drain after the sensor registered; stats %+v", rs.Stats())
+	}
+	if got := sink.received(); len(got) != 3 {
+		t.Fatalf("delivered %d readings after registration, want 3", len(got))
+	}
+}
+
+// TestResilientSinkBatchFastPathPartialReject covers the synchronous
+// IngestBatch fast path: the stored part of the batch must not be
+// re-buffered, only the rejects are held for retry.
+func TestResilientSinkBatchFastPathPartialReject(t *testing.T) {
+	sink := newValidatingSink("good")
+	rs := NewResilientSink(sink, ResilientOptions{RetryInterval: time.Millisecond})
+	defer rs.Close()
+
+	batch := []model.Reading{
+		sensorReading("good", "bob", 0),
+		sensorReading("late", "eve", 1),
+		sensorReading("good", "alice", 2),
+	}
+	if err := rs.IngestBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	st := rs.Stats()
+	if st.Forwarded != 2 {
+		t.Fatalf("forwarded = %d, want 2; stats %+v", st.Forwarded, st)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if got := sink.received(); len(got) != 2 {
+		t.Fatalf("delivered %d readings, want exactly 2 (stored rows must not be re-sent)", len(got))
+	}
+	sink.register("late")
+	if !rs.Flush(2 * time.Second) {
+		t.Fatalf("rejected reading never drained; stats %+v", rs.Stats())
+	}
+	if got := sink.received(); len(got) != 3 {
+		t.Fatalf("delivered %d readings after registration, want 3", len(got))
+	}
+}
+
+// blockingBatchSink parks IngestBatch until released, to prove the
+// batcher delivers outside its buffer lock.
+type blockingBatchSink struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (s *blockingBatchSink) IngestBatch(rs []model.Reading) error {
+	select {
+	case s.entered <- struct{}{}:
+	default:
+	}
+	<-s.release
+	return nil
+}
+
+// TestBatcherIngestNotBlockedBySlowDelivery: while one flush is stuck
+// in the sink, concurrent Ingest and Pending calls must still return.
+func TestBatcherIngestNotBlockedBySlowDelivery(t *testing.T) {
+	sink := &blockingBatchSink{
+		entered: make(chan struct{}, 4),
+		release: make(chan struct{}),
+	}
+	b := NewBatcher(sink, 2)
+	go func() {
+		_ = b.Ingest(batchReading("bob", 0))
+		_ = b.Ingest(batchReading("bob", 1)) // fills the buffer, flush blocks
+	}()
+	select {
+	case <-sink.entered:
+	case <-time.After(2 * time.Second):
+		t.Fatal("flush never reached the sink")
+	}
+	done := make(chan struct{})
+	go func() {
+		_ = b.Ingest(batchReading("bob", 2))
+		_ = b.Pending()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Ingest/Pending blocked behind a slow delivery")
+	}
+	close(sink.release)
+}

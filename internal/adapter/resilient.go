@@ -7,12 +7,14 @@
 package adapter
 
 import (
+	"errors"
 	"sync"
 	"time"
 
 	"middlewhere/internal/core"
 	"middlewhere/internal/model"
 	"middlewhere/internal/obs"
+	"middlewhere/internal/spatialdb"
 )
 
 // ResilientSink metrics, cached once; Pending is reported as a gauge
@@ -21,9 +23,24 @@ var (
 	mResForwarded    = obs.Default().Counter("resilient_forwarded_total")
 	mResBuffered     = obs.Default().Counter("resilient_buffered_total")
 	mResDropped      = obs.Default().Counter("resilient_dropped_total")
+	mResRejected     = obs.Default().Counter("resilient_rejected_total")
 	mResBreakerOpens = obs.Default().Counter("resilient_breaker_opens_total")
 	mResPending      = obs.Default().Gauge("resilient_pending")
 )
+
+// rejectedIn extracts the sink's per-reading validation report from a
+// delivery error, or nil when the failure is transport-class. The
+// distinction drives retry policy: a validation rejection means the
+// sink stored everything else in the batch, so re-delivering the whole
+// batch would duplicate stored rows; a transport error means nothing
+// landed and the batch is safe to retry whole.
+func rejectedIn(err error) *spatialdb.RejectedError {
+	var rej *spatialdb.RejectedError
+	if errors.As(err, &rej) {
+		return rej
+	}
+	return nil
+}
 
 // DropPolicy says which reading to discard when the buffer is full.
 type DropPolicy int
@@ -82,6 +99,10 @@ type ResilientStats struct {
 	// Forwarded reached the sink; Buffered entered the buffer at least
 	// once; Dropped were discarded by the overflow policy.
 	Forwarded, Buffered, Dropped uint64
+	// Rejected counts per-reading validation rejections reported by the
+	// sink. Rejected readings stay buffered for a paced retry, so one
+	// persistently invalid reading increments this once per attempt.
+	Rejected uint64
 	// BreakerOpens counts closed→open transitions.
 	BreakerOpens int
 	// Pending is the current buffer depth.
@@ -141,7 +162,8 @@ func (r *ResilientSink) Ingest(reading model.Reading) error {
 	}
 	if len(r.buf) == 0 && !r.breakerOpen() {
 		r.mu.Unlock()
-		if err := r.sink.Ingest(reading); err == nil {
+		err := r.sink.Ingest(reading)
+		if err == nil {
 			r.mu.Lock()
 			r.noteSuccess()
 			r.stats.Forwarded++
@@ -154,7 +176,17 @@ func (r *ResilientSink) Ingest(reading model.Reading) error {
 			r.mu.Unlock()
 			return ErrClosed
 		}
-		r.noteFailure()
+		if rejectedIn(err) == nil {
+			r.noteFailure()
+		} else {
+			// Validation rejection: the transport worked, so the breaker
+			// stays closed; the reading buffers for a paced retry (an
+			// unknown sensor during startup ordering heals once the
+			// registration lands).
+			r.noteSuccess()
+			r.stats.Rejected++
+			mResRejected.Inc()
+		}
 	}
 	r.enqueue(reading)
 	r.mu.Unlock()
@@ -204,10 +236,16 @@ func (r *ResilientSink) noteSuccess() {
 
 // drain delivers buffered readings in order, probing a quarantined
 // sink after each cooldown. A batch-capable sink receives chunks of up
-// to batchDrainMax readings in one call; others get one at a time. A
-// batch whose delivery fails is retried whole — with a remote sink
+// to batchDrainMax readings in one call; others get one at a time.
+//
+// Retry policy is error-class dependent. A transport failure means
+// nothing landed, so the chunk is retried whole — with a remote sink
 // that is the same at-least-once contract single readings already
-// have.
+// have. A validation rejection (*spatialdb.RejectedError) means the
+// sink stored everything except the rejected readings: the chunk is
+// popped (retrying it whole would duplicate the stored rows and wedge
+// the buffer behind a persistently invalid reading) and only the
+// rejects re-enter the buffer for a paced retry.
 func (r *ResilientSink) drain() {
 	defer close(r.done)
 	bs, batching := r.sink.(BatchSink)
@@ -245,6 +283,17 @@ func (r *ResilientSink) drain() {
 		}
 		r.mu.Lock()
 		if err != nil {
+			if rej := rejectedIn(err); rej != nil {
+				requeued := r.settleRejected(chunk, drops0, rej)
+				if requeued {
+					// Pace the rejects' retry so a reading that stays
+					// invalid (sensor not registered yet) doesn't spin.
+					r.mu.Unlock()
+					r.sleep(r.opts.RetryInterval)
+					r.mu.Lock()
+				}
+				continue
+			}
 			r.noteFailure()
 			if !r.breakerOpen() {
 				r.mu.Unlock()
@@ -254,20 +303,65 @@ func (r *ResilientSink) drain() {
 			continue
 		}
 		r.noteSuccess()
-		r.stats.Forwarded += uint64(len(chunk))
-		mResForwarded.Add(uint64(len(chunk)))
 		// Overflow may have dropped some of the chunk's readings from
 		// the buffer front while unlocked; only the remainder is still
-		// there to pop.
+		// there to pop, and only that remainder is credited as
+		// forwarded (the evicted ones were already counted dropped).
 		pop := len(chunk) - int(r.frontDrops-drops0)
 		if pop > len(r.buf) {
 			pop = len(r.buf)
 		}
 		if pop > 0 {
 			r.buf = r.buf[pop:]
+			r.stats.Forwarded += uint64(pop)
+			mResForwarded.Add(uint64(pop))
 		}
 		mResPending.Set(float64(len(r.buf)))
 	}
+}
+
+// settleRejected resolves a drain delivery that the sink rejected for
+// part of the chunk: everything else was stored, so the stored
+// readings pop as forwarded and only the rejected ones return to the
+// buffer front (order preserved) for a paced retry — the self-healing
+// the single-reading path always had for a sensor that registers after
+// its first readings arrive. Rejects the overflow policy already
+// evicted while the lock was released stay dropped. Called with r.mu
+// held; reports whether any reading was re-buffered.
+func (r *ResilientSink) settleRejected(chunk []model.Reading, drops0 uint64, rej *spatialdb.RejectedError) bool {
+	r.noteSuccess() // the breaker tracks transport health, not data validity
+	r.stats.Rejected += uint64(len(rej.Indices))
+	mResRejected.Add(uint64(len(rej.Indices)))
+	d := int(r.frontDrops - drops0)
+	pop := len(chunk) - d
+	if pop > len(r.buf) {
+		pop = len(r.buf)
+	}
+	if pop <= 0 {
+		// The whole chunk was evicted (or Close dropped the buffer)
+		// while the delivery was in flight; nothing left to settle.
+		return false
+	}
+	requeue := make([]model.Reading, 0, len(rej.Indices))
+	for _, idx := range rej.Indices {
+		if idx >= d && idx-d < pop {
+			requeue = append(requeue, chunk[idx])
+		}
+	}
+	stored := pop - len(requeue)
+	rest := r.buf[pop:]
+	if len(requeue) > 0 {
+		buf := make([]model.Reading, 0, len(requeue)+len(rest))
+		r.buf = append(append(buf, requeue...), rest...)
+	} else {
+		r.buf = rest
+	}
+	if stored > 0 {
+		r.stats.Forwarded += uint64(stored)
+		mResForwarded.Add(uint64(stored))
+	}
+	mResPending.Set(float64(len(r.buf)))
+	return len(requeue) > 0
 }
 
 // IngestBatch implements BatchSink: a whole batch enters the pipeline
@@ -285,7 +379,8 @@ func (r *ResilientSink) IngestBatch(rs []model.Reading) error {
 	}
 	if bs, ok := r.sink.(BatchSink); ok && len(r.buf) == 0 && !r.breakerOpen() {
 		r.mu.Unlock()
-		if err := bs.IngestBatch(rs); err == nil {
+		err := bs.IngestBatch(rs)
+		if err == nil {
 			r.mu.Lock()
 			r.noteSuccess()
 			r.stats.Forwarded += uint64(len(rs))
@@ -297,6 +392,26 @@ func (r *ResilientSink) IngestBatch(rs []model.Reading) error {
 		if r.closed {
 			r.mu.Unlock()
 			return ErrClosed
+		}
+		if rej := rejectedIn(err); rej != nil {
+			// The sink stored everything except the rejects; buffering
+			// the whole batch again would duplicate the stored rows, so
+			// only the rejected readings enter the buffer for a paced
+			// retry by the drain.
+			r.noteSuccess()
+			r.stats.Rejected += uint64(len(rej.Indices))
+			mResRejected.Add(uint64(len(rej.Indices)))
+			stored := len(rs)
+			for _, idx := range rej.Indices {
+				if idx >= 0 && idx < len(rs) {
+					stored--
+					r.enqueue(rs[idx])
+				}
+			}
+			r.stats.Forwarded += uint64(stored)
+			r.mu.Unlock()
+			mResForwarded.Add(uint64(stored))
+			return nil
 		}
 		r.noteFailure()
 	}

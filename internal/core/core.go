@@ -381,7 +381,9 @@ var (
 // amortizing lock acquisition across the batch and fanning the
 // resulting trigger evaluations out per object on the worker pool.
 // Readings that fail validation are skipped and reported in the
-// returned (joined) error; the rest are stored.
+// returned *spatialdb.RejectedError (indices are positions in rs); the
+// rest are stored, so callers must not re-submit the whole slice on
+// that error.
 func (s *Service) IngestBatch(rs []model.Reading) error {
 	if len(rs) == 0 {
 		return nil

@@ -30,6 +30,13 @@ type workerPool struct {
 	tasks chan func()
 	stop  chan struct{}
 	done  sync.WaitGroup
+
+	// closeMu orders submission against close: a task queued while the
+	// read lock is held is in the channel before close() fires the
+	// workers' stop-drain, so no accepted task can be orphaned in the
+	// buffered queue (which would block fanOut's WaitGroup forever).
+	closeMu sync.RWMutex
+	closed  bool
 }
 
 func newWorkerPool(size int) *workerPool {
@@ -69,13 +76,37 @@ func (p *workerPool) worker() {
 }
 
 func (p *workerPool) close() {
+	p.closeMu.Lock()
+	p.closed = true
+	p.closeMu.Unlock()
 	close(p.stop)
 	p.done.Wait()
 }
 
+// trySubmit queues a task on the pool, reporting false when the queue
+// is full or the pool is closed (the caller then runs the task
+// inline). Holding the read lock across the send guarantees any
+// accepted task precedes close(), so the workers' stop-drain runs it.
+func (p *workerPool) trySubmit(task func()) bool {
+	p.closeMu.RLock()
+	defer p.closeMu.RUnlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.tasks <- task:
+		mPoolTasks.Inc()
+		mPoolDepth.Set(float64(len(p.tasks)))
+		return true
+	default:
+		return false
+	}
+}
+
 // fanOut runs fn(0)..fn(n-1) across the pool and returns once all
 // calls have finished. Tasks that cannot be queued immediately run on
-// the caller, so fanOut makes progress even with a saturated pool.
+// the caller, so fanOut makes progress even with a saturated (or
+// closed) pool.
 func (p *workerPool) fanOut(n int, fn func(int)) {
 	var wg sync.WaitGroup
 	wg.Add(n)
@@ -85,11 +116,7 @@ func (p *workerPool) fanOut(n int, fn func(int)) {
 			defer wg.Done()
 			fn(i)
 		}
-		select {
-		case p.tasks <- task:
-			mPoolTasks.Inc()
-			mPoolDepth.Set(float64(len(p.tasks)))
-		default:
+		if !p.trySubmit(task) {
 			mPoolInline.Inc()
 			task()
 		}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWorkerPoolFanOutDuringClose is the regression test for the
+// orphaned-task hang: a task that slipped into the buffered queue
+// after the workers' stop-drain would leave fanOut's WaitGroup
+// blocked forever. With submission ordered against close, every
+// accepted task runs and fanOut always returns.
+func TestWorkerPoolFanOutDuringClose(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		p := newWorkerPool(4)
+		var ran atomic.Int64
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				p.fanOut(8, func(int) { ran.Add(1) })
+			}()
+		}
+		close(start)
+		p.close()
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("round %d: fanOut deadlocked against close", round)
+		}
+		if got := ran.Load(); got != 4*8 {
+			t.Fatalf("round %d: ran %d tasks, want %d", round, got, 4*8)
+		}
+	}
+}
+
+// TestWorkerPoolFanOutAfterClose: submissions on a closed pool run
+// inline and still complete every task.
+func TestWorkerPoolFanOutAfterClose(t *testing.T) {
+	p := newWorkerPool(2)
+	p.close()
+	var ran atomic.Int64
+	p.fanOut(16, func(int) { ran.Add(1) })
+	if got := ran.Load(); got != 16 {
+		t.Fatalf("ran %d tasks after close, want 16", got)
+	}
+}

@@ -1,11 +1,13 @@
 package remote
 
 import (
+	"errors"
 	"testing"
 	"time"
 
 	"middlewhere/internal/glob"
 	"middlewhere/internal/model"
+	"middlewhere/internal/spatialdb"
 )
 
 // TestRemoteIngestBatch sends a batch through the wire and checks the
@@ -53,5 +55,38 @@ func TestRemoteIngestBatchBadReading(t *testing.T) {
 		Location: glob.MustParse("CS/Floor3/(370,15)"), Time: t0}}
 	if err := c.IngestBatch(rs); err == nil {
 		t.Error("unknown sensor in batch should error")
+	}
+}
+
+// TestRemoteIngestBatchPartialReject: a frame with one bad reading
+// must not fail wholesale — the valid readings are stored exactly
+// once, and the client reports the rejects as a *spatialdb.RejectedError
+// carrying frame indices (so a resilient sink retries only those).
+func TestRemoteIngestBatchPartialReject(t *testing.T) {
+	c, svc := startStack(t)
+	spec := model.UbisenseSpec(0.95)
+	spec.TTL = time.Minute
+	if err := c.RegisterSensor("ubi-p", spec); err != nil {
+		t.Fatal(err)
+	}
+	rs := []model.Reading{
+		{SensorID: "ubi-p", MObjectID: "alice",
+			Location: glob.MustParse("CS/Floor3/(370,15)"), Time: t0},
+		{SensorID: "nope", MObjectID: "bob",
+			Location: glob.MustParse("CS/Floor3/(340,15)"), Time: t0},
+	}
+	err := c.IngestBatch(rs)
+	var rej *spatialdb.RejectedError
+	if !errors.As(err, &rej) {
+		t.Fatalf("batch error = %v, want *spatialdb.RejectedError", err)
+	}
+	if len(rej.Indices) != 1 || rej.Indices[0] != 1 {
+		t.Errorf("rejected indices = %v, want [1]", rej.Indices)
+	}
+	if got := svc.Health().Ingested; got != 1 {
+		t.Errorf("server ingested = %d, want 1 (the valid reading only)", got)
+	}
+	if _, err := c.Locate("alice"); err != nil {
+		t.Errorf("valid reading of a partially rejected frame not stored: %v", err)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"middlewhere/internal/model"
 	"middlewhere/internal/mwrpc"
 	"middlewhere/internal/obs"
+	"middlewhere/internal/spatialdb"
 )
 
 // ConnState is the client's connection lifecycle state.
@@ -565,6 +566,12 @@ func (c *LocationClient) Ingest(r model.Reading) error {
 // acknowledgement was lost may be stored twice, which the spatial
 // database tolerates. One trace ID covers the whole frame; the server
 // stamps it on every reading.
+//
+// Readings the server rejected (bad decode, unknown sensor) are
+// reported as a *spatialdb.RejectedError carrying frame indices; the
+// rest of the batch was stored, so callers must not re-send the whole
+// slice on that error — a resilient sink retries only the rejected
+// indices.
 func (c *LocationClient) IngestBatch(rs []model.Reading) error {
 	if len(rs) == 0 {
 		return nil
@@ -581,12 +588,26 @@ func (c *LocationClient) IngestBatch(rs []model.Reading) error {
 	var reply IngestBatchReply
 	err := c.callTraced("mw.ingestBatch", args, &reply, trace)
 	if err == nil {
-		c.mIngests.Add(uint64(len(rs)))
+		c.mIngests.Add(uint64(reply.Accepted))
 		c.mBatches.Inc()
 		c.mIngestRTT.Observe(float64(time.Since(start).Microseconds()))
 	}
 	obs.SpanSince(trace, "rpc_ingest", start)
-	return err
+	if err != nil {
+		return err
+	}
+	if len(reply.Rejected) > 0 {
+		rej := &spatialdb.RejectedError{
+			Indices: make([]int, 0, len(reply.Rejected)),
+			Errs:    make([]error, 0, len(reply.Rejected)),
+		}
+		for _, rd := range reply.Rejected {
+			rej.Indices = append(rej.Indices, rd.Index)
+			rej.Errs = append(rej.Errs, errors.New(rd.Error))
+		}
+		return rej
+	}
+	return nil
 }
 
 // Metrics returns the client's metric registry (reconnect rounds,

@@ -71,6 +71,19 @@ type IngestBatchArgs struct {
 type IngestBatchReply struct {
 	// Accepted is how many readings of the batch were stored.
 	Accepted int `json:"accepted"`
+	// Rejected lists the readings that failed decoding or validation,
+	// by frame index; they were not stored. The frame itself succeeds
+	// so an at-least-once client never re-sends the accepted readings.
+	Rejected []RejectedReadingDTO `json:"rejected,omitempty"`
+}
+
+// RejectedReadingDTO reports one reading of a batched ingest frame
+// that the server rejected.
+type RejectedReadingDTO struct {
+	// Index is the reading's position in the submitted frame.
+	Index int `json:"index"`
+	// Error says why it was rejected.
+	Error string `json:"error"`
 }
 
 // TDFDTO encodes a temporal degradation function.

@@ -2,8 +2,10 @@ package remote
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -14,6 +16,7 @@ import (
 	"middlewhere/internal/mwql"
 	"middlewhere/internal/mwrpc"
 	"middlewhere/internal/obs"
+	"middlewhere/internal/spatialdb"
 	"middlewhere/internal/topo"
 )
 
@@ -166,9 +169,14 @@ func (s *Server) handleIngest(_ *mwrpc.ServerConn, params json.RawMessage, trace
 
 // handleIngestBatch decodes a batched ingest frame and stores the
 // whole slice in one database pass. The frame's trace ID is stamped on
-// every reading so each one's pipeline stays attributable. Readings
-// that fail validation are skipped server-side; the reply reports how
-// many were accepted and the error summarizes the rest.
+// every reading so each one's pipeline stays attributable.
+//
+// A reading that fails to decode or validate never fails the frame:
+// the valid readings are already stored by the time a per-reading
+// failure is known, so a frame-level error would make an at-least-once
+// client re-send (and re-store) them forever. The reply instead
+// carries the accepted count plus a per-reading rejection list, which
+// the client surfaces as a *spatialdb.RejectedError.
 func (s *Server) handleIngestBatch(_ *mwrpc.ServerConn, params json.RawMessage, trace string) (interface{}, error) {
 	start := time.Now()
 	var a IngestBatchArgs
@@ -176,19 +184,37 @@ func (s *Server) handleIngestBatch(_ *mwrpc.ServerConn, params json.RawMessage, 
 		return nil, err
 	}
 	rs := make([]model.Reading, 0, len(a.Readings))
-	for _, d := range a.Readings {
+	frameIdx := make([]int, 0, len(a.Readings))
+	var rejected []RejectedReadingDTO
+	for i, d := range a.Readings {
 		r, err := d.toReading()
 		if err != nil {
-			return nil, err
+			rejected = append(rejected, RejectedReadingDTO{Index: i, Error: err.Error()})
+			continue
 		}
 		r.Trace = trace
 		rs = append(rs, r)
+		frameIdx = append(frameIdx, i)
 	}
 	obs.SpanSince(trace, "ingest", start)
 	if err := s.svc.IngestBatch(rs); err != nil {
-		return nil, err
+		var rej *spatialdb.RejectedError
+		if !errors.As(err, &rej) {
+			return nil, err
+		}
+		for k, idx := range rej.Indices {
+			if idx < 0 || idx >= len(frameIdx) {
+				continue
+			}
+			msg := ""
+			if k < len(rej.Errs) {
+				msg = rej.Errs[k].Error()
+			}
+			rejected = append(rejected, RejectedReadingDTO{Index: frameIdx[idx], Error: msg})
+		}
 	}
-	return IngestBatchReply{Accepted: len(rs)}, nil
+	sort.Slice(rejected, func(i, j int) bool { return rejected[i].Index < rejected[j].Index })
+	return IngestBatchReply{Accepted: len(a.Readings) - len(rejected), Rejected: rejected}, nil
 }
 
 type registerSensorArgs struct {

@@ -544,6 +544,30 @@ type TriggerFiring struct {
 // it).
 type FiringDispatcher func([]TriggerFiring)
 
+// RejectedError reports the readings of an insert that failed
+// validation (unknown sensor, missing mobject id, unresolvable
+// location). It covers only the rejected readings: the rest of the
+// batch was stored, so re-submitting the whole batch would duplicate
+// the stored rows. Callers that retry (the resilient adapter sink, a
+// remote client) must retry only the listed indices.
+type RejectedError struct {
+	// Indices are the rejected readings' positions in the submitted
+	// slice, ascending.
+	Indices []int
+	// Errs holds the per-reading failures, parallel to Indices.
+	Errs []error
+}
+
+func (e *RejectedError) Error() string {
+	if len(e.Errs) == 1 {
+		return e.Errs[0].Error()
+	}
+	return fmt.Sprintf("spatialdb: %d readings rejected: %v", len(e.Errs), errors.Join(e.Errs...))
+}
+
+// Unwrap exposes the per-reading failures to errors.Is / errors.As.
+func (e *RejectedError) Unwrap() []error { return e.Errs }
+
 // InsertReading stores a sensor reading (resolving its location to a
 // universe-frame MBR if the adapter has not already) and fires any
 // matching triggers synchronously. The sensor must be registered.
@@ -555,8 +579,10 @@ func (db *DB) InsertReading(r model.Reading) error {
 // InsertReadings stores a slice of readings with one lock acquisition
 // per table instead of one per reading, amortizing the hot-path cost
 // for batched adapters. Readings that fail validation are skipped;
-// the rest are stored. It returns the number stored and the joined
-// errors of the skipped ones.
+// the rest are stored. It returns the number stored and, when any
+// reading was skipped, a *RejectedError naming the skipped indices —
+// never retry the whole batch on that error, the other rows are
+// already in the table.
 //
 // Trigger firings for the whole batch are collected and then run via
 // dispatch; a nil dispatch runs them serially in insertion order,
@@ -573,17 +599,20 @@ func (db *DB) InsertReadings(rs []model.Reading, dispatch FiringDispatcher) (int
 	// object read locks (lock order: sensorMu → objMu).
 	prepared := make([]model.Reading, 0, len(rs))
 	var errs []error
+	var rejected []int
 	db.sensorMu.RLock()
 	db.objMu.RLock()
-	for _, r := range rs {
+	for i, r := range rs {
 		if r.MObjectID == "" {
 			mInsertErrors.Inc()
+			rejected = append(rejected, i)
 			errs = append(errs, fmt.Errorf("spatialdb: reading without mobject id"))
 			continue
 		}
 		spec, ok := db.sensors[r.SensorID]
 		if !ok {
 			mInsertErrors.Inc()
+			rejected = append(rejected, i)
 			errs = append(errs, fmt.Errorf("%w: %s", ErrUnknownSensor, r.SensorID))
 			continue
 		}
@@ -594,6 +623,7 @@ func (db *DB) InsertReadings(rs []model.Reading, dispatch FiringDispatcher) (int
 			rect, err := db.resolveReadingLocked(r, spec)
 			if err != nil {
 				mInsertErrors.Inc()
+				rejected = append(rejected, i)
 				errs = append(errs, fmt.Errorf("insert reading from %s: %w", r.SensorID, err))
 				continue
 			}
@@ -690,10 +720,10 @@ func (db *DB) InsertReadings(rs []model.Reading, dispatch FiringDispatcher) (int
 			h(prepared[i])
 		}
 	}
-	if len(errs) == 1 {
-		return len(prepared), errs[0]
+	if len(errs) > 0 {
+		return len(prepared), &RejectedError{Indices: rejected, Errs: errs}
 	}
-	return len(prepared), errors.Join(errs...)
+	return len(prepared), nil
 }
 
 // ReadingEpoch returns the object's reading-table epoch — a counter
