@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-compare vet fmt fmt-write chaos obs stats-demo check
+.PHONY: build test race shard-stress bench bench-compare vet fmt fmt-write chaos obs stats-demo check
 
 build:
 	$(GO) build ./...
@@ -14,18 +14,30 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Sharding/snapshot stress suite: the per-floor shard routing, floor
+# migration, snapshot-isolation, and serial-vs-parallel determinism
+# tests under the race detector, twice, so interleavings differ between
+# runs. Kept separate from `race` so CI can re-run just these when the
+# spatial database changes.
+shard-stress:
+	$(GO) test -race -count=2 -run 'TestShard|TestSnapshot|TestFloorMigration|TestCrossShard' ./internal/spatialdb/
+	$(GO) test -race -count=2 -run 'TestObjectsInRegionSerialParallelIdentical' ./internal/core/
+
 # One iteration per benchmark: a smoke run that keeps bench_test.go and
 # internal/bench compiling and executable without burning CI minutes.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
 # Regression gate for the hot paths: re-runs the benchmarks recorded in
-# BENCH_1.json and fails when any is >30% slower than its recorded
-# ns/op (fastest of 3 runs, to filter scheduler noise). Re-record after
-# an intentional change with:
+# BENCH_1.json (PR-4 query/ingest paths) and BENCH_2.json (PR-5
+# multi-floor sharding paths) and fails when any is >30% slower than
+# its recorded ns/op (fastest of 3 runs, to filter scheduler noise).
+# Re-record after an intentional change with:
 #   go run ./cmd/benchcompare -ref BENCH_1.json -update
+#   go run ./cmd/benchcompare -ref BENCH_2.json -update
 bench-compare:
 	$(GO) run ./cmd/benchcompare -ref BENCH_1.json -tolerance 0.30
+	$(GO) run ./cmd/benchcompare -ref BENCH_2.json -tolerance 0.30
 
 vet:
 	$(GO) vet ./...
@@ -69,4 +81,4 @@ fmt:
 fmt-write:
 	gofmt -l -w .
 
-check: build vet fmt test race bench bench-compare chaos obs
+check: build vet fmt test race shard-stress bench bench-compare chaos obs

@@ -20,6 +20,7 @@ package middlewhere_test
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -409,6 +410,167 @@ func BenchmarkIngestBatch(b *testing.B) {
 			b.ReportMetric(float64(size), "readings/op")
 		})
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Multi-floor sharding: concurrent per-floor ingest and cross-shard
+// region queries (EXPERIMENTS.md §PERF, BENCH_2.json)
+
+// benchMultiFloorService builds a MultiStorey building and registers
+// one sensor per floor (floors are named M/F0, M/F1, ... — the spatial
+// database's shard keys).
+func benchMultiFloorService(b *testing.B, floors int, opts ...middlewhere.ServiceOption) *middlewhere.Service {
+	b.Helper()
+	bld := middlewhere.MultiStoreyBuilding("M", floors, 4, 6, 12, 10, 5)
+	now := time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)
+	opts = append([]middlewhere.ServiceOption{middlewhere.WithClock(func() time.Time { return now })}, opts...)
+	svc, err := middlewhere.New(bld, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(svc.Close)
+	for f := 0; f < floors; f++ {
+		spec := middlewhere.UbisenseSpec(0.9)
+		spec.TTL = time.Hour
+		if err := svc.RegisterSensor(fmt.Sprintf("f%d", f), spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return svc
+}
+
+// multiFloorBatch builds one 64-reading batch for the given floor:
+// eight mobile objects walking that floor, locations in the floor's
+// local frame.
+func multiFloorBatch(floor int) []middlewhere.Reading {
+	glob := middlewhere.MustParseGLOB(fmt.Sprintf("M/F%d", floor))
+	now := time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)
+	batch := make([]middlewhere.Reading, 64)
+	for j := range batch {
+		batch[j] = middlewhere.Reading{
+			SensorID:  fmt.Sprintf("f%d", floor),
+			MObjectID: fmt.Sprintf("f%d-m%d", floor, j%8),
+			Location:  middlewhere.CoordPointGLOB(glob, middlewhere.Pt(float64(j%60)+5, float64(j%50)+5)),
+			Time:      now,
+		}
+	}
+	return batch
+}
+
+// BenchmarkMultiFloorIngestBatch measures one 64-reading batch landing
+// on each of `floors` floors concurrently: each op is one batch per
+// floor, all in flight at once. With a single reading-table lock the
+// per-op cost grows linearly with the floor count (every batch funnels
+// through the same mutex); with per-floor shards independent floors
+// stop contending.
+func BenchmarkMultiFloorIngestBatch(b *testing.B) {
+	for _, floors := range []int{1, 4} {
+		b.Run(fmt.Sprintf("floors-%d", floors), func(b *testing.B) {
+			svc := benchMultiFloorService(b, floors)
+			batches := make([][]middlewhere.Reading, floors)
+			for f := range batches {
+				batches[f] = multiFloorBatch(f)
+			}
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for f := 0; f < floors; f++ {
+				wg.Add(1)
+				go func(f int) {
+					defer wg.Done()
+					for i := 0; i < b.N; i++ {
+						if err := svc.IngestBatch(batches[f]); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(f)
+			}
+			wg.Wait()
+			b.ReportMetric(float64(floors*64), "readings/op")
+		})
+	}
+}
+
+// BenchmarkObjectsInRegionMultiFloor queries one room while 4 floors
+// hold 64 mobile objects each (256 total): the cross-shard fan-out
+// path. Serial and parallel variants must return identical results
+// (asserted by TestObjectsInRegionSerialParallelIdentical).
+func BenchmarkObjectsInRegionMultiFloor(b *testing.B) {
+	const floors = 4
+	for _, mode := range []struct {
+		name string
+		par  int
+	}{{"serial", 1}, {"parallel", 4}} {
+		b.Run(mode.name, func(b *testing.B) {
+			svc := benchMultiFloorService(b, floors, middlewhere.WithParallelism(mode.par))
+			for f := 0; f < floors; f++ {
+				floor := middlewhere.MustParseGLOB(fmt.Sprintf("M/F%d", f))
+				now := time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)
+				rs := make([]middlewhere.Reading, 64)
+				for j := range rs {
+					rs[j] = middlewhere.Reading{
+						SensorID:  fmt.Sprintf("f%d", f),
+						MObjectID: fmt.Sprintf("f%d-p%d", f, j),
+						Location:  middlewhere.CoordPointGLOB(floor, middlewhere.Pt(float64(j%60)+5, float64(j/12%50)+5)),
+						Time:      now,
+					}
+				}
+				if err := svc.IngestBatch(rs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			region := middlewhere.MustParseGLOB("M/F2/r1c2")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := svc.ObjectsInRegion(region, 0.3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReadDuringRemoteFloorIngest measures reading-table query
+// latency on floor 1 while floor 0 absorbs a continuous batch-ingest
+// storm. This is the contention-isolation effect of per-floor shard
+// locks, and it is visible even on a single CPU: with one global
+// reading lock every query queues behind the in-flight batch's whole
+// store phase, while with per-floor locks a query on an idle floor
+// acquires its own lock immediately.
+func BenchmarkReadDuringRemoteFloorIngest(b *testing.B) {
+	svc := benchMultiFloorService(b, 2)
+	now := time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)
+	// Seed the probe object on floor 1, then storm floor 0.
+	if err := svc.IngestBatch(multiFloorBatch(1)); err != nil {
+		b.Fatal(err)
+	}
+	storm := multiFloorBatch(0)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := svc.IngestBatch(storm); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	db := svc.DB()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := db.ReadingsFor("f1-m0", now); len(rows) == 0 {
+			b.Fatal("probe object lost its readings")
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
 }
 
 func benchRPCStack(b *testing.B) *middlewhere.RemoteClient {

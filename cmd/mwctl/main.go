@@ -357,4 +357,12 @@ func printStats(st middlewhere.StatsDTO) {
 				h.Name, h.Count, mean, h.P50, h.P95, h.P99)
 		}
 	}
+	if len(st.Shards) > 0 {
+		fmt.Printf("%-20s %8s %8s %9s %7s %8s %9s\n",
+			"shard", "objects", "mobile", "readings", "rtree", "epoch", "inserts")
+		for _, sh := range st.Shards {
+			fmt.Printf("%-20s %8d %8d %9d %7d %8d %9d\n",
+				sh.Key, sh.Objects, sh.MobileObjects, sh.Readings, sh.RTreeNodes, sh.Epoch, sh.Inserts)
+		}
+	}
 }

@@ -7,6 +7,7 @@ import (
 	"middlewhere/internal/fusion"
 	"middlewhere/internal/model"
 	"middlewhere/internal/obs"
+	"middlewhere/internal/spatialdb"
 )
 
 // Cache metrics, cached once so the hot paths are pure atomics.
@@ -115,6 +116,57 @@ func (s *Service) fusionState(objectID string, now time.Time) ([]fusion.Reading,
 	}
 	s.cache.put(objectID, e)
 	return readings, e
+}
+
+// fusionStateSnap is fusionState evaluated against a database
+// snapshot: the rows, sensor specs, and invalidation keys all come
+// from the same consistent cut, so every object evaluated against one
+// snapshot sees the same set of completed insert batches. The shared
+// cache is consulted and refilled with the snapshot's keys — live
+// epochs only ever run ahead of a snapshot's, so a cached entry can
+// validate against a snapshot only when the object's rows have not
+// changed since the cut, never the reverse.
+func (s *Service) fusionStateSnap(snap *spatialdb.Snapshot, objectID string, now time.Time) []fusion.Reading {
+	epoch := snap.ReadingEpoch(objectID)
+	sensorGen := snap.SensorGeneration()
+	objGen := s.db.ObjectGeneration()
+	if e := s.cache.get(objectID); e.valid(epoch, sensorGen, objGen, now, s.quantum) {
+		mCacheHits.Inc()
+		return e.readings
+	}
+	mCacheMisses.Inc()
+	rows := snap.LatestPerSensor(objectID, now)
+	readings := fusion.FromReadings(rows, snap.SensorSpecs(), now, snap.Universe().Area())
+	s.cache.put(objectID, &locEntry{
+		epoch:     epoch,
+		sensorGen: sensorGen,
+		objGen:    objGen,
+		at:        now,
+		readings:  readings,
+	})
+	return readings
+}
+
+// classifierFor returns the §4.4 classifier for a snapshot's sensor
+// table: the live memo when the generations agree (the common case),
+// otherwise one built from the snapshot's own specs so bands always
+// reflect the cut being evaluated.
+func (s *Service) classifierFor(snap *spatialdb.Snapshot) fusion.Classifier {
+	m := &s.sensors
+	m.mu.RLock()
+	if m.ok && m.gen == snap.SensorGeneration() {
+		cls := m.cls
+		m.mu.RUnlock()
+		mSensorMemoHit.Inc()
+		return cls
+	}
+	m.mu.RUnlock()
+	specs := snap.SensorSpecs()
+	ps := make([]float64, 0, len(specs))
+	for _, spec := range specs {
+		ps = append(ps, spec.Errors.DetectProb())
+	}
+	return fusion.NewClassifier(ps)
 }
 
 // sensorMemo caches the sensor-spec table copy and the §4.4

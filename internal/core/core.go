@@ -243,6 +243,10 @@ func New(b *building.Building, opts ...Option) (*Service, error) {
 	}
 	if s.parallelism > 1 {
 		s.pool = newWorkerPool(s.parallelism)
+		// Cross-shard object queries (Objects, IntersectingObjects,
+		// Nearest, MWQL scans) fan their per-shard searches across the
+		// same bounded pool.
+		db.SetFanout(s.pool.fanOut)
 	}
 	s.started = s.now()
 	db.AddInsertHook(s.observeExit)
@@ -423,27 +427,8 @@ func (s *Service) classifier() fusion.Classifier {
 // paper applies to z in §6: z = z0·area(A)/area(U)).
 func (s *Service) fusionReadings(objectID string, now time.Time) []fusion.Reading {
 	rows := s.db.LatestPerSensor(objectID, now)
-	universeArea := s.db.Universe().Area()
 	specs, _ := s.sensorView()
-	out := make([]fusion.Reading, 0, len(rows))
-	for _, r := range rows {
-		spec, ok := specs[r.SensorID]
-		if !ok {
-			continue
-		}
-		p := r.EffectiveDetectProb(spec, now)
-		if p <= 0 {
-			continue
-		}
-		out = append(out, fusion.Reading{
-			ID:     r.SensorID,
-			Rect:   r.Region,
-			P:      p,
-			Q:      model.ScaledZ(spec.Errors.FalseProb(), r.Region.Area(), universeArea),
-			Moving: r.Moving,
-		})
-	}
-	return out
+	return fusion.FromReadings(rows, specs, now, s.db.Universe().Area())
 }
 
 // LocateObject answers the object-based query "where is X?" (§4.2):
@@ -560,14 +545,24 @@ func (s *Service) ObjectsInRegion(region glob.GLOB, minProb float64) (map[string
 	if err != nil {
 		return nil, fmt.Errorf("region query: %w", err)
 	}
-	ids := s.db.MobileObjects()
+	// One snapshot pins the whole scan to a consistent cut of the
+	// reading tables: every object is evaluated against the same set of
+	// completed insert batches, and the scan holds no table locks while
+	// it fuses, so concurrent per-floor ingest proceeds unimpeded.
+	snap := s.db.Snapshot()
+	now := s.now()
+	ids := snap.MobileObjects()
 	// Results land in index-addressed slots, so the merge below is
 	// deterministic no matter which worker finishes first.
 	probs := make([]float64, len(ids))
 	hit := make([]bool, len(ids))
 	eval := func(i int) {
-		p, _, err := s.probInRect(ids[i], rect)
-		if err == nil && p >= minProb && p > 0 {
+		readings := s.fusionStateSnap(snap, ids[i], now)
+		if len(readings) == 0 {
+			return
+		}
+		p := fusion.ProbRegion(snap.Universe(), readings, rect)
+		if p >= minProb && p > 0 {
 			probs[i], hit[i] = p, true
 		}
 	}
@@ -618,62 +613,92 @@ func (s *Service) Subscribe(spec Subscription) (string, error) {
 	return id, nil
 }
 
-// onTrigger evaluates a fired database trigger against the
-// subscription's probability condition.
+// onTrigger adapts a subscription to a database trigger callback; the
+// single-insert path evaluates against the live tables.
 func (s *Service) onTrigger(sub *subscription) spatialdb.TriggerFunc {
-	return func(ev spatialdb.TriggerEvent) {
-		start := time.Now()
-		trace := ev.Reading.Trace
-		mTriggerEvals.Inc()
-		// The trigger_eval stage ends when the notification is handed to
-		// the queue (or the evaluation decides not to notify); queue wait
-		// belongs to notify.
-		evalDone := func() {
-			mTriggerUs.Observe(float64(time.Since(start).Microseconds()))
-			obs.SpanSince(trace, "trigger_eval", start)
+	return func(ev spatialdb.TriggerEvent) { s.evalTrigger(sub, ev, nil) }
+}
+
+// subFor maps a fired trigger back to its subscription (trigger IDs
+// are subscription IDs); nil when it was unsubscribed concurrently.
+func (s *Service) subFor(triggerID string) *subscription {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.subs[triggerID]
+}
+
+// evalTrigger evaluates a fired database trigger against the
+// subscription's probability condition. A non-nil snap evaluates the
+// probability against that consistent cut (the batched dispatch path
+// takes one snapshot per batch); nil evaluates against the live
+// tables.
+func (s *Service) evalTrigger(sub *subscription, ev spatialdb.TriggerEvent, snap *spatialdb.Snapshot) {
+	start := time.Now()
+	trace := ev.Reading.Trace
+	mTriggerEvals.Inc()
+	// The trigger_eval stage ends when the notification is handed to
+	// the queue (or the evaluation decides not to notify); queue wait
+	// belongs to notify.
+	evalDone := func() {
+		mTriggerUs.Observe(float64(time.Since(start).Microseconds()))
+		obs.SpanSince(trace, "trigger_eval", start)
+	}
+	obj := ev.Reading.MObjectID
+	var (
+		p    float64
+		band fusion.Band
+	)
+	if snap != nil {
+		readings := s.fusionStateSnap(snap, obj, s.now())
+		if len(readings) == 0 {
+			evalDone()
+			return
 		}
-		obj := ev.Reading.MObjectID
-		p, band, err := s.probInRect(obj, sub.region)
+		p = fusion.ProbRegion(snap.Universe(), readings, sub.region)
+		band = s.classifierFor(snap).Classify(p)
+	} else {
+		var err error
+		p, band, err = s.probInRect(obj, sub.region)
 		if err != nil {
 			evalDone()
 			return
 		}
-		qualifies := p > 0 && p >= sub.spec.MinProb
-		if qualifies && sub.spec.MinBand > 0 && band < sub.spec.MinBand {
-			qualifies = false
-		}
-		s.mu.Lock()
-		state, ok := s.lastTrue[sub.id]
-		if !ok { // unsubscribed concurrently
-			s.mu.Unlock()
-			evalDone()
-			return
-		}
-		was := state[obj]
-		state[obj] = qualifies
+	}
+	qualifies := p > 0 && p >= sub.spec.MinProb
+	if qualifies && sub.spec.MinBand > 0 && band < sub.spec.MinBand {
+		qualifies = false
+	}
+	s.mu.Lock()
+	state, ok := s.lastTrue[sub.id]
+	if !ok { // unsubscribed concurrently
 		s.mu.Unlock()
-
-		if !qualifies || (was && !sub.spec.EveryReading) {
-			evalDone()
-			return
-		}
-		n := Notification{
-			SubscriptionID: sub.id,
-			Object:         obj,
-			Region:         sub.region,
-			Prob:           p,
-			Band:           band,
-			At:             s.now(),
-			Trace:          trace,
-		}
 		evalDone()
-		select {
-		case s.notifyCh <- dispatch{fn: sub.spec.Handler, n: n, enq: time.Now()}:
-			s.notified.Add(1)
-			mNotified.Inc()
-			mQueueDepth.Set(float64(len(s.notifyCh)))
-		case <-s.stop:
-		}
+		return
+	}
+	was := state[obj]
+	state[obj] = qualifies
+	s.mu.Unlock()
+
+	if !qualifies || (was && !sub.spec.EveryReading) {
+		evalDone()
+		return
+	}
+	n := Notification{
+		SubscriptionID: sub.id,
+		Object:         obj,
+		Region:         sub.region,
+		Prob:           p,
+		Band:           band,
+		At:             s.now(),
+		Trace:          trace,
+	}
+	evalDone()
+	select {
+	case s.notifyCh <- dispatch{fn: sub.spec.Handler, n: n, enq: time.Now()}:
+		s.notified.Add(1)
+		mNotified.Inc()
+		mQueueDepth.Set(float64(len(s.notifyCh)))
+	case <-s.stop:
 	}
 }
 

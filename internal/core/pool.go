@@ -151,8 +151,12 @@ func (p *workerPool) fanOutChunked(n, chunks int, fn func(int)) {
 
 // dispatchFirings evaluates a batch's trigger firings, fanning out
 // across mobile objects while keeping each object's firings in
-// reading order (the entry/exit edge detection in onTrigger depends
-// on per-object ordering; different objects are independent).
+// reading order (the entry/exit edge detection in evalTrigger depends
+// on per-object ordering; different objects are independent). The
+// parallel path takes one database snapshot for the whole batch: every
+// firing fuses against the same consistent cut — which includes the
+// batch that provoked it — instead of racing concurrent inserts, and
+// the evaluation holds no reading-table locks.
 func (s *Service) dispatchFirings(fs []spatialdb.TriggerFiring) {
 	if s.pool == nil || len(fs) < 2 {
 		for _, f := range fs {
@@ -169,15 +173,25 @@ func (s *Service) dispatchFirings(fs []spatialdb.TriggerFiring) {
 		}
 		groups[id] = append(groups[id], f)
 	}
+	snap := s.db.Snapshot()
+	run := func(f spatialdb.TriggerFiring) {
+		if sub := s.subFor(f.Event.TriggerID); sub != nil {
+			s.evalTrigger(sub, f.Event, snap)
+			return
+		}
+		// Not one of ours (a trigger registered directly on the DB, or
+		// unsubscribed mid-flight): fall back to the raw callback.
+		f.Fn(f.Event)
+	}
 	if len(order) == 1 {
 		for _, f := range fs {
-			f.Fn(f.Event)
+			run(f)
 		}
 		return
 	}
 	s.pool.fanOut(len(order), func(i int) {
 		for _, f := range groups[order[i]] {
-			f.Fn(f.Event)
+			run(f)
 		}
 	})
 }

@@ -1,0 +1,42 @@
+package fusion
+
+import (
+	"time"
+
+	"middlewhere/internal/model"
+)
+
+// FromReadings converts stored sensor rows (the latest per sensor,
+// TTL-filtered) into fusion inputs: p_i is the spec's detection
+// probability net of temporal degradation at now, and q_i is the
+// spec's false-report probability scaled by area(A)/area(U) — a
+// spurious report is uniformly distributed over the coverage area, so
+// the likelihood of it landing on the reading's specific rectangle
+// shrinks with that rectangle (the same scaling the paper applies to z
+// in §6). Rows whose sensor is missing from specs or whose effective
+// probability has decayed to zero are dropped.
+//
+// Both the live locate path and snapshot-based evaluation share this
+// conversion, so a cached result computed from either source is
+// bit-identical for the same rows.
+func FromReadings(rows []model.Reading, specs map[string]model.SensorSpec, now time.Time, universeArea float64) []Reading {
+	out := make([]Reading, 0, len(rows))
+	for _, r := range rows {
+		spec, ok := specs[r.SensorID]
+		if !ok {
+			continue
+		}
+		p := r.EffectiveDetectProb(spec, now)
+		if p <= 0 {
+			continue
+		}
+		out = append(out, Reading{
+			ID:     r.SensorID,
+			Rect:   r.Region,
+			P:      p,
+			Q:      model.ScaledZ(spec.Errors.FalseProb(), r.Region.Area(), universeArea),
+			Moving: r.Moving,
+		})
+	}
+	return out
+}

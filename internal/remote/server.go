@@ -71,7 +71,19 @@ func (s *Server) handleStats(_ *mwrpc.ServerConn, params json.RawMessage) (inter
 			return nil, err
 		}
 	}
-	return statsSnapshot(obs.Default(), obs.DefaultTracer(), a.Traces), nil
+	out := statsSnapshot(obs.Default(), obs.DefaultTracer(), a.Traces)
+	for _, st := range s.svc.DB().ShardStats() {
+		out.Shards = append(out.Shards, ShardDTO{
+			Key:           st.Key,
+			Objects:       st.Objects,
+			MobileObjects: st.MobileObjects,
+			Readings:      st.Readings,
+			RTreeNodes:    st.RTreeNodes,
+			Epoch:         st.Epoch,
+			Inserts:       st.Inserts,
+		})
+	}
+	return out, nil
 }
 
 // statsSnapshot renders a registry (and optionally recent traces) into

@@ -32,17 +32,23 @@ func (db *DB) DumpObjectTable() string {
 // paper's Table 2: SensorId, GlobPrefix, SensorType, MObjectId,
 // ObjLocation, DetectionRadius, DetectionTime.
 func (db *DB) DumpReadingTable() string {
-	db.readMu.RLock()
-	ids := make([]string, 0, len(db.readings))
-	for id := range db.readings {
+	byID := make(map[string][]model.Reading)
+	for _, sh := range db.allShards() {
+		sh.readMu.RLock()
+		for id, rs := range sh.table.rows {
+			byID[id] = append(byID[id], rs...)
+		}
+		sh.readMu.RUnlock()
+	}
+	ids := make([]string, 0, len(byID))
+	for id := range byID {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
 	var rows []model.Reading
 	for _, id := range ids {
-		rows = append(rows, db.readings[id]...)
+		rows = append(rows, byID[id]...)
 	}
-	db.readMu.RUnlock()
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-8s | %-18s | %-12s | %-10s | %-12s | %-9s | %s\n",
@@ -64,17 +70,12 @@ func (db *DB) DumpReadingTable() string {
 // DumpSensorTable renders the sensor metadata table of §5.2:
 // SensorId, Confidence(%), Time-to-live(s).
 func (db *DB) DumpSensorTable() string {
-	db.sensorMu.RLock()
-	ids := make([]string, 0, len(db.sensors))
-	for id := range db.sensors {
+	specs := db.sensorView.Load().specs
+	ids := make([]string, 0, len(specs))
+	for id := range specs {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
-	specs := make(map[string]model.SensorSpec, len(ids))
-	for _, id := range ids {
-		specs[id] = db.sensors[id]
-	}
-	db.sensorMu.RUnlock()
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-12s | %-13s | %s\n", "SensorId", "Confidence(%)", "Time-to-live(s)")

@@ -1,0 +1,625 @@
+package spatialdb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"middlewhere/internal/geom"
+	"middlewhere/internal/model"
+	"middlewhere/internal/obs"
+)
+
+// ---------------------------------------------------------------------------
+// Sensor metadata table (§5.2)
+
+// RegisterSensor records a sensor instance and its calibrated spec in
+// the sensor metadata table. The table is copy-on-write: a new view is
+// published atomically, so spec lookups on the ingest and locate paths
+// never take a lock.
+func (db *DB) RegisterSensor(sensorID string, spec model.SensorSpec) error {
+	if sensorID == "" {
+		return fmt.Errorf("%w: empty sensor id", ErrUnknownSensor)
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	db.sensorRegMu.Lock()
+	defer db.sensorRegMu.Unlock()
+	cur := db.sensorView.Load()
+	specs := make(map[string]model.SensorSpec, len(cur.specs)+1)
+	for id, s := range cur.specs {
+		specs[id] = s
+	}
+	specs[sensorID] = spec
+	db.sensorView.Store(&sensorTable{specs: specs, gen: cur.gen + 1})
+	return nil
+}
+
+// SensorSpec returns the spec registered for a sensor.
+func (db *DB) SensorSpec(sensorID string) (model.SensorSpec, error) {
+	spec, ok := db.sensorView.Load().specs[sensorID]
+	if !ok {
+		return model.SensorSpec{}, fmt.Errorf("%w: %s", ErrUnknownSensor, sensorID)
+	}
+	return spec, nil
+}
+
+// Sensors returns the registered sensor IDs, sorted.
+func (db *DB) Sensors() []string {
+	specs := db.sensorView.Load().specs
+	out := make([]string, 0, len(specs))
+	for id := range specs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SensorGeneration returns a counter bumped on every sensor
+// registration. Callers that derive state from the whole sensor table
+// (the fusion classifier, per-sensor spec lookups on the query path)
+// memoize against it and revalidate with one atomic load.
+func (db *DB) SensorGeneration() uint64 { return db.sensorView.Load().gen }
+
+// SensorSnapshot returns a copy of the sensor metadata table together
+// with the generation it was taken at. The copy is the caller's to
+// keep; the generation lets it revalidate with one atomic load instead
+// of a lock per spec lookup.
+func (db *DB) SensorSnapshot() (map[string]model.SensorSpec, uint64) {
+	view := db.sensorView.Load()
+	out := make(map[string]model.SensorSpec, len(view.specs))
+	for id, spec := range view.specs {
+		out[id] = spec
+	}
+	return out, view.gen
+}
+
+// ---------------------------------------------------------------------------
+// Reading table (Table 2)
+
+// TriggerFiring pairs a matched trigger callback with the event it
+// should receive. InsertReadings hands the batch's firings to a
+// FiringDispatcher so the caller can fan evaluation out.
+type TriggerFiring struct {
+	Fn    TriggerFunc
+	Event TriggerEvent
+}
+
+// FiringDispatcher runs a batch's trigger firings. It is called at
+// most once per InsertReadings call, after the rows are stored and all
+// table locks are released, and must run every firing before
+// returning. Firings for the same mobile object appear in reading
+// order; a dispatcher may parallelize across objects but should
+// preserve that per-object order (entry/exit edge detection depends on
+// it).
+type FiringDispatcher func([]TriggerFiring)
+
+// RejectedError reports the readings of an insert that failed
+// validation (unknown sensor, missing mobject id, unresolvable
+// location). It covers only the rejected readings: the rest of the
+// batch was stored, so re-submitting the whole batch would duplicate
+// the stored rows. Callers that retry (the resilient adapter sink, a
+// remote client) must retry only the listed indices.
+type RejectedError struct {
+	// Indices are the rejected readings' positions in the submitted
+	// slice, ascending.
+	Indices []int
+	// Errs holds the per-reading failures, parallel to Indices.
+	Errs []error
+}
+
+func (e *RejectedError) Error() string {
+	if len(e.Errs) == 1 {
+		return e.Errs[0].Error()
+	}
+	return fmt.Sprintf("spatialdb: %d readings rejected: %v", len(e.Errs), errors.Join(e.Errs...))
+}
+
+// Unwrap exposes the per-reading failures to errors.Is / errors.As.
+func (e *RejectedError) Unwrap() []error { return e.Errs }
+
+// InsertReading stores a sensor reading (resolving its location to a
+// universe-frame MBR if the adapter has not already) and fires any
+// matching triggers synchronously. The sensor must be registered.
+func (db *DB) InsertReading(r model.Reading) error {
+	_, err := db.InsertReadings([]model.Reading{r}, nil)
+	return err
+}
+
+// placeObject pins a mobile object's reading rows (and its epoch
+// counter) to the target shard. When the object last reported on a
+// different floor, its rows and epoch migrate: the epoch carries over
+// +1, so it stays strictly monotonic across any number of floor
+// changes and a fused-location cache entry keyed on the old shard's
+// counter can never collide with the new shard's values. Placement
+// changes serialize on migMu; the overwhelmingly common same-shard
+// case returns after one lock-free map read.
+func (db *DB) placeObject(id string, to *shard) {
+	if cur, ok := db.residence.Load(id); ok && cur.(*shard) == to {
+		return
+	}
+	db.migMu.Lock()
+	defer db.migMu.Unlock()
+	cur, ok := db.residence.Load(id)
+	if !ok {
+		db.residence.Store(id, to)
+		return
+	}
+	from := cur.(*shard)
+	if from == to {
+		return
+	}
+	// Move rows and the epoch under both shard locks, taken in key
+	// order so concurrent migrations cannot deadlock.
+	a, b := from, to
+	if b.key < a.key {
+		a, b = b, a
+	}
+	a.readMu.Lock()
+	b.readMu.Lock()
+	tf := from.mutableTable()
+	tt := to.mutableTable()
+	if rows, ok := tf.rows[id]; ok {
+		tt.rows[id] = rows
+		delete(tf.rows, id)
+		delete(tf.owned, id)
+	}
+	tt.epochs[id] = tf.epochs[id] + 1
+	delete(tf.epochs, id)
+	from.writeEpoch.Add(1)
+	to.writeEpoch.Add(1)
+	db.residence.Store(id, to)
+	b.readMu.Unlock()
+	a.readMu.Unlock()
+	mMigrations.Inc()
+}
+
+// residentShard returns the shard currently holding the object's
+// reading rows, or nil when the object has none.
+func (db *DB) residentShard(id string) *shard {
+	if cur, ok := db.residence.Load(id); ok {
+		return cur.(*shard)
+	}
+	return nil
+}
+
+// InsertReadings stores a slice of readings with one lock acquisition
+// per target shard instead of one per reading, amortizing the hot-path
+// cost for batched adapters. Readings that fail validation are
+// skipped; the rest are stored. It returns the number stored and, when
+// any reading was skipped, a *RejectedError naming the skipped
+// indices — never retry the whole batch on that error, the other rows
+// are already in the table.
+//
+// Readings shard by their location's floor prefix, so batches for
+// independent floors take disjoint locks and ingest in parallel; the
+// only cross-floor coordination is a shared-mode pass through cutMu,
+// which lets Snapshot exclude in-flight batches (no snapshot ever
+// observes part of a batch).
+//
+// Trigger firings for the whole batch are collected and then run via
+// dispatch; a nil dispatch runs them serially in insertion order,
+// which makes InsertReadings(rs, nil) observably equivalent to
+// len(rs) InsertReading calls. Insert hooks run last, per stored
+// reading in order, as in the single-insert path.
+func (db *DB) InsertReadings(rs []model.Reading, dispatch FiringDispatcher) (int, error) {
+	if len(rs) == 0 {
+		return 0, nil
+	}
+	start := time.Now()
+
+	// Phase 1 — validate and resolve regions. Sensor specs come from
+	// the lock-free view; symbolic locations resolve against their own
+	// shard's object table.
+	sensors := db.sensorView.Load().specs
+	prepared := make([]model.Reading, 0, len(rs))
+	var errs []error
+	var rejected []int
+	for i, r := range rs {
+		if r.MObjectID == "" {
+			mInsertErrors.Inc()
+			rejected = append(rejected, i)
+			errs = append(errs, fmt.Errorf("spatialdb: reading without mobject id"))
+			continue
+		}
+		spec, ok := sensors[r.SensorID]
+		if !ok {
+			mInsertErrors.Inc()
+			rejected = append(rejected, i)
+			errs = append(errs, fmt.Errorf("%w: %s", ErrUnknownSensor, r.SensorID))
+			continue
+		}
+		if r.SensorType == "" {
+			r.SensorType = spec.Type
+		}
+		if !r.Region.Valid() || r.Region.Area() == 0 {
+			rect, err := db.resolveReading(r, spec)
+			if err != nil {
+				mInsertErrors.Inc()
+				rejected = append(rejected, i)
+				errs = append(errs, fmt.Errorf("insert reading from %s: %w", r.SensorID, err))
+				continue
+			}
+			r.Region = rect
+		}
+		prepared = append(prepared, r)
+	}
+
+	// Group the prepared readings by target shard, in order of first
+	// appearance: a batch that interleaves floors still applies each
+	// object's readings in submission order. Grouping keys on the raw
+	// path components ([2]string is comparable) so the hot loop builds
+	// no key strings; ids collects each group's distinct objects once,
+	// so residence placement pays per object, not per reading.
+	type shardGroup struct {
+		key  string
+		idxs []int
+		ids  []string
+	}
+	var groups []*shardGroup
+	byKey := make(map[[2]string]*shardGroup, 4)
+	for i := range prepared {
+		var pk [2]string
+		if p := prepared[i].Location.Path; len(p) > 0 {
+			pk[0] = p[0]
+			if len(p) > 1 {
+				pk[1] = p[1]
+			}
+		}
+		g, ok := byKey[pk]
+		if !ok {
+			g = &shardGroup{key: shardKeyForGLOB(prepared[i].Location)}
+			byKey[pk] = g
+			groups = append(groups, g)
+		}
+		g.idxs = append(g.idxs, i)
+		id := prepared[i].MObjectID
+		seen := false
+		for _, have := range g.ids {
+			if have == id {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			g.ids = append(g.ids, id)
+		}
+	}
+
+	// Phase 2 — store each group under its own shard's write lock:
+	// movement detection, append, bound, and the per-object epoch bump
+	// that invalidates fused-location caches. The whole phase holds
+	// cutMu shared so a concurrent Snapshot (exclusive) sees either
+	// none or all of this batch.
+	db.cutMu.RLock()
+	for _, g := range groups {
+		sh := db.ensureShard(g.key)
+		for {
+			// Pin every distinct object of the group to this shard
+			// (migrating rows from a previous floor if needed), then
+			// verify the placement still holds under the shard lock: a
+			// migration cannot move rows out of sh while we hold its
+			// write lock, so a verified placement stays true for the
+			// whole store.
+			for _, id := range g.ids {
+				db.placeObject(id, sh)
+			}
+			sh.readMu.Lock()
+			placed := true
+			for _, id := range g.ids {
+				if db.residentShard(id) != sh {
+					placed = false
+					break
+				}
+			}
+			if placed {
+				break
+			}
+			sh.readMu.Unlock() // lost a race with another batch's migration; re-place
+		}
+		t := sh.mutableTable()
+		for _, i := range g.idxs {
+			r := &prepared[i]
+			rows := t.rows[r.MObjectID]
+			// Movement detection: compare with the previous reading
+			// from the same sensor for the same object.
+			for j := len(rows) - 1; j >= 0; j-- {
+				if rows[j].SensorID == r.SensorID {
+					if !rows[j].Region.Eq(r.Region) {
+						r.Moving = true
+					}
+					break
+				}
+			}
+			// Bound per-object storage: long-TTL sensors (desktop
+			// sessions, biometric long readings) must not accumulate
+			// without limit. The newest rows win; fusion only consumes
+			// the latest row per sensor anyway. Trimming rewrites the
+			// slice, so a backing array inherited from a frozen
+			// snapshot table must be replaced, not reused — in-place
+			// reuse is safe only for slices this table instance owns.
+			if len(rows) >= maxReadingsPerObject {
+				keep := rows[len(rows)-maxReadingsPerObject+1:]
+				if t.owned[r.MObjectID] {
+					rows = append(rows[:0], keep...)
+				} else {
+					rows = append(make([]model.Reading, 0, maxReadingsPerObject), keep...)
+					t.owned[r.MObjectID] = true
+				}
+			}
+			t.rows[r.MObjectID] = append(rows, *r)
+			t.epochs[r.MObjectID]++
+		}
+		sh.writeEpoch.Add(1)
+		sh.readMu.Unlock()
+		sh.inserts.Add(uint64(len(g.idxs)))
+		sh.mInserts.Add(uint64(len(g.idxs)))
+	}
+	db.cutMu.RUnlock()
+
+	// Phase 3 — match triggers for the whole batch under the shared
+	// trigger lock; firing happens after release. Matching iterates the
+	// batch in submission order, so per-object firing order is
+	// preserved regardless of how storage grouped by shard.
+	visits0 := db.triggerIdx.Visits()
+	var firings []TriggerFiring
+	db.trigMu.RLock()
+	for _, r := range prepared {
+		for _, it := range db.triggerIdx.SearchIntersect(r.Region) {
+			tr := db.triggers[it.ID]
+			if tr == nil {
+				continue
+			}
+			if tr.mobject != "" && tr.mobject != r.MObjectID {
+				continue
+			}
+			firings = append(firings, TriggerFiring{
+				Fn:    tr.fn,
+				Event: TriggerEvent{TriggerID: tr.id, Reading: r, Region: tr.region},
+			})
+		}
+	}
+	visitDelta := db.triggerIdx.Visits() - visits0
+	db.trigMu.RUnlock()
+
+	// The db_insert stage ends here: storage and trigger matching are
+	// done; what follows (trigger evaluation, hooks) is accounted to the
+	// downstream stages.
+	mInsertVisits.Add(uint64(visitDelta))
+	db.syncVisitsGauge()
+	mInsertUs.Observe(float64(time.Since(start).Microseconds()))
+	mInserts.Add(uint64(len(prepared)))
+	mTriggerMatches.Add(uint64(len(firings)))
+	if len(rs) > 1 {
+		mBatchInserts.Inc()
+		mBatchRows.Observe(float64(len(rs)))
+	}
+	for i := range prepared {
+		obs.SpanSince(prepared[i].Trace, "db_insert", start)
+	}
+
+	if len(firings) > 0 {
+		if dispatch != nil {
+			dispatch(firings)
+		} else {
+			for _, f := range firings {
+				f.Fn(f.Event)
+			}
+		}
+	}
+	db.hookMu.RLock()
+	hooks := db.hooks
+	db.hookMu.RUnlock()
+	for i := range prepared {
+		for _, h := range hooks {
+			h(prepared[i])
+		}
+	}
+	if len(errs) > 0 {
+		return len(prepared), &RejectedError{Indices: rejected, Errs: errs}
+	}
+	return len(prepared), nil
+}
+
+// ReadingEpoch returns the object's reading-table epoch — a counter
+// bumped whenever the object's stored rows change in a way that can
+// change query results. An unchanged epoch means a cached fusion
+// result for the object is still derived from the current rows. The
+// counter lives on the object's resident shard and migrates with the
+// rows, strictly increasing across floor changes.
+func (db *DB) ReadingEpoch(mobjectID string) uint64 {
+	sh := db.residentShard(mobjectID)
+	if sh == nil {
+		return 0
+	}
+	sh.readMu.RLock()
+	e := sh.table.epochs[mobjectID]
+	sh.readMu.RUnlock()
+	return e
+}
+
+// resolveReading computes the reading's universe-frame MBR from its
+// GLOB location and detection radius.
+func (db *DB) resolveReading(r model.Reading, spec model.SensorSpec) (geom.Rect, error) {
+	if r.Location.IsZero() {
+		return geom.Rect{}, fmt.Errorf("%w: reading has no location", ErrBadGeometry)
+	}
+	if r.Location.IsCoordinate() {
+		rect, err := db.ResolveGLOB(r.Location)
+		if err != nil {
+			return geom.Rect{}, err
+		}
+		radius := r.DetectionRadius
+		if radius == 0 && spec.Resolution.Kind == model.ResolutionDistance {
+			radius = spec.Resolution.Radius
+		}
+		return rect.Expand(radius), nil
+	}
+	return db.ResolveGLOB(r.Location)
+}
+
+// ReadingsFor returns the unexpired readings for a mobile object at
+// time now, applying each sensor's TTL from the metadata table.
+// Expired rows are pruned as a side effect. Pruning does not bump the
+// object's reading epoch: the removed rows were already invisible to
+// every TTL-filtered query, so cached results stay correct.
+func (db *DB) ReadingsFor(mobjectID string, now time.Time) []model.Reading {
+	specs := db.sensorView.Load().specs
+	for {
+		sh := db.residentShard(mobjectID)
+		if sh == nil {
+			return nil
+		}
+		// Fast path under the shared lock: concurrent locates for
+		// different objects on the same floor must not serialize here.
+		// Only when a row has actually expired is the exclusive lock
+		// taken to prune. The residence re-check under the lock makes
+		// the read atomic with placement: a migration cannot move rows
+		// out of sh while any of its locks are held.
+		sh.readMu.RLock()
+		if db.residentShard(mobjectID) != sh {
+			sh.readMu.RUnlock()
+			continue
+		}
+		rows := sh.table.rows[mobjectID]
+		live := make([]model.Reading, 0, len(rows))
+		stale := false
+		for _, r := range rows {
+			spec, ok := specs[r.SensorID]
+			if !ok || r.Expired(now, spec.TTL) {
+				stale = true
+				continue
+			}
+			live = append(live, r)
+		}
+		sh.readMu.RUnlock()
+		if !stale {
+			return live
+		}
+
+		sh.readMu.Lock()
+		if db.residentShard(mobjectID) != sh {
+			sh.readMu.Unlock()
+			continue
+		}
+		t := sh.mutableTable()
+		// Recompute: the rows may have changed between the locks.
+		rows = t.rows[mobjectID]
+		live = live[:0]
+		for _, r := range rows {
+			spec, ok := specs[r.SensorID]
+			if !ok {
+				continue
+			}
+			if !r.Expired(now, spec.TTL) {
+				live = append(live, r)
+			}
+		}
+		if len(live) == 0 {
+			delete(t.rows, mobjectID)
+			delete(t.owned, mobjectID)
+		} else {
+			t.rows[mobjectID] = append([]model.Reading(nil), live...)
+			t.owned[mobjectID] = true
+		}
+		sh.readMu.Unlock()
+		return live
+	}
+}
+
+// LatestPerSensor returns, for each sensor that has an unexpired
+// reading for the object, only its newest one — the working set for
+// fusion.
+func (db *DB) LatestPerSensor(mobjectID string, now time.Time) []model.Reading {
+	return latestPerSensor(db.ReadingsFor(mobjectID, now))
+}
+
+// latestPerSensor reduces TTL-filtered rows to the newest per sensor,
+// sorted by sensor ID (shared by the live path and Snapshot).
+func latestPerSensor(rows []model.Reading) []model.Reading {
+	latest := make(map[string]model.Reading, len(rows))
+	for _, r := range rows {
+		if cur, ok := latest[r.SensorID]; !ok || r.Time.After(cur.Time) {
+			latest[r.SensorID] = r
+		}
+	}
+	out := make([]model.Reading, 0, len(latest))
+	for _, r := range latest {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SensorID < out[j].SensorID })
+	return out
+}
+
+// MobileObjects returns the IDs of all objects with stored readings,
+// sorted.
+func (db *DB) MobileObjects() []string {
+	var out []string
+	for _, sh := range db.allShards() {
+		sh.readMu.RLock()
+		for id := range sh.table.rows {
+			out = append(out, id)
+		}
+		sh.readMu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExpireReadings removes every reading for every object that has
+// outlived its sensor's TTL at time now, and expires readings matching
+// the filter immediately (used by the biometric logout flow, §6.3).
+// Objects that lose a not-yet-expired row through the filter get their
+// reading epoch bumped: the forced expiry changes query results, so
+// cached fusion state for them must be invalidated. Each shard expires
+// under its own lock, so floors clean up without cross-floor
+// contention.
+func (db *DB) ExpireReadings(now time.Time, match func(model.Reading) bool) {
+	specs := db.sensorView.Load().specs
+	type change struct {
+		id     string
+		live   []model.Reading
+		forced bool
+	}
+	for _, sh := range db.allShards() {
+		sh.readMu.Lock()
+		var changes []change
+		for id, rows := range sh.table.rows {
+			var live []model.Reading
+			forced := false
+			for _, r := range rows {
+				spec, ok := specs[r.SensorID]
+				if !ok || r.Expired(now, spec.TTL) {
+					continue
+				}
+				if match != nil && match(r) {
+					forced = true
+					continue
+				}
+				live = append(live, r)
+			}
+			if forced || len(live) != len(rows) {
+				changes = append(changes, change{id: id, live: live, forced: forced})
+			}
+		}
+		if len(changes) > 0 {
+			t := sh.mutableTable()
+			for _, c := range changes {
+				if len(c.live) == 0 {
+					delete(t.rows, c.id)
+					delete(t.owned, c.id)
+				} else {
+					t.rows[c.id] = c.live
+					t.owned[c.id] = true
+				}
+				if c.forced {
+					t.epochs[c.id]++
+				}
+			}
+			sh.writeEpoch.Add(1)
+		}
+		sh.readMu.Unlock()
+	}
+}

@@ -1,0 +1,146 @@
+package spatialdb
+
+import (
+	"sort"
+	"time"
+
+	"middlewhere/internal/geom"
+	"middlewhere/internal/model"
+)
+
+// shardSnap is one shard's contribution to a Snapshot: the frozen
+// reading table and the shard's write epoch at the cut.
+type shardSnap struct {
+	key   string
+	epoch uint64
+	table *readTable
+}
+
+// Snapshot is an immutable, consistent cut of the reading and sensor
+// tables across every shard. Reads on a Snapshot take no locks and see
+// a frozen state: concurrent inserts, expiries, and floor migrations
+// never show through. A snapshot never observes part of an
+// InsertReadings batch — the cut is serialized against in-flight
+// batches, so each batch is either entirely visible or entirely
+// absent.
+//
+// Snapshots are cheap: capture freezes the current tables (O(shards)
+// pointer reads) and the next writer per shard pays one shallow table
+// clone. Object tables are not captured here; object queries get their
+// own consistent cut via objectViews (Objects, ObjectsInRegion's
+// candidate search).
+type Snapshot struct {
+	universe geom.Rect
+	at       time.Time
+	sensors  *sensorTable
+	shards   []shardSnap
+}
+
+// Snapshot captures a consistent cut of the database's reading and
+// sensor tables. The returned view is immutable and safe for
+// concurrent use; it reflects exactly the batches that completed
+// before the call.
+func (db *DB) Snapshot() *Snapshot {
+	// Exclusive cutMu excludes every in-flight InsertReadings store
+	// phase (shared holders), so no batch is mid-write anywhere and no
+	// floor migration is in progress when the tables are frozen.
+	db.cutMu.Lock()
+	shards := db.allShards()
+	snap := &Snapshot{
+		universe: db.universe,
+		at:       time.Now(),
+		sensors:  db.sensorView.Load(),
+		shards:   make([]shardSnap, len(shards)),
+	}
+	for i, sh := range shards {
+		// The shard read-lock serializes against writers that do not
+		// route through cutMu (TTL pruning, ExpireReadings).
+		sh.readMu.RLock()
+		snap.shards[i] = shardSnap{key: sh.key, epoch: sh.writeEpoch.Load(), table: sh.table}
+		sh.readFrozen.Store(true)
+		sh.readMu.RUnlock()
+	}
+	db.cutMu.Unlock()
+	mSnapshots.Inc()
+	db.lastSnap.Store(snap.at.UnixMicro())
+	mSnapAgeUs.Set(0)
+	return snap
+}
+
+// At returns the time the snapshot was captured.
+func (s *Snapshot) At() time.Time { return s.at }
+
+// Universe returns the database's universe extent.
+func (s *Snapshot) Universe() geom.Rect { return s.universe }
+
+// SensorSpecs returns the sensor metadata table at the cut. The map is
+// shared and must not be mutated.
+func (s *Snapshot) SensorSpecs() map[string]model.SensorSpec { return s.sensors.specs }
+
+// SensorGeneration returns the sensor-table generation at the cut.
+func (s *Snapshot) SensorGeneration() uint64 { return s.sensors.gen }
+
+// rowsFor returns the object's raw rows at the cut. An object's rows
+// live in exactly one shard at any cut (floor migration moves them
+// atomically), so the first table that knows the object wins.
+func (s *Snapshot) rowsFor(mobjectID string) []model.Reading {
+	for i := range s.shards {
+		if rows, ok := s.shards[i].table.rows[mobjectID]; ok {
+			return rows
+		}
+	}
+	return nil
+}
+
+// ReadingEpoch returns the object's reading epoch at the cut, 0 when
+// the object had no rows. Epochs are strictly monotonic across floor
+// migrations, so a cached result stamped with this value stays
+// comparable against the live table.
+func (s *Snapshot) ReadingEpoch(mobjectID string) uint64 {
+	for i := range s.shards {
+		if e, ok := s.shards[i].table.epochs[mobjectID]; ok {
+			return e
+		}
+	}
+	return 0
+}
+
+// ReadingsFor returns the object's rows at the cut that are unexpired
+// at time now, applying each sensor's TTL from the captured metadata
+// table. Unlike the live path it never prunes — the snapshot is
+// immutable.
+func (s *Snapshot) ReadingsFor(mobjectID string, now time.Time) []model.Reading {
+	rows := s.rowsFor(mobjectID)
+	if len(rows) == 0 {
+		return nil
+	}
+	live := make([]model.Reading, 0, len(rows))
+	for _, r := range rows {
+		spec, ok := s.sensors.specs[r.SensorID]
+		if !ok || r.Expired(now, spec.TTL) {
+			continue
+		}
+		live = append(live, r)
+	}
+	return live
+}
+
+// LatestPerSensor returns, for each sensor with an unexpired reading
+// for the object at the cut, only its newest one — the fusion working
+// set, identical in shape to DB.LatestPerSensor.
+func (s *Snapshot) LatestPerSensor(mobjectID string, now time.Time) []model.Reading {
+	return latestPerSensor(s.ReadingsFor(mobjectID, now))
+}
+
+// MobileObjects returns the IDs of all objects with stored readings at
+// the cut, sorted.
+func (s *Snapshot) MobileObjects() []string {
+	var out []string
+	for i := range s.shards {
+		for id := range s.shards[i].table.rows {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

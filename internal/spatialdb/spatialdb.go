@@ -9,6 +9,15 @@
 //     §5.2), and
 //   - location triggers (§5.3) evaluated on every reading insert.
 //
+// The database is sharded by floor: the top-two GLOB path components
+// ("CS/Floor3") key a shard owning its own object table, R-tree,
+// reading table and locks, so ingest and expiry on independent floors
+// never contend and each R-tree stays bounded by one floor's
+// population (the role table partitioning plays for the paper's
+// PostGIS deployment). A copy-on-write snapshot layer (Snapshot) cuts
+// a consistent, immutable view across every shard for region queries
+// and batched trigger evaluation.
+//
 // Geometry is indexed with an R-tree so containment/intersection
 // queries and trigger matching stay sub-linear in table size, the role
 // PostGIS's GiST indexes play in the paper's deployment. All methods
@@ -46,17 +55,21 @@ var (
 	// trigger matching runs under a shared lock, so concurrent searches
 	// can cross-attribute Visits() deltas. The totals still converge.
 	mInsertVisits = obs.Default().Counter("rtree_insert_visits_total")
-	// mVisitsGauge mirrors the cumulative node visits of both trees
-	// (object index + trigger index); refreshed after every insert and
-	// query rather than delta-tracked, because concurrent RLock readers
-	// would cross-attribute deltas.
+	// mVisitsGauge mirrors the cumulative node visits across every
+	// shard's object index plus the trigger index; refreshed after
+	// every insert and query rather than delta-tracked, because
+	// concurrent readers would cross-attribute deltas.
 	mVisitsGauge = obs.Default().Gauge("rtree_node_visits")
 )
 
 // syncVisitsGauge refreshes the cumulative R-tree visit gauge; safe to
-// call without the database lock (tree visit counters are atomic).
+// call without locks (tree visit counters are atomic).
 func (db *DB) syncVisitsGauge() {
-	mVisitsGauge.Set(float64(db.objIdx.Visits() + db.triggerIdx.Visits()))
+	total := db.triggerIdx.Visits()
+	for _, sh := range db.allShards() {
+		total += sh.objIdx.Visits()
+	}
+	mVisitsGauge.Set(float64(total))
 }
 
 // observeQuery records one spatial query's latency; used as
@@ -136,44 +149,60 @@ type trigger struct {
 // reporting at once with history to spare.
 const maxReadingsPerObject = 64
 
-// DB is the spatial database. Each table has its own lock so that
-// concurrent locates (object + sensor reads) stop contending with
-// ingest (reading writes). A goroutine that needs more than one lock
-// MUST acquire them in the fixed order
+// sensorTable is the immutable sensor metadata view (§5.2). The
+// current view hangs off an atomic pointer, so spec lookups on the
+// ingest and locate hot paths are lock-free; registration replaces the
+// whole view (sensors register at startup, effectively never after).
+type sensorTable struct {
+	specs map[string]model.SensorSpec
+	gen   uint64
+}
+
+// DB is the spatial database: a router over per-floor shards (see
+// shard) plus the tables that are genuinely global — sensor metadata,
+// triggers, and insert hooks. Locks nest in the fixed order
 //
-//	sensorMu → objMu → readMu → trigMu
+//	cutMu → migMu → shard.readMu
 //
+// for reading writes; shard.objMu and trigMu are only ever held alone
 // (hookMu is independent and never held together with the others).
 type DB struct {
-	// Object table (Table 1) and its R-tree index. frames is immutable
-	// after New; it lives here because symbolic GLOB resolution walks
-	// objects and frames together. objGen counts structural changes
-	// (insert/delete), bumped under the write lock; readers use it to
-	// detect stale cached resolutions without holding objMu.
-	objMu   sync.RWMutex
-	frames  *coords.Tree
-	objects map[string]*Object
-	objIdx  *rtree.Tree
-	objGen  atomic.Uint64
+	// frames is immutable after New; symbolic GLOB resolution walks
+	// objects and frames together.
+	frames   *coords.Tree
+	universe geom.Rect
 
-	// Sensor metadata table (§5.2). sensorGen counts registrations so
-	// callers can memoize whole-table derivatives (the fusion
-	// classifier) and revalidate with one atomic load.
-	sensorMu  sync.RWMutex
-	sensors   map[string]model.SensorSpec
-	sensorGen atomic.Uint64
+	// Shard directory. order is the shards sorted by key, replaced
+	// wholesale on shard creation so holders iterate without a lock.
+	shardMu sync.RWMutex
+	shards  map[string]*shard
+	order   []*shard
 
-	// Reading table (Table 2): mobject ID -> readings, newest last.
-	// epochs holds a per-object counter bumped whenever that object's
-	// row set changes in a way that can change query results (insert,
-	// forced expiry) — the precise invalidation key for fused-location
-	// caches. Entries are never deleted, so an epoch observed once can
-	// only grow.
-	readMu   sync.RWMutex
-	readings map[string][]model.Reading
-	epochs   map[string]uint64
+	// objGen counts object-table structural changes across all shards
+	// (insert/delete); readers use it to detect stale cached
+	// resolutions without any lock.
+	objGen atomic.Uint64
 
-	// Location triggers (§5.3) and their R-tree index.
+	// residence maps a mobile object's ID to the shard holding its
+	// reading rows and epoch counter (object IDs are not GLOBs, so the
+	// rows live where the object's readings place it). Placement
+	// changes — first insert, floor migration — serialize on migMu;
+	// see placeObject.
+	residence sync.Map
+	migMu     sync.Mutex
+
+	// sensorView is the current sensor metadata table; see sensorTable.
+	sensorRegMu sync.Mutex
+	sensorView  atomic.Pointer[sensorTable]
+
+	// cutMu orders batch ingest against Snapshot: InsertReadings holds
+	// it shared for its store phase (so independent floors still ingest
+	// in parallel), Snapshot takes it exclusively for the capture — a
+	// snapshot therefore never observes part of a batch, on any shard.
+	cutMu sync.RWMutex
+
+	// Location triggers (§5.3) and their R-tree index. Trigger regions
+	// routinely span floors, so the index stays global.
 	trigMu     sync.RWMutex
 	triggers   map[string]*trigger
 	triggerIdx *rtree.Tree
@@ -183,24 +212,29 @@ type DB struct {
 	hookMu sync.RWMutex
 	hooks  []func(model.Reading)
 
-	universe geom.Rect
+	// fanout, when set, runs cross-shard query work in parallel; see
+	// SetFanout.
+	fanout atomic.Pointer[func(n int, fn func(int))]
+
+	// lastSnap is the unix-microsecond time of the last Snapshot call
+	// (creation time before the first), feeding the snapshot-age gauge.
+	lastSnap atomic.Int64
 }
 
 // New creates a database over the given coordinate frame tree. The
 // universe rectangle (the building's floor area, the paper's U) bounds
 // all geometry and probability reasoning.
 func New(frames *coords.Tree, universe geom.Rect) *DB {
-	return &DB{
+	db := &DB{
 		frames:     frames,
-		objects:    make(map[string]*Object),
-		objIdx:     rtree.New(),
-		readings:   make(map[string][]model.Reading),
-		epochs:     make(map[string]uint64),
-		sensors:    make(map[string]model.SensorSpec),
+		shards:     make(map[string]*shard),
 		triggers:   make(map[string]*trigger),
 		triggerIdx: rtree.New(),
 		universe:   universe,
 	}
+	db.sensorView.Store(&sensorTable{specs: make(map[string]model.SensorSpec)})
+	db.lastSnap.Store(time.Now().UnixMicro())
+	return db
 }
 
 // Universe returns the universe rectangle.
@@ -214,7 +248,8 @@ func (db *DB) Frames() *coords.Tree { return db.frames }
 // Object table
 
 // InsertObject adds an object. Its geometry is resolved from the
-// GlobPrefix frame into the universe frame.
+// GlobPrefix frame into the universe frame, and the row is homed on
+// the shard of its GLOB's top-two path components.
 func (db *DB) InsertObject(o Object) error {
 	if o.GLOB.IsZero() {
 		return fmt.Errorf("%w: empty GLOB", ErrBadGeometry)
@@ -222,13 +257,14 @@ func (db *DB) InsertObject(o Object) error {
 	if len(o.LocalPoints) == 0 {
 		return fmt.Errorf("%w: object %s has no points", ErrBadGeometry, o.ID())
 	}
-	db.objMu.Lock()
-	defer db.objMu.Unlock()
 	id := o.ID()
-	if _, ok := db.objects[id]; ok {
+	sh := db.ensureShard(shardKeyForGLOB(o.GLOB))
+	sh.objMu.Lock()
+	defer sh.objMu.Unlock()
+	if _, ok := sh.objects[id]; ok {
 		return fmt.Errorf("%w: object %s", ErrDuplicate, id)
 	}
-	resolved, poly, err := db.resolveLocked(o.GLOB.Prefix(), o.LocalPoints)
+	resolved, poly, err := db.resolveFrames(o.GLOB.Prefix(), o.LocalPoints)
 	if err != nil {
 		return fmt.Errorf("insert object %s: %w", id, err)
 	}
@@ -245,15 +281,17 @@ func (db *DB) InsertObject(o Object) error {
 		}
 		stored.Properties = props
 	}
-	db.objects[id] = &stored
-	db.objIdx.Insert(stored.Bounds, id)
+	sh.mutableObjects()
+	sh.objects[id] = &stored
+	sh.objIdx.Insert(stored.Bounds, id)
+	sh.mRTreeNodes.Set(float64(sh.objIdx.Len()))
 	db.objGen.Add(1)
 	return nil
 }
 
-// resolveLocked converts local-frame points into the universe frame.
-// Caller holds at least the objMu read lock.
-func (db *DB) resolveLocked(prefix glob.GLOB, pts []geom.Point) (geom.Rect, geom.Polygon, error) {
+// resolveFrames converts local-frame points into the universe frame.
+// The frame tree is immutable, so no lock is needed.
+func (db *DB) resolveFrames(prefix glob.GLOB, pts []geom.Point) (geom.Rect, geom.Polygon, error) {
 	frame, ok := db.frames.FrameForGLOBPath(prefix.Path)
 	if !ok {
 		return geom.Rect{}, nil, fmt.Errorf("no coordinate frame for prefix %q", prefix.String())
@@ -271,36 +309,51 @@ func (db *DB) resolveLocked(prefix glob.GLOB, pts []geom.Point) (geom.Rect, geom
 
 // GetObject returns an object by its GLOB string.
 func (db *DB) GetObject(id string) (Object, error) {
-	db.objMu.RLock()
-	defer db.objMu.RUnlock()
-	o, ok := db.objects[id]
-	if !ok {
-		return Object{}, fmt.Errorf("%w: object %s", ErrNotFound, id)
+	if sh, ok := db.shardFor(shardKeyForID(id)); ok {
+		sh.objMu.RLock()
+		defer sh.objMu.RUnlock()
+		if o, ok := sh.objects[id]; ok {
+			return o.clone(), nil
+		}
 	}
-	return o.clone(), nil
+	return Object{}, fmt.Errorf("%w: object %s", ErrNotFound, id)
 }
 
 // DeleteObject removes an object.
 func (db *DB) DeleteObject(id string) error {
-	db.objMu.Lock()
-	defer db.objMu.Unlock()
-	o, ok := db.objects[id]
+	sh, ok := db.shardFor(shardKeyForID(id))
 	if !ok {
 		return fmt.Errorf("%w: object %s", ErrNotFound, id)
 	}
-	db.objIdx.Delete(o.Bounds, id)
-	delete(db.objects, id)
+	sh.objMu.Lock()
+	defer sh.objMu.Unlock()
+	o, ok := sh.objects[id]
+	if !ok {
+		return fmt.Errorf("%w: object %s", ErrNotFound, id)
+	}
+	sh.mutableObjects()
+	sh.objIdx.Delete(o.Bounds, id)
+	delete(sh.objects, id)
+	sh.mRTreeNodes.Set(float64(sh.objIdx.Len()))
 	db.objGen.Add(1)
 	return nil
 }
 
-// Objects returns all objects sorted by ID.
+// Objects returns all objects sorted by ID. The scan runs against one
+// consistent cut of every shard's object table (captured lock-free via
+// copy-on-write), so a concurrent insert is either fully visible or
+// not at all — never split across shards.
 func (db *DB) Objects() []Object {
-	db.objMu.RLock()
-	defer db.objMu.RUnlock()
-	out := make([]Object, 0, len(db.objects))
-	for _, o := range db.objects {
-		out = append(out, o.clone())
+	views := db.objectViews()
+	var n int
+	for _, v := range views {
+		n += len(v.objects)
+	}
+	out := make([]Object, 0, n)
+	for _, v := range views {
+		for _, o := range v.objects {
+			out = append(out, o.clone())
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
 	return out
@@ -347,19 +400,39 @@ func (f ObjectFilter) match(o *Object) bool {
 	return true
 }
 
+// searchViews fans an R-tree search across every shard's object view,
+// collecting matches into index-addressed slots — so serial and
+// parallel fan-out produce identical result sets, and the final sort
+// makes the order deterministic.
+func (db *DB) searchViews(search func(v objView) []Object) []Object {
+	views := db.objectViews()
+	perShard := make([][]Object, len(views))
+	db.fanShards(len(views), func(i int) {
+		perShard[i] = search(views[i])
+		views[i].done()
+	})
+	var out []Object
+	for _, part := range perShard {
+		out = append(out, part...)
+	}
+	return out
+}
+
 // IntersectingObjects returns objects whose universe-frame MBR
-// intersects r, filtered, sorted by ID.
+// intersects r, filtered, sorted by ID. The search fans out across
+// shards when a parallel runner is installed (SetFanout).
 func (db *DB) IntersectingObjects(r geom.Rect, f ObjectFilter) []Object {
 	defer db.observeQuery(time.Now())
-	db.objMu.RLock()
-	defer db.objMu.RUnlock()
-	var out []Object
-	for _, it := range db.objIdx.SearchIntersect(r) {
-		o := db.objects[it.ID]
-		if o != nil && f.match(o) {
-			out = append(out, o.clone())
+	out := db.searchViews(func(v objView) []Object {
+		var part []Object
+		for _, it := range v.idx.SearchIntersect(r) {
+			o := v.objects[it.ID]
+			if o != nil && f.match(o) {
+				part = append(part, o.clone())
+			}
 		}
-	}
+		return part
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
 	return out
 }
@@ -368,15 +441,16 @@ func (db *DB) IntersectingObjects(r geom.Rect, f ObjectFilter) []Object {
 // ID.
 func (db *DB) ContainedObjects(r geom.Rect, f ObjectFilter) []Object {
 	defer db.observeQuery(time.Now())
-	db.objMu.RLock()
-	defer db.objMu.RUnlock()
-	var out []Object
-	for _, it := range db.objIdx.SearchContained(r) {
-		o := db.objects[it.ID]
-		if o != nil && f.match(o) {
-			out = append(out, o.clone())
+	out := db.searchViews(func(v objView) []Object {
+		var part []Object
+		for _, it := range v.idx.SearchContained(r) {
+			o := v.objects[it.ID]
+			if o != nil && f.match(o) {
+				part = append(part, o.clone())
+			}
 		}
-	}
+		return part
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
 	return out
 }
@@ -385,15 +459,16 @@ func (db *DB) ContainedObjects(r geom.Rect, f ObjectFilter) []Object {
 // GLOB first — the room before the floor).
 func (db *DB) ObjectsAt(p geom.Point, f ObjectFilter) []Object {
 	defer db.observeQuery(time.Now())
-	db.objMu.RLock()
-	defer db.objMu.RUnlock()
-	var out []Object
-	for _, it := range db.objIdx.SearchContaining(p) {
-		o := db.objects[it.ID]
-		if o != nil && f.match(o) {
-			out = append(out, o.clone())
+	out := db.searchViews(func(v objView) []Object {
+		var part []Object
+		for _, it := range v.idx.SearchContaining(p) {
+			o := v.objects[it.ID]
+			if o != nil && f.match(o) {
+				part = append(part, o.clone())
+			}
 		}
-	}
+		return part
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if d1, d2 := out[i].GLOB.Depth(), out[j].GLOB.Depth(); d1 != d2 {
 			return d1 > d2
@@ -405,488 +480,92 @@ func (db *DB) ObjectsAt(p geom.Point, f ObjectFilter) []Object {
 
 // Nearest answers property queries such as "the nearest region with
 // power outlets and high Bluetooth signal" (§5.1): the k objects
-// passing the filter closest to p.
+// passing the filter closest to p. Each shard contributes its own k
+// best candidates; the merge keeps the global k by (distance, ID).
 func (db *DB) Nearest(p geom.Point, k int, f ObjectFilter) []Object {
 	defer db.observeQuery(time.Now())
-	db.objMu.RLock()
-	defer db.objMu.RUnlock()
-	// Over-fetch from the index and filter; property predicates cannot
-	// be pushed into the R-tree.
-	var out []Object
-	fetch := k * 4
-	if fetch < 16 {
-		fetch = 16
+	type cand struct {
+		obj  Object
+		dist float64
 	}
-	for len(out) < k {
-		items := db.objIdx.Nearest(p, fetch)
-		out = out[:0]
-		for _, it := range items {
-			o := db.objects[it.ID]
-			if o != nil && f.match(o) {
-				out = append(out, o.clone())
-				if len(out) == k {
-					break
+	views := db.objectViews()
+	perShard := make([][]cand, len(views))
+	db.fanShards(len(views), func(vi int) {
+		v := views[vi]
+		// Over-fetch from the index and filter; property predicates
+		// cannot be pushed into the R-tree.
+		var part []cand
+		fetch := k * 4
+		if fetch < 16 {
+			fetch = 16
+		}
+		for len(part) < k {
+			items := v.idx.Nearest(p, fetch)
+			part = part[:0]
+			for _, it := range items {
+				o := v.objects[it.ID]
+				if o != nil && f.match(o) {
+					part = append(part, cand{obj: o.clone(), dist: it.Rect.DistToPoint(p)})
+					if len(part) == k {
+						break
+					}
 				}
 			}
+			if len(items) < fetch {
+				break // exhausted the shard
+			}
+			fetch *= 2
 		}
-		if len(items) < fetch {
-			break // exhausted the table
+		v.done()
+		perShard[vi] = part
+	})
+	var all []cand
+	for _, part := range perShard {
+		all = append(all, part...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].dist != all[j].dist {
+			return all[i].dist < all[j].dist
 		}
-		fetch *= 2
+		return all[i].obj.ID() < all[j].obj.ID()
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	out := make([]Object, 0, len(all))
+	for _, c := range all {
+		out = append(out, c.obj)
 	}
 	return out
 }
 
 // ResolveGLOB converts any GLOB — symbolic or coordinate — to its MBR
 // in the universe frame. Symbolic GLOBs are looked up in the object
-// table; coordinate GLOBs are transformed from their prefix frame.
+// table (one shard, by prefix); coordinate GLOBs are transformed from
+// their prefix frame.
 func (db *DB) ResolveGLOB(g glob.GLOB) (geom.Rect, error) {
-	db.objMu.RLock()
-	defer db.objMu.RUnlock()
-	return db.resolveGLOBLocked(g)
+	if g.IsZero() {
+		return geom.Rect{}, fmt.Errorf("%w: empty GLOB", ErrBadGeometry)
+	}
+	if g.IsCoordinate() {
+		r, _, err := db.resolveFrames(g.Prefix(), g.PlanarPoints())
+		return r, err
+	}
+	if sh, ok := db.shardFor(shardKeyForGLOB(g)); ok {
+		sh.objMu.RLock()
+		o, ok := sh.objects[g.String()]
+		sh.objMu.RUnlock()
+		if ok {
+			return o.Bounds, nil
+		}
+	}
+	return geom.Rect{}, fmt.Errorf("%w: symbolic location %s", ErrNotFound, g.String())
 }
 
 // ObjectGeneration returns a counter bumped on every object-table
 // change (insert or delete). A cached symbolic resolution is still
 // valid while the generation it was computed under is unchanged.
 func (db *DB) ObjectGeneration() uint64 { return db.objGen.Load() }
-
-func (db *DB) resolveGLOBLocked(g glob.GLOB) (geom.Rect, error) {
-	if g.IsZero() {
-		return geom.Rect{}, fmt.Errorf("%w: empty GLOB", ErrBadGeometry)
-	}
-	if g.IsCoordinate() {
-		r, _, err := db.resolveLocked(g.Prefix(), g.PlanarPoints())
-		return r, err
-	}
-	if o, ok := db.objects[g.String()]; ok {
-		return o.Bounds, nil
-	}
-	return geom.Rect{}, fmt.Errorf("%w: symbolic location %s", ErrNotFound, g.String())
-}
-
-// ---------------------------------------------------------------------------
-// Sensor tables
-
-// RegisterSensor records a sensor instance and its calibrated spec in
-// the sensor metadata table (§5.2).
-func (db *DB) RegisterSensor(sensorID string, spec model.SensorSpec) error {
-	if sensorID == "" {
-		return fmt.Errorf("%w: empty sensor id", ErrUnknownSensor)
-	}
-	if err := spec.Validate(); err != nil {
-		return err
-	}
-	db.sensorMu.Lock()
-	defer db.sensorMu.Unlock()
-	db.sensors[sensorID] = spec
-	db.sensorGen.Add(1)
-	return nil
-}
-
-// SensorSpec returns the spec registered for a sensor.
-func (db *DB) SensorSpec(sensorID string) (model.SensorSpec, error) {
-	db.sensorMu.RLock()
-	defer db.sensorMu.RUnlock()
-	spec, ok := db.sensors[sensorID]
-	if !ok {
-		return model.SensorSpec{}, fmt.Errorf("%w: %s", ErrUnknownSensor, sensorID)
-	}
-	return spec, nil
-}
-
-// Sensors returns the registered sensor IDs, sorted.
-func (db *DB) Sensors() []string {
-	db.sensorMu.RLock()
-	defer db.sensorMu.RUnlock()
-	out := make([]string, 0, len(db.sensors))
-	for id := range db.sensors {
-		out = append(out, id)
-	}
-	sort.Strings(out)
-	return out
-}
-
-// SensorGeneration returns a counter bumped on every sensor
-// registration. Callers that derive state from the whole sensor table
-// (the fusion classifier, per-sensor spec lookups on the query path)
-// memoize against it and refresh only when it moves.
-func (db *DB) SensorGeneration() uint64 { return db.sensorGen.Load() }
-
-// SensorSnapshot returns a copy of the sensor metadata table together
-// with the generation it was taken at. The copy is the caller's to
-// keep; the generation lets it revalidate with one atomic load instead
-// of a lock per spec lookup.
-func (db *DB) SensorSnapshot() (map[string]model.SensorSpec, uint64) {
-	db.sensorMu.RLock()
-	defer db.sensorMu.RUnlock()
-	out := make(map[string]model.SensorSpec, len(db.sensors))
-	for id, spec := range db.sensors {
-		out[id] = spec
-	}
-	return out, db.sensorGen.Load()
-}
-
-// TriggerFiring pairs a matched trigger callback with the event it
-// should receive. InsertReadings hands the batch's firings to a
-// FiringDispatcher so the caller can fan evaluation out.
-type TriggerFiring struct {
-	Fn    TriggerFunc
-	Event TriggerEvent
-}
-
-// FiringDispatcher runs a batch's trigger firings. It is called at
-// most once per InsertReadings call, after the rows are stored and all
-// table locks are released, and must run every firing before
-// returning. Firings for the same mobile object appear in reading
-// order; a dispatcher may parallelize across objects but should
-// preserve that per-object order (entry/exit edge detection depends on
-// it).
-type FiringDispatcher func([]TriggerFiring)
-
-// RejectedError reports the readings of an insert that failed
-// validation (unknown sensor, missing mobject id, unresolvable
-// location). It covers only the rejected readings: the rest of the
-// batch was stored, so re-submitting the whole batch would duplicate
-// the stored rows. Callers that retry (the resilient adapter sink, a
-// remote client) must retry only the listed indices.
-type RejectedError struct {
-	// Indices are the rejected readings' positions in the submitted
-	// slice, ascending.
-	Indices []int
-	// Errs holds the per-reading failures, parallel to Indices.
-	Errs []error
-}
-
-func (e *RejectedError) Error() string {
-	if len(e.Errs) == 1 {
-		return e.Errs[0].Error()
-	}
-	return fmt.Sprintf("spatialdb: %d readings rejected: %v", len(e.Errs), errors.Join(e.Errs...))
-}
-
-// Unwrap exposes the per-reading failures to errors.Is / errors.As.
-func (e *RejectedError) Unwrap() []error { return e.Errs }
-
-// InsertReading stores a sensor reading (resolving its location to a
-// universe-frame MBR if the adapter has not already) and fires any
-// matching triggers synchronously. The sensor must be registered.
-func (db *DB) InsertReading(r model.Reading) error {
-	_, err := db.InsertReadings([]model.Reading{r}, nil)
-	return err
-}
-
-// InsertReadings stores a slice of readings with one lock acquisition
-// per table instead of one per reading, amortizing the hot-path cost
-// for batched adapters. Readings that fail validation are skipped;
-// the rest are stored. It returns the number stored and, when any
-// reading was skipped, a *RejectedError naming the skipped indices —
-// never retry the whole batch on that error, the other rows are
-// already in the table.
-//
-// Trigger firings for the whole batch are collected and then run via
-// dispatch; a nil dispatch runs them serially in insertion order,
-// which makes InsertReadings(rs, nil) observably equivalent to
-// len(rs) InsertReading calls. Insert hooks run last, per stored
-// reading in order, as in the single-insert path.
-func (db *DB) InsertReadings(rs []model.Reading, dispatch FiringDispatcher) (int, error) {
-	if len(rs) == 0 {
-		return 0, nil
-	}
-	start := time.Now()
-
-	// Phase 1 — validate and resolve regions under the sensor and
-	// object read locks (lock order: sensorMu → objMu).
-	prepared := make([]model.Reading, 0, len(rs))
-	var errs []error
-	var rejected []int
-	db.sensorMu.RLock()
-	db.objMu.RLock()
-	for i, r := range rs {
-		if r.MObjectID == "" {
-			mInsertErrors.Inc()
-			rejected = append(rejected, i)
-			errs = append(errs, fmt.Errorf("spatialdb: reading without mobject id"))
-			continue
-		}
-		spec, ok := db.sensors[r.SensorID]
-		if !ok {
-			mInsertErrors.Inc()
-			rejected = append(rejected, i)
-			errs = append(errs, fmt.Errorf("%w: %s", ErrUnknownSensor, r.SensorID))
-			continue
-		}
-		if r.SensorType == "" {
-			r.SensorType = spec.Type
-		}
-		if !r.Region.Valid() || r.Region.Area() == 0 {
-			rect, err := db.resolveReadingLocked(r, spec)
-			if err != nil {
-				mInsertErrors.Inc()
-				rejected = append(rejected, i)
-				errs = append(errs, fmt.Errorf("insert reading from %s: %w", r.SensorID, err))
-				continue
-			}
-			r.Region = rect
-		}
-		prepared = append(prepared, r)
-	}
-	db.objMu.RUnlock()
-	db.sensorMu.RUnlock()
-
-	// Phase 2 — store every row under one write lock: movement
-	// detection, append, bound, and the per-object epoch bump that
-	// invalidates fused-location caches.
-	db.readMu.Lock()
-	for i := range prepared {
-		r := &prepared[i]
-		// Movement detection: compare with the previous reading from
-		// the same sensor for the same object.
-		prev := db.readings[r.MObjectID]
-		for j := len(prev) - 1; j >= 0; j-- {
-			if prev[j].SensorID == r.SensorID {
-				if !prev[j].Region.Eq(r.Region) {
-					r.Moving = true
-				}
-				break
-			}
-		}
-		rows := append(db.readings[r.MObjectID], *r)
-		// Bound per-object storage: long-TTL sensors (desktop sessions,
-		// biometric long readings) must not accumulate without limit.
-		// The newest rows win; fusion only consumes the latest row per
-		// sensor anyway.
-		if len(rows) > maxReadingsPerObject {
-			rows = append(rows[:0], rows[len(rows)-maxReadingsPerObject:]...)
-		}
-		db.readings[r.MObjectID] = rows
-		db.epochs[r.MObjectID]++
-	}
-	db.readMu.Unlock()
-
-	// Phase 3 — match triggers for the whole batch under the shared
-	// trigger lock; firing happens after release.
-	visits0 := db.triggerIdx.Visits()
-	var firings []TriggerFiring
-	db.trigMu.RLock()
-	for _, r := range prepared {
-		for _, it := range db.triggerIdx.SearchIntersect(r.Region) {
-			tr := db.triggers[it.ID]
-			if tr == nil {
-				continue
-			}
-			if tr.mobject != "" && tr.mobject != r.MObjectID {
-				continue
-			}
-			firings = append(firings, TriggerFiring{
-				Fn:    tr.fn,
-				Event: TriggerEvent{TriggerID: tr.id, Reading: r, Region: tr.region},
-			})
-		}
-	}
-	visitDelta := db.triggerIdx.Visits() - visits0
-	db.trigMu.RUnlock()
-
-	// The db_insert stage ends here: storage and trigger matching are
-	// done; what follows (trigger evaluation, hooks) is accounted to the
-	// downstream stages.
-	mInsertVisits.Add(uint64(visitDelta))
-	db.syncVisitsGauge()
-	mInsertUs.Observe(float64(time.Since(start).Microseconds()))
-	mInserts.Add(uint64(len(prepared)))
-	mTriggerMatches.Add(uint64(len(firings)))
-	if len(rs) > 1 {
-		mBatchInserts.Inc()
-		mBatchRows.Observe(float64(len(rs)))
-	}
-	for i := range prepared {
-		obs.SpanSince(prepared[i].Trace, "db_insert", start)
-	}
-
-	if len(firings) > 0 {
-		if dispatch != nil {
-			dispatch(firings)
-		} else {
-			for _, f := range firings {
-				f.Fn(f.Event)
-			}
-		}
-	}
-	db.hookMu.RLock()
-	hooks := db.hooks
-	db.hookMu.RUnlock()
-	for i := range prepared {
-		for _, h := range hooks {
-			h(prepared[i])
-		}
-	}
-	if len(errs) > 0 {
-		return len(prepared), &RejectedError{Indices: rejected, Errs: errs}
-	}
-	return len(prepared), nil
-}
-
-// ReadingEpoch returns the object's reading-table epoch — a counter
-// bumped whenever the object's stored rows change in a way that can
-// change query results. An unchanged epoch means a cached fusion
-// result for the object is still derived from the current rows.
-func (db *DB) ReadingEpoch(mobjectID string) uint64 {
-	db.readMu.RLock()
-	defer db.readMu.RUnlock()
-	return db.epochs[mobjectID]
-}
-
-// AddInsertHook registers a callback invoked after every successful
-// reading insert, once the matching triggers have fired. Hooks run on
-// the inserting goroutine outside the table locks. The Location
-// Service uses one to observe readings that fall outside any trigger
-// region (exit detection for entry/exit subscriptions).
-func (db *DB) AddInsertHook(fn func(model.Reading)) {
-	if fn == nil {
-		return
-	}
-	db.hookMu.Lock()
-	defer db.hookMu.Unlock()
-	db.hooks = append(db.hooks, fn)
-}
-
-// resolveReadingLocked computes the reading's universe-frame MBR from
-// its GLOB location and detection radius.
-func (db *DB) resolveReadingLocked(r model.Reading, spec model.SensorSpec) (geom.Rect, error) {
-	if r.Location.IsZero() {
-		return geom.Rect{}, fmt.Errorf("%w: reading has no location", ErrBadGeometry)
-	}
-	if r.Location.IsCoordinate() {
-		rect, err := db.resolveGLOBLocked(r.Location)
-		if err != nil {
-			return geom.Rect{}, err
-		}
-		radius := r.DetectionRadius
-		if radius == 0 && spec.Resolution.Kind == model.ResolutionDistance {
-			radius = spec.Resolution.Radius
-		}
-		return rect.Expand(radius), nil
-	}
-	return db.resolveGLOBLocked(r.Location)
-}
-
-// ReadingsFor returns the unexpired readings for a mobile object at
-// time now, applying each sensor's TTL from the metadata table.
-// Expired rows are pruned as a side effect. Pruning does not bump the
-// object's reading epoch: the removed rows were already invisible to
-// every TTL-filtered query, so cached results stay correct.
-func (db *DB) ReadingsFor(mobjectID string, now time.Time) []model.Reading {
-	db.sensorMu.RLock()
-	defer db.sensorMu.RUnlock()
-	// Fast path under the shared lock: concurrent locates for
-	// different objects must not serialize here. Only when a row has
-	// actually expired is the exclusive lock taken to prune.
-	db.readMu.RLock()
-	rows := db.readings[mobjectID]
-	live := make([]model.Reading, 0, len(rows))
-	stale := false
-	for _, r := range rows {
-		spec, ok := db.sensors[r.SensorID]
-		if !ok || r.Expired(now, spec.TTL) {
-			stale = true
-			continue
-		}
-		live = append(live, r)
-	}
-	db.readMu.RUnlock()
-	if !stale {
-		return live
-	}
-
-	db.readMu.Lock()
-	defer db.readMu.Unlock()
-	// Recompute: the rows may have changed between the locks.
-	rows = db.readings[mobjectID]
-	live = live[:0]
-	for _, r := range rows {
-		spec, ok := db.sensors[r.SensorID]
-		if !ok {
-			continue
-		}
-		if !r.Expired(now, spec.TTL) {
-			live = append(live, r)
-		}
-	}
-	if len(live) == 0 {
-		delete(db.readings, mobjectID)
-	} else {
-		db.readings[mobjectID] = append([]model.Reading(nil), live...)
-	}
-	return live
-}
-
-// LatestPerSensor returns, for each sensor that has an unexpired
-// reading for the object, only its newest one — the working set for
-// fusion.
-func (db *DB) LatestPerSensor(mobjectID string, now time.Time) []model.Reading {
-	rows := db.ReadingsFor(mobjectID, now)
-	latest := make(map[string]model.Reading, len(rows))
-	for _, r := range rows {
-		if cur, ok := latest[r.SensorID]; !ok || r.Time.After(cur.Time) {
-			latest[r.SensorID] = r
-		}
-	}
-	out := make([]model.Reading, 0, len(latest))
-	for _, r := range latest {
-		out = append(out, r)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].SensorID < out[j].SensorID })
-	return out
-}
-
-// MobileObjects returns the IDs of all objects with stored readings,
-// sorted.
-func (db *DB) MobileObjects() []string {
-	db.readMu.RLock()
-	defer db.readMu.RUnlock()
-	out := make([]string, 0, len(db.readings))
-	for id := range db.readings {
-		out = append(out, id)
-	}
-	sort.Strings(out)
-	return out
-}
-
-// ExpireReadings removes every reading for every object that has
-// outlived its sensor's TTL at time now, and expires readings matching
-// the filter immediately (used by the biometric logout flow, §6.3).
-// Objects that lose a not-yet-expired row through the filter get their
-// reading epoch bumped: the forced expiry changes query results, so
-// cached fusion state for them must be invalidated.
-func (db *DB) ExpireReadings(now time.Time, match func(model.Reading) bool) {
-	db.sensorMu.RLock()
-	defer db.sensorMu.RUnlock()
-	db.readMu.Lock()
-	defer db.readMu.Unlock()
-	for id, rows := range db.readings {
-		var live []model.Reading
-		forced := false
-		for _, r := range rows {
-			spec, ok := db.sensors[r.SensorID]
-			if !ok || r.Expired(now, spec.TTL) {
-				continue
-			}
-			if match != nil && match(r) {
-				forced = true
-				continue
-			}
-			live = append(live, r)
-		}
-		if len(live) == 0 {
-			delete(db.readings, id)
-		} else {
-			db.readings[id] = live
-		}
-		if forced {
-			db.epochs[id]++
-		}
-	}
-}
 
 // ---------------------------------------------------------------------------
 // Triggers
@@ -931,4 +610,18 @@ func (db *DB) TriggerCount() int {
 	db.trigMu.RLock()
 	defer db.trigMu.RUnlock()
 	return len(db.triggers)
+}
+
+// AddInsertHook registers a callback invoked after every successful
+// reading insert, once the matching triggers have fired. Hooks run on
+// the inserting goroutine outside the table locks. The Location
+// Service uses one to observe readings that fall outside any trigger
+// region (exit detection for entry/exit subscriptions).
+func (db *DB) AddInsertHook(fn func(model.Reading)) {
+	if fn == nil {
+		return
+	}
+	db.hookMu.Lock()
+	defer db.hookMu.Unlock()
+	db.hooks = append(db.hooks, fn)
 }
