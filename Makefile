@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race shard-stress bench bench-compare vet fmt fmt-write chaos obs stats-demo check
+.PHONY: build test race shard-stress bench bench-compare vet fmt fmt-write chaos obs stats-demo fuzz-smoke compat check
 
 build:
 	$(GO) build ./...
@@ -29,18 +29,47 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
 # Regression gate for the hot paths: re-runs the benchmarks recorded in
-# BENCH_1.json (PR-4 query/ingest paths) and BENCH_2.json (PR-5
-# multi-floor sharding paths) and fails when any is >30% slower than
-# its recorded ns/op (fastest of 3 runs, to filter scheduler noise).
-# Re-record after an intentional change with:
+# BENCH_1.json (PR-4 query/ingest paths), BENCH_2.json (PR-5
+# multi-floor sharding paths) and BENCH_3.json (PR-6 wire codec +
+# streaming ingest) and fails when any is >30% slower than its
+# recorded ns/op (fastest of 3 runs, to filter scheduler noise).
+# BENCH_3 additionally enforces cross-benchmark ratios (min_speedup_vs),
+# e.g. streaming binary ingest >= 2x cheaper per reading than the JSON
+# batch-64 path. Re-record after an intentional change with:
 #   go run ./cmd/benchcompare -ref BENCH_1.json -update
 #   go run ./cmd/benchcompare -ref BENCH_2.json -update
+#   go run ./cmd/benchcompare -ref BENCH_3.json -update
 bench-compare:
 	$(GO) run ./cmd/benchcompare -ref BENCH_1.json -tolerance 0.30
 	$(GO) run ./cmd/benchcompare -ref BENCH_2.json -tolerance 0.30
+	$(GO) run ./cmd/benchcompare -ref BENCH_3.json -tolerance 0.30
 
 vet:
 	$(GO) vet ./...
+
+# Fuzz smoke: every wire-protocol decode surface fuzzes for FUZZTIME
+# from its seed corpus (internal/*/testdata/fuzz/). `go test -fuzz`
+# takes exactly one target per invocation, hence the list. A malformed
+# frame must error — never panic, over-read, or accept a payload past
+# the frame cap. Regenerate the seed corpora after a wire change with:
+#   MW_WRITE_FUZZ_CORPUS=1 go test -run TestWriteFuzzCorpus ./internal/mwrpc ./internal/remote
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime $(FUZZTIME) ./internal/mwrpc
+	$(GO) test -run '^$$' -fuzz '^FuzzReadJSONFallback$$' -fuzztime $(FUZZTIME) ./internal/mwrpc
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeReadings$$' -fuzztime $(FUZZTIME) ./internal/remote
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeStreamAck$$' -fuzztime $(FUZZTIME) ./internal/remote
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeNotification$$' -fuzztime $(FUZZTIME) ./internal/remote
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeIngestReply$$' -fuzztime $(FUZZTIME) ./internal/remote
+
+# Protocol-compat suite: the remote integration/chaos/stream tests and
+# the adapter layer under one MW_WIRE pairing ("client/daemon"). CI
+# runs all four pairings — binary/binary, binary/json, json/binary,
+# json/json — so a codec mismatch can never negotiate its way into
+# silently different behaviour.
+MW_WIRE ?= binary/binary
+compat:
+	MW_WIRE='$(MW_WIRE)' $(GO) test -race -count=1 ./internal/remote/ ./internal/adapter/
 
 # Fault-injection suite: the faultnet harness plus the chaos tests
 # that drive the remote stack through it, under the race detector.
@@ -82,3 +111,5 @@ fmt-write:
 	gofmt -l -w .
 
 check: build vet fmt test race shard-stress bench bench-compare chaos obs
+	$(MAKE) compat MW_WIRE=binary/json
+	$(MAKE) compat MW_WIRE=json/json

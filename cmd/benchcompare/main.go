@@ -33,12 +33,31 @@ type BenchRecord struct {
 	// AfterNsOp is the recorded post-optimization figure the gate
 	// compares against.
 	AfterNsOp float64 `json:"after_ns_op"`
+	// MinSpeedupVs, when set, additionally pins a cross-benchmark
+	// ratio: the benchmark named Vs must measure at least Ratio times
+	// this one's ns/op in the SAME run. Both benchmarks compare like
+	// for like (same readings per op), so the ratio is per-unit cost —
+	// this is how "streaming binary ingest stays >= 2x cheaper per
+	// reading than the JSON batch path" is enforced rather than
+	// narrated. Because both sides are measured together, the gate is
+	// immune to the shared-runner load drift that absolute ns/op
+	// gates need the 30% tolerance for.
+	MinSpeedupVs *SpeedupGate `json:"min_speedup_vs,omitempty"`
+}
+
+// SpeedupGate names the slower benchmark and the minimum ratio.
+type SpeedupGate struct {
+	Vs    string  `json:"vs"`
+	Ratio float64 `json:"ratio"`
 }
 
 // RefFile is the shape of BENCH_1.json.
 type RefFile struct {
 	// Note documents how the numbers were taken.
 	Note string `json:"note,omitempty"`
+	// Pkg is the package holding the benchmarks; the -pkg flag
+	// overrides it, "." when neither is set.
+	Pkg string `json:"pkg,omitempty"`
 	// Benchtime and Count are the go test flags the numbers came from.
 	Benchtime string `json:"benchtime"`
 	Count     int    `json:"count"`
@@ -79,6 +98,9 @@ func main() {
 	}
 	if rf.Count <= 0 {
 		rf.Count = 3
+	}
+	if rf.Pkg != "" && *pkg == "." {
+		*pkg = rf.Pkg
 	}
 
 	names := make([]string, 0, len(rf.Benchmarks))
@@ -129,6 +151,23 @@ func main() {
 		} else {
 			fmt.Printf("ok   %-50s %10.1f ns/op vs %10.1f recorded (%.2fx)\n",
 				name, ns, rec.AfterNsOp, ratio)
+		}
+		if g := rec.MinSpeedupVs; g != nil {
+			slow, ok := got[g.Vs]
+			if !ok {
+				fmt.Printf("FAIL %-50s speedup reference %s did not run\n", name, g.Vs)
+				failed = true
+				continue
+			}
+			speedup := slow / ns
+			if speedup < g.Ratio {
+				fmt.Printf("FAIL %-50s only %.2fx faster than %s, need %.2fx\n",
+					name, speedup, g.Vs, g.Ratio)
+				failed = true
+			} else {
+				fmt.Printf("ok   %-50s %.2fx faster than %s (need %.2fx)\n",
+					name, speedup, g.Vs, g.Ratio)
+			}
 		}
 	}
 	if failed {

@@ -11,6 +11,7 @@
 //	middlewhere -building synthetic -rows 5 -cols 8
 //	middlewhere -floorplan plan.json
 //	middlewhere -addr :7700 -trace -debug-addr 127.0.0.1:7771
+//	middlewhere -addr :7700 -wire json          # disable the binary codec
 //
 // With -debug-addr the daemon serves /metrics (Prometheus text),
 // /debug/traces (JSON), and /debug/pprof/* on that address; -trace
@@ -40,6 +41,7 @@ func main() {
 		floorplan    = flag.String("floorplan", "", "JSON floor-plan file (overrides -building)")
 		debugAddr    = flag.String("debug-addr", "", "optional address for /metrics, /debug/traces, and pprof")
 		trace        = flag.Bool("trace", false, "record per-reading pipeline span traces")
+		wire         = flag.String("wire", "", `RPC framing to offer: "binary" (negotiate, the default), "binary!" (strict), or "json"; overrides MW_WIRE`)
 	)
 	flag.Parse()
 	middlewhere.EnableObservability(*trace)
@@ -54,7 +56,7 @@ func main() {
 	}
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	if err := run(*addr, *regAddr, *name, *buildingKind, *floorplan, *rows, *cols, stop); err != nil {
+	if err := run(*addr, *regAddr, *name, *buildingKind, *floorplan, *wire, *rows, *cols, stop); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -82,7 +84,7 @@ func loadBuilding(buildingKind, floorplan string, rows, cols int) (*middlewhere.
 	}
 }
 
-func run(addr, regAddr, name, buildingKind, floorplan string, rows, cols int, stop <-chan os.Signal) error {
+func run(addr, regAddr, name, buildingKind, floorplan, wire string, rows, cols int, stop <-chan os.Signal) error {
 	bld, kindLabel, err := loadBuilding(buildingKind, floorplan, rows, cols)
 	if err != nil {
 		return err
@@ -96,6 +98,9 @@ func run(addr, regAddr, name, buildingKind, floorplan string, rows, cols int, st
 	defer svc.Close()
 
 	srv := middlewhere.NewRemoteServer(svc)
+	if wire != "" {
+		srv.SetWire(middlewhere.ParseWire(wire))
+	}
 	bound, err := srv.Listen(addr)
 	if err != nil {
 		return err

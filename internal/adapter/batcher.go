@@ -7,9 +7,11 @@
 package adapter
 
 import (
+	"errors"
 	"sync"
 
 	"middlewhere/internal/model"
+	"middlewhere/internal/mwrpc"
 	"middlewhere/internal/obs"
 )
 
@@ -17,7 +19,13 @@ import (
 var (
 	mBatchFlushes = obs.Default().Counter("adapter_batch_flushes_total")
 	mBatchRows    = obs.Default().Histogram("adapter_batch_rows")
+	mBatchShed    = obs.Default().Counter("adapter_batch_shed_total")
 )
+
+// creditRetainFactor bounds how much a Batcher holds while its sink is
+// credit-stalled: up to this many flush-sizes re-buffer, beyond that
+// the oldest readings shed (fresh location fixes supersede stale ones).
+const creditRetainFactor = 4
 
 // BatchSink ingests a slice of readings in one call. *core.Service,
 // *remote.LocationClient and *ResilientSink all satisfy it.
@@ -85,7 +93,10 @@ func (b *Batcher) Flush() error {
 // resilient-sink retry) never blocks concurrent Ingest/Pending
 // callers; sendMu keeps batches leaving in arrival order. The buffer
 // is detached even if delivery fails — the batch was handed to the
-// sink, and a resilient sink owns retries from there.
+// sink, and a resilient sink owns retries from there. The one
+// exception is a credit stall (mwrpc.ErrNoCredit): nothing was sent,
+// so the batch re-buffers (bounded — the oldest readings shed once
+// creditRetainFactor flush-sizes are held) and a later flush retries.
 func (b *Batcher) flush() error {
 	b.sendMu.Lock()
 	defer b.sendMu.Unlock()
@@ -99,7 +110,17 @@ func (b *Batcher) flush() error {
 	b.mu.Unlock()
 	mBatchFlushes.Inc()
 	mBatchRows.Observe(float64(len(batch)))
-	return b.sink.IngestBatch(batch)
+	err := b.sink.IngestBatch(batch)
+	if err != nil && errors.Is(err, mwrpc.ErrNoCredit) {
+		b.mu.Lock()
+		b.buf = append(batch, b.buf...)
+		if over := len(b.buf) - creditRetainFactor*b.max; over > 0 {
+			b.buf = b.buf[over:]
+			mBatchShed.Add(uint64(over))
+		}
+		b.mu.Unlock()
+	}
+	return err
 }
 
 // Pending returns how many readings await the next flush.

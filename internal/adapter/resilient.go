@@ -13,6 +13,7 @@ import (
 
 	"middlewhere/internal/core"
 	"middlewhere/internal/model"
+	"middlewhere/internal/mwrpc"
 	"middlewhere/internal/obs"
 	"middlewhere/internal/spatialdb"
 )
@@ -25,8 +26,18 @@ var (
 	mResDropped      = obs.Default().Counter("resilient_dropped_total")
 	mResRejected     = obs.Default().Counter("resilient_rejected_total")
 	mResBreakerOpens = obs.Default().Counter("resilient_breaker_opens_total")
+	mResCreditStalls = obs.Default().Counter("resilient_credit_stalls_total")
 	mResPending      = obs.Default().Gauge("resilient_pending")
 )
+
+// creditStalled reports whether a delivery failed only because the
+// sink's credit window is exhausted (streaming ingest backpressure).
+// Nothing was sent and the transport is healthy: the reading buffers
+// for a paced retry and the circuit breaker stays closed — opening it
+// would turn ordinary backpressure into an outage.
+func creditStalled(err error) bool {
+	return errors.Is(err, mwrpc.ErrNoCredit)
+}
 
 // rejectedIn extracts the sink's per-reading validation report from a
 // delivery error, or nil when the failure is transport-class. The
@@ -103,6 +114,10 @@ type ResilientStats struct {
 	// sink. Rejected readings stay buffered for a paced retry, so one
 	// persistently invalid reading increments this once per attempt.
 	Rejected uint64
+	// CreditStalls counts deliveries deferred because the sink's credit
+	// window was exhausted (streaming-ingest backpressure). Stalled
+	// readings buffer and retry; the breaker does not open.
+	CreditStalls uint64
 	// BreakerOpens counts closed→open transitions.
 	BreakerOpens int
 	// Pending is the current buffer depth.
@@ -176,7 +191,14 @@ func (r *ResilientSink) Ingest(reading model.Reading) error {
 			r.mu.Unlock()
 			return ErrClosed
 		}
-		if rejectedIn(err) == nil {
+		if creditStalled(err) {
+			// Backpressure, not failure: nothing was sent, the transport
+			// is healthy. Buffer and let the drain retry after acks
+			// replenish the window.
+			r.noteSuccess()
+			r.stats.CreditStalls++
+			mResCreditStalls.Inc()
+		} else if rejectedIn(err) == nil {
 			r.noteFailure()
 		} else {
 			// Validation rejection: the transport worked, so the breaker
@@ -283,6 +305,19 @@ func (r *ResilientSink) drain() {
 		}
 		r.mu.Lock()
 		if err != nil {
+			if creditStalled(err) {
+				// Credit window exhausted: the chunk stays at the buffer
+				// front and retries after a pacing delay (the sink's acks
+				// replenish credits in the background). The breaker stays
+				// closed — this is flow control working, not an outage.
+				r.noteSuccess()
+				r.stats.CreditStalls++
+				mResCreditStalls.Inc()
+				r.mu.Unlock()
+				r.sleep(r.opts.RetryInterval)
+				r.mu.Lock()
+				continue
+			}
 			if rej := rejectedIn(err); rej != nil {
 				requeued := r.settleRejected(chunk, drops0, rej)
 				if requeued {
@@ -392,6 +427,18 @@ func (r *ResilientSink) IngestBatch(rs []model.Reading) error {
 		if r.closed {
 			r.mu.Unlock()
 			return ErrClosed
+		}
+		if creditStalled(err) {
+			// Nothing was sent; the whole batch buffers for the drain to
+			// retry once acks replenish the credit window.
+			r.noteSuccess()
+			r.stats.CreditStalls++
+			mResCreditStalls.Inc()
+			for _, reading := range rs {
+				r.enqueue(reading)
+			}
+			r.mu.Unlock()
+			return nil
 		}
 		if rej := rejectedIn(err); rej != nil {
 			// The sink stored everything except the rejects; buffering

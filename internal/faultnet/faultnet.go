@@ -298,6 +298,12 @@ func (p *Proxy) dropFrame() bool {
 	return p.rng.Float64() < p.cfg.FrameDropRate
 }
 
+// binMagic marks an mwrpc binary frame (24-byte fixed header with the
+// payload length at bytes 4..8); anything else is the JSON codec's
+// 4-byte length prefix. The proxy understands both so frame faults can
+// be injected whichever codec the peers negotiated.
+const binMagic = 0xB1
+
 // pipeFrames relays whole frames; a dropped frame severs the link.
 func (p *Proxy) pipeFrames(l *link, src, dst net.Conn) {
 	var budget int64 = -1
@@ -309,7 +315,33 @@ func (p *Proxy) pipeFrames(l *link, src, dst net.Conn) {
 		if _, err := io.ReadFull(src, hdr[:]); err != nil {
 			return
 		}
-		n := binary.BigEndian.Uint32(hdr[:])
+		var n uint32
+		if hdr[0] == binMagic {
+			// Binary frame: finish the 24-byte header; payload length
+			// lives at header bytes 4..8.
+			rest := make([]byte, 20)
+			if _, err := io.ReadFull(src, rest); err != nil {
+				return
+			}
+			n = binary.BigEndian.Uint32(rest[:4])
+			if int(n) > p.cfg.maxFrame() {
+				p.countKill()
+				return
+			}
+			frame := make([]byte, 0, 24+int(n))
+			frame = append(frame, hdr[:]...)
+			frame = append(frame, rest...)
+			body := make([]byte, n)
+			if _, err := io.ReadFull(src, body); err != nil {
+				return
+			}
+			frame = append(frame, body...)
+			if p.forwardFrame(frame, dst, &budget) {
+				continue
+			}
+			return
+		}
+		n = binary.BigEndian.Uint32(hdr[:])
 		if int(n) > p.cfg.maxFrame() {
 			p.countKill()
 			return
@@ -318,30 +350,39 @@ func (p *Proxy) pipeFrames(l *link, src, dst net.Conn) {
 		if _, err := io.ReadFull(src, body); err != nil {
 			return
 		}
-		if p.dropFrame() {
-			p.mu.Lock()
-			p.stats.DroppedFrames++
-			p.stats.Killed++
-			p.mu.Unlock()
-			return // defer severs the link: the lost frame becomes a link flap
-		}
-		p.sleepFault()
 		out := append(hdr[:], body...)
-		if budget >= 0 && int64(len(out)) > budget {
-			dst.Write(out[:budget])
-			p.countKill()
+		if !p.forwardFrame(out, dst, &budget) {
 			return
 		}
-		if budget >= 0 {
-			budget -= int64(len(out))
-		}
-		if _, err := dst.Write(out); err != nil {
-			return
-		}
-		p.mu.Lock()
-		p.stats.ForwardedFrames++
-		p.mu.Unlock()
 	}
+}
+
+// forwardFrame applies the drop/delay/truncate faults to one complete
+// frame and forwards it. It reports whether the link should live on.
+func (p *Proxy) forwardFrame(out []byte, dst net.Conn, budget *int64) bool {
+	if p.dropFrame() {
+		p.mu.Lock()
+		p.stats.DroppedFrames++
+		p.stats.Killed++
+		p.mu.Unlock()
+		return false // caller's defer severs the link: the lost frame becomes a link flap
+	}
+	p.sleepFault()
+	if *budget >= 0 && int64(len(out)) > *budget {
+		dst.Write(out[:*budget])
+		p.countKill()
+		return false
+	}
+	if *budget >= 0 {
+		*budget -= int64(len(out))
+	}
+	if _, err := dst.Write(out); err != nil {
+		return false
+	}
+	p.mu.Lock()
+	p.stats.ForwardedFrames++
+	p.mu.Unlock()
+	return true
 }
 
 // pipeRaw relays an opaque byte stream in chunks.

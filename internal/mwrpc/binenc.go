@@ -1,0 +1,189 @@
+// Binary encoding primitives for the compact wire codec: append-style
+// writers that extend a caller-owned buffer (so pooled buffers make
+// steady-state encode allocation-free) and a bounds-checked reader
+// that can never over-read or panic on malformed input — every decode
+// error is a plain error, which the fuzz targets lock in.
+package mwrpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"sync"
+)
+
+// ErrTruncated reports a binary payload that ended before the value it
+// promised; ErrCorrupt reports a structurally invalid one (length
+// fields that exceed the frame, varints that don't terminate).
+var (
+	ErrTruncated = errors.New("mwrpc: truncated binary payload")
+	ErrCorrupt   = errors.New("mwrpc: corrupt binary payload")
+)
+
+// AppendUvarint appends v in unsigned LEB128.
+func AppendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// AppendU32 appends a fixed-width big-endian uint32.
+func AppendU32(b []byte, v uint32) []byte {
+	return binary.BigEndian.AppendUint32(b, v)
+}
+
+// AppendU64 appends a fixed-width big-endian uint64.
+func AppendU64(b []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(b, v)
+}
+
+// AppendI64 appends a big-endian int64 (two's complement).
+func AppendI64(b []byte, v int64) []byte {
+	return binary.BigEndian.AppendUint64(b, uint64(v))
+}
+
+// AppendF64 appends a big-endian IEEE-754 double.
+func AppendF64(b []byte, v float64) []byte {
+	return binary.BigEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// AppendString appends a uvarint length followed by the raw bytes.
+func AppendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// maxStringLen bounds any single length-prefixed string inside a
+// payload; a frame is capped at maxFrame anyway, so this only fails
+// fast on corrupt length fields instead of attempting a huge alloc.
+const maxStringLen = maxFrame
+
+// BinReader walks a binary payload with hard bounds checks. The zero
+// value over a byte slice is ready to use; all methods return an error
+// instead of panicking on malformed input.
+type BinReader struct {
+	buf []byte
+	off int
+}
+
+// NewBinReader wraps a payload.
+func NewBinReader(b []byte) *BinReader { return &BinReader{buf: b} }
+
+// Reset rewinds the reader onto a new payload.
+func (r *BinReader) Reset(b []byte) { r.buf, r.off = b, 0 }
+
+// Remaining reports how many bytes are left.
+func (r *BinReader) Remaining() int { return len(r.buf) - r.off }
+
+// Uvarint reads an unsigned LEB128 value.
+func (r *BinReader) Uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		if n == 0 {
+			return 0, ErrTruncated
+		}
+		return 0, ErrCorrupt
+	}
+	r.off += n
+	return v, nil
+}
+
+// Len reads a uvarint and validates it as a count/length against the
+// bytes remaining (each counted element needs at least min bytes), so
+// a corrupt count cannot drive a huge allocation.
+func (r *BinReader) Len(min int) (int, error) {
+	v, err := r.Uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if min < 1 {
+		min = 1
+	}
+	if v > uint64(r.Remaining()/min) {
+		return 0, ErrCorrupt
+	}
+	return int(v), nil
+}
+
+// U32 reads a fixed-width big-endian uint32.
+func (r *BinReader) U32() (uint32, error) {
+	if r.Remaining() < 4 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+// U64 reads a fixed-width big-endian uint64.
+func (r *BinReader) U64() (uint64, error) {
+	if r.Remaining() < 8 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+// I64 reads a big-endian int64.
+func (r *BinReader) I64() (int64, error) {
+	v, err := r.U64()
+	return int64(v), err
+}
+
+// F64 reads a big-endian IEEE-754 double.
+func (r *BinReader) F64() (float64, error) {
+	v, err := r.U64()
+	return math.Float64frombits(v), err
+}
+
+// String reads a uvarint-length-prefixed string.
+func (r *BinReader) String() (string, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen || n > uint64(r.Remaining()) {
+		return "", ErrTruncated
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+// Bytes reads a uvarint-length-prefixed byte slice, aliasing the
+// underlying payload (valid only while the payload is).
+func (r *BinReader) Bytes() ([]byte, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxStringLen || n > uint64(r.Remaining()) {
+		return nil, ErrTruncated
+	}
+	b := r.buf[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b, nil
+}
+
+// ---------------------------------------------------------------------------
+// Pooled encode buffers
+
+// Buf is a pooled encode scratch buffer: append into B and call Free
+// when the bytes are no longer referenced. The pointer wrapper (not a
+// bare slice) is what lets sync.Pool recycle without boxing a fresh
+// interface allocation on every Put.
+type Buf struct{ B []byte }
+
+var bufPool = sync.Pool{New: func() interface{} { return &Buf{B: make([]byte, 0, 4096)} }}
+
+// GetBuf borrows a zero-length scratch buffer from the codec pool.
+// Steady-state encode allocates nothing once pooled buffers have grown
+// to the working-set size.
+func GetBuf() *Buf {
+	b := bufPool.Get().(*Buf)
+	b.B = b.B[:0]
+	return b
+}
+
+// Free returns the buffer to the pool. The caller must not touch B
+// afterwards.
+func (b *Buf) Free() { bufPool.Put(b) }

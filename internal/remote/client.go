@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"os"
 	"strconv"
 	"sync"
 	"time"
@@ -63,6 +64,12 @@ type DialOptions struct {
 	// DisableReconnect restores the old behaviour: the first transport
 	// failure is fatal and the session is lost.
 	DisableReconnect bool
+	// Wire selects the frame codec: WireAuto (default) negotiates
+	// binary framing with a JSON fallback, WireJSON pins JSON, and
+	// WireBinary fails the dial if the server declines. When left at
+	// WireAuto the MW_WIRE environment variable ("binary", "json", or
+	// a "client/daemon" pair) overrides it.
+	Wire mwrpc.WirePref
 	// OnStateChange, when non-nil, observes connection transitions
 	// (called outside client locks, possibly from internal goroutines).
 	OnStateChange func(ConnState)
@@ -91,6 +98,11 @@ func (o DialOptions) withDefaults() DialOptions {
 	}
 	if o.JitterSeed == 0 {
 		o.JitterSeed = time.Now().UnixNano()
+	}
+	if o.Wire == mwrpc.WireAuto {
+		if env := os.Getenv(mwrpc.WireEnv); env != "" {
+			o.Wire, _ = mwrpc.WireFromEnv(env)
+		}
 	}
 	return o
 }
@@ -147,6 +159,9 @@ type LocationClient struct {
 	serverToSub map[string]*clientSub
 	subSeq      int
 
+	// ackSubs routes stream acks (by stream ID) to open ingest streams.
+	ackSubs map[uint64]*IngestStream
+
 	// metrics holds the client's counters (per client unless
 	// DialOptions.Metrics shares a registry); the handles below are
 	// cached so the push path stays alloc-free.
@@ -158,6 +173,14 @@ type LocationClient struct {
 	mIngests     *obs.Counter // readings forwarded over mw.ingest[Batch]
 	mBatches     *obs.Counter // mw.ingestBatch frames sent
 	mIngestRTT   *obs.Histogram
+
+	// Streaming-ingest instrumentation (see stream.go).
+	mStreamBatches       *obs.Counter // stream batches sent
+	mStreamResends       *obs.Counter // batches re-sent after a reconnect
+	mStreamDropped       *obs.Counter // batches the server could not decode
+	gStreamCreditBatches *obs.Gauge   // batch credits currently held
+	gStreamCreditBytes   *obs.Gauge   // byte credits currently held
+	gStreamUnacked       *obs.Gauge   // batches in flight awaiting an ack
 }
 
 // DialLocation connects to a remote Location Service with default
@@ -183,6 +206,7 @@ func DialLocationOptions(addr string, opts DialOptions) (*LocationClient, error)
 		sensors:      make(map[string]SensorSpecDTO),
 		subs:         make(map[string]*clientSub),
 		serverToSub:  make(map[string]*clientSub),
+		ackSubs:      make(map[uint64]*IngestStream),
 		metrics:      reg,
 		mReconnects:  reg.Counter("client_reconnect_rounds_total"),
 		mResubscribe: reg.Counter("client_resubscribed_total"),
@@ -191,6 +215,13 @@ func DialLocationOptions(addr string, opts DialOptions) (*LocationClient, error)
 		mIngests:     reg.Counter("client_ingests_total"),
 		mBatches:     reg.Counter("client_ingest_batches_total"),
 		mIngestRTT:   reg.Histogram("client_ingest_rtt_us"),
+
+		mStreamBatches:       reg.Counter("remote_stream_batches_total"),
+		mStreamResends:       reg.Counter("remote_stream_resends_total"),
+		mStreamDropped:       reg.Counter("remote_stream_dropped_total"),
+		gStreamCreditBatches: reg.Gauge("remote_stream_credit_batches"),
+		gStreamCreditBytes:   reg.Gauge("remote_stream_credit_bytes"),
+		gStreamUnacked:       reg.Gauge("remote_stream_unacked"),
 	}
 	var lastErr error
 	for attempt := 0; attempt < opts.DialAttempts; attempt++ {
@@ -218,11 +249,14 @@ func (c *LocationClient) dialOnce() (*mwrpc.Client, error) {
 	rpc, err := mwrpc.DialOptions(c.addr, mwrpc.Options{
 		DialTimeout: c.opts.DialTimeout,
 		CallTimeout: c.opts.CallTimeout,
+		Wire:        c.opts.Wire,
 	})
 	if err != nil {
 		return nil, err
 	}
 	rpc.OnPush(NotifyStream, c.onNotify)
+	rpc.OnPushBinary(NotifyStream, c.onNotifyBin)
+	rpc.OnStreamAck(c.routeAck)
 	return rpc, nil
 }
 
@@ -501,8 +535,7 @@ func (c *LocationClient) callTraced(method string, params, result interface{}, t
 	return lastErr
 }
 
-// onNotify dispatches a pushed notification to its handler, remapping
-// the server's subscription ID to the stable local one. Malformed
+// onNotify dispatches a JSON-encoded pushed notification. Malformed
 // payloads are counted (they feed Health), never silently dropped.
 func (c *LocationClient) onNotify(payload json.RawMessage) {
 	var n NotificationDTO
@@ -510,6 +543,22 @@ func (c *LocationClient) onNotify(payload json.RawMessage) {
 		c.mMalformed.Inc()
 		return
 	}
+	c.dispatchNotify(n)
+}
+
+// onNotifyBin is onNotify for binary-encoded pushes.
+func (c *LocationClient) onNotifyBin(payload []byte) {
+	n, err := decodeNotification(payload)
+	if err != nil {
+		c.mMalformed.Inc()
+		return
+	}
+	c.dispatchNotify(n)
+}
+
+// dispatchNotify routes a decoded notification to its handler,
+// remapping the server's subscription ID to the stable local one.
+func (c *LocationClient) dispatchNotify(n NotificationDTO) {
 	c.mu.Lock()
 	sub := c.serverToSub[n.SubscriptionID]
 	var fn func(NotificationDTO)
@@ -533,6 +582,39 @@ func (c *LocationClient) onNotify(payload json.RawMessage) {
 	if fn != nil {
 		fn(n)
 	}
+}
+
+// callMaybeBinary is callTraced for methods with a hand-rolled binary
+// payload codec: on a binary-negotiated connection it sends enc and
+// decodes the reply with dec, on a JSON connection it defers to
+// jsonCall (which sees the live rpc handle). Transport failures
+// reconnect and retry like callTraced, re-checking the codec each
+// attempt — a reconnect may land on a server that negotiates
+// differently.
+func (c *LocationClient) callMaybeBinary(method, trace string, enc mwrpc.Appender, dec func([]byte) error, jsonCall func(rpc *mwrpc.Client) error) error {
+	var lastErr error
+	for attempt := 0; attempt < c.opts.DialAttempts; attempt++ {
+		rpc, epoch, err := c.current()
+		if err != nil {
+			return err
+		}
+		if rpc.Codec() == mwrpc.CodecBinary {
+			err = rpc.CallBinary(method, enc, dec, trace)
+		} else {
+			err = jsonCall(rpc)
+		}
+		if err == nil {
+			return nil
+		}
+		if !isTransportErr(err) {
+			return err
+		}
+		lastErr = err
+		if werr := c.awaitReconnect(epoch); werr != nil {
+			return fmt.Errorf("%w (after %v)", werr, lastErr)
+		}
+	}
+	return lastErr
 }
 
 // Ingest forwards a sensor reading (adapter.Sink). Delivery is
@@ -580,13 +662,23 @@ func (c *LocationClient) IngestBatch(rs []model.Reading) error {
 	if obs.Enabled() {
 		trace = obs.BeginTrace()
 	}
-	args := IngestBatchArgs{Readings: make([]ReadingDTO, 0, len(rs))}
-	for _, r := range rs {
-		args.Readings = append(args.Readings, toReadingDTO(r))
-	}
 	start := time.Now()
 	var reply IngestBatchReply
-	err := c.callTraced("mw.ingestBatch", args, &reply, trace)
+	err := c.callMaybeBinary("mw.ingestBatch", trace,
+		func(b []byte) []byte { return AppendReadings(b, rs) },
+		func(payload []byte) error {
+			var derr error
+			reply, derr = DecodeIngestReply(payload)
+			return derr
+		},
+		func(rpc *mwrpc.Client) error {
+			// The DTO slice is built lazily, only for JSON attempts.
+			args := IngestBatchArgs{Readings: make([]ReadingDTO, 0, len(rs))}
+			for _, r := range rs {
+				args.Readings = append(args.Readings, toReadingDTO(r))
+			}
+			return rpc.CallTraced("mw.ingestBatch", args, &reply, trace)
+		})
 	if err == nil {
 		c.mIngests.Add(uint64(reply.Accepted))
 		c.mBatches.Inc()
@@ -613,6 +705,18 @@ func (c *LocationClient) IngestBatch(rs []model.Reading) error {
 // Metrics returns the client's metric registry (reconnect rounds,
 // replayed subscriptions, malformed pushes, ingest round trips).
 func (c *LocationClient) Metrics() *obs.Registry { return c.metrics }
+
+// WireCodec reports the frame codec negotiated on the current
+// connection (mwctl surfaces it; tests assert the compat matrix).
+func (c *LocationClient) WireCodec() mwrpc.Codec {
+	c.mu.Lock()
+	rpc := c.rpc
+	c.mu.Unlock()
+	if rpc == nil {
+		return mwrpc.CodecJSON
+	}
+	return rpc.Codec()
+}
 
 // RegisterSensor registers a sensor calibration (adapter.Registrar)
 // and records it in the session table for replay after a reconnect.
@@ -644,14 +748,34 @@ func (c *LocationClient) Locate(object string) (LocationDTO, error) {
 // (GLOB string).
 func (c *LocationClient) ProbInRegion(object, region string) (prob float64, band string, err error) {
 	var out probReply
-	err = c.call("mw.probInRegion", regionQueryArgs{Object: object, Region: region}, &out)
+	args := regionQueryArgs{Object: object, Region: region}
+	err = c.callMaybeBinary("mw.probInRegion", "",
+		func(b []byte) []byte { return appendRegionQuery(b, args) },
+		func(payload []byte) error {
+			var derr error
+			out, derr = decodeProbReply(payload)
+			return derr
+		},
+		func(rpc *mwrpc.Client) error {
+			return rpc.Call("mw.probInRegion", args, &out)
+		})
 	return out.Prob, out.Band, err
 }
 
 // ObjectsInRegion asks who is in a region with at least minProb.
 func (c *LocationClient) ObjectsInRegion(region string, minProb float64) (map[string]float64, error) {
 	var out map[string]float64
-	err := c.call("mw.objectsInRegion", regionQueryArgs{Region: region, MinProb: minProb}, &out)
+	args := regionQueryArgs{Region: region, MinProb: minProb}
+	err := c.callMaybeBinary("mw.objectsInRegion", "",
+		func(b []byte) []byte { return appendRegionQuery(b, args) },
+		func(payload []byte) error {
+			var derr error
+			out, derr = decodeObjectsReply(payload)
+			return derr
+		},
+		func(rpc *mwrpc.Client) error {
+			return rpc.Call("mw.objectsInRegion", args, &out)
+		})
 	return out, err
 }
 

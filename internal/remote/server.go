@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -32,17 +33,31 @@ type Server struct {
 	// subs maps subscription ID -> owning connection, for cleanup when
 	// a client drops.
 	subs map[string]*mwrpc.ServerConn
+	// streams holds per-connection streaming-ingest state; nextStream
+	// allocates stream IDs.
+	streams    map[*mwrpc.ServerConn]map[uint64]*srvStream
+	nextStream uint64
 }
 
-// NewServer wraps a Location Service. Call Listen to serve.
+// NewServer wraps a Location Service. Call Listen to serve. The
+// MW_WIRE environment knob ("json" daemon side declines binary
+// negotiation) configures which codecs the server offers.
 func NewServer(svc *core.Service) *Server {
 	s := &Server{
-		svc:  svc,
-		rpc:  mwrpc.NewServer(),
-		subs: make(map[string]*mwrpc.ServerConn),
+		svc:     svc,
+		rpc:     mwrpc.NewServer(),
+		subs:    make(map[string]*mwrpc.ServerConn),
+		streams: make(map[*mwrpc.ServerConn]map[uint64]*srvStream),
 	}
+	_, daemonWire := mwrpc.WireFromEnv(os.Getenv(mwrpc.WireEnv))
+	s.rpc.SetWire(daemonWire)
 	s.rpc.RegisterTraced("mw.ingest", s.handleIngest)
 	s.rpc.RegisterTraced("mw.ingestBatch", s.handleIngestBatch)
+	s.rpc.RegisterBinary("mw.ingestBatch", s.handleIngestBatchBin)
+	s.rpc.RegisterBinary("mw.probInRegion", s.handleProbInRegionBin)
+	s.rpc.RegisterBinary("mw.objectsInRegion", s.handleObjectsInRegionBin)
+	s.rpc.Register("mw.streamOpen", s.handleStreamOpen)
+	s.rpc.OnStreamBatch(s.handleStreamBatch)
 	s.rpc.Register("mw.registerSensor", s.handleRegisterSensor)
 	s.rpc.Register("mw.locate", s.handleLocate)
 	s.rpc.Register("mw.probInRegion", s.handleProbInRegion)
@@ -151,6 +166,11 @@ func (s *Server) handleHealth(_ *mwrpc.ServerConn, _ json.RawMessage) (interface
 	}, nil
 }
 
+// SetWire overrides which codecs the daemon negotiates (normally read
+// from MW_WIRE at construction). Call before Listen; the daemon's -wire
+// flag routes here.
+func (s *Server) SetWire(p mwrpc.WirePref) { s.rpc.SetWire(p) }
+
 // Listen binds to addr and returns the bound address.
 func (s *Server) Listen(addr string) (string, error) { return s.rpc.Listen(addr) }
 
@@ -195,10 +215,37 @@ func (s *Server) handleIngestBatch(_ *mwrpc.ServerConn, params json.RawMessage, 
 	if err := json.Unmarshal(params, &a); err != nil {
 		return nil, err
 	}
-	rs := make([]model.Reading, 0, len(a.Readings))
-	frameIdx := make([]int, 0, len(a.Readings))
-	var rejected []RejectedReadingDTO
-	for i, d := range a.Readings {
+	rs, frameIdx, rejected := decodeDTOBatch(a.Readings, trace)
+	obs.SpanSince(trace, "ingest", start)
+	return s.ingestDecoded(rs, frameIdx, rejected, len(a.Readings))
+}
+
+// handleIngestBatchBin is the binary-payload twin of handleIngestBatch:
+// readings arrive structurally encoded (no RFC 3339 parse, no glob
+// re-parse) and the reply payload is hand-rolled too.
+func (s *Server) handleIngestBatchBin(_ *mwrpc.ServerConn, payload []byte, trace string) (mwrpc.Appender, error) {
+	start := time.Now()
+	rs, frameIdx, rejected, err := DecodeReadings(payload)
+	if err != nil {
+		return nil, err
+	}
+	for i := range rs {
+		rs[i].Trace = trace
+	}
+	obs.SpanSince(trace, "ingest", start)
+	rep, herr := s.ingestDecoded(rs, frameIdx, rejected, len(rs)+len(rejected))
+	if herr != nil {
+		return nil, herr
+	}
+	return func(b []byte) []byte { return AppendIngestReply(b, rep) }, nil
+}
+
+// decodeDTOBatch converts wire readings to model form, collecting
+// per-reading decode failures as frame-indexed rejections.
+func decodeDTOBatch(dtos []ReadingDTO, trace string) (rs []model.Reading, frameIdx []int, rejected []RejectedReadingDTO) {
+	rs = make([]model.Reading, 0, len(dtos))
+	frameIdx = make([]int, 0, len(dtos))
+	for i, d := range dtos {
 		r, err := d.toReading()
 		if err != nil {
 			rejected = append(rejected, RejectedReadingDTO{Index: i, Error: err.Error()})
@@ -208,11 +255,21 @@ func (s *Server) handleIngestBatch(_ *mwrpc.ServerConn, params json.RawMessage, 
 		rs = append(rs, r)
 		frameIdx = append(frameIdx, i)
 	}
-	obs.SpanSince(trace, "ingest", start)
+	return rs, frameIdx, rejected
+}
+
+// ingestDecoded stores a decoded batch in one database pass and folds
+// the database's per-reading rejections (remapped to frame indices)
+// into the reply. A per-reading failure never fails the frame: the
+// valid readings are already stored, so a frame-level error would make
+// an at-least-once client re-send (and re-store) them forever.
+// Non-positional failures (e.g. a closing service) propagate as a
+// frame-level error — nothing was stored, a retry is safe.
+func (s *Server) ingestDecoded(rs []model.Reading, frameIdx []int, rejected []RejectedReadingDTO, total int) (IngestBatchReply, error) {
 	if err := s.svc.IngestBatch(rs); err != nil {
 		var rej *spatialdb.RejectedError
 		if !errors.As(err, &rej) {
-			return nil, err
+			return IngestBatchReply{}, err
 		}
 		for k, idx := range rej.Indices {
 			if idx < 0 || idx >= len(frameIdx) {
@@ -226,7 +283,7 @@ func (s *Server) handleIngestBatch(_ *mwrpc.ServerConn, params json.RawMessage, 
 		}
 	}
 	sort.Slice(rejected, func(i, j int) bool { return rejected[i].Index < rejected[j].Index })
-	return IngestBatchReply{Accepted: len(a.Readings) - len(rejected), Rejected: rejected}, nil
+	return IngestBatchReply{Accepted: total - len(rejected), Rejected: rejected}, nil
 }
 
 type registerSensorArgs struct {
@@ -305,6 +362,41 @@ func (s *Server) handleObjectsInRegion(_ *mwrpc.ServerConn, params json.RawMessa
 	return s.svc.ObjectsInRegion(region, a.MinProb)
 }
 
+// handleProbInRegionBin answers a binary-payload probability query.
+func (s *Server) handleProbInRegionBin(_ *mwrpc.ServerConn, payload []byte, _ string) (mwrpc.Appender, error) {
+	a, err := decodeRegionQuery(payload)
+	if err != nil {
+		return nil, err
+	}
+	region, err := glob.Parse(a.Region)
+	if err != nil {
+		return nil, err
+	}
+	p, band, err := s.svc.ProbInRegion(a.Object, region)
+	if err != nil {
+		return nil, err
+	}
+	bandStr := band.String()
+	return func(b []byte) []byte { return appendProbReply(b, p, bandStr) }, nil
+}
+
+// handleObjectsInRegionBin answers a binary-payload region scan.
+func (s *Server) handleObjectsInRegionBin(_ *mwrpc.ServerConn, payload []byte, _ string) (mwrpc.Appender, error) {
+	a, err := decodeRegionQuery(payload)
+	if err != nil {
+		return nil, err
+	}
+	region, err := glob.Parse(a.Region)
+	if err != nil {
+		return nil, err
+	}
+	objs, err := s.svc.ObjectsInRegion(region, a.MinProb)
+	if err != nil {
+		return nil, err
+	}
+	return func(b []byte) []byte { return appendObjectsReply(b, objs) }, nil
+}
+
 // SubscribeArgs configures a remote subscription (§4.3).
 type SubscribeArgs struct {
 	Object       string  `json:"object,omitempty"`
@@ -335,7 +427,13 @@ func (s *Server) handleSubscribe(conn *mwrpc.ServerConn, params json.RawMessage)
 		EveryReading: a.EveryReading,
 		Handler: func(n core.Notification) {
 			// Best effort: a dead connection is cleaned up by OnClose.
-			_ = conn.Push(NotifyStream, toNotificationDTO(n))
+			if conn.Codec() == mwrpc.CodecBinary {
+				_ = conn.PushBinary(NotifyStream, func(b []byte) []byte {
+					return appendNotification(b, n)
+				})
+			} else {
+				_ = conn.Push(NotifyStream, toNotificationDTO(n))
+			}
 		},
 	})
 	if err != nil {
