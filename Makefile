@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race shard-stress bench bench-compare vet fmt fmt-write chaos obs stats-demo fuzz-smoke compat check
+.PHONY: build test race shard-stress bench bench-compare vet fmt fmt-write chaos chaos-federation obs stats-demo fuzz-smoke compat check
 
 build:
 	$(GO) build ./...
@@ -77,6 +77,16 @@ chaos:
 	$(GO) test -race -count=1 ./internal/faultnet/
 	$(GO) test -race -count=1 -run '^TestChaos' -v ./internal/remote/
 
+# Multi-daemon federation chaos: a registry plus three floor daemons,
+# with kills and restarts landing mid-migration and mid-query. The
+# suite (plus the rest of the fed package's migration/degraded-read
+# tests) runs twice under the race detector so interleavings differ;
+# it asserts no reading is lost or duplicated, per-object epochs never
+# regress, and every scan is either complete or explicitly partial.
+chaos-federation:
+	$(GO) test -race -count=2 -run '^TestChaos' -v ./internal/fed/
+	$(GO) test -race -count=1 ./internal/fed/ ./internal/faultnet/
+
 # Observability suite: the obs package and trace-propagation tests
 # under the race detector, then the zero-allocation guard without it
 # (the race runtime allocates inside atomics, so the guard is
@@ -110,6 +120,6 @@ fmt:
 fmt-write:
 	gofmt -l -w .
 
-check: build vet fmt test race shard-stress bench bench-compare chaos obs
+check: build vet fmt test race shard-stress bench bench-compare chaos chaos-federation obs
 	$(MAKE) compat MW_WIRE=binary/json
 	$(MAKE) compat MW_WIRE=json/json

@@ -8,6 +8,7 @@
 //
 //	middlewhere -addr :7700
 //	middlewhere -addr :7700 -registry localhost:7600 -name location-service
+//	middlewhere -addr :7700 -registry localhost:7600 -name cs-2 -floors CS/Floor2
 //	middlewhere -building synthetic -rows 5 -cols 8
 //	middlewhere -floorplan plan.json
 //	middlewhere -addr :7700 -trace -debug-addr 127.0.0.1:7771
@@ -24,6 +25,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -39,6 +41,7 @@ func main() {
 		rows         = flag.Int("rows", 4, "synthetic building: room rows")
 		cols         = flag.Int("cols", 6, "synthetic building: room columns")
 		floorplan    = flag.String("floorplan", "", "JSON floor-plan file (overrides -building)")
+		floors       = flag.String("floors", "", "comma-separated floor shard keys this daemon owns (federated mode; requires -registry)")
 		debugAddr    = flag.String("debug-addr", "", "optional address for /metrics, /debug/traces, and pprof")
 		trace        = flag.Bool("trace", false, "record per-reading pipeline span traces")
 		wire         = flag.String("wire", "", `RPC framing to offer: "binary" (negotiate, the default), "binary!" (strict), or "json"; overrides MW_WIRE`)
@@ -56,7 +59,7 @@ func main() {
 	}
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	if err := run(*addr, *regAddr, *name, *buildingKind, *floorplan, *wire, *rows, *cols, stop); err != nil {
+	if err := run(*addr, *regAddr, *name, *buildingKind, *floorplan, *wire, *floors, *rows, *cols, stop); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -84,7 +87,7 @@ func loadBuilding(buildingKind, floorplan string, rows, cols int) (*middlewhere.
 	}
 }
 
-func run(addr, regAddr, name, buildingKind, floorplan, wire string, rows, cols int, stop <-chan os.Signal) error {
+func run(addr, regAddr, name, buildingKind, floorplan, wire, floors string, rows, cols int, stop <-chan os.Signal) error {
 	bld, kindLabel, err := loadBuilding(buildingKind, floorplan, rows, cols)
 	if err != nil {
 		return err
@@ -108,6 +111,30 @@ func run(addr, regAddr, name, buildingKind, floorplan, wire string, rows, cols i
 	defer srv.Close()
 	log.Printf("location service (%s building, %d objects) on %s",
 		buildingKind, len(bld.Objects), bound)
+
+	if floors != "" {
+		if regAddr == "" {
+			return fmt.Errorf("-floors requires -registry (the placement map lives there)")
+		}
+		var owned []string
+		for _, fl := range strings.Split(floors, ",") {
+			if fl = strings.TrimSpace(fl); fl != "" {
+				owned = append(owned, fl)
+			}
+		}
+		router, err := middlewhere.NewFedRouter(svc, middlewhere.FedConfig{
+			Daemon:       name,
+			Addr:         bound,
+			RegistryAddr: regAddr,
+			Floors:       owned,
+		})
+		if err != nil {
+			return fmt.Errorf("federation: %w", err)
+		}
+		defer router.Close()
+		srv.SetFederation(router)
+		log.Printf("federated daemon %q owns floors %s", name, strings.Join(owned, ", "))
+	}
 
 	if regAddr != "" {
 		reg, err := middlewhere.DialRegistry(regAddr)

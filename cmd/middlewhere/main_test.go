@@ -68,7 +68,7 @@ func TestDaemonRunAndShutdown(t *testing.T) {
 	stop := make(chan os.Signal, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run("127.0.0.1:0", regAddr, "test-loc", "paper", "", "", 0, 0, stop)
+		done <- run("127.0.0.1:0", regAddr, "test-loc", "paper", "", "", "", 0, 0, stop)
 	}()
 
 	// The daemon registers itself; poll the registry until it shows up.
@@ -114,11 +114,81 @@ func TestDaemonRunAndShutdown(t *testing.T) {
 	}
 }
 
+func TestDaemonFederatedRun(t *testing.T) {
+	reg := middlewhere.NewRegistryServer(nil)
+	regAddr, err := reg.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run("127.0.0.1:0", regAddr, "cs-3", "paper", "", "", "CS/Floor3, CS/Floor2", 0, 0, stop)
+	}()
+
+	rc, err := middlewhere.DialRegistry(regAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	var svcAddr string
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if e, err := rc.Lookup("cs-3"); err == nil {
+			svcAddr = e.Addr
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("federated daemon never registered")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	c, err := middlewhere.DialLocation(svcAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rep, err := c.Shards()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Daemon != "cs-3" {
+		t.Errorf("shards daemon = %q, want cs-3", rep.Daemon)
+	}
+	owners := make(map[string]string)
+	for _, p := range rep.Placement {
+		owners[p.Shard] = p.Daemon
+	}
+	if owners["CS/Floor3"] != "cs-3" || owners["CS/Floor2"] != "cs-3" {
+		t.Errorf("placement = %v, want both floors owned by cs-3", owners)
+	}
+
+	stop <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("federated daemon did not shut down")
+	}
+}
+
+func TestDaemonFloorsWithoutRegistry(t *testing.T) {
+	stop := make(chan os.Signal, 1)
+	if err := run("127.0.0.1:0", "", "x", "paper", "", "", "CS/Floor3", 0, 0, stop); err == nil ||
+		!strings.Contains(err.Error(), "-floors requires -registry") {
+		t.Errorf("floors without registry: err = %v", err)
+	}
+}
+
 func TestDaemonNoRegistry(t *testing.T) {
 	stop := make(chan os.Signal, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run("127.0.0.1:0", "", "x", "synthetic", "", "", 2, 2, stop)
+		done <- run("127.0.0.1:0", "", "x", "synthetic", "", "", "", 2, 2, stop)
 	}()
 	time.Sleep(50 * time.Millisecond)
 	stop <- os.Interrupt
@@ -134,7 +204,7 @@ func TestDaemonNoRegistry(t *testing.T) {
 
 func TestDaemonBadRegistry(t *testing.T) {
 	stop := make(chan os.Signal, 1)
-	if err := run("127.0.0.1:0", "127.0.0.1:1", "x", "paper", "", "", 0, 0, stop); err == nil {
+	if err := run("127.0.0.1:0", "127.0.0.1:1", "x", "paper", "", "", "", 0, 0, stop); err == nil {
 		t.Error("unreachable registry should fail")
 	}
 }

@@ -12,7 +12,9 @@
 //	mwctl -addr localhost:7700 ingest ubi-1 alice 'CS/Floor3/(370,15)'
 //	mwctl -addr localhost:7700 query "SELECT objects WHERE type = 'Room'"
 //	mwctl -addr localhost:7700 health        # exits 1 unless Healthy
-//	mwctl -addr localhost:7700 health -v     # adds the client metric registry
+//	mwctl -addr localhost:7700 health -v     # adds peer state and client metrics
+//	mwctl -addr localhost:7700 shards        # shard placement map and peer state
+//	mwctl -addr localhost:7700 who-fed CS    # federated scan (partial-tolerant)
 //	mwctl -addr localhost:7700 stats         # server obs counters/histograms
 //	mwctl -addr localhost:7700 trace 5       # recent pipeline traces
 //	mwctl -addr localhost:7700 -retries 8 -timeout 3s locate alice
@@ -26,6 +28,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"middlewhere"
@@ -55,7 +58,7 @@ func main() {
 
 func run(addr, regAddr, name string, opts middlewhere.RemoteDialOptions, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: mwctl [flags] <locate|prob|who|watch|route|relate|query|dist|history|ingest|health|stats|trace> ...")
+		return fmt.Errorf("usage: mwctl [flags] <locate|prob|who|who-fed|watch|route|relate|query|dist|history|ingest|health|shards|stats|trace> ...")
 	}
 	if addr == "" && regAddr != "" {
 		reg, err := middlewhere.DialRegistry(regAddr)
@@ -121,6 +124,63 @@ func run(addr, regAddr, name string, opts middlewhere.RemoteDialOptions, args []
 		}
 		if len(names) == 0 {
 			fmt.Println("(nobody)")
+		}
+		return nil
+	case "who-fed":
+		if len(rest) < 1 || len(rest) > 2 || (len(rest) == 2 && rest[1] != "-strict") {
+			return fmt.Errorf("usage: who-fed <region> [-strict]")
+		}
+		strict := len(rest) == 2
+		rep, err := c.FedObjectsInRegion(rest[0], 0.4, strict)
+		if err != nil {
+			return err
+		}
+		names := make([]string, 0, len(rep.Objects))
+		for who := range rep.Objects {
+			names = append(names, who)
+		}
+		sort.Strings(names)
+		for _, who := range names {
+			fmt.Printf("%s p=%.3f\n", who, rep.Objects[who])
+		}
+		if len(names) == 0 {
+			fmt.Println("(nobody)")
+		}
+		if rep.Partial {
+			fmt.Printf("PARTIAL: shards unavailable: %s\n", strings.Join(rep.Unavailable, ", "))
+		}
+		return nil
+	case "shards":
+		if len(rest) != 0 {
+			return fmt.Errorf("usage: shards")
+		}
+		rep, err := c.Shards()
+		if err != nil {
+			return err
+		}
+		if rep.Daemon == "" {
+			fmt.Println("(standalone daemon; no federation)")
+		} else {
+			fmt.Printf("daemon %s  placement v%d\n", rep.Daemon, rep.PlacementVersion)
+		}
+		for _, p := range rep.Placement {
+			fmt.Printf("  %-24s -> %s (%s) v%d\n", p.Shard, p.Daemon, p.Addr, p.Version)
+		}
+		if len(rep.Local) > 0 {
+			fmt.Printf("local shards: %s\n", strings.Join(rep.Local, ", "))
+		}
+		for _, p := range rep.Peers {
+			line := fmt.Sprintf("peer %-12s %-8s addr=%s", p.Name, p.Breaker, p.Addr)
+			if p.ConsecFails > 0 {
+				line += fmt.Sprintf(" fails=%d", p.ConsecFails)
+			}
+			if len(p.Shards) > 0 {
+				line += " shards=" + strings.Join(p.Shards, ",")
+			}
+			if p.LastErr != "" {
+				line += " lastErr=" + p.LastErr
+			}
+			fmt.Println(line)
 		}
 		return nil
 	case "watch":
@@ -309,6 +369,22 @@ func runHealth(c *middlewhere.RemoteClient, verbose bool) error {
 	fmt.Printf("client: %s conn=%s wire=%s reconnects=%d malformed=%d deduped=%d sensors=%d subs=%d\n",
 		ch.State, ch.Conn, c.WireCodec(), ch.Reconnects, ch.MalformedNotifications, ch.DedupedNotifications,
 		ch.Sensors, ch.Subscriptions)
+	if verbose && h.Federation != nil {
+		fmt.Printf("federation: daemon=%s placement=v%d\n", h.Federation.Daemon, h.Federation.PlacementVersion)
+		for _, p := range h.Federation.Peers {
+			line := fmt.Sprintf("  peer %-12s %-8s addr=%s", p.Name, p.Breaker, p.Addr)
+			if p.ConsecFails > 0 {
+				line += fmt.Sprintf(" fails=%d", p.ConsecFails)
+			}
+			if len(p.Shards) > 0 {
+				line += " shards=" + strings.Join(p.Shards, ",")
+			}
+			if p.LastErr != "" {
+				line += " lastErr=" + p.LastErr
+			}
+			fmt.Println(line)
+		}
+	}
 	if verbose {
 		snap := c.Metrics().Snapshot()
 		for _, cs := range snap.Counters {

@@ -1,0 +1,44 @@
+// Command mwregistry runs the service registry daemon: name
+// registration with TTL leases (the Gaia Space Repository analogue)
+// plus the shard-placement map federated location daemons coordinate
+// through. One registry serves a deployment; daemons find each other
+// by polling its placement map.
+//
+// Usage:
+//
+//	mwregistry -addr :7600
+//	mwregistry -addr :7600 -sweep 2s
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"middlewhere"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":7600", "TCP address to serve the registry on")
+		sweep = flag.Duration("sweep", 5*time.Second, "interval for pruning expired leases")
+	)
+	flag.Parse()
+
+	srv := middlewhere.NewRegistryServer(nil)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	srv.StartSweeper(*sweep)
+	log.Printf("registry on %s (lease sweep every %s)", bound, *sweep)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Print("shutting down")
+}

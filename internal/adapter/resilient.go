@@ -27,8 +27,20 @@ var (
 	mResRejected     = obs.Default().Counter("resilient_rejected_total")
 	mResBreakerOpens = obs.Default().Counter("resilient_breaker_opens_total")
 	mResCreditStalls = obs.Default().Counter("resilient_credit_stalls_total")
+	mResProbes       = obs.Default().Counter("resilient_probes_total")
+	mResProbeFails   = obs.Default().Counter("resilient_probe_failures_total")
 	mResPending      = obs.Default().Gauge("resilient_pending")
 )
+
+// Prober is an optional Sink capability: a cheap liveness check that
+// neither reads nor writes data (the remote LocationClient sends the
+// no-op mw.hello frame). When the wrapped sink implements it, the
+// breaker's half-open trial is a probe instead of a buffered chunk —
+// a still-down sink costs one empty frame, never a data delivery, and
+// the buffered readings stay exactly where they are.
+type Prober interface {
+	Probe() error
+}
 
 // creditStalled reports whether a delivery failed only because the
 // sink's credit window is exhausted (streaming ingest backpressure).
@@ -118,6 +130,10 @@ type ResilientStats struct {
 	// window was exhausted (streaming-ingest backpressure). Stalled
 	// readings buffer and retry; the breaker does not open.
 	CreditStalls uint64
+	// Probes counts half-open liveness probes sent to a Prober sink;
+	// ProbeFails counts the ones that failed (each re-opens the
+	// breaker for another cooldown without touching the buffer).
+	Probes, ProbeFails uint64
 	// BreakerOpens counts closed→open transitions.
 	BreakerOpens int
 	// Pending is the current buffer depth.
@@ -271,6 +287,7 @@ func (r *ResilientSink) noteSuccess() {
 func (r *ResilientSink) drain() {
 	defer close(r.done)
 	bs, batching := r.sink.(BatchSink)
+	prober, canProbe := r.sink.(Prober)
 	r.mu.Lock()
 	for {
 		for !r.closed && len(r.buf) == 0 {
@@ -286,6 +303,29 @@ func (r *ResilientSink) drain() {
 			r.sleep(wait)
 			r.mu.Lock()
 			continue
+		}
+		if canProbe && r.consecFails >= r.opts.FailureThreshold {
+			// Half-open: the cooldown elapsed but the sink never
+			// succeeded since the breaker opened. Trial with a no-op
+			// liveness frame, not buffered data — a failed probe re-arms
+			// the quarantine and the buffer is untouched.
+			r.stats.Probes++
+			mResProbes.Inc()
+			r.mu.Unlock()
+			perr := prober.Probe()
+			r.mu.Lock()
+			if r.closed {
+				r.mu.Unlock()
+				return
+			}
+			if perr != nil {
+				r.stats.ProbeFails++
+				mResProbeFails.Inc()
+				r.noteFailure()
+				continue
+			}
+			// Probe passed; fall through and deliver the chunk. The
+			// breaker closes only when the data delivery itself succeeds.
 		}
 		n := 1
 		if batching && len(r.buf) > 1 {

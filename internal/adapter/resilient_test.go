@@ -226,3 +226,110 @@ func TestRateLimiterPruning(t *testing.T) {
 		t.Fatalf("lastSent grew to %d entries, want pruned (<= 16)", size)
 	}
 }
+
+// probingSink is a flaky sink whose liveness probe is controlled
+// independently of delivery, so tests can hold the breaker in
+// half-open purgatory: probes fail (keeping deliveries quarantined)
+// while the buffer must stay intact.
+type probingSink struct {
+	flakySink
+	probeBroken bool
+	probes      int
+}
+
+func (p *probingSink) Probe() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.probes++
+	if p.probeBroken {
+		return errors.New("probe: sink down")
+	}
+	return nil
+}
+
+func (p *probingSink) probeCalls() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.probes
+}
+
+func (p *probingSink) setProbeBroken(b bool) {
+	p.mu.Lock()
+	p.probeBroken = b
+	p.mu.Unlock()
+}
+
+// TestResilientSinkProbeGuardsBuffer pins the half-open contract: once
+// the breaker opens, every cooldown expiry costs one mw.hello-style
+// probe, not a data delivery, and a failing probe never drops (or
+// delivers) buffered readings. When the probe finally passes, the
+// buffer drains in order and nothing was lost.
+func TestResilientSinkProbeGuardsBuffer(t *testing.T) {
+	sink := &probingSink{flakySink: flakySink{broken: true}, probeBroken: true}
+	rs := NewResilientSink(sink, ResilientOptions{
+		FailureThreshold: 2,
+		Cooldown:         5 * time.Millisecond,
+		RetryInterval:    2 * time.Millisecond,
+	})
+	defer rs.Close()
+
+	t0 := time.Now()
+	for i := 0; i < 6; i++ {
+		if err := rs.Ingest(model.Reading{MObjectID: "obj", SensorID: "s", Time: t0.Add(time.Duration(i) * time.Second)}); err != nil {
+			t.Fatalf("ingest: %v", err)
+		}
+	}
+	// Wait for the breaker to open, then note how many delivery
+	// attempts it took.
+	deadline := time.Now().Add(2 * time.Second)
+	for rs.Health() != core.Down {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never opened; stats %+v", rs.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sink.mu.Lock()
+	callsAtOpen := sink.calls
+	sink.mu.Unlock()
+
+	// Several cooldown cycles with a failing probe: the sink must see
+	// probes but no further delivery attempts, and the buffer must not
+	// shrink or drop.
+	deadline = time.Now().Add(2 * time.Second)
+	for sink.probeCalls() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("probes not attempted; stats %+v", rs.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sink.mu.Lock()
+	callsDuringQuarantine := sink.calls
+	sink.mu.Unlock()
+	if callsDuringQuarantine != callsAtOpen {
+		t.Fatalf("quarantined sink saw %d delivery attempts beyond the %d pre-open ones — probes must carry the trial",
+			callsDuringQuarantine-callsAtOpen, callsAtOpen)
+	}
+	st := rs.Stats()
+	if st.Pending != 6 || st.Dropped != 0 {
+		t.Fatalf("probe failures disturbed the buffer: %+v (want 6 pending, 0 dropped)", st)
+	}
+	if st.Probes < 3 || st.ProbeFails < 3 {
+		t.Fatalf("probe stats = %+v, want >= 3 probes and failures", st)
+	}
+
+	// Probe heals first, then delivery: everything drains, in order.
+	sink.setProbeBroken(false)
+	sink.setBroken(false)
+	if !rs.Flush(2 * time.Second) {
+		t.Fatalf("buffer did not drain after probe recovery; stats %+v", rs.Stats())
+	}
+	got := sink.received()
+	if len(got) != 6 {
+		t.Fatalf("delivered %d readings, want all 6", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Time.Before(got[i-1].Time) {
+			t.Fatalf("delivery out of order at %d", i)
+		}
+	}
+}

@@ -152,6 +152,39 @@ type Service struct {
 
 	// history is non-nil when WithHistory is enabled.
 	history *historyRecorder
+
+	// routerMu guards the federation ingest router. When one is
+	// installed (federated daemons only), IngestBatch consults it to
+	// forward readings owned by peer daemons before storing the rest
+	// locally.
+	routerMu     sync.RWMutex
+	ingestRouter IngestRouter
+}
+
+// IngestRouter partitions an ingest batch for federation: it forwards
+// readings whose floor shard is placed on a peer daemon and returns
+// the indices (into the submitted slice, ascending) of the readings to
+// store locally. An implementation must not lose readings: anything it
+// cannot forward (peer down, no lease) it keeps local by including the
+// index. The returned error reports forwarding trouble that did not
+// lose data (the affected readings are in localIdx).
+type IngestRouter interface {
+	RouteReadings(rs []model.Reading) (localIdx []int, err error)
+}
+
+// SetIngestRouter installs (or, with nil, removes) the federation
+// ingest router.
+func (s *Service) SetIngestRouter(r IngestRouter) {
+	s.routerMu.Lock()
+	s.ingestRouter = r
+	s.routerMu.Unlock()
+}
+
+func (s *Service) currentRouter() IngestRouter {
+	s.routerMu.RLock()
+	r := s.ingestRouter
+	s.routerMu.RUnlock()
+	return r
 }
 
 type subscription struct {
@@ -362,6 +395,11 @@ func (s *Service) RegisterSensor(sensorID string, spec model.SensorSpec) error {
 // Ingest stores a sensor reading; database triggers fire and matching
 // subscriptions are evaluated.
 func (s *Service) Ingest(r model.Reading) error {
+	if s.currentRouter() != nil {
+		// Federated daemons route every reading so floors placed on
+		// peer daemons receive theirs; the batch path owns that logic.
+		return s.IngestBatch([]model.Reading{r})
+	}
 	if r.Trace == "" && obs.Enabled() {
 		// Local ingest begins the trace here; readings arriving over
 		// mwrpc carry the ID their client stamped.
@@ -379,6 +417,7 @@ func (s *Service) Ingest(r model.Reading) error {
 var (
 	mBatchIngests = obs.Default().Counter("core_batch_ingests_total")
 	mBatchSize    = obs.Default().Histogram("core_batch_size")
+	mForwarded    = obs.Default().Counter("core_forwarded_readings_total")
 )
 
 // IngestBatch stores a slice of readings in one database pass,
@@ -403,6 +442,68 @@ func (s *Service) IngestBatch(rs []model.Reading) error {
 		}
 		rs = stamped
 	}
+	router := s.currentRouter()
+	if router == nil {
+		return s.ingestStamped(rs)
+	}
+	localIdx, routeErr := router.RouteReadings(rs)
+	if len(localIdx) == len(rs) {
+		// Everything stayed local (single-daemon placement, or the
+		// router fell back for every reading).
+		if err := s.ingestStamped(rs); err != nil {
+			return err
+		}
+		return routeErr
+	}
+	mForwarded.Add(uint64(len(rs) - len(localIdx)))
+	if len(localIdx) == 0 {
+		return routeErr
+	}
+	local := make([]model.Reading, 0, len(localIdx))
+	for _, i := range localIdx {
+		local = append(local, rs[i])
+	}
+	err := s.ingestStamped(local)
+	// Rejected indices refer to the local subset; remap them to the
+	// caller's positions so at-least-once retry logic stays exact.
+	var rej *spatialdb.RejectedError
+	if errors.As(err, &rej) {
+		for k, li := range rej.Indices {
+			rej.Indices[k] = localIdx[li]
+		}
+	}
+	if err != nil {
+		return err
+	}
+	return routeErr
+}
+
+// IngestBatchLocal stores a batch strictly on this daemon, bypassing
+// the federation router. The federation layer serves forwarded batches
+// through it — a forwarded reading must not be re-routed even when the
+// placement maps briefly disagree, or two daemons could bounce it
+// forever.
+func (s *Service) IngestBatchLocal(rs []model.Reading) error {
+	if len(rs) == 0 {
+		return nil
+	}
+	if obs.Enabled() {
+		stamped := make([]model.Reading, len(rs))
+		copy(stamped, rs)
+		for i := range stamped {
+			if stamped[i].Trace == "" {
+				stamped[i].Trace = obs.BeginTrace()
+			}
+		}
+		rs = stamped
+	}
+	return s.ingestStamped(rs)
+}
+
+// ingestStamped is the shared storage tail of the ingest paths: one
+// database pass, counters, and batch metrics. Traces are already
+// stamped.
+func (s *Service) ingestStamped(rs []model.Reading) error {
 	n, err := s.db.InsertReadings(rs, s.dispatchFirings)
 	s.ingested.Add(uint64(n))
 	mIngested.Add(uint64(n))

@@ -1,0 +1,184 @@
+package faultnet
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Multi-daemon chaos: a Cluster manages a set of named, restartable
+// nodes — each one a daemon under test — so chaos suites can kill a
+// node mid-operation and bring it back, repeatedly, from one place.
+// The harness is deliberately ignorant of what a node is: a NodeSpec's
+// Start hook builds the daemon and returns its address and a stop
+// function. State that must survive a restart (a daemon's database)
+// lives in the closure; state that must not (listeners, sessions,
+// leases) is created fresh by each Start call. A restarted node may
+// come back on a different address, exactly like a real daemon whose
+// host reassigned the port.
+
+// NodeSpec describes one restartable node.
+type NodeSpec struct {
+	// Name identifies the node in the cluster (unique).
+	Name string
+	// Start builds and starts the node, returning its listen address
+	// and a stop function. Called once per Start/Restart; it must bind
+	// a fresh listener each time.
+	Start func() (addr string, stop func(), err error)
+}
+
+type clusterNode struct {
+	spec     NodeSpec
+	addr     string
+	stop     func()
+	running  bool
+	restarts int
+}
+
+// Cluster is a set of restartable nodes. All methods are safe for
+// concurrent use; Kill and Restart may race with traffic by design —
+// that is the point of the harness.
+type Cluster struct {
+	mu    sync.Mutex
+	nodes map[string]*clusterNode
+	order []string
+}
+
+// NewCluster builds an empty cluster.
+func NewCluster() *Cluster {
+	return &Cluster{nodes: make(map[string]*clusterNode)}
+}
+
+// Add registers a node without starting it.
+func (c *Cluster) Add(spec NodeSpec) error {
+	if spec.Name == "" || spec.Start == nil {
+		return fmt.Errorf("faultnet: node needs a name and a start hook")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.nodes[spec.Name]; ok {
+		return fmt.Errorf("faultnet: duplicate node %q", spec.Name)
+	}
+	c.nodes[spec.Name] = &clusterNode{spec: spec}
+	c.order = append(c.order, spec.Name)
+	return nil
+}
+
+// Start launches a stopped node. Starting a running node is an error
+// (kill it first); starting after a kill is the restart path.
+func (c *Cluster) Start(name string) error {
+	c.mu.Lock()
+	n, ok := c.nodes[name]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("faultnet: unknown node %q", name)
+	}
+	if n.running {
+		c.mu.Unlock()
+		return fmt.Errorf("faultnet: node %q already running", name)
+	}
+	wasStarted := n.addr != ""
+	c.mu.Unlock()
+
+	// Run the hook outside the lock: node startup may itself query the
+	// cluster (e.g. for a registry address).
+	addr, stop, err := n.spec.Start()
+	if err != nil {
+		return fmt.Errorf("faultnet: start %q: %w", name, err)
+	}
+	c.mu.Lock()
+	n.addr = addr
+	n.stop = stop
+	n.running = true
+	if wasStarted {
+		n.restarts++
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// StartAll starts every stopped node in Add order.
+func (c *Cluster) StartAll() error {
+	c.mu.Lock()
+	names := append([]string(nil), c.order...)
+	c.mu.Unlock()
+	for _, name := range names {
+		if c.Running(name) {
+			continue
+		}
+		if err := c.Start(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Kill stops a node abruptly (no-op when already down). The node's
+// listener and sessions die; whatever its Start closure preserves
+// survives for the next Start.
+func (c *Cluster) Kill(name string) {
+	c.mu.Lock()
+	n, ok := c.nodes[name]
+	if !ok || !n.running {
+		c.mu.Unlock()
+		return
+	}
+	stop := n.stop
+	n.running = false
+	n.stop = nil
+	c.mu.Unlock()
+	if stop != nil {
+		stop()
+	}
+}
+
+// Restart is Kill followed by Start — the crash/recover cycle chaos
+// tests inject.
+func (c *Cluster) Restart(name string) error {
+	c.Kill(name)
+	return c.Start(name)
+}
+
+// Addr returns the node's current listen address ("" while down).
+func (c *Cluster) Addr(name string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n, ok := c.nodes[name]; ok && n.running {
+		return n.addr
+	}
+	return ""
+}
+
+// Running reports whether the node is up.
+func (c *Cluster) Running(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[name]
+	return ok && n.running
+}
+
+// Restarts counts how many times the node came back after a kill.
+func (c *Cluster) Restarts(name string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n, ok := c.nodes[name]; ok {
+		return n.restarts
+	}
+	return 0
+}
+
+// Names lists the nodes in Add order.
+func (c *Cluster) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.order...)
+}
+
+// StopAll kills every running node in reverse Add order.
+func (c *Cluster) StopAll() {
+	c.mu.Lock()
+	names := append([]string(nil), c.order...)
+	c.mu.Unlock()
+	for i := len(names) - 1; i >= 0; i-- {
+		c.Kill(names[i])
+	}
+}

@@ -25,6 +25,62 @@ type Entry struct {
 	Addr string `json:"addr"`
 	// Expires is when the entry lapses without a heartbeat.
 	Expires time.Time `json:"expires"`
+	// Version is bumped on every (re-)register of the name. The async
+	// sweeper records the version it saw when it collected an expired
+	// entry and deletes only if the version is unchanged, so a
+	// re-register that lands between collection and deletion survives.
+	Version uint64 `json:"version"`
+}
+
+// PlacementEntry assigns one floor shard to a daemon. The lease
+// expires like a service entry; the owning daemon heartbeats it alive
+// with PlaceShards.
+type PlacementEntry struct {
+	// Shard is the floor shard key, e.g. "CS/Floor3".
+	Shard string `json:"shard"`
+	// Daemon is the owning daemon's federation name.
+	Daemon string `json:"daemon"`
+	// Addr is the daemon's dialable mwrpc address.
+	Addr string `json:"addr"`
+	// Expires is when the lease lapses without a heartbeat.
+	Expires time.Time `json:"expires"`
+	// Version is the placement-map version at which this assignment
+	// last changed owner or address (heartbeats do not bump it).
+	Version uint64 `json:"version"`
+}
+
+// Placement is the whole shard-placement map at one version. Clients
+// cache it and refresh when the version moves.
+type Placement struct {
+	// Version bumps on any ownership/address change or pruned lease —
+	// never on a pure heartbeat renewal.
+	Version uint64 `json:"version"`
+	// Shards lists the live leases, sorted by shard key.
+	Shards []PlacementEntry `json:"shards"`
+}
+
+// Owner returns the entry for a shard key, if leased.
+func (p Placement) Owner(shard string) (PlacementEntry, bool) {
+	for _, e := range p.Shards {
+		if e.Shard == shard {
+			return e, true
+		}
+	}
+	return PlacementEntry{}, false
+}
+
+// Daemons returns the distinct daemon names in the placement, sorted.
+func (p Placement) Daemons() []string {
+	seen := make(map[string]bool, 4)
+	var out []string
+	for _, e := range p.Shards {
+		if !seen[e.Daemon] {
+			seen[e.Daemon] = true
+			out = append(out, e.Daemon)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Sentinel errors.
@@ -37,8 +93,16 @@ var (
 type Server struct {
 	mu      sync.Mutex
 	entries map[string]Entry
-	now     func() time.Time
-	rpc     *mwrpc.Server
+	// placement is the shard-placement map: floor shard key → lease.
+	placement map[string]PlacementEntry
+	// placeVersion is the placement map's version counter. It bumps on
+	// ownership/address changes and pruned leases, never on heartbeats.
+	placeVersion uint64
+	now          func() time.Time
+	rpc          *mwrpc.Server
+
+	sweepStop chan struct{}
+	sweepDone chan struct{}
 }
 
 // NewServer creates a registry server. The clock is injectable for
@@ -48,14 +112,18 @@ func NewServer(now func() time.Time) *Server {
 		now = time.Now
 	}
 	s := &Server{
-		entries: make(map[string]Entry),
-		now:     now,
-		rpc:     mwrpc.NewServer(),
+		entries:   make(map[string]Entry),
+		placement: make(map[string]PlacementEntry),
+		now:       now,
+		rpc:       mwrpc.NewServer(),
 	}
 	s.rpc.Register("registry.register", s.handleRegister)
 	s.rpc.Register("registry.lookup", s.handleLookup)
 	s.rpc.Register("registry.list", s.handleList)
 	s.rpc.Register("registry.deregister", s.handleDeregister)
+	s.rpc.Register("registry.placeShards", s.handlePlaceShards)
+	s.rpc.Register("registry.placement", s.handlePlacement)
+	s.rpc.Register("registry.unplaceDaemon", s.handleUnplaceDaemon)
 	return s
 }
 
@@ -65,7 +133,107 @@ func (s *Server) Listen(addr string) (string, error) {
 }
 
 // Close shuts the registry down.
-func (s *Server) Close() { s.rpc.Close() }
+func (s *Server) Close() {
+	s.mu.Lock()
+	stop, done := s.sweepStop, s.sweepDone
+	s.sweepStop, s.sweepDone = nil, nil
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	s.rpc.Close()
+}
+
+// StartSweeper prunes expired entries in the background every
+// interval, so names and leases nobody looks up still lapse. The sweep
+// is two-phase (collect under the lock, delete under a later lock
+// acquisition) and version-checked, so a re-register that lands
+// between the phases is never deleted.
+func (s *Server) StartSweeper(interval time.Duration) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	s.mu.Lock()
+	if s.sweepStop != nil {
+		s.mu.Unlock()
+		close(stop)
+		return
+	}
+	s.sweepStop, s.sweepDone = stop, done
+	s.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				s.SweepExpired()
+			}
+		}
+	}()
+}
+
+// expiredRef names an expired entry together with the version it had
+// when collected, so the deletion phase can detect a concurrent
+// re-register.
+type expiredRef struct {
+	name    string
+	version uint64
+	shard   bool // placement lease rather than service entry
+}
+
+// collectExpired snapshots the expired entries and leases with their
+// versions. It takes and releases the lock — the returned refs may be
+// invalidated by concurrent registers, which dropExpired detects.
+func (s *Server) collectExpired() []expiredRef {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	var refs []expiredRef
+	for name, e := range s.entries {
+		if now.After(e.Expires) {
+			refs = append(refs, expiredRef{name: name, version: e.Version})
+		}
+	}
+	for key, pe := range s.placement {
+		if now.After(pe.Expires) {
+			refs = append(refs, expiredRef{name: key, version: pe.Version, shard: true})
+		}
+	}
+	return refs
+}
+
+// dropExpired deletes the collected entries — unless their version
+// moved, which means a re-register (or re-lease) raced the sweep and
+// the entry must survive.
+func (s *Server) dropExpired(refs []expiredRef) {
+	if len(refs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ref := range refs {
+		if ref.shard {
+			if pe, ok := s.placement[ref.name]; ok && pe.Version == ref.version {
+				delete(s.placement, ref.name)
+				s.placeVersion++
+			}
+			continue
+		}
+		if e, ok := s.entries[ref.name]; ok && e.Version == ref.version {
+			delete(s.entries, ref.name)
+		}
+	}
+}
+
+// SweepExpired runs one collect/delete cycle of the background prune.
+func (s *Server) SweepExpired() { s.dropExpired(s.collectExpired()) }
 
 type registerArgs struct {
 	Name string `json:"name"`
@@ -89,8 +257,127 @@ func (s *Server) handleRegister(_ *mwrpc.ServerConn, params json.RawMessage) (in
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.entries[a.Name] = Entry{Name: a.Name, Addr: a.Addr, Expires: s.now().Add(ttl)}
+	// Version check: carry the previous entry's version forward +1 even
+	// when that entry has already expired. A sweep that collected the
+	// expired version sees the bump and leaves this fresh registration
+	// alone — without it, re-register after lease expiry races the
+	// prune and the new entry could be silently dropped.
+	ver := uint64(1)
+	if prev, ok := s.entries[a.Name]; ok {
+		ver = prev.Version + 1
+	}
+	s.entries[a.Name] = Entry{Name: a.Name, Addr: a.Addr, Expires: s.now().Add(ttl), Version: ver}
 	return "ok", nil
+}
+
+type placeShardsArgs struct {
+	Daemon string   `json:"daemon"`
+	Addr   string   `json:"addr"`
+	Shards []string `json:"shards"`
+	// TTLSeconds is the lease duration; re-placing the same shards
+	// heartbeats the lease.
+	TTLSeconds float64 `json:"ttlSeconds"`
+}
+
+type placeShardsReply struct {
+	Version uint64 `json:"version"`
+}
+
+// handlePlaceShards leases the named floor shards to a daemon. A
+// renewal by the same daemon at the same address only extends the
+// lease; a different owner (or address) takes the shard over and bumps
+// the placement version, which is how an operator moves a floor.
+func (s *Server) handlePlaceShards(_ *mwrpc.ServerConn, params json.RawMessage) (interface{}, error) {
+	var a placeShardsArgs
+	if err := json.Unmarshal(params, &a); err != nil {
+		return nil, err
+	}
+	if a.Daemon == "" || a.Addr == "" || len(a.Shards) == 0 {
+		return nil, fmt.Errorf("%w: need daemon, addr, and shards", ErrBadEntry)
+	}
+	ttl := time.Duration(a.TTLSeconds * float64(time.Second))
+	if ttl <= 0 {
+		ttl = 30 * time.Second
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	changed := false
+	for _, key := range a.Shards {
+		if key == "" {
+			continue
+		}
+		prev, ok := s.placement[key]
+		if ok && prev.Daemon == a.Daemon && prev.Addr == a.Addr && !now.After(prev.Expires) {
+			prev.Expires = now.Add(ttl)
+			s.placement[key] = prev
+			continue
+		}
+		changed = true
+		s.placement[key] = PlacementEntry{
+			Shard: key, Daemon: a.Daemon, Addr: a.Addr,
+			Expires: now.Add(ttl),
+			// Version is stamped below once, after the bump, so every
+			// entry changed in this call shares the new map version.
+		}
+	}
+	if changed {
+		s.placeVersion++
+		for _, key := range a.Shards {
+			if pe, ok := s.placement[key]; ok && pe.Daemon == a.Daemon && pe.Version == 0 {
+				pe.Version = s.placeVersion
+				s.placement[key] = pe
+			}
+		}
+	}
+	return placeShardsReply{Version: s.placeVersion}, nil
+}
+
+// handlePlacement returns the live placement map. Expired leases are
+// pruned first (each prune bumps the version: a lapsed floor is an
+// ownership change clients must observe).
+func (s *Server) handlePlacement(_ *mwrpc.ServerConn, _ json.RawMessage) (interface{}, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	for key, pe := range s.placement {
+		if now.After(pe.Expires) {
+			delete(s.placement, key)
+			s.placeVersion++
+		}
+	}
+	out := Placement{Version: s.placeVersion, Shards: make([]PlacementEntry, 0, len(s.placement))}
+	for _, pe := range s.placement {
+		out.Shards = append(out.Shards, pe)
+	}
+	sort.Slice(out.Shards, func(i, j int) bool { return out.Shards[i].Shard < out.Shards[j].Shard })
+	return out, nil
+}
+
+type unplaceArgs struct {
+	Daemon string `json:"daemon"`
+}
+
+// handleUnplaceDaemon releases every lease a daemon holds (clean
+// shutdown).
+func (s *Server) handleUnplaceDaemon(_ *mwrpc.ServerConn, params json.RawMessage) (interface{}, error) {
+	var a unplaceArgs
+	if err := json.Unmarshal(params, &a); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	changed := false
+	for key, pe := range s.placement {
+		if pe.Daemon == a.Daemon {
+			delete(s.placement, key)
+			changed = true
+		}
+	}
+	if changed {
+		s.placeVersion++
+	}
+	return placeShardsReply{Version: s.placeVersion}, nil
 }
 
 type lookupArgs struct {
@@ -193,4 +480,28 @@ func (c *Client) List() ([]Entry, error) {
 // Deregister removes a service entry.
 func (c *Client) Deregister(name string) error {
 	return c.rpc.Call("registry.deregister", lookupArgs{Name: name}, nil)
+}
+
+// PlaceShards leases the floor shards to a daemon (call periodically
+// to heartbeat the lease). It returns the placement-map version.
+func (c *Client) PlaceShards(daemon, addr string, shards []string, ttl time.Duration) (uint64, error) {
+	var rep placeShardsReply
+	err := c.rpc.Call("registry.placeShards", placeShardsArgs{
+		Daemon: daemon, Addr: addr, Shards: shards, TTLSeconds: ttl.Seconds(),
+	}, &rep)
+	return rep.Version, err
+}
+
+// Placement fetches the live shard-placement map.
+func (c *Client) Placement() (Placement, error) {
+	var p Placement
+	if err := c.rpc.Call("registry.placement", struct{}{}, &p); err != nil {
+		return Placement{}, err
+	}
+	return p, nil
+}
+
+// UnplaceDaemon releases every shard lease the daemon holds.
+func (c *Client) UnplaceDaemon(daemon string) error {
+	return c.rpc.Call("registry.unplaceDaemon", unplaceArgs{Daemon: daemon}, nil)
 }

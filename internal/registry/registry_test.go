@@ -26,6 +26,12 @@ func (c *fakeClock) Advance(d time.Duration) {
 
 func startRegistry(t *testing.T) (*Client, *fakeClock) {
 	t.Helper()
+	c, clock, _ := startRegistryServer(t)
+	return c, clock
+}
+
+func startRegistryServer(t *testing.T) (*Client, *fakeClock, *Server) {
+	t.Helper()
 	clock := &fakeClock{now: time.Date(2026, 7, 5, 10, 0, 0, 0, time.UTC)}
 	srv := NewServer(clock.Now)
 	addr, err := srv.Listen("127.0.0.1:0")
@@ -38,7 +44,7 @@ func startRegistry(t *testing.T) (*Client, *fakeClock) {
 		t.Fatal(err)
 	}
 	t.Cleanup(c.Close)
-	return c, clock
+	return c, clock, srv
 }
 
 func TestRegisterAndLookup(t *testing.T) {
@@ -124,6 +130,156 @@ func TestListAndDeregister(t *testing.T) {
 	// Deregistering a missing name is not an error.
 	if err := c.Deregister("zz"); err != nil {
 		t.Errorf("deregister missing = %v", err)
+	}
+}
+
+// TestReRegisterSurvivesSweepRace is the regression test for the
+// re-register-vs-prune race: the sweeper collects an expired entry,
+// a heartbeat re-registers the name before the deletion phase runs,
+// and the version check must keep the fresh entry alive.
+func TestReRegisterSurvivesSweepRace(t *testing.T) {
+	c, clock, srv := startRegistryServer(t)
+	if err := c.Register("svc", "a:1", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(11 * time.Second) // lease lapses
+
+	// Phase 1 of the sweep observes the expired entry (and its version).
+	refs := srv.collectExpired()
+	if len(refs) != 1 || refs[0].name != "svc" {
+		t.Fatalf("collectExpired = %+v", refs)
+	}
+
+	// A re-register lands between the sweep's phases.
+	if err := c.Register("svc", "a:2", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2 must notice the version bump and keep the new entry.
+	srv.dropExpired(refs)
+	e, err := c.Lookup("svc")
+	if err != nil {
+		t.Fatalf("fresh registration was dropped by the sweep: %v", err)
+	}
+	if e.Addr != "a:2" {
+		t.Errorf("entry = %+v, want addr a:2", e)
+	}
+
+	// Control: with no interleaved re-register the sweep does delete.
+	clock.Advance(11 * time.Second)
+	srv.SweepExpired()
+	if _, err := c.Lookup("svc"); err == nil {
+		t.Error("expired entry should have been swept")
+	}
+}
+
+func TestRegisterVersionMonotonic(t *testing.T) {
+	c, _, srv := startRegistryServer(t)
+	for i := 0; i < 3; i++ {
+		if err := c.Register("svc", "a:1", time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.mu.Lock()
+	v := srv.entries["svc"].Version
+	srv.mu.Unlock()
+	if v != 3 {
+		t.Errorf("version after 3 registers = %d, want 3", v)
+	}
+}
+
+func TestPlacementLeaseAndVersioning(t *testing.T) {
+	c, clock := startRegistry(t)
+	v1, err := c.PlaceShards("daemon-a", "a:1", []string{"CS/Floor1", "CS/Floor2"}, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 == 0 {
+		t.Fatal("placement version should bump on first lease")
+	}
+	p, err := c.Placement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Shards) != 2 || p.Version != v1 {
+		t.Fatalf("placement = %+v", p)
+	}
+	if p.Shards[0].Shard != "CS/Floor1" || p.Shards[1].Shard != "CS/Floor2" {
+		t.Errorf("placement not sorted by shard: %+v", p.Shards)
+	}
+
+	// Heartbeat renewal: same daemon, same addr — version must not move.
+	clock.Advance(10 * time.Second)
+	v2, err := c.PlaceShards("daemon-a", "a:1", []string{"CS/Floor1", "CS/Floor2"}, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != v1 {
+		t.Errorf("heartbeat bumped placement version %d -> %d", v1, v2)
+	}
+
+	// Takeover: another daemon claims a floor — version must bump.
+	v3, err := c.PlaceShards("daemon-b", "b:1", []string{"CS/Floor2"}, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3 <= v2 {
+		t.Errorf("takeover did not bump version: %d -> %d", v2, v3)
+	}
+	p, _ = c.Placement()
+	if e, ok := p.Owner("CS/Floor2"); !ok || e.Daemon != "daemon-b" {
+		t.Errorf("CS/Floor2 owner = %+v", e)
+	}
+	if got := p.Daemons(); len(got) != 2 || got[0] != "daemon-a" || got[1] != "daemon-b" {
+		t.Errorf("daemons = %v", got)
+	}
+
+	// Expiry: an unrenewed lease lapses and the version moves again.
+	clock.Advance(31 * time.Second)
+	p, _ = c.Placement()
+	if len(p.Shards) != 0 {
+		t.Errorf("expired leases survived: %+v", p.Shards)
+	}
+	if p.Version <= v3 {
+		t.Errorf("pruned leases did not bump version: %d", p.Version)
+	}
+}
+
+func TestUnplaceDaemon(t *testing.T) {
+	c, _ := startRegistry(t)
+	if _, err := c.PlaceShards("daemon-a", "a:1", []string{"F1", "F2"}, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PlaceShards("daemon-b", "b:1", []string{"F3"}, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.UnplaceDaemon("daemon-a"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Placement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Shards) != 1 || p.Shards[0].Shard != "F3" {
+		t.Errorf("placement after unplace = %+v", p.Shards)
+	}
+}
+
+func TestPlacementSweepVersionCheck(t *testing.T) {
+	c, clock, srv := startRegistryServer(t)
+	if _, err := c.PlaceShards("daemon-a", "a:1", []string{"F1"}, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(11 * time.Second)
+	refs := srv.collectExpired()
+	// Re-lease between sweep phases (restarted daemon, new addr).
+	if _, err := c.PlaceShards("daemon-a", "a:2", []string{"F1"}, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	srv.dropExpired(refs)
+	p, _ := c.Placement()
+	if e, ok := p.Owner("F1"); !ok || e.Addr != "a:2" {
+		t.Errorf("fresh lease was dropped by the sweep: %+v", p.Shards)
 	}
 }
 

@@ -271,6 +271,9 @@ type HealthDTO struct {
 	Sensors       int     `json:"sensors"`
 	QueueDepth    int     `json:"queueDepth"`
 	QueueCap      int     `json:"queueCap"`
+	// Federation is present when the daemon is part of a shard
+	// federation: its name, placement-map version, and peer view.
+	Federation *FederationDTO `json:"federation,omitempty"`
 }
 
 // StatsArgs configures an mw.stats fetch.

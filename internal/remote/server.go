@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"middlewhere/internal/core"
+	"middlewhere/internal/fed"
 	"middlewhere/internal/geom"
 	"middlewhere/internal/glob"
 	"middlewhere/internal/model"
@@ -37,6 +38,9 @@ type Server struct {
 	// allocates stream IDs.
 	streams    map[*mwrpc.ServerConn]map[uint64]*srvStream
 	nextStream uint64
+	// fed is the federation router, when this daemon is part of one
+	// (SetFederation); nil for a standalone daemon.
+	fed *fed.Router
 }
 
 // NewServer wraps a Location Service. Call Listen to serve. The
@@ -74,6 +78,8 @@ func NewServer(svc *core.Service) *Server {
 	s.rpc.Register("mw.defineRegion", s.handleDefineRegion)
 	s.rpc.Register("mw.health", s.handleHealth)
 	s.rpc.Register("mw.stats", s.handleStats)
+	s.rpc.Register(fed.MethodHello, s.handleHello)
+	s.rpc.Register(fed.MethodShards, s.handleShards)
 	return s
 }
 
@@ -154,7 +160,7 @@ func statsSnapshot(reg *obs.Registry, tr *obs.Tracer, traces int) StatsDTO {
 
 func (s *Server) handleHealth(_ *mwrpc.ServerConn, _ json.RawMessage) (interface{}, error) {
 	h := s.svc.Health()
-	return HealthDTO{
+	out := HealthDTO{
 		Status:        h.State.String(),
 		UptimeSeconds: h.Uptime.Seconds(),
 		Ingested:      h.Ingested,
@@ -163,7 +169,15 @@ func (s *Server) handleHealth(_ *mwrpc.ServerConn, _ json.RawMessage) (interface
 		Sensors:       h.Sensors,
 		QueueDepth:    h.QueueDepth,
 		QueueCap:      h.QueueCap,
-	}, nil
+	}
+	if r := s.federation(); r != nil {
+		out.Federation = &FederationDTO{
+			Daemon:           r.Daemon(),
+			PlacementVersion: r.Placement().Version,
+			Peers:            r.PeerStates(),
+		}
+	}
+	return out, nil
 }
 
 // SetWire overrides which codecs the daemon negotiates (normally read

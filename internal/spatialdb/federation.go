@@ -1,0 +1,201 @@
+package spatialdb
+
+import (
+	"middlewhere/internal/glob"
+	"middlewhere/internal/model"
+)
+
+// Federation support: the primitives the cross-daemon migration
+// protocol is built from. A prepare/commit handoff exports an object's
+// rows and epoch from the source daemon, imports them on the
+// destination with an epoch guard (idempotent — a replayed prepare
+// never double-applies), and only after the destination's ack does the
+// source drop its copy. The source keeps serving reads and forwarding
+// writes until that commit, so a crash on either side loses nothing.
+
+// ShardKeyForGLOB maps a location to its floor shard key (the top-two
+// symbolic path components). Exposed for the federation router, which
+// partitions daemons by the same key the in-process shards use.
+func ShardKeyForGLOB(g glob.GLOB) string { return shardKeyForGLOB(g) }
+
+// ShardKeyForID maps an object GLOB string to its floor shard key
+// without parsing.
+func ShardKeyForID(id string) string { return shardKeyForID(id) }
+
+// ObjectShardKey reports which local shard currently holds the
+// object's reading rows, if any.
+func (db *DB) ObjectShardKey(id string) (string, bool) {
+	if sh := db.residentShard(id); sh != nil {
+		return sh.key, true
+	}
+	return "", false
+}
+
+// ExportObject copies out the object's stored reading rows and its
+// reading epoch — the migration prepare payload. The copy is taken
+// atomically with residence, so a concurrent in-process floor change
+// cannot tear it.
+func (db *DB) ExportObject(id string) ([]model.Reading, uint64, bool) {
+	for {
+		sh := db.residentShard(id)
+		if sh == nil {
+			return nil, 0, false
+		}
+		sh.readMu.RLock()
+		if db.residentShard(id) != sh {
+			sh.readMu.RUnlock()
+			continue // raced a migration; re-resolve
+		}
+		rows := append([]model.Reading(nil), sh.table.rows[id]...)
+		epoch := sh.table.epochs[id]
+		sh.readMu.RUnlock()
+		return rows, epoch, true
+	}
+}
+
+// readingKey identifies a stored row for the import merge: one sensor
+// observing one object at one instant is one reading, however many
+// times the migration protocol replays it.
+type readingKey struct {
+	sensor string
+	atNano int64
+	loc    string
+}
+
+func keyOf(r model.Reading) readingKey {
+	return readingKey{sensor: r.SensorID, atNano: r.Time.UnixNano(), loc: r.Location.String()}
+}
+
+// ImportObject merges a migrated object's rows into the local table
+// under an epoch guard. Rows are deduplicated by (sensor, time,
+// location), so a replayed prepare — the destination restarted after
+// acking, or the source retried after a lost ack — adds nothing; and a
+// merge (rather than a replace) means rows a daemon accumulated while
+// degraded are never clobbered by a handoff at a lower epoch. The
+// local epoch advances to max(local, incoming)+1 when anything was
+// applied — strictly greater than every value either side handed out,
+// exactly like the in-process floor migration — and does not move on a
+// pure replay, so epochs are never double-applied. Returns whether
+// anything was applied; false (a pure replay, or stale state already
+// covered locally) is still an ack-worthy outcome for the protocol.
+func (db *DB) ImportObject(id string, rows []model.Reading, epoch uint64) bool {
+	if id == "" {
+		return false
+	}
+	key := rootShardKey
+	if len(rows) > 0 {
+		key = shardKeyForGLOB(rows[len(rows)-1].Location)
+	}
+	db.cutMu.RLock()
+	defer db.cutMu.RUnlock()
+	sh := db.ensureShard(key)
+	for {
+		db.placeObject(id, sh)
+		sh.readMu.Lock()
+		if db.residentShard(id) != sh {
+			sh.readMu.Unlock()
+			continue // lost a race with another migration; re-place
+		}
+		t := sh.mutableTable()
+		cur := t.epochs[id]
+		have := make(map[readingKey]bool, len(t.rows[id]))
+		for _, r := range t.rows[id] {
+			have[keyOf(r)] = true
+		}
+		var fresh []model.Reading
+		for _, r := range rows {
+			if k := keyOf(r); !have[k] {
+				have[k] = true
+				fresh = append(fresh, r)
+			}
+		}
+		if len(fresh) == 0 && epoch < cur {
+			sh.readMu.Unlock()
+			return false
+		}
+		merged := append(append([]model.Reading(nil), t.rows[id]...), fresh...)
+		if len(merged) > maxReadingsPerObject {
+			merged = merged[len(merged)-maxReadingsPerObject:]
+		}
+		t.rows[id] = merged
+		t.owned[id] = true
+		next := cur
+		if epoch > next {
+			next = epoch
+		}
+		t.epochs[id] = next + 1
+		sh.writeEpoch.Add(1)
+		sh.readMu.Unlock()
+		mFedImports.Inc()
+		return true
+	}
+}
+
+// HasReading reports whether the object already stores a row with the
+// same (sensor, time, location) identity. The forwarded-ingest path
+// checks it to stay idempotent under at-least-once retries: a sender
+// whose connection died after the owner stored the batch — but before
+// the reply arrived — retries, and the replayed rows must not store
+// twice.
+func (db *DB) HasReading(r model.Reading) bool {
+	sh := db.residentShard(r.MObjectID)
+	if sh == nil {
+		return false
+	}
+	sh.readMu.RLock()
+	defer sh.readMu.RUnlock()
+	k := keyOf(r)
+	for _, have := range sh.table.rows[r.MObjectID] {
+		if keyOf(have) == k {
+			return true
+		}
+	}
+	return false
+}
+
+// DropObject removes the object's rows, epoch, and residence entry —
+// the migration commit on the source after the destination acks. The
+// drop happens only when the object's epoch still equals ifEpoch (the
+// value exported in the prepare): readings that landed after the
+// export are not covered by the destination's ack and must not be
+// deleted — the caller re-exports and hands off again. Returns whether
+// the drop happened.
+func (db *DB) DropObject(id string, ifEpoch uint64) bool {
+	db.cutMu.RLock()
+	defer db.cutMu.RUnlock()
+	// migMu serializes against placeObject so residence cannot move the
+	// object to another shard between the load and the table edit.
+	db.migMu.Lock()
+	defer db.migMu.Unlock()
+	cur, ok := db.residence.Load(id)
+	if !ok {
+		return false
+	}
+	sh := cur.(*shard)
+	sh.readMu.Lock()
+	if sh.table.epochs[id] != ifEpoch {
+		sh.readMu.Unlock()
+		return false
+	}
+	t := sh.mutableTable()
+	delete(t.rows, id)
+	delete(t.owned, id)
+	delete(t.epochs, id)
+	sh.writeEpoch.Add(1)
+	db.residence.Delete(id)
+	sh.readMu.Unlock()
+	mFedDrops.Inc()
+	return true
+}
+
+// LocalShardKeys returns the keys of the shards this database has
+// materialized, sorted — what a daemon advertises in its placement
+// lease alongside its configured floors.
+func (db *DB) LocalShardKeys() []string {
+	shards := db.allShards()
+	out := make([]string, 0, len(shards))
+	for _, sh := range shards {
+		out = append(out, sh.key)
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package spatialdb
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"middlewhere/internal/model"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	src := multiFloorDB(t, 2)
+	dst := multiFloorDB(t, 2)
+	for _, db := range []*DB{src, dst} {
+		if err := db.RegisterSensor("ubi-1", longSpec()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	at := time.Now()
+	for i := 0; i < 3; i++ {
+		if err := src.InsertReading(floorReading("ubi-1", "alice", 1, float64(10+i), 20, at.Add(time.Duration(i)*time.Second))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rows, epoch, ok := src.ExportObject("alice")
+	if !ok || len(rows) != 3 {
+		t.Fatalf("ExportObject = %d rows, ok=%v", len(rows), ok)
+	}
+	if epoch != src.ReadingEpoch("alice") {
+		t.Errorf("exported epoch %d != ReadingEpoch %d", epoch, src.ReadingEpoch("alice"))
+	}
+
+	if !dst.ImportObject("alice", rows, epoch) {
+		t.Fatal("first import should apply")
+	}
+	got := dst.ReadingsFor("alice", at)
+	want := src.ReadingsFor("alice", at)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("imported rows differ:\n got %+v\nwant %+v", got, want)
+	}
+	// Epoch monotonicity across the handoff: the destination's epoch is
+	// strictly greater than any value the source handed out.
+	if dst.ReadingEpoch("alice") != epoch+1 {
+		t.Errorf("dst epoch = %d, want %d", dst.ReadingEpoch("alice"), epoch+1)
+	}
+	if key, ok := dst.ObjectShardKey("alice"); !ok || key != "CS/Floor1" {
+		t.Errorf("imported object shard = %q, ok=%v", key, ok)
+	}
+}
+
+func TestImportReplayNeverDoubleApplies(t *testing.T) {
+	src := multiFloorDB(t, 1)
+	dst := multiFloorDB(t, 1)
+	for _, db := range []*DB{src, dst} {
+		if err := db.RegisterSensor("ubi-1", longSpec()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	at := time.Now()
+	if err := src.InsertReading(floorReading("ubi-1", "bob", 1, 5, 5, at)); err != nil {
+		t.Fatal(err)
+	}
+	rows, epoch, _ := src.ExportObject("bob")
+
+	if !dst.ImportObject("bob", rows, epoch) {
+		t.Fatal("first import should apply")
+	}
+	epochAfter := dst.ReadingEpoch("bob")
+
+	// A replayed prepare (lost ack, retried) must be a no-op.
+	for i := 0; i < 3; i++ {
+		if dst.ImportObject("bob", rows, epoch) {
+			t.Fatal("replayed import must not re-apply")
+		}
+	}
+	if got := dst.ReadingEpoch("bob"); got != epochAfter {
+		t.Errorf("replay moved epoch %d -> %d", epochAfter, got)
+	}
+	if got := len(dst.ReadingsFor("bob", at)); got != 1 {
+		t.Errorf("replay duplicated rows: %d", got)
+	}
+
+	// Local progress past the handoff also shields against stale
+	// replays: new ingest bumps the epoch, the old payload stays dead.
+	if err := dst.InsertReading(floorReading("ubi-1", "bob", 1, 6, 6, at.Add(time.Second))); err != nil {
+		t.Fatal(err)
+	}
+	if dst.ImportObject("bob", rows, epoch) {
+		t.Error("stale import applied over newer local state")
+	}
+	if got := len(dst.ReadingsFor("bob", at)); got != 2 {
+		t.Errorf("rows after stale replay = %d, want 2", got)
+	}
+}
+
+// TestImportMergesDegradedRows covers the degraded-fallback handoff:
+// a daemon that stored rows locally while the owner was down later
+// hands them over at a lower epoch than the owner's — the merge must
+// keep both row sets and keep the epoch monotonic.
+func TestImportMergesDegradedRows(t *testing.T) {
+	owner := multiFloorDB(t, 1)
+	if err := owner.RegisterSensor("ubi-1", longSpec()); err != nil {
+		t.Fatal(err)
+	}
+	at := time.Now()
+	// The owner already holds rows at a high epoch.
+	for i := 0; i < 5; i++ {
+		if err := owner.InsertReading(floorReading("ubi-1", "dave", 1, float64(i), 1, at.Add(time.Duration(i)*time.Second))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	highEpoch := owner.ReadingEpoch("dave")
+
+	// A degraded peer accumulated different rows at a low epoch.
+	degraded := []model.Reading{
+		floorReading("ubi-1", "dave", 1, 50, 1, at.Add(10*time.Second)),
+		floorReading("ubi-1", "dave", 1, 51, 1, at.Add(11*time.Second)),
+	}
+	if !owner.ImportObject("dave", degraded, 2) {
+		t.Fatal("low-epoch handoff with fresh rows must apply")
+	}
+	rows := owner.ReadingsFor("dave", at)
+	if len(rows) != 7 {
+		t.Errorf("merged rows = %d, want 7 (no clobber, no dup)", len(rows))
+	}
+	if e := owner.ReadingEpoch("dave"); e <= highEpoch {
+		t.Errorf("epoch regressed: %d -> %d", highEpoch, e)
+	}
+}
+
+func TestDropObjectCommitsMigration(t *testing.T) {
+	db := multiFloorDB(t, 1)
+	if err := db.RegisterSensor("ubi-1", longSpec()); err != nil {
+		t.Fatal(err)
+	}
+	at := time.Now()
+	if err := db.InsertReading(floorReading("ubi-1", "carol", 1, 1, 1, at)); err != nil {
+		t.Fatal(err)
+	}
+	epoch := db.ReadingEpoch("carol")
+	if db.DropObject("carol", epoch+1) {
+		t.Fatal("drop with a stale epoch must refuse — unacked rows would be lost")
+	}
+	if !db.DropObject("carol", epoch) {
+		t.Fatal("DropObject should report presence")
+	}
+	if db.DropObject("carol", epoch) {
+		t.Error("second drop should be a no-op")
+	}
+	if rows := db.ReadingsFor("carol", at); len(rows) != 0 {
+		t.Errorf("rows survived drop: %+v", rows)
+	}
+	if _, ok := db.ObjectShardKey("carol"); ok {
+		t.Error("residence survived drop")
+	}
+	if e := db.ReadingEpoch("carol"); e != 0 {
+		t.Errorf("epoch survived drop: %d", e)
+	}
+	// The object can come back through a later import (migrated back).
+	back := []model.Reading{floorReading("ubi-1", "carol", 1, 2, 2, at)}
+	if !db.ImportObject("carol", back, 7) {
+		t.Fatal("re-import after drop should apply")
+	}
+	if e := db.ReadingEpoch("carol"); e != 8 {
+		t.Errorf("re-import epoch = %d, want 8", e)
+	}
+}

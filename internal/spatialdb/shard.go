@@ -21,6 +21,8 @@ var (
 	mSnapshots  = obs.Default().Counter("spatialdb_snapshots_total")
 	mSnapClones = obs.Default().Counter("spatialdb_snapshot_clones_total")
 	mSnapAgeUs  = obs.Default().Gauge("spatialdb_snapshot_age_us")
+	mFedImports = obs.Default().Counter("spatialdb_fed_imports_total")
+	mFedDrops   = obs.Default().Counter("spatialdb_fed_drops_total")
 )
 
 // rootShardKey is the shard for locations whose GLOB has no symbolic

@@ -44,6 +44,7 @@ import (
 	"middlewhere/internal/building"
 	"middlewhere/internal/calibrate"
 	"middlewhere/internal/core"
+	"middlewhere/internal/fed"
 	"middlewhere/internal/fusion"
 	"middlewhere/internal/geom"
 	"middlewhere/internal/glob"
@@ -443,6 +444,37 @@ const (
 	StateConnected    = remote.StateConnected
 	StateReconnecting = remote.StateReconnecting
 	StateClosed       = remote.StateClosed
+)
+
+// ---------------------------------------------------------------------------
+// Federation (floor shards across daemons)
+
+type (
+	// FedRouter federates floor shards across daemons: it leases this
+	// daemon's floors in the registry's placement map, forwards ingest
+	// to floor owners (with crash-safe object migration), and fans
+	// region queries out across the map with explicit degradation.
+	FedRouter = fed.Router
+	// FedConfig parameterizes a federation router.
+	FedConfig = fed.Config
+	// FedQueryReply is a federated region scan's result: complete, or
+	// explicitly partial with the unavailable shard keys listed.
+	FedQueryReply = fed.QueryReply
+	// FedShardsReply maps where every floor lives plus peer state.
+	FedShardsReply = fed.ShardsReply
+	// FedPeerState is one peer daemon's breaker/retry state.
+	FedPeerState = fed.PeerState
+	// FederationDTO is the federation block of the health heartbeat.
+	FederationDTO = remote.FederationDTO
+)
+
+var (
+	// NewFedRouter joins a service to a federation; attach the result
+	// to the daemon's RemoteServer with SetFederation.
+	NewFedRouter = fed.New
+	// ErrFedUnavailable reports a strict-mode federated query that
+	// could not reach every shard.
+	ErrFedUnavailable = fed.ErrUnavailable
 )
 
 // WirePref selects the RPC framing a dialer or daemon offers: WireAuto
