@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race shard-stress bench bench-compare vet fmt fmt-write chaos chaos-federation obs stats-demo fuzz-smoke compat check
+.PHONY: build test race shard-stress bench bench-compare vet fmt fmt-write chaos chaos-federation cluster-smoke obs stats-demo fuzz-smoke compat check
 
 build:
 	$(GO) build ./...
@@ -86,15 +86,47 @@ chaos:
 chaos-federation:
 	$(GO) test -race -count=2 -run '^TestChaos' -v ./internal/fed/
 	$(GO) test -race -count=1 ./internal/fed/ ./internal/faultnet/
+	$(MAKE) cluster-smoke
+
+# Two-daemon cluster-stats smoke: a registry (with /metrics/cluster)
+# plus two floor daemons of a two-storey building. A reading ingested
+# at cs-0 for cs-1's floor must forward, `mwctl stats -cluster` must
+# scrape both daemons and show the federation counters, and `mwctl
+# trace -cluster` must render the stitched cross-daemon trace.
+cluster-smoke:
+	@$(GO) build -o /tmp/mw-reg ./cmd/mwregistry
+	@$(GO) build -o /tmp/mw-fed ./cmd/middlewhere
+	@$(GO) build -o /tmp/mwctl-fed ./cmd/mwctl
+	@/tmp/mw-reg -addr 127.0.0.1:7640 -metrics-addr 127.0.0.1:7641 & rpid=$$!; \
+	/tmp/mw-fed -addr 127.0.0.1:7642 -registry 127.0.0.1:7640 -name cs-0 \
+		-building multistorey:2 -floors CS/F0 -trace -slo 'ingest=p99<1s' & d0=$$!; \
+	/tmp/mw-fed -addr 127.0.0.1:7643 -registry 127.0.0.1:7640 -name cs-1 \
+		-building multistorey:2 -floors CS/F1 -trace & d1=$$!; \
+	sleep 2; rc=0; \
+	/tmp/mwctl-fed -addr 127.0.0.1:7642 sensor ubi-1 || rc=1; \
+	/tmp/mwctl-fed -addr 127.0.0.1:7643 sensor ubi-1 || rc=1; \
+	/tmp/mwctl-fed -addr 127.0.0.1:7642 ingest ubi-1 alice 'CS/F1/(5,5)' || rc=1; \
+	/tmp/mwctl-fed -registry 127.0.0.1:7640 stats -cluster > /tmp/mw-cluster.out || rc=1; \
+	head -6 /tmp/mw-cluster.out; \
+	grep -q '^cluster: 2/2' /tmp/mw-cluster.out || { echo "FAIL: cluster scrape incomplete"; rc=1; }; \
+	grep -q '^fed_forwarded_readings_total *1' /tmp/mw-cluster.out || { echo "FAIL: forward not counted"; rc=1; }; \
+	/tmp/mwctl-fed -registry 127.0.0.1:7640 trace -cluster 5 > /tmp/mw-trace.out || rc=1; \
+	grep -q 'fed_ingest' /tmp/mw-trace.out || { echo "FAIL: no owner-side span in cluster trace"; rc=1; }; \
+	curl -sf http://127.0.0.1:7641/metrics/cluster | grep -q '^cluster_daemons_scraped 2' \
+		|| { echo "FAIL: /metrics/cluster"; rc=1; }; \
+	/tmp/mwctl-fed -addr 127.0.0.1:7642 health -v | grep -q '^slos:' || { echo "FAIL: no slo block"; rc=1; }; \
+	kill $$d0 $$d1 $$rpid; exit $$rc
 
 # Observability suite: the obs package and trace-propagation tests
 # under the race detector, then the zero-allocation guard without it
 # (the race runtime allocates inside atomics, so the guard is
 # build-tagged !race).
 obs:
-	$(GO) test -race -count=1 ./internal/obs/
+	$(GO) test -race -count=1 ./internal/obs/ ./internal/obs/cluster/
 	$(GO) test -race -count=1 -run 'Trace' ./internal/remote/
+	$(GO) test -race -count=1 -run 'Trace|TestSLO|TestPeerState' ./internal/fed/
 	$(GO) test -count=1 -run TestDisabledInstrumentationAllocatesNothing -v ./internal/obs/
+	$(GO) test -count=1 -run TestTracingDisabledFedPathAllocatesNothing -v ./internal/fed/
 
 # Smoke the debug endpoint: start the daemon with tracing and the
 # debug server on ephemeral-ish ports, hit /metrics and mw.stats

@@ -25,6 +25,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -37,17 +38,19 @@ func main() {
 		addr         = flag.String("addr", ":7700", "TCP address to serve the location service on")
 		regAddr      = flag.String("registry", "", "optional registry address to register with")
 		name         = flag.String("name", "location-service", "service name in the registry")
-		buildingKind = flag.String("building", "paper", `building model: "paper" or "synthetic"`)
+		buildingKind = flag.String("building", "paper", `building model: "paper", "synthetic", or "multistorey[:N]" (N grid floors CS/F0..)`)
 		rows         = flag.Int("rows", 4, "synthetic building: room rows")
 		cols         = flag.Int("cols", 6, "synthetic building: room columns")
 		floorplan    = flag.String("floorplan", "", "JSON floor-plan file (overrides -building)")
 		floors       = flag.String("floors", "", "comma-separated floor shard keys this daemon owns (federated mode; requires -registry)")
 		debugAddr    = flag.String("debug-addr", "", "optional address for /metrics, /debug/traces, and pprof")
 		trace        = flag.Bool("trace", false, "record per-reading pipeline span traces")
+		slo          = flag.String("slo", "", `latency objectives, e.g. "ingest=p99<2ms,query=p99<10ms@30s" (mwctl health -v reports them)`)
 		wire         = flag.String("wire", "", `RPC framing to offer: "binary" (negotiate, the default), "binary!" (strict), or "json"; overrides MW_WIRE`)
 	)
 	flag.Parse()
 	middlewhere.EnableObservability(*trace)
+	middlewhere.SetObsDaemonLabel(*name)
 	if *debugAddr != "" {
 		dbg, err := middlewhere.StartObsDebugServer(*debugAddr,
 			middlewhere.ObsDefault(), middlewhere.ObsDefaultTracer())
@@ -59,7 +62,7 @@ func main() {
 	}
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	if err := run(*addr, *regAddr, *name, *buildingKind, *floorplan, *wire, *floors, *rows, *cols, stop); err != nil {
+	if err := run(*addr, *regAddr, *name, *buildingKind, *floorplan, *wire, *floors, *slo, *rows, *cols, stop); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -82,12 +85,24 @@ func loadBuilding(buildingKind, floorplan string, rows, cols int) (*middlewhere.
 		return middlewhere.PaperFloor(), buildingKind, nil
 	case buildingKind == "synthetic":
 		return middlewhere.SyntheticBuilding("SYN", rows, cols, 20, 15, 8), buildingKind, nil
+	case strings.HasPrefix(buildingKind, "multistorey"):
+		// "multistorey" or "multistorey:N" — N identical grid floors
+		// CS/F0..CS/F<N-1>, the model federated deployments shard.
+		storeys := 3
+		if _, n, ok := strings.Cut(buildingKind, ":"); ok {
+			v, err := strconv.Atoi(n)
+			if err != nil || v < 1 {
+				return nil, "", fmt.Errorf("bad storey count %q", n)
+			}
+			storeys = v
+		}
+		return middlewhere.MultiStoreyBuilding("CS", storeys, rows, cols, 20, 15, 8), buildingKind, nil
 	default:
 		return nil, "", fmt.Errorf("unknown building kind %q", buildingKind)
 	}
 }
 
-func run(addr, regAddr, name, buildingKind, floorplan, wire, floors string, rows, cols int, stop <-chan os.Signal) error {
+func run(addr, regAddr, name, buildingKind, floorplan, wire, floors, slo string, rows, cols int, stop <-chan os.Signal) error {
 	bld, kindLabel, err := loadBuilding(buildingKind, floorplan, rows, cols)
 	if err != nil {
 		return err
@@ -103,6 +118,17 @@ func run(addr, regAddr, name, buildingKind, floorplan, wire, floors string, rows
 	srv := middlewhere.NewRemoteServer(svc)
 	if wire != "" {
 		srv.SetWire(middlewhere.ParseWire(wire))
+	}
+	if slo != "" {
+		objectives, err := middlewhere.ParseSLOs(slo, nil)
+		if err != nil {
+			return err
+		}
+		tracker := middlewhere.NewSLOTracker(nil, objectives, 0)
+		tracker.Start()
+		defer tracker.Stop()
+		srv.SetSLOTracker(tracker)
+		log.Printf("tracking %d latency objective(s)", len(objectives))
 	}
 	bound, err := srv.Listen(addr)
 	if err != nil {

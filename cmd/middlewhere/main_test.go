@@ -19,6 +19,23 @@ func TestLoadBuildingKinds(t *testing.T) {
 	if err != nil || label != "synthetic" || len(bld.Objects) != 1+2+6 {
 		t.Errorf("synthetic: %q %v (objects=%d)", label, err, len(bld.Objects))
 	}
+	bld, label, err = loadBuilding("multistorey:2", "", 2, 2)
+	if err != nil || label != "multistorey:2" {
+		t.Fatalf("multistorey:2: %q %v", label, err)
+	}
+	floors := make(map[string]bool)
+	for _, o := range bld.Objects {
+		if o.Type == "Floor" {
+			floors[o.GLOB.String()] = true
+		}
+	}
+	if !floors["CS/F0"] || !floors["CS/F1"] || len(floors) != 2 {
+		t.Errorf("multistorey:2 floors = %v, want CS/F0 and CS/F1", floors)
+	}
+	if _, _, err := loadBuilding("multistorey:zero", "", 2, 2); err == nil ||
+		!strings.Contains(err.Error(), "bad storey count") {
+		t.Errorf("bad storey err = %v", err)
+	}
 	if _, _, err := loadBuilding("castle", "", 0, 0); err == nil ||
 		!strings.Contains(err.Error(), "unknown building kind") {
 		t.Errorf("bad kind err = %v", err)
@@ -68,7 +85,7 @@ func TestDaemonRunAndShutdown(t *testing.T) {
 	stop := make(chan os.Signal, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run("127.0.0.1:0", regAddr, "test-loc", "paper", "", "", "", 0, 0, stop)
+		done <- run("127.0.0.1:0", regAddr, "test-loc", "paper", "", "", "", "", 0, 0, stop)
 	}()
 
 	// The daemon registers itself; poll the registry until it shows up.
@@ -125,7 +142,7 @@ func TestDaemonFederatedRun(t *testing.T) {
 	stop := make(chan os.Signal, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run("127.0.0.1:0", regAddr, "cs-3", "paper", "", "", "CS/Floor3, CS/Floor2", 0, 0, stop)
+		done <- run("127.0.0.1:0", regAddr, "cs-3", "paper", "", "", "CS/Floor3, CS/Floor2", "", 0, 0, stop)
 	}()
 
 	rc, err := middlewhere.DialRegistry(regAddr)
@@ -178,7 +195,7 @@ func TestDaemonFederatedRun(t *testing.T) {
 
 func TestDaemonFloorsWithoutRegistry(t *testing.T) {
 	stop := make(chan os.Signal, 1)
-	if err := run("127.0.0.1:0", "", "x", "paper", "", "", "CS/Floor3", 0, 0, stop); err == nil ||
+	if err := run("127.0.0.1:0", "", "x", "paper", "", "", "CS/Floor3", "", 0, 0, stop); err == nil ||
 		!strings.Contains(err.Error(), "-floors requires -registry") {
 		t.Errorf("floors without registry: err = %v", err)
 	}
@@ -188,7 +205,7 @@ func TestDaemonNoRegistry(t *testing.T) {
 	stop := make(chan os.Signal, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run("127.0.0.1:0", "", "x", "synthetic", "", "", "", 2, 2, stop)
+		done <- run("127.0.0.1:0", "", "x", "synthetic", "", "", "", "", 2, 2, stop)
 	}()
 	time.Sleep(50 * time.Millisecond)
 	stop <- os.Interrupt
@@ -204,7 +221,7 @@ func TestDaemonNoRegistry(t *testing.T) {
 
 func TestDaemonBadRegistry(t *testing.T) {
 	stop := make(chan os.Signal, 1)
-	if err := run("127.0.0.1:0", "127.0.0.1:1", "x", "paper", "", "", "", 0, 0, stop); err == nil {
+	if err := run("127.0.0.1:0", "127.0.0.1:1", "x", "paper", "", "", "", "", 0, 0, stop); err == nil {
 		t.Error("unreachable registry should fail")
 	}
 }

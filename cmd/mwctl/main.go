@@ -9,6 +9,7 @@
 //	mwctl -addr localhost:7700 watch CS/Floor3/NetLab 30s
 //	mwctl -addr localhost:7700 route CS/Floor3/NetLab CS/Floor3/HCILab
 //	mwctl -addr localhost:7700 relate CS/Floor3/NetLab CS/Floor3/MainCorridor
+//	mwctl -addr localhost:7700 sensor ubi-1 0.95   # register a sensor first
 //	mwctl -addr localhost:7700 ingest ubi-1 alice 'CS/Floor3/(370,15)'
 //	mwctl -addr localhost:7700 query "SELECT objects WHERE type = 'Room'"
 //	mwctl -addr localhost:7700 health        # exits 1 unless Healthy
@@ -17,8 +18,13 @@
 //	mwctl -addr localhost:7700 who-fed CS    # federated scan (partial-tolerant)
 //	mwctl -addr localhost:7700 stats         # server obs counters/histograms
 //	mwctl -addr localhost:7700 trace 5       # recent pipeline traces
+//	mwctl -registry localhost:7600 stats -cluster   # merged across all daemons
+//	mwctl -registry localhost:7600 trace -cluster 5 # cross-daemon span trees
 //	mwctl -addr localhost:7700 -retries 8 -timeout 3s locate alice
 //	mwctl -registry localhost:7600 locate alice
+//
+// health -v also reports any latency SLOs the daemon tracks (-slo);
+// a breached objective makes mwctl exit non-zero.
 package main
 
 import (
@@ -58,7 +64,17 @@ func main() {
 
 func run(addr, regAddr, name string, opts middlewhere.RemoteDialOptions, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: mwctl [flags] <locate|prob|who|who-fed|watch|route|relate|query|dist|history|ingest|health|shards|stats|trace> ...")
+		return fmt.Errorf("usage: mwctl [flags] <locate|prob|who|who-fed|watch|route|relate|query|dist|history|sensor|ingest|health|shards|stats|trace> ...")
+	}
+	// Cluster-wide stats/trace aggregate every daemon of a deployment
+	// through the registry — they never dial one daemon, so they branch
+	// off before address resolution.
+	if cmd := args[0]; (cmd == "stats" || cmd == "trace") &&
+		len(args) > 1 && args[1] == "-cluster" {
+		if regAddr == "" {
+			return fmt.Errorf("%s -cluster requires -registry", cmd)
+		}
+		return runCluster(cmd, regAddr, args[2:])
 	}
 	if addr == "" && regAddr != "" {
 		reg, err := middlewhere.DialRegistry(regAddr)
@@ -279,6 +295,23 @@ func run(addr, regAddr, name string, opts middlewhere.RemoteDialOptions, args []
 			fmt.Println("(no objects)")
 		}
 		return nil
+	case "sensor":
+		if len(rest) < 1 || len(rest) > 2 {
+			return fmt.Errorf("usage: sensor <sensorID> [confidence]")
+		}
+		conf := 0.95
+		if len(rest) == 2 {
+			v, err := strconv.ParseFloat(rest[1], 64)
+			if err != nil {
+				return fmt.Errorf("usage: sensor <sensorID> [confidence]: %w", err)
+			}
+			conf = v
+		}
+		if err := c.RegisterSensor(rest[0], middlewhere.UbisenseSpec(conf)); err != nil {
+			return err
+		}
+		fmt.Printf("registered %s (ubisense-class, confidence %.2f)\n", rest[0], conf)
+		return nil
 	case "ingest":
 		if len(rest) < 3 {
 			return fmt.Errorf("usage: ingest <sensorID> <object> <glob> [radius]")
@@ -311,7 +344,7 @@ func run(addr, regAddr, name string, opts middlewhere.RemoteDialOptions, args []
 		return runHealth(c, verbose)
 	case "stats":
 		if len(rest) != 0 {
-			return fmt.Errorf("usage: stats")
+			return fmt.Errorf("usage: stats [-cluster]")
 		}
 		st, err := c.Stats(0)
 		if err != nil {
@@ -322,7 +355,7 @@ func run(addr, regAddr, name string, opts middlewhere.RemoteDialOptions, args []
 	case "trace":
 		n := 5
 		if len(rest) > 1 {
-			return fmt.Errorf("usage: trace [n]")
+			return fmt.Errorf("usage: trace [-cluster] [n]")
 		}
 		if len(rest) == 1 {
 			v, err := strconv.Atoi(rest[0])
@@ -339,19 +372,53 @@ func run(addr, regAddr, name string, opts middlewhere.RemoteDialOptions, args []
 			fmt.Println("(tracing disabled on the server; start the daemon with -trace)")
 			return nil
 		}
-		for _, tr := range st.Traces {
-			fmt.Printf("%s  begin=%s  total=%.1fus\n", tr.ID, tr.Begin, tr.TotalUs)
-			for _, sp := range tr.Spans {
-				fmt.Printf("  %-14s +%8.1fus  %8.1fus\n", sp.Stage, sp.OffsetUs, sp.DurUs)
-			}
-		}
-		if len(st.Traces) == 0 {
-			fmt.Println("(no traces recorded yet)")
-		}
+		printTraces(st.Traces)
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// runCluster handles `stats -cluster` and `trace -cluster [n]`:
+// discover the deployment's daemons through the registry, scrape each
+// one's mw.stats, and print the merged view (counters summed,
+// histograms merged bucket-wise, traces stitched across daemons).
+func runCluster(cmd, regAddr string, rest []string) error {
+	traces := 0
+	if cmd == "trace" {
+		traces = 5
+		switch {
+		case len(rest) == 1:
+			v, err := strconv.Atoi(rest[0])
+			if err != nil {
+				return fmt.Errorf("usage: trace -cluster [n]: %w", err)
+			}
+			traces = v
+		case len(rest) > 1:
+			return fmt.Errorf("usage: trace -cluster [n]")
+		}
+	} else if len(rest) != 0 {
+		return fmt.Errorf("usage: stats -cluster")
+	}
+	st, daemons, unavailable, err := middlewhere.ClusterFetch(regAddr, traces, 10*time.Second)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(daemons))
+	for _, d := range daemons {
+		names = append(names, d.Name)
+	}
+	fmt.Printf("cluster: %d/%d daemon(s) scraped: %s\n",
+		len(daemons)-len(unavailable), len(daemons), strings.Join(names, ", "))
+	if len(unavailable) > 0 {
+		fmt.Printf("WARNING: unavailable: %s\n", strings.Join(unavailable, ", "))
+	}
+	if cmd == "trace" {
+		printTraces(st.Traces)
+	} else {
+		printStats(st)
+	}
+	return nil
 }
 
 // runHealth prints server and client health and returns an error —
@@ -373,6 +440,10 @@ func runHealth(c *middlewhere.RemoteClient, verbose bool) error {
 		fmt.Printf("federation: daemon=%s placement=v%d\n", h.Federation.Daemon, h.Federation.PlacementVersion)
 		for _, p := range h.Federation.Peers {
 			line := fmt.Sprintf("  peer %-12s %-8s addr=%s", p.Name, p.Breaker, p.Addr)
+			if p.Calls > 0 || p.Failures > 0 {
+				line += fmt.Sprintf(" calls=%d failures=%d retries=%d opens=%d",
+					p.Calls, p.Failures, p.Retries, p.BreakerOpens)
+			}
 			if p.ConsecFails > 0 {
 				line += fmt.Sprintf(" fails=%d", p.ConsecFails)
 			}
@@ -383,6 +454,19 @@ func runHealth(c *middlewhere.RemoteClient, verbose bool) error {
 				line += " lastErr=" + p.LastErr
 			}
 			fmt.Println(line)
+		}
+	}
+	if verbose && len(h.SLOs) > 0 {
+		fmt.Println("slos:")
+		for _, s := range h.SLOs {
+			status := "ok"
+			if s.Breached {
+				status = "BREACHED"
+			}
+			fmt.Printf("  %-10s %s p%g < %.0fus window=%s attained=%.1fus burn=%.2f samples=%d %s\n",
+				s.Name, s.Metric, s.Percentile*100, s.TargetUs,
+				(time.Duration(s.WindowSecs * float64(time.Second))).Round(time.Second),
+				s.AttainedUs, s.BurnRate, s.Samples, status)
 		}
 	}
 	if verbose {
@@ -403,7 +487,33 @@ func runHealth(c *middlewhere.RemoteClient, verbose bool) error {
 	if ch.State != middlewhere.Healthy {
 		return fmt.Errorf("health: client is %s", ch.State)
 	}
+	for _, s := range h.SLOs {
+		if s.Breached {
+			return fmt.Errorf("health: slo %s breached (p%g attained %.1fus, target %.0fus)",
+				s.Name, s.Percentile*100, s.AttainedUs, s.TargetUs)
+		}
+	}
 	return nil
+}
+
+// printTraces renders span trees one line per span, tagging each span
+// with the daemon that recorded it — cluster-merged traces interleave
+// hops from several daemons under one trace ID.
+func printTraces(traces []middlewhere.TraceDTO) {
+	for _, tr := range traces {
+		fmt.Printf("%s  begin=%s  total=%.1fus\n", tr.ID, tr.Begin, tr.TotalUs)
+		for _, sp := range tr.Spans {
+			daemon := sp.Daemon
+			if daemon == "" {
+				daemon = "-"
+			}
+			fmt.Printf("  %-18s @%-14s +%8.1fus  %8.1fus\n",
+				sp.Stage, daemon, sp.OffsetUs, sp.DurUs)
+		}
+	}
+	if len(traces) == 0 {
+		fmt.Println("(no traces recorded yet)")
+	}
 }
 
 // printStats renders an mw.stats snapshot.

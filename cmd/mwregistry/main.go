@@ -8,11 +8,19 @@
 //
 //	mwregistry -addr :7600
 //	mwregistry -addr :7600 -sweep 2s
+//	mwregistry -addr :7600 -metrics-addr 127.0.0.1:7601
+//
+// With -metrics-addr the registry serves /metrics/cluster: on each
+// request it scrapes every registered daemon's mw.stats and merges the
+// results (counters summed, histograms merged bucket-wise) into one
+// cluster-wide exposition page.
 package main
 
 import (
 	"flag"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -23,8 +31,9 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":7600", "TCP address to serve the registry on")
-		sweep = flag.Duration("sweep", 5*time.Second, "interval for pruning expired leases")
+		addr        = flag.String("addr", ":7600", "TCP address to serve the registry on")
+		sweep       = flag.Duration("sweep", 5*time.Second, "interval for pruning expired leases")
+		metricsAddr = flag.String("metrics-addr", "", "optional HTTP address serving /metrics/cluster (aggregated daemon metrics)")
 	)
 	flag.Parse()
 
@@ -36,6 +45,25 @@ func main() {
 	defer srv.Close()
 	srv.StartSweeper(*sweep)
 	log.Printf("registry on %s (lease sweep every %s)", bound, *sweep)
+
+	if *metricsAddr != "" {
+		// The aggregator dials the registry itself; a wildcard bind
+		// address is not dialable, so fix it up to loopback.
+		scrapeAddr := bound
+		if host, port, err := net.SplitHostPort(bound); err == nil && (host == "" || host == "::") {
+			scrapeAddr = net.JoinHostPort("127.0.0.1", port)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics/cluster", middlewhere.ClusterMetricsHandler(scrapeAddr, 5*time.Second))
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hs := &http.Server{Handler: mux}
+		go hs.Serve(ln)
+		defer hs.Close()
+		log.Printf("cluster metrics on http://%s/metrics/cluster", ln.Addr())
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

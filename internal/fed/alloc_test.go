@@ -1,0 +1,37 @@
+//go:build !race
+
+package fed
+
+import (
+	"testing"
+	"time"
+
+	"middlewhere/internal/model"
+	"middlewhere/internal/obs"
+)
+
+// TestTracingDisabledFedPathAllocatesNothing locks in the federation
+// hot path's share of the obs cost contract: with tracing off every
+// reading carries an empty trace ID, so the trace plumbing added to
+// forwardBatch/migrateObject — traceOf plus the span records — must
+// stay alloc-free no-ops. Excluded under -race because the race
+// runtime allocates inside atomics.
+func TestTracingDisabledFedPathAllocatesNothing(t *testing.T) {
+	was := obs.Enabled()
+	obs.SetEnabled(false)
+	t.Cleanup(func() { obs.SetEnabled(was) })
+
+	rs := make([]model.Reading, 32)
+	idxs := []int{0, 7, 15, 31}
+	start := time.Now()
+	if n := testing.AllocsPerRun(1000, func() {
+		trace := traceOf(rs, idxs)
+		if trace != "" {
+			t.Fatal("untraced readings yielded a trace ID")
+		}
+		obs.SpanSinceD(trace, "fed_forward", "alpha", start)
+		obs.SpanSinceD(trace, "fed_ingest", "beta", start)
+	}); n != 0 {
+		t.Fatalf("tracing-disabled fed additions allocate %v/op, want 0", n)
+	}
+}

@@ -253,7 +253,7 @@ func (r *Router) RefreshPlacement() error {
 		}
 		pe, ok := r.peers[e.Daemon]
 		if !ok {
-			pe = newPeer(e.Daemon, peerConfig{
+			pe = newPeer(e.Daemon, r.cfg.Daemon, peerConfig{
 				dialTimeout: r.cfg.DialTimeout,
 				callTimeout: r.cfg.CallTimeout,
 				attempts:    r.cfg.Attempts,
@@ -326,13 +326,18 @@ func (r *Router) PeerStates() []PeerState {
 	out := make([]PeerState, 0, len(names))
 	for _, name := range names {
 		st, fails, addr, lastErr := peers[name].state()
+		calls, failures, retries, opens := peers[name].counters()
 		out = append(out, PeerState{
-			Name:        name,
-			Addr:        addr,
-			Breaker:     st,
-			ConsecFails: fails,
-			Shards:      r.shardsOwnedBy(name),
-			LastErr:     lastErr,
+			Name:         name,
+			Addr:         addr,
+			Breaker:      st,
+			ConsecFails:  fails,
+			Calls:        calls,
+			Failures:     failures,
+			Retries:      retries,
+			BreakerOpens: opens,
+			Shards:       r.shardsOwnedBy(name),
+			LastErr:      lastErr,
 		})
 	}
 	return out

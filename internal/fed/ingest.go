@@ -3,10 +3,25 @@ package fed
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"middlewhere/internal/model"
+	"middlewhere/internal/obs"
 	"middlewhere/internal/spatialdb"
 )
+
+// traceOf picks the frame-level trace ID for a forwarded batch: the
+// first traced reading among the indexed rows. With tracing off every
+// reading carries an empty ID and this returns "" without allocating —
+// the fed hot path stays zero-alloc (pinned by the alloc guard test).
+func traceOf(rs []model.Reading, idxs []int) string {
+	for _, i := range idxs {
+		if rs[i].Trace != "" {
+			return rs[i].Trace
+		}
+	}
+	return ""
+}
 
 // RouteReadings implements core.IngestRouter: readings whose floor
 // shard is leased to a peer daemon are forwarded to it (after handing
@@ -63,6 +78,7 @@ func (r *Router) RouteReadings(rs []model.Reading) ([]int, error) {
 // the forwarded ingest. On any transport failure the indices are
 // appended to localIdx (degraded fallback) and fellBack reports it.
 func (r *Router) forwardBatch(daemon string, p *peer, rs []model.Reading, idxs []int, localIdx *[]int) (fellBack bool) {
+	trace := traceOf(rs, idxs)
 	// Hand over objects this daemon still holds rows for, before their
 	// new readings land at the owner — the epoch must travel first or
 	// the owner's fused-location cache could serve stale state.
@@ -76,21 +92,27 @@ func (r *Router) forwardBatch(daemon string, p *peer, rs []model.Reading, idxs [
 		if _, resident := r.svc.DB().ObjectShardKey(id); !resident {
 			continue
 		}
-		if err := r.migrateObject(id, p); err != nil {
+		if err := r.migrateObject(id, p, trace); err != nil {
 			// Owner unreachable: keep everything local this round.
 			*localIdx = append(*localIdx, idxs...)
 			return true
 		}
 	}
-	args := IngestArgs{Readings: make([]ReadingWire, 0, len(idxs)), From: r.cfg.Daemon}
+	args := IngestArgs{Readings: make([]ReadingWire, 0, len(idxs)), From: r.cfg.Daemon, Trace: trace}
 	for _, i := range idxs {
 		args.Readings = append(args.Readings, ToWire(rs[i]))
 	}
+	fwdStart := time.Now()
 	var rep IngestReply
-	if err := p.call(MethodIngest, args, &rep); err != nil {
+	if err := p.callTraced(MethodIngest, args, &rep, trace); err != nil {
+		obs.SpanSinceD(trace, "fed_forward", r.cfg.Daemon, fwdStart)
 		*localIdx = append(*localIdx, idxs...)
 		return true
 	}
+	// fed_forward covers the entry daemon's whole peer call — dial,
+	// retries, and the owner's handling — so the gap between it and the
+	// owner-side fed_ingest span is pure network + retry wait.
+	obs.SpanSinceD(trace, "fed_forward", r.cfg.Daemon, fwdStart)
 	mFedForwarded.Add(uint64(rep.Accepted))
 	// Readings the owner rejected (e.g. a sensor registered only here)
 	// fall back to local storage rather than vanishing.
@@ -109,16 +131,18 @@ func (r *Router) forwardBatch(daemon string, p *peer, rs []model.Reading, idxs [
 // between export and ack keep the local copy alive (the epoch check in
 // DropObject refuses) and the loop hands off again. The source keeps
 // serving queries from its copy the whole time.
-func (r *Router) migrateObject(id string, p *peer) error {
+func (r *Router) migrateObject(id string, p *peer, trace string) error {
 	const maxHandoffs = 4
+	migStart := time.Now()
 	for attempt := 0; attempt < maxHandoffs; attempt++ {
 		rows, epoch, ok := r.svc.DB().ExportObject(id)
 		if !ok {
 			return nil // someone else completed the handoff
 		}
-		args := MigrateArgs{Object: id, Epoch: epoch, Readings: ToWireBatch(rows), From: r.cfg.Daemon}
+		args := MigrateArgs{Object: id, Epoch: epoch, Readings: ToWireBatch(rows), From: r.cfg.Daemon, Trace: trace}
 		var rep MigrateReply
-		if err := p.call(MethodMigrate, args, &rep); err != nil {
+		if err := p.callTraced(MethodMigrate, args, &rep, trace); err != nil {
+			obs.SpanSinceD(trace, "fed_migrate", r.cfg.Daemon, migStart)
 			return err
 		}
 		if !rep.Applied {
@@ -129,9 +153,11 @@ func (r *Router) migrateObject(id string, p *peer) error {
 		// landed locally since the export.
 		if r.svc.DB().DropObject(id, epoch) {
 			mFedMigrations.Inc()
+			obs.SpanSinceD(trace, "fed_migrate", r.cfg.Daemon, migStart)
 			return nil
 		}
 		if _, resident := r.svc.DB().ObjectShardKey(id); !resident {
+			obs.SpanSinceD(trace, "fed_migrate", r.cfg.Daemon, migStart)
 			return nil // dropped concurrently
 		}
 		// New rows arrived mid-handoff; export and send again.

@@ -32,6 +32,9 @@ const (
 // go through call(), which owns the failure accounting.
 type peer struct {
 	name string
+	// self is the local daemon's federation name — the label stamped on
+	// spans this peer records (the waiting happens here, not remotely).
+	self string
 	cfg  peerConfig
 
 	mu          sync.Mutex
@@ -64,9 +67,10 @@ type peerConfig struct {
 	sleep       func(time.Duration)
 }
 
-func newPeer(name string, cfg peerConfig) *peer {
+func newPeer(name, self string, cfg peerConfig) *peer {
 	return &peer{
 		name:     name,
+		self:     self,
 		cfg:      cfg,
 		mCalls:   obs.Default().Counter(PeerMetricName("fed_peer_calls_total", name)),
 		mFails:   obs.Default().Counter(PeerMetricName("fed_peer_failures_total", name)),
@@ -213,6 +217,15 @@ func (p *peer) client() (*mwrpc.Client, error) {
 // unreachable; application-level errors (the method ran and said no)
 // pass through and count as success for the breaker.
 func (p *peer) call(method string, args, reply interface{}) error {
+	return p.callTraced(method, args, reply, "")
+}
+
+// callTraced is call with an obs trace ID stamped on the request
+// frame, so the remote handler adopts the trace. Retry backoff sleeps
+// are recorded as fed_backoff spans under the trace — that is where a
+// degraded peer's latency hides — attributed to the local daemon (the
+// waiting happens here).
+func (p *peer) callTraced(method string, args, reply interface{}, trace string) error {
 	trial, err := p.admit()
 	if err != nil {
 		p.mFails.Inc()
@@ -229,7 +242,13 @@ func (p *peer) call(method string, args, reply interface{}) error {
 			if backoff > p.cfg.backoffMax {
 				backoff = p.cfg.backoffMax
 			}
-			p.cfg.sleep(backoff)
+			if trace != "" {
+				sleepStart := time.Now()
+				p.cfg.sleep(backoff)
+				obs.SpanSinceD(trace, "fed_backoff", p.self, sleepStart)
+			} else {
+				p.cfg.sleep(backoff)
+			}
 			p.mRetries.Inc()
 		}
 		p.mCalls.Inc()
@@ -238,7 +257,7 @@ func (p *peer) call(method string, args, reply interface{}) error {
 			last = err
 			continue
 		}
-		err = cli.Call(method, args, reply)
+		err = cli.CallTraced(method, args, reply, trace)
 		if err == nil || !isTransportErr(err) {
 			p.noteSuccess(trial)
 			return err
@@ -248,6 +267,11 @@ func (p *peer) call(method string, args, reply interface{}) error {
 	p.mFails.Inc()
 	p.noteFailure(trial, last)
 	return fmt.Errorf("%w: %s: %v", ErrPeerDown, p.name, last)
+}
+
+// counters reports the peer's lifetime call/failure/retry/open counts.
+func (p *peer) counters() (calls, fails, retries, opens uint64) {
+	return p.mCalls.Value(), p.mFails.Value(), p.mRetries.Value(), p.mOpens.Value()
 }
 
 // close drops the cached connection.

@@ -5,8 +5,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"middlewhere/internal/glob"
+	"middlewhere/internal/obs"
 	"middlewhere/internal/spatialdb"
 )
 
@@ -32,6 +34,14 @@ type regionArgs struct {
 // is always an error — degradation covers peers, not the caller's own
 // daemon.
 func (r *Router) ObjectsInRegion(region glob.GLOB, minProb float64, strict bool) (map[string]float64, []string, error) {
+	return r.ObjectsInRegionTraced(region, minProb, strict, "")
+}
+
+// ObjectsInRegionTraced is ObjectsInRegion running under an obs trace:
+// the local scan, the peer fan-out (trace ID stamped on every peer
+// frame, so each peer's region_scan span lands in the same trace), and
+// the merge each get a span labeled with this daemon's name.
+func (r *Router) ObjectsInRegionTraced(region glob.GLOB, minProb float64, strict bool, trace string) (map[string]float64, []string, error) {
 	mFedQueries.Inc()
 	regionKey := spatialdb.ShardKeyForGLOB(region)
 
@@ -57,13 +67,16 @@ func (r *Router) ObjectsInRegion(region glob.GLOB, minProb float64, strict bool)
 	r.mu.Unlock()
 
 	// Fan out: slot 0 is the local evaluation, slots 1..n the peers.
+	fanStart := time.Now()
 	results := make([]map[string]float64, len(daemons)+1)
 	errs := make([]error, len(daemons)+1)
 	var wg sync.WaitGroup
 	wg.Add(len(daemons) + 1)
 	go func() {
 		defer wg.Done()
+		localStart := time.Now()
 		results[0], errs[0] = r.svc.ObjectsInRegion(region, minProb)
+		obs.SpanSinceD(trace, "fed_local_scan", r.cfg.Daemon, localStart)
 	}()
 	args := regionArgs{Region: region.String(), MinProb: minProb}
 	for i, p := range peers {
@@ -74,7 +87,7 @@ func (r *Router) ObjectsInRegion(region glob.GLOB, minProb float64, strict bool)
 				return
 			}
 			var out map[string]float64
-			if err := p.call("mw.objectsInRegion", args, &out); err != nil {
+			if err := p.callTraced("mw.objectsInRegion", args, &out, trace); err != nil {
 				errs[slot] = err
 				return
 			}
@@ -82,10 +95,14 @@ func (r *Router) ObjectsInRegion(region glob.GLOB, minProb float64, strict bool)
 		}(i+1, p)
 	}
 	wg.Wait()
+	// fed_fanout spans the whole scatter phase: its duration minus the
+	// slowest peer's region_scan is the federation overhead.
+	obs.SpanSinceD(trace, "fed_fanout", r.cfg.Daemon, fanStart)
 
 	if errs[0] != nil {
 		return nil, nil, errs[0]
 	}
+	mergeStart := time.Now()
 	merged := results[0]
 	if merged == nil {
 		merged = make(map[string]float64)
@@ -109,6 +126,7 @@ func (r *Router) ObjectsInRegion(region glob.GLOB, minProb float64, strict bool)
 		}
 	}
 	sort.Strings(unavailable)
+	obs.SpanSinceD(trace, "fed_merge", r.cfg.Daemon, mergeStart)
 	if len(unavailable) > 0 {
 		mFedPartialResults.Inc()
 		if strict || r.cfg.Strict {
@@ -124,7 +142,7 @@ func (r *Router) Query(a QueryArgs) (QueryReply, error) {
 	if err != nil {
 		return QueryReply{}, err
 	}
-	objs, unavailable, err := r.ObjectsInRegion(region, a.MinProb, a.Strict)
+	objs, unavailable, err := r.ObjectsInRegionTraced(region, a.MinProb, a.Strict, a.Trace)
 	if err != nil {
 		return QueryReply{}, err
 	}

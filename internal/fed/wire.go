@@ -49,6 +49,11 @@ type ReadingWire struct {
 	// Time is RFC 3339 with nanoseconds.
 	Time   string `json:"time"`
 	Moving bool   `json:"moving,omitempty"`
+	// Trace is the obs trace ID stamped at the entry daemon's ingest
+	// (empty when tracing was off). Carrying it per reading keeps every
+	// reading's pipeline attributable across the daemon hop — a batch
+	// can mix readings from different traces.
+	Trace string `json:"trace,omitempty"`
 }
 
 // ToWire converts a stored reading for a migration frame.
@@ -62,6 +67,7 @@ func ToWire(r model.Reading) ReadingWire {
 		Region:          [4]float64{r.Region.Min.X, r.Region.Min.Y, r.Region.Max.X, r.Region.Max.Y},
 		Time:            r.Time.Format(time.RFC3339Nano),
 		Moving:          r.Moving,
+		Trace:           r.Trace,
 	}
 }
 
@@ -84,6 +90,7 @@ func (w ReadingWire) ToReading() (model.Reading, error) {
 		Region:          geom.Rect{Min: geom.Point{X: w.Region[0], Y: w.Region[1]}, Max: geom.Point{X: w.Region[2], Y: w.Region[3]}},
 		Time:            at,
 		Moving:          w.Moving,
+		Trace:           w.Trace,
 	}, nil
 }
 
@@ -121,6 +128,11 @@ type MigrateArgs struct {
 	Readings []ReadingWire `json:"readings"`
 	// From names the source daemon (metrics and logs).
 	From string `json:"from,omitempty"`
+	// Trace is the obs trace ID of the operation that provoked the
+	// handoff, so the migration hop shows up in that trace's span tree.
+	// It also rides the mwrpc frame header; the body copy keeps the
+	// wire format self-describing in both codecs.
+	Trace string `json:"trace,omitempty"`
 }
 
 // MigrateReply acks the prepare. Any successful reply — applied or
@@ -138,6 +150,9 @@ type MigrateReply struct {
 type IngestArgs struct {
 	Readings []ReadingWire `json:"readings"`
 	From     string        `json:"from,omitempty"`
+	// Trace is the frame-level obs trace ID (the first traced reading
+	// of the batch); per-reading IDs travel on the readings themselves.
+	Trace string `json:"trace,omitempty"`
 }
 
 // IngestReply acks a forwarded batch.
@@ -155,6 +170,8 @@ type QueryArgs struct {
 	MinProb float64 `json:"minProb,omitempty"`
 	// Strict makes a down shard an error instead of a partial result.
 	Strict bool `json:"strict,omitempty"`
+	// Trace is the obs trace ID the scan runs under (empty untraced).
+	Trace string `json:"trace,omitempty"`
 }
 
 // QueryReply is a federated region scan's result: either complete, or
@@ -176,6 +193,14 @@ type PeerState struct {
 	Breaker string `json:"breaker"`
 	// ConsecFails counts consecutive call failures.
 	ConsecFails int `json:"consecFails,omitempty"`
+	// Calls, Failures, and Retries are the peer's lifetime call
+	// counters (the fed_peer_* metrics), and BreakerOpens how many
+	// times its breaker opened — surfaced here so mwctl health -v can
+	// show them without scraping /metrics.
+	Calls        uint64 `json:"calls,omitempty"`
+	Failures     uint64 `json:"failures,omitempty"`
+	Retries      uint64 `json:"retries,omitempty"`
+	BreakerOpens uint64 `json:"breakerOpens,omitempty"`
 	// Shards lists the shard keys the placement map assigns to the
 	// peer, sorted.
 	Shards []string `json:"shards,omitempty"`

@@ -711,7 +711,8 @@ type BinaryHandler func(conn *ServerConn, payload []byte, trace string) (Appende
 // on the connection's reader goroutine — processing inline is what
 // paces the stream (the next frame is not read until this returns) —
 // and is responsible for sending the StreamAck with a credit grant.
-type StreamBatchFunc func(conn *ServerConn, id, seq uint64, payload []byte, binary bool)
+// trace is the obs trace ID carried on the frame ("" untraced).
+type StreamBatchFunc func(conn *ServerConn, id, seq uint64, payload []byte, binary bool, trace string)
 
 // Server dispatches framed requests to registered handlers.
 type Server struct {
@@ -876,7 +877,7 @@ func (s *Server) serveConn(sc *ServerConn) {
 			fn := s.onStream
 			s.mu.Unlock()
 			if fn != nil {
-				fn(sc, f.id, f.seq, f.payload, f.binary)
+				fn(sc, f.id, f.seq, f.payload, f.binary, f.trace)
 			}
 			continue
 		default:
@@ -1283,12 +1284,18 @@ func (c *Client) roundTrip(f frame, dec func(frame) error) error {
 // for a response; acknowledgements arrive via OnStreamAck. A binary
 // payload requires a binary-negotiated connection.
 func (c *Client) StreamSend(id, seq uint64, enc Appender, jsonPayload []byte) error {
+	return c.StreamSendTraced(id, seq, enc, jsonPayload, "")
+}
+
+// StreamSendTraced is StreamSend with an obs trace ID on the frame, so
+// the server-side batch consumer can continue the sender's trace.
+func (c *Client) StreamSendTraced(id, seq uint64, enc Appender, jsonPayload []byte, trace string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return ErrClosed
 	}
-	f := frame{kind: kindStreamBatch, id: id, seq: seq}
+	f := frame{kind: kindStreamBatch, id: id, seq: seq, trace: trace}
 	if c.writeBin && enc != nil {
 		f.binary = true
 		f.enc = enc

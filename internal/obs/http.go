@@ -34,11 +34,35 @@ func DebugMux(reg *Registry, tr *Tracer) *http.ServeMux {
 		WriteMetricsText(w, reg)
 	})
 	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		// ?n= caps the trace count; malformed or negative values are a
+		// client error, not a silent default, and anything beyond the
+		// ring size clamps to the ring.
 		n := 0
-		fmt.Sscanf(r.URL.Query().Get("n"), "%d", &n)
+		if raw := q.Get("n"); raw != "" {
+			v, err := strconv.Atoi(raw)
+			if err != nil || v < 0 {
+				http.Error(w, "bad n: want a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		if max := tr.Len(); n > max {
+			n = max
+		}
+		var traces []Trace
+		if id := q.Get("id"); id != "" {
+			// Exact-match filter: one trace or an empty array.
+			if t, ok := tr.Get(id); ok {
+				traces = []Trace{t}
+			}
+		} else {
+			traces = tr.Recent(n)
+		}
 		w.Header().Set("Content-Type", "application/json")
 		type spanJSON struct {
 			Stage    string  `json:"stage"`
+			Daemon   string  `json:"daemon,omitempty"`
 			OffsetUs float64 `json:"offsetUs"`
 			DurUs    float64 `json:"durUs"`
 		}
@@ -48,7 +72,6 @@ func DebugMux(reg *Registry, tr *Tracer) *http.ServeMux {
 			TotalUs float64    `json:"totalUs"`
 			Spans   []spanJSON `json:"spans"`
 		}
-		traces := tr.Recent(n)
 		out := make([]traceJSON, 0, len(traces))
 		for _, t := range traces {
 			tj := traceJSON{
@@ -59,6 +82,7 @@ func DebugMux(reg *Registry, tr *Tracer) *http.ServeMux {
 			for _, sp := range t.Spans {
 				tj.Spans = append(tj.Spans, spanJSON{
 					Stage:    sp.Stage,
+					Daemon:   sp.Daemon,
 					OffsetUs: float64(sp.Offset.Microseconds()),
 					DurUs:    float64(sp.Dur.Microseconds()),
 				})

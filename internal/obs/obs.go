@@ -189,6 +189,68 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return 0
 }
 
+// QuantileFromBuckets is the fixed-bucket quantile estimator Histogram
+// uses, exposed for callers that hold bucket counts outside a live
+// histogram: SLO window deltas and cluster-merged snapshots. counts
+// must have len(bounds)+1 slots (overflow last, attributed to the last
+// finite bound) and need not be cumulative. Returns 0 with no data.
+func QuantileFromBuckets(bounds []float64, counts []uint64, q float64) float64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			lo := 0.0
+			if i > 0 && i-1 < len(bounds) {
+				lo = bounds[i-1]
+			}
+			hi := lo
+			if i < len(bounds) {
+				hi = bounds[i]
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+	}
+	if len(bounds) > 0 {
+		return bounds[len(bounds)-1]
+	}
+	return 0
+}
+
+// Bounds returns a copy of the histogram's bucket upper bounds.
+func (h *Histogram) Bounds() []float64 {
+	b := make([]float64, len(h.bounds))
+	copy(b, h.bounds)
+	return b
+}
+
+// BucketCounts returns a copy of the per-bucket observation counts
+// (len(Bounds())+1 slots, overflow last, not cumulative).
+func (h *Histogram) BucketCounts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
 // reset zeroes the histogram in place (identity preserved, so cached
 // handles keep working).
 func (h *Histogram) reset() {

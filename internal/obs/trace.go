@@ -9,10 +9,32 @@ import (
 
 // A Span is one named, timed stage inside a trace: Offset is when the
 // stage began relative to the trace's Begin time, Dur how long it took.
+// Daemon names the process that recorded the stage — in a federated
+// deployment one trace collects spans from several daemons, and the
+// label is what keeps the per-hop attribution honest when the span
+// records are merged into one cluster-wide tree.
 type Span struct {
 	Stage  string
+	Daemon string
 	Offset time.Duration
 	Dur    time.Duration
+}
+
+// daemonLabel is the process-wide daemon name stamped on spans that do
+// not carry an explicit one (SetDaemonLabel; empty by default).
+var daemonLabel atomic.Value // string
+
+// SetDaemonLabel sets the daemon name stamped on spans recorded in
+// this process. The daemon sets it from its -name flag; federation
+// handlers override per span where the router knows better.
+func SetDaemonLabel(name string) { daemonLabel.Store(name) }
+
+// DaemonLabel returns the process-wide daemon label ("" unset).
+func DaemonLabel() string {
+	if v := daemonLabel.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
 }
 
 // A Trace is the record of one sensor reading's trip through the
@@ -111,8 +133,20 @@ func (t *Tracer) insert(rec *Trace) {
 // mwrpc. The stage duration is also observed (in microseconds) into
 // the "stage_<stage>_us" histogram of the tracer's registry.
 func (t *Tracer) Span(id, stage string, start time.Time) {
+	t.SpanD(id, stage, "", start)
+}
+
+// SpanD is Span with an explicit daemon label on the recorded span;
+// an empty daemon falls back to the process-wide DaemonLabel. The
+// federation handlers use it so in-process multi-daemon tests (and
+// deployments that never call SetDaemonLabel) still attribute each
+// hop to the right daemon.
+func (t *Tracer) SpanD(id, stage, daemon string, start time.Time) {
 	if id == "" {
 		return
+	}
+	if daemon == "" {
+		daemon = DaemonLabel()
 	}
 	dur := time.Since(start)
 	t.reg.Histogram("stage_" + stage + "_us").Observe(float64(dur.Microseconds()))
@@ -133,8 +167,21 @@ func (t *Tracer) Span(id, stage string, start time.Time) {
 		rec.Begin = start
 		off = 0
 	}
-	rec.Spans = append(rec.Spans, Span{Stage: stage, Offset: off, Dur: dur})
+	rec.Spans = append(rec.Spans, Span{Stage: stage, Daemon: daemon, Offset: off, Dur: dur})
 	t.mu.Unlock()
+}
+
+// Get returns a deep copy of the trace with the given ID, if retained.
+func (t *Tracer) Get(id string) (Trace, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec := t.byID[id]
+	if rec == nil {
+		return Trace{}, false
+	}
+	cp := Trace{ID: rec.ID, Begin: rec.Begin, Spans: make([]Span, len(rec.Spans))}
+	copy(cp.Spans, rec.Spans)
+	return cp, true
 }
 
 // Recent returns up to n of the most recent traces, newest first, as
@@ -184,6 +231,12 @@ func BeginTrace() string { return defaultTracer.Begin() }
 // SpanSince records a stage on the process-global tracer; a no-op when
 // id is "".
 func SpanSince(id, stage string, start time.Time) { defaultTracer.Span(id, stage, start) }
+
+// SpanSinceD records a stage with an explicit daemon label on the
+// process-global tracer; a no-op when id is "".
+func SpanSinceD(id, stage, daemon string, start time.Time) {
+	defaultTracer.SpanD(id, stage, daemon, start)
+}
 
 // RecentTraces returns recent traces from the process-global tracer.
 func RecentTraces(n int) []Trace { return defaultTracer.Recent(n) }

@@ -83,6 +83,22 @@ func (p Placement) Daemons() []string {
 	return out
 }
 
+// DaemonAddrs returns each distinct daemon's dialable address. When a
+// daemon appears with several addresses (a restart mid-refresh), the
+// lease with the highest version wins — it reflects the newest
+// registration.
+func (p Placement) DaemonAddrs() map[string]string {
+	out := make(map[string]string, 4)
+	ver := make(map[string]uint64, 4)
+	for _, e := range p.Shards {
+		if v, ok := ver[e.Daemon]; !ok || e.Version > v {
+			ver[e.Daemon] = e.Version
+			out[e.Daemon] = e.Addr
+		}
+	}
+	return out
+}
+
 // Sentinel errors.
 var (
 	ErrNotFound = errors.New("registry: service not found")

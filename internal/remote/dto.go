@@ -274,6 +274,22 @@ type HealthDTO struct {
 	// Federation is present when the daemon is part of a shard
 	// federation: its name, placement-map version, and peer view.
 	Federation *FederationDTO `json:"federation,omitempty"`
+	// SLOs is present when the daemon tracks latency objectives (-slo):
+	// each objective's latest windowed evaluation, sorted by name.
+	SLOs []SLODTO `json:"slos,omitempty"`
+}
+
+// SLODTO is one latency objective's last evaluation on the wire.
+type SLODTO struct {
+	Name       string  `json:"name"`
+	Metric     string  `json:"metric"`
+	Percentile float64 `json:"percentile"`
+	TargetUs   float64 `json:"targetUs"`
+	WindowSecs float64 `json:"windowSecs"`
+	AttainedUs float64 `json:"attainedUs"`
+	BurnRate   float64 `json:"burnRate"`
+	Samples    uint64  `json:"samples"`
+	Breached   bool    `json:"breached"`
 }
 
 // StatsArgs configures an mw.stats fetch.
@@ -301,9 +317,12 @@ type HistogramDTO struct {
 	Buckets []BucketDTO `json:"buckets,omitempty"`
 }
 
-// SpanDTO is one stage of a trace on the wire.
+// SpanDTO is one stage of a trace on the wire. Daemon names the
+// process that recorded the stage — the per-hop label of a
+// cross-daemon trace (empty for single-daemon spans).
 type SpanDTO struct {
 	Stage    string  `json:"stage"`
+	Daemon   string  `json:"daemon,omitempty"`
 	OffsetUs float64 `json:"offsetUs"`
 	DurUs    float64 `json:"durUs"`
 }

@@ -4,10 +4,12 @@ import (
 	"encoding/json"
 	"errors"
 	"sort"
+	"time"
 
 	"middlewhere/internal/fed"
 	"middlewhere/internal/model"
 	"middlewhere/internal/mwrpc"
+	"middlewhere/internal/obs"
 	"middlewhere/internal/spatialdb"
 )
 
@@ -26,9 +28,20 @@ func (s *Server) SetFederation(r *fed.Router) {
 	s.mu.Lock()
 	s.fed = r
 	s.mu.Unlock()
-	s.rpc.Register(fed.MethodMigrate, s.handleMigrate)
-	s.rpc.Register(fed.MethodIngest, s.handleFedIngest)
-	s.rpc.Register(fed.MethodObjectsInRegion, s.handleFedObjectsInRegion)
+	s.rpc.RegisterTraced(fed.MethodMigrate, s.handleMigrate)
+	s.rpc.RegisterTraced(fed.MethodIngest, s.handleFedIngest)
+	s.rpc.RegisterTraced(fed.MethodObjectsInRegion, s.handleFedObjectsInRegion)
+}
+
+// fedDaemonName is the span label for owner-side federation spans: the
+// router's federation name when attached, else the process-wide label.
+// Explicit labeling matters because in-process multi-daemon tests share
+// one global tracer — the label is what tells the hops apart.
+func (s *Server) fedDaemonName() string {
+	if r := s.federation(); r != nil {
+		return r.Daemon()
+	}
+	return ""
 }
 
 // federation returns the attached router, or nil for a standalone
@@ -60,10 +73,14 @@ func (s *Server) handleShards(_ *mwrpc.ServerConn, _ json.RawMessage) (interface
 // carried rows idempotently under the epoch guard and ack. Any
 // successful reply — applied or recognized replay — tells the source
 // it may commit.
-func (s *Server) handleMigrate(_ *mwrpc.ServerConn, params json.RawMessage) (interface{}, error) {
+func (s *Server) handleMigrate(_ *mwrpc.ServerConn, params json.RawMessage, trace string) (interface{}, error) {
+	start := time.Now()
 	var a fed.MigrateArgs
 	if err := json.Unmarshal(params, &a); err != nil {
 		return nil, err
+	}
+	if trace == "" {
+		trace = a.Trace // body copy, for frames relayed without the header
 	}
 	if a.Object == "" {
 		return nil, errors.New("migrate: missing object id")
@@ -74,6 +91,7 @@ func (s *Server) handleMigrate(_ *mwrpc.ServerConn, params json.RawMessage) (int
 	}
 	db := s.svc.DB()
 	applied := db.ImportObject(a.Object, rows, a.Epoch)
+	obs.SpanSinceD(trace, "fed_migrate_apply", s.fedDaemonName(), start)
 	return fed.MigrateReply{Applied: applied, Epoch: db.ReadingEpoch(a.Object)}, nil
 }
 
@@ -82,10 +100,14 @@ func (s *Server) handleMigrate(_ *mwrpc.ServerConn, params json.RawMessage) (int
 // placement maps cannot bounce a reading between each other. Rows the
 // service rejects come back as frame indices; the sender stores those
 // locally rather than dropping them.
-func (s *Server) handleFedIngest(_ *mwrpc.ServerConn, params json.RawMessage) (interface{}, error) {
+func (s *Server) handleFedIngest(_ *mwrpc.ServerConn, params json.RawMessage, trace string) (interface{}, error) {
+	start := time.Now()
 	var a fed.IngestArgs
 	if err := json.Unmarshal(params, &a); err != nil {
 		return nil, err
+	}
+	if trace == "" {
+		trace = a.Trace
 	}
 	rs := make([]model.Reading, 0, len(a.Readings))
 	frameIdx := make([]int, 0, len(a.Readings))
@@ -117,6 +139,9 @@ func (s *Server) handleFedIngest(_ *mwrpc.ServerConn, params json.RawMessage) (i
 		}
 	}
 	sort.Ints(rejected)
+	// fed_ingest is the owner-side span of a forwarded batch: decode,
+	// replay dedup, and the local store, labeled with this daemon.
+	obs.SpanSinceD(trace, "fed_ingest", s.fedDaemonName(), start)
 	return fed.IngestReply{Accepted: len(a.Readings) - len(rejected), Rejected: rejected}, nil
 }
 
@@ -125,7 +150,7 @@ func (s *Server) handleFedIngest(_ *mwrpc.ServerConn, params json.RawMessage) (i
 // deterministically. Without a router the local scan handler
 // (mw.objectsInRegion) is the right call — this one errors so clients
 // learn the daemon is standalone.
-func (s *Server) handleFedObjectsInRegion(_ *mwrpc.ServerConn, params json.RawMessage) (interface{}, error) {
+func (s *Server) handleFedObjectsInRegion(_ *mwrpc.ServerConn, params json.RawMessage, trace string) (interface{}, error) {
 	var a fed.QueryArgs
 	if err := json.Unmarshal(params, &a); err != nil {
 		return nil, err
@@ -133,6 +158,14 @@ func (s *Server) handleFedObjectsInRegion(_ *mwrpc.ServerConn, params json.RawMe
 	r := s.federation()
 	if r == nil {
 		return nil, errors.New("federation not enabled on this daemon")
+	}
+	if trace != "" {
+		a.Trace = trace
+	} else if a.Trace == "" {
+		// Entry daemon of an untraced client query: begin the trace here
+		// (a no-op ID when tracing is disabled), so the whole fan-out —
+		// local scan, peer hops, merge — lands in one span tree.
+		a.Trace = obs.BeginTrace()
 	}
 	return r.Query(a)
 }

@@ -41,6 +41,24 @@ type Server struct {
 	// fed is the federation router, when this daemon is part of one
 	// (SetFederation); nil for a standalone daemon.
 	fed *fed.Router
+	// slo is the latency-objective tracker, when the daemon runs one
+	// (SetSLOTracker); nil otherwise.
+	slo *obs.SLOTracker
+}
+
+// SetSLOTracker attaches a latency-objective tracker; mw.health replies
+// include each objective's latest evaluation from then on.
+func (s *Server) SetSLOTracker(t *obs.SLOTracker) {
+	s.mu.Lock()
+	s.slo = t
+	s.mu.Unlock()
+}
+
+// sloTracker returns the attached tracker, or nil.
+func (s *Server) sloTracker() *obs.SLOTracker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.slo
 }
 
 // NewServer wraps a Location Service. Call Listen to serve. The
@@ -65,7 +83,7 @@ func NewServer(svc *core.Service) *Server {
 	s.rpc.Register("mw.registerSensor", s.handleRegisterSensor)
 	s.rpc.Register("mw.locate", s.handleLocate)
 	s.rpc.Register("mw.probInRegion", s.handleProbInRegion)
-	s.rpc.Register("mw.objectsInRegion", s.handleObjectsInRegion)
+	s.rpc.RegisterTraced("mw.objectsInRegion", s.handleObjectsInRegion)
 	s.rpc.Register("mw.subscribe", s.handleSubscribe)
 	s.rpc.Register("mw.unsubscribe", s.handleUnsubscribe)
 	s.rpc.Register("mw.relate", s.handleRelate)
@@ -148,6 +166,7 @@ func statsSnapshot(reg *obs.Registry, tr *obs.Tracer, traces int) StatsDTO {
 			for _, sp := range t.Spans {
 				td.Spans = append(td.Spans, SpanDTO{
 					Stage:    sp.Stage,
+					Daemon:   sp.Daemon,
 					OffsetUs: float64(sp.Offset.Microseconds()),
 					DurUs:    float64(sp.Dur.Microseconds()),
 				})
@@ -175,6 +194,21 @@ func (s *Server) handleHealth(_ *mwrpc.ServerConn, _ json.RawMessage) (interface
 			Daemon:           r.Daemon(),
 			PlacementVersion: r.Placement().Version,
 			Peers:            r.PeerStates(),
+		}
+	}
+	if t := s.sloTracker(); t != nil {
+		for _, st := range t.Status() {
+			out.SLOs = append(out.SLOs, SLODTO{
+				Name:       st.Name,
+				Metric:     st.Metric,
+				Percentile: st.Percentile,
+				TargetUs:   float64(st.Target.Microseconds()),
+				WindowSecs: st.Window.Seconds(),
+				AttainedUs: float64(st.Attained.Microseconds()),
+				BurnRate:   st.BurnRate,
+				Samples:    st.Samples,
+				Breached:   st.Breached,
+			})
 		}
 	}
 	return out, nil
@@ -364,7 +398,12 @@ func (s *Server) handleProbInRegion(_ *mwrpc.ServerConn, params json.RawMessage)
 	return probReply{Prob: p, Band: band.String()}, nil
 }
 
-func (s *Server) handleObjectsInRegion(_ *mwrpc.ServerConn, params json.RawMessage) (interface{}, error) {
+// handleObjectsInRegion answers the local region scan. It is
+// trace-aware because federated peers call it during fan-out: the
+// entry daemon's trace ID rides the frame and the scan lands in the
+// same trace as a region_scan span labeled with this daemon's name.
+func (s *Server) handleObjectsInRegion(_ *mwrpc.ServerConn, params json.RawMessage, trace string) (interface{}, error) {
+	start := time.Now()
 	var a regionQueryArgs
 	if err := json.Unmarshal(params, &a); err != nil {
 		return nil, err
@@ -373,7 +412,12 @@ func (s *Server) handleObjectsInRegion(_ *mwrpc.ServerConn, params json.RawMessa
 	if err != nil {
 		return nil, err
 	}
-	return s.svc.ObjectsInRegion(region, a.MinProb)
+	out, err := s.svc.ObjectsInRegion(region, a.MinProb)
+	if err != nil {
+		return nil, err
+	}
+	obs.SpanSinceD(trace, "region_scan", s.fedDaemonName(), start)
+	return out, nil
 }
 
 // handleProbInRegionBin answers a binary-payload probability query.
@@ -395,7 +439,8 @@ func (s *Server) handleProbInRegionBin(_ *mwrpc.ServerConn, payload []byte, _ st
 }
 
 // handleObjectsInRegionBin answers a binary-payload region scan.
-func (s *Server) handleObjectsInRegionBin(_ *mwrpc.ServerConn, payload []byte, _ string) (mwrpc.Appender, error) {
+func (s *Server) handleObjectsInRegionBin(_ *mwrpc.ServerConn, payload []byte, trace string) (mwrpc.Appender, error) {
+	start := time.Now()
 	a, err := decodeRegionQuery(payload)
 	if err != nil {
 		return nil, err
@@ -408,6 +453,7 @@ func (s *Server) handleObjectsInRegionBin(_ *mwrpc.ServerConn, payload []byte, _
 	if err != nil {
 		return nil, err
 	}
+	obs.SpanSinceD(trace, "region_scan", s.fedDaemonName(), start)
 	return func(b []byte) []byte { return appendObjectsReply(b, objs) }, nil
 }
 

@@ -83,7 +83,7 @@ func (s *Server) handleStreamOpen(conn *mwrpc.ServerConn, _ json.RawMessage) (in
 // connection's reader goroutine — the next frame is not read until
 // this returns, which is what makes a slow daemon starve the sender's
 // credits instead of buffering unboundedly.
-func (s *Server) handleStreamBatch(conn *mwrpc.ServerConn, id, seq uint64, payload []byte, binary bool) {
+func (s *Server) handleStreamBatch(conn *mwrpc.ServerConn, id, seq uint64, payload []byte, binary bool, trace string) {
 	s.mu.Lock()
 	st := s.streams[conn][id]
 	s.mu.Unlock()
@@ -93,7 +93,9 @@ func (s *Server) handleStreamBatch(conn *mwrpc.ServerConn, id, seq uint64, paylo
 	ack := streamAckDTO{CreditBatches: 1, CreditBytes: len(payload)}
 	if seq <= st.lastSeq {
 		// Duplicate of an already-processed batch: never re-store, but
-		// re-ack so the sender's credits and pending table drain.
+		// re-ack so the sender's credits and pending table drain. The
+		// early return also means a replayed frame can never start a
+		// second trace — the batch is not even decoded.
 		ack.Accepted = st.accepted
 		s.sendAck(conn, id, seq, ack)
 		return
@@ -108,10 +110,17 @@ func (s *Server) handleStreamBatch(conn *mwrpc.ServerConn, id, seq uint64, paylo
 	if binary {
 		rs, frameIdx, rejected, err = DecodeReadings(payload)
 		total = len(rs) + len(rejected)
+		if trace != "" {
+			// The binary reading codec has no per-reading trace field;
+			// the frame-level ID covers the whole batch.
+			for i := range rs {
+				rs[i].Trace = trace
+			}
+		}
 	} else {
 		var a IngestBatchArgs
 		if err = json.Unmarshal(payload, &a); err == nil {
-			rs, frameIdx, rejected = decodeDTOBatch(a.Readings, "")
+			rs, frameIdx, rejected = decodeDTOBatch(a.Readings, trace)
 			total = len(a.Readings)
 		}
 	}

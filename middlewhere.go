@@ -52,6 +52,7 @@ import (
 	"middlewhere/internal/mwql"
 	"middlewhere/internal/mwrpc"
 	"middlewhere/internal/obs"
+	"middlewhere/internal/obs/cluster"
 	"middlewhere/internal/rcc"
 	"middlewhere/internal/registry"
 	"middlewhere/internal/remote"
@@ -611,4 +612,59 @@ var (
 	StartObsDebugServer = obs.StartDebugServer
 	// ObsMetricsText renders a registry in the Prometheus text shape.
 	ObsMetricsText = obs.MetricsTextString
+	// SetObsDaemonLabel sets the daemon name stamped on trace spans
+	// recorded in this process (the daemon's -name flag routes here).
+	SetObsDaemonLabel = obs.SetDaemonLabel
+)
+
+// ---------------------------------------------------------------------------
+// SLO tracking (windowed latency objectives over registry histograms)
+
+type (
+	// SLO is one windowed latency objective ("ingest p99 < 2ms over 1m").
+	SLO = obs.SLO
+	// SLOStatus is an objective's last windowed evaluation.
+	SLOStatus = obs.SLOStatus
+	// SLOTracker samples histograms on a cadence and evaluates the
+	// objectives, exporting slo_* metrics.
+	SLOTracker = obs.SLOTracker
+	// SLODTO is one objective's evaluation in the health heartbeat.
+	SLODTO = remote.SLODTO
+)
+
+var (
+	// ParseSLOs parses the daemon's -slo flag syntax:
+	// "ingest=p99<2ms,query=p99<10ms@30s".
+	ParseSLOs = obs.ParseSLOs
+	// NewSLOTracker builds a tracker; attach it to the daemon's
+	// RemoteServer with SetSLOTracker so health replies carry it.
+	NewSLOTracker = obs.NewSLOTracker
+)
+
+// ---------------------------------------------------------------------------
+// Cluster observability (federated metric aggregation)
+
+type (
+	// ClusterDaemon is one scrape target of the cluster aggregator.
+	ClusterDaemon = cluster.Daemon
+	// ClusterScrape is one daemon's snapshot (or scrape error).
+	ClusterScrape = cluster.Scrape
+)
+
+var (
+	// ClusterFetch discovers a deployment's daemons via the registry,
+	// scrapes each one's mw.stats, and merges: counters sum, version
+	// gauges take the max, histograms merge bucket-wise (honest cluster
+	// quantiles), traces join by ID into cross-daemon span trees.
+	ClusterFetch = cluster.Fetch
+	// ClusterDiscover lists a deployment's daemons from the registry.
+	ClusterDiscover = cluster.Discover
+	// ClusterScrapeAll scrapes a daemon set in parallel.
+	ClusterScrapeAll = cluster.ScrapeAll
+	// ClusterMerge folds scrapes into one snapshot plus the names of
+	// unreachable daemons.
+	ClusterMerge = cluster.Merge
+	// ClusterMetricsHandler serves the merged snapshot as /metrics
+	// exposition text (mwregistry mounts it at /metrics/cluster).
+	ClusterMetricsHandler = cluster.MetricsHandler
 )
