@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race shard-stress bench bench-compare vet fmt fmt-write chaos chaos-federation cluster-smoke obs stats-demo fuzz-smoke compat check
+.PHONY: build test race shard-stress bench bench-compare cityload vet fmt fmt-write chaos chaos-federation cluster-smoke obs stats-demo fuzz-smoke compat check
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,14 @@ bench-compare:
 	$(GO) run ./cmd/benchcompare -ref BENCH_1.json -tolerance 0.30
 	$(GO) run ./cmd/benchcompare -ref BENCH_2.json -tolerance 0.30
 	$(GO) run ./cmd/benchcompare -ref BENCH_3.json -tolerance 0.30
+	$(GO) run ./cmd/benchcompare -ref BENCH_4.json -tolerance 0.30
+
+# City-scale sustained-load gate (PERF-9, DESIGN.md §16): a MultiStorey
+# city under an open-loop readings/sec target, a concurrent
+# occupancy-heatmap query loop, and pass/fail on the generator's pacing
+# plus windowed p99 ingest/heatmap SLOs. Exits nonzero on any breach.
+cityload:
+	$(GO) run ./cmd/experiments -run CITYLOAD
 
 vet:
 	$(GO) vet ./...
@@ -152,6 +160,6 @@ fmt:
 fmt-write:
 	gofmt -l -w .
 
-check: build vet fmt test race shard-stress bench bench-compare chaos chaos-federation obs
+check: build vet fmt test race shard-stress bench bench-compare cityload chaos chaos-federation obs
 	$(MAKE) compat MW_WIRE=binary/json
 	$(MAKE) compat MW_WIRE=json/json

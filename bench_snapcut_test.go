@@ -1,0 +1,89 @@
+// Ingest-during-snapshot benchmarks (EXPERIMENTS.md §PERF-9,
+// BENCH_4.json): per-reading ingest latency while a sustained stream
+// of snapshot cuts runs against the same database. With the global
+// cutMu every cut stalls every floor's ingest for the whole capture;
+// with the per-shard epoch handshake a cut never blocks ingest, so
+// these figures must stay within 1.2x of the no-snapshot baseline
+// (BenchmarkMultiFloorIngestBatch/floors-4 — the same ingest load
+// without the cut stream).
+//
+// The antagonist cuts on a fixed ~2kHz cadence rather than a closed
+// spin loop: the lock-free path completes cuts orders of magnitude
+// faster than the cutMu path did, so an unthrottled antagonist would
+// compare "ingest under N cuts/sec" against "ingest under 100N
+// cuts/sec" — and on a GOMAXPROCS=1 runner a never-parking spin loop
+// additionally claims a fixed scheduler share (~1/5 of the CPU with
+// four writers), flooring the ratio near 1.25x for any
+// implementation. The fixed cadence holds the offered cut load equal
+// across implementations (open loop, like the cityload generator);
+// cuts/op reports the pressure actually applied.
+package middlewhere_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"middlewhere"
+)
+
+// BenchmarkIngestDuringSnapshotCuts is BenchmarkMultiFloorIngestBatch
+// with a snapshot antagonist: one goroutine takes database cuts on a
+// fixed ~2kHz cadence (the ObjectsInRegion / trigger-dispatch capture
+// path, at far above any real query rate) while every floor ingests
+// 64-reading batches concurrently. The reported ns/op is the per-op
+// ingest cost under that cut stream.
+func BenchmarkIngestDuringSnapshotCuts(b *testing.B) {
+	const floors = 4
+	b.Run("floors-4", func(b *testing.B) {
+		svc := benchMultiFloorService(b, floors)
+		batches := make([][]middlewhere.Reading, floors)
+		for f := range batches {
+			batches[f] = multiFloorBatch(f)
+			if err := svc.IngestBatch(batches[f]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		db := svc.DB()
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		var cuts atomic.Int64
+		go func() {
+			defer close(done)
+			tick := time.NewTicker(500 * time.Microsecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+				}
+				snap := db.Snapshot()
+				_ = snap.MobileObjects()
+				snap.Close()
+				cuts.Add(1)
+			}
+		}()
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for f := 0; f < floors; f++ {
+			wg.Add(1)
+			go func(f int) {
+				defer wg.Done()
+				for i := 0; i < b.N; i++ {
+					if err := svc.IngestBatch(batches[f]); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(f)
+		}
+		wg.Wait()
+		b.StopTimer()
+		close(stop)
+		<-done
+		b.ReportMetric(float64(floors*64), "readings/op")
+		b.ReportMetric(float64(cuts.Load())/float64(b.N), "cuts/op")
+	})
+}

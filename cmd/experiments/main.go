@@ -20,10 +20,11 @@ import (
 
 	"middlewhere"
 	"middlewhere/internal/bench"
+	"middlewhere/internal/cityload"
 )
 
 func main() {
-	runName := flag.String("run", "all", "experiment to run: F9, T1, T2, E1, E4, E5, CAL, or all")
+	runName := flag.String("run", "all", "experiment to run: F9, T1, T2, E1, E4, E5, CAL, CITYLOAD, or all")
 	quick := flag.Bool("quick", false, "smaller parameters for a fast pass")
 	flag.BoolVar(&breakdown, "breakdown", false, "with F9: trace the pipeline and print per-stage latencies")
 	flag.Parse()
@@ -43,6 +44,7 @@ func run(name string, quick bool) error {
 		{"T1", runT1}, {"T2", runT2}, {"F9", runF9},
 		{"E1", runE1}, {"E4", runE4}, {"E5", runE5},
 		{"CAL", runCAL},
+		{"CITYLOAD", runCityload},
 	} {
 		if all || name == e.id {
 			if err := e.fn(quick); err != nil {
@@ -252,5 +254,27 @@ func runCAL(quick bool) error {
 	}
 	fmt.Println("expected shape: estimates within sampling error of the generator's values,")
 	fmt.Println("without access to the per-person carriage labels (EM over detection counts).")
+	return nil
+}
+
+// runCityload drives the city-scale sustained-load harness (PERF-9):
+// a MultiStorey city under an open-loop readings/sec target with a
+// concurrent occupancy-heatmap query loop, gated on pacing and the
+// windowed p99 SLOs. A gate failure is an error so CI fails the job.
+func runCityload(quick bool) error {
+	fmt.Println("== CITYLOAD: city-scale sustained load with SLO gates (DESIGN.md §16) ==")
+	cfg := cityload.Config{Seed: 1}
+	if quick {
+		cfg.Floors, cfg.Rows, cfg.Cols = 4, 3, 4
+		cfg.People, cfg.Steps, cfg.StepsPerSec = 24, 80, 30
+	}
+	rep, err := cityload.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep)
+	if !rep.Passed {
+		return fmt.Errorf("cityload gates failed: %s", strings.Join(rep.Failures, "; "))
+	}
 	return nil
 }

@@ -554,5 +554,12 @@ func printStats(st middlewhere.StatsDTO) {
 			fmt.Printf("%-20s %8d %8d %9d %7d %8d %9d\n",
 				sh.Key, sh.Objects, sh.MobileObjects, sh.Readings, sh.RTreeNodes, sh.Epoch, sh.Inserts)
 		}
+		// Snapshot lifecycle at a glance: hits/recycled say how well
+		// cuts pool, live says how many handles callers hold open (a
+		// steadily nonzero value is a Close leak).
+		fmt.Printf("snapshot pool: hits=%d recycled=%d live=%g\n",
+			st.Counters["spatialdb_snapshot_pool_hits"],
+			st.Counters["spatialdb_snapshot_pool_recycled"],
+			st.Gauges["spatialdb_snapshot_pool_live"])
 	}
 }

@@ -1,0 +1,86 @@
+package cityload
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunSmoke drives a miniature city at a fast step rate and checks
+// the harness plumbing end to end: readings flow through the
+// per-floor adapters into the batcher, the concurrent heatmap loop
+// completes queries, and generous SLOs pass.
+func TestRunSmoke(t *testing.T) {
+	rep, err := Run(Config{
+		Floors: 2, Rows: 2, Cols: 3,
+		People: 8, Steps: 30, StepsPerSec: 200,
+		CarryProb:  0.9,
+		SLOSpec:    "ingest=p99<2s,heatmap=p99<2s",
+		QueryEvery: 5 * time.Millisecond,
+		Slack:      5 * time.Second,
+		Seed:       42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Readings == 0 {
+		t.Error("no readings emitted")
+	}
+	if rep.HeatmapQueries == 0 {
+		t.Error("query loop completed no heatmaps")
+	}
+	if rep.Pace.Steps != 30 {
+		t.Errorf("steps = %d, want 30", rep.Pace.Steps)
+	}
+	if len(rep.SLOs) != 2 {
+		t.Errorf("slo evaluations = %d, want 2", len(rep.SLOs))
+	}
+	if !rep.Passed {
+		t.Errorf("run failed: %v", rep.Failures)
+	}
+	if out := rep.String(); !strings.Contains(out, "PASS") {
+		t.Errorf("report rendering:\n%s", out)
+	}
+}
+
+// TestRunGatesBreach pins the fail path: an unattainable SLO target
+// must flip the verdict and name the objective.
+func TestRunGatesBreach(t *testing.T) {
+	rep, err := Run(Config{
+		Floors: 2, Rows: 2, Cols: 3,
+		People: 8, Steps: 15, StepsPerSec: 200,
+		SLOSpec:    "ingest=p99<1ns",
+		QueryEvery: 5 * time.Millisecond,
+		Slack:      5 * time.Second,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Passed {
+		t.Fatal("1ns ingest SLO passed; the gate is not wired")
+	}
+	found := false
+	for _, f := range rep.Failures {
+		if strings.Contains(f, "slo ingest") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("failures do not name the breached objective: %v", rep.Failures)
+	}
+	if out := rep.String(); !strings.Contains(out, "FAIL") {
+		t.Errorf("report rendering:\n%s", out)
+	}
+}
+
+// TestConfigDefaults pins the documented default shape.
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Floors != 8 || c.People != 64 || c.StepsPerSec != 40 {
+		t.Errorf("defaults = %+v", c)
+	}
+	if c.SLOSpec == "" || c.Slack <= 0 || c.QueryEvery <= 0 {
+		t.Errorf("unfilled defaults: %+v", c)
+	}
+}

@@ -651,6 +651,7 @@ func (s *Service) ObjectsInRegion(region glob.GLOB, minProb float64) (map[string
 	// completed insert batches, and the scan holds no table locks while
 	// it fuses, so concurrent per-floor ingest proceeds unimpeded.
 	snap := s.db.Snapshot()
+	defer snap.Close()
 	now := s.now()
 	ids := snap.MobileObjects()
 	// Results land in index-addressed slots, so the merge below is

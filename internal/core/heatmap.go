@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"middlewhere/internal/fusion"
+	"middlewhere/internal/geom"
+	"middlewhere/internal/glob"
+	"middlewhere/internal/obs"
+)
+
+var mHeatmapUs = obs.Default().Histogram("core_heatmap_us")
+
+// Heatmap is a crowd-density grid over a region: Cells[r][c] is the
+// expected number of people in that cell — the sum over every mobile
+// object of its fused probability of being there. Cell (0,0) is the
+// region's min corner; rows advance along Y, columns along X.
+type Heatmap struct {
+	Region geom.Rect   `json:"region"`
+	Rows   int         `json:"rows"`
+	Cols   int         `json:"cols"`
+	Cells  [][]float64 `json:"cells"`
+	// Objects is the number of mobile objects that contributed mass.
+	Objects int `json:"objects"`
+	// At is the query's evaluation time.
+	At time.Time `json:"at"`
+}
+
+// Total returns the expected total occupancy over the whole grid.
+func (h *Heatmap) Total() float64 {
+	var t float64
+	for _, row := range h.Cells {
+		for _, v := range row {
+			t += v
+		}
+	}
+	return t
+}
+
+// Peak returns the densest cell and its expected occupancy.
+func (h *Heatmap) Peak() (row, col int, density float64) {
+	for r, cells := range h.Cells {
+		for c, v := range cells {
+			if v > density {
+				row, col, density = r, c, v
+			}
+		}
+	}
+	return
+}
+
+// OccupancyHeatmap answers the crowd-monitoring query "how many people
+// are where in region R?": the region is split into a rows×cols grid
+// and every mobile object's fused location probability is integrated
+// into the cells, yielding an expected-occupancy density map (the
+// city-scale analogue of §1.1's "who is in room R?", aggregated
+// instead of enumerated).
+//
+// The whole scan is pinned to one database snapshot, so the map is a
+// consistent cut: each object is evaluated against the same set of
+// completed insert batches, and grid fusion holds no table locks.
+// Objects fan out across the service's worker pool exactly like
+// ObjectsInRegion; per-object results land in index-addressed slots,
+// so the merged grid is deterministic.
+func (s *Service) OccupancyHeatmap(region glob.GLOB, rows, cols int) (*Heatmap, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("heatmap: non-positive grid %dx%d", rows, cols)
+	}
+	rect, err := s.db.ResolveGLOB(region)
+	if err != nil {
+		return nil, fmt.Errorf("heatmap: %w", err)
+	}
+	start := time.Now()
+	snap := s.db.Snapshot()
+	defer snap.Close()
+	now := s.now()
+	ids := snap.MobileObjects()
+
+	cellW := (rect.Max.X - rect.Min.X) / float64(cols)
+	cellH := (rect.Max.Y - rect.Min.Y) / float64(rows)
+	grids := make([][]float64, len(ids)) // per-object flat grid, index-addressed
+	eval := func(i int) {
+		readings := s.fusionStateSnap(snap, ids[i], now)
+		if len(readings) == 0 {
+			return
+		}
+		// Cheap cull: an object with no mass in the whole region
+		// contributes nothing to any cell.
+		if fusion.ProbRegion(snap.Universe(), readings, rect) <= 0 {
+			return
+		}
+		g := make([]float64, rows*cols)
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				cell := geom.R(
+					rect.Min.X+float64(c)*cellW,
+					rect.Min.Y+float64(r)*cellH,
+					rect.Min.X+float64(c+1)*cellW,
+					rect.Min.Y+float64(r+1)*cellH,
+				)
+				g[r*cols+c] = fusion.ProbRegion(snap.Universe(), readings, cell)
+			}
+		}
+		grids[i] = g
+	}
+	if s.pool != nil && len(ids) >= parallelFanThreshold {
+		s.pool.fanOutChunked(len(ids), s.parallelism, eval)
+	} else {
+		for i := range ids {
+			eval(i)
+		}
+	}
+
+	h := &Heatmap{Region: rect, Rows: rows, Cols: cols, At: now}
+	h.Cells = make([][]float64, rows)
+	for r := range h.Cells {
+		h.Cells[r] = make([]float64, cols)
+	}
+	for _, g := range grids {
+		if g == nil {
+			continue
+		}
+		h.Objects++
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				h.Cells[r][c] += g[r*cols+c]
+			}
+		}
+	}
+	mHeatmapUs.Observe(float64(time.Since(start).Microseconds()))
+	return h, nil
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"middlewhere/internal/glob"
+)
+
+func TestOccupancyHeatmap(t *testing.T) {
+	s, clock := newTestService(t)
+	// Two people at opposite ends of the floor, one stale ghost.
+	ingestAt(t, s, "ubi-1", "alice", 5, 5, clock.Now())
+	ingestAt(t, s, "ubi-1", "bob", 180, 40, clock.Now())
+
+	h, err := s.OccupancyHeatmap(glob.MustParse("CS/Floor3"), 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Rows != 4 || h.Cols != 8 || len(h.Cells) != 4 || len(h.Cells[0]) != 8 {
+		t.Fatalf("grid shape = %dx%d cells=%dx%d", h.Rows, h.Cols, len(h.Cells), len(h.Cells[0]))
+	}
+	if h.Objects != 2 {
+		t.Errorf("contributing objects = %d, want 2", h.Objects)
+	}
+	// Expected occupancy over the whole floor ≈ the number of people
+	// present (each object's mass sums to ~its floor-presence prob).
+	if tot := h.Total(); math.Abs(tot-2) > 0.2 {
+		t.Errorf("total expected occupancy = %v, want ≈ 2", tot)
+	}
+	// The density must concentrate where the people actually are:
+	// alice at (5,5) lands in cell (0,0), bob at (180,40) near the far
+	// corner.
+	if h.Cells[0][0] < 0.5 {
+		t.Errorf("cell (0,0) density = %v, want alice's mass there", h.Cells[0][0])
+	}
+	r, c, peak := h.Peak()
+	if peak < 0.5 {
+		t.Errorf("peak density = %v at (%d,%d), want a concentrated cell", peak, r, c)
+	}
+
+	// Degenerate grids are rejected.
+	if _, err := s.OccupancyHeatmap(glob.MustParse("CS/Floor3"), 0, 8); err == nil {
+		t.Error("rows=0 accepted")
+	}
+	if _, err := s.OccupancyHeatmap(glob.MustParse("CS/Floor3/nowhere"), 2, 2); err == nil {
+		t.Error("unresolvable region accepted")
+	}
+}
+
+// TestOccupancyHeatmapSerialParallelIdentical extends the determinism
+// contract to the heatmap: the pooled fan-out must produce exactly the
+// serial grid.
+func TestOccupancyHeatmapSerialParallelIdentical(t *testing.T) {
+	s, clock := newTestService(t)
+	for i := 0; i < 2*parallelFanThreshold; i++ {
+		obj := string(rune('a'+i%26)) + "-walker"
+		ingestAt(t, s, "ubi-1", obj+string(rune('0'+i/26)), float64(5+i*7), float64(5+(i*13)%40), clock.Now())
+	}
+	region := glob.MustParse("CS/Floor3")
+	parallel, err := s.OccupancyHeatmap(region, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := s.pool
+	s.pool = nil // force the serial path
+	serial, err := s.OccupancyHeatmap(region, 3, 5)
+	s.pool = pool
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Objects != parallel.Objects {
+		t.Fatalf("objects: serial=%d parallel=%d", serial.Objects, parallel.Objects)
+	}
+	for r := range serial.Cells {
+		for c := range serial.Cells[r] {
+			if serial.Cells[r][c] != parallel.Cells[r][c] {
+				t.Errorf("cell (%d,%d): serial=%v parallel=%v", r, c, serial.Cells[r][c], parallel.Cells[r][c])
+			}
+		}
+	}
+}

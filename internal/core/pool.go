@@ -174,6 +174,7 @@ func (s *Service) dispatchFirings(fs []spatialdb.TriggerFiring) {
 		groups[id] = append(groups[id], f)
 	}
 	snap := s.db.Snapshot()
+	defer snap.Close()
 	run := func(f spatialdb.TriggerFiring) {
 		if sub := s.subFor(f.Event.TriggerID); sub != nil {
 			s.evalTrigger(sub, f.Event, snap)

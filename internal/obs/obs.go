@@ -72,6 +72,19 @@ func (g *Gauge) Name() string { return g.name }
 // Set stores the gauge value.
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
+// Add atomically adds delta to the gauge — the up/down counterpart of
+// Set for gauges tracking a live population (open handles, queue
+// depth) that several goroutines grow and shrink concurrently.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
 // Value returns the current gauge value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 

@@ -62,8 +62,9 @@ func SLOMetricName(base, name string) string {
 // flag accepts to the always-on histograms they gate. Any other name
 // is taken as a literal histogram name.
 var DefaultSLOAliases = map[string]string{
-	"ingest": "spatialdb_insert_us",
-	"query":  "spatialdb_query_us",
+	"ingest":  "spatialdb_insert_us",
+	"query":   "spatialdb_query_us",
+	"heatmap": "core_heatmap_us",
 }
 
 // ParseSLOs parses a -slo flag value: comma-separated objectives of

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"time"
+)
+
+// PaceReport summarizes an open-loop paced run (RunPaced).
+type PaceReport struct {
+	// Steps is how many simulation steps fired.
+	Steps int
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// LateSteps counts steps that fired after their scheduled deadline
+	// — the generator was still issuing at full rate (open loop), but
+	// the system under test could not keep pace.
+	LateSteps int
+	// MaxLag is the worst lag behind schedule any step started with.
+	MaxLag time.Duration
+}
+
+// OnSchedule reports whether the run held its offered rate: no step
+// lagged its deadline by more than slack.
+func (r PaceReport) OnSchedule(slack time.Duration) bool {
+	return r.MaxLag <= slack
+}
+
+// RunPaced advances the simulation n steps at a target wall-clock rate
+// — the open-loop load generator for sustained-throughput harnesses.
+// Each step i has a fixed deadline start+i/stepsPerSec; the generator
+// sleeps when ahead of schedule and, crucially, does NOT slow down
+// when behind: a system that cannot keep pace accumulates lag instead
+// of silently throttling the offered load (the closed-loop
+// coordinated-omission trap). The report says how far behind the run
+// fell, so a harness asserts "sustained R readings/sec" as
+// rep.OnSchedule(slack) with R = stepsPerSec × readings-per-step.
+//
+// Like RunBatched, the batcher flushes after each step's observers, so
+// a step is one IngestBatch per flush-size worth of readings. A nil
+// batch skips flushing (observers deliver unbatched). stepsPerSec <= 0
+// runs unpaced (every deadline is now — a throughput ceiling probe).
+func RunPaced(s *Sim, n int, stepsPerSec float64, batch Flusher, observers ...Observer) (PaceReport, error) {
+	var interval time.Duration
+	if stepsPerSec > 0 {
+		interval = time.Duration(float64(time.Second) / stepsPerSec)
+	}
+	start := time.Now()
+	rep := PaceReport{}
+	for i := 0; i < n; i++ {
+		deadline := start.Add(time.Duration(i) * interval)
+		if wait := time.Until(deadline); wait > 0 {
+			time.Sleep(wait)
+		} else if lag := -wait; lag > 0 && interval > 0 {
+			rep.LateSteps++
+			if lag > rep.MaxLag {
+				rep.MaxLag = lag
+			}
+		}
+		s.Step()
+		snapshot := s.People()
+		for _, o := range observers {
+			if err := o.Observe(s.Now(), snapshot); err != nil {
+				rep.Steps = i + 1
+				rep.Elapsed = time.Since(start)
+				return rep, err
+			}
+		}
+		if batch != nil {
+			if err := batch.Flush(); err != nil {
+				rep.Steps = i + 1
+				rep.Elapsed = time.Since(start)
+				return rep, err
+			}
+		}
+		rep.Steps = i + 1
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}

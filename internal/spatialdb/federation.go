@@ -46,8 +46,9 @@ func (db *DB) ExportObject(id string) ([]model.Reading, uint64, bool) {
 			sh.readMu.RUnlock()
 			continue // raced a migration; re-resolve
 		}
-		rows := append([]model.Reading(nil), sh.table.rows[id]...)
-		epoch := sh.table.epochs[id]
+		t := sh.table.Load()
+		rows := append([]model.Reading(nil), t.rows[id]...)
+		epoch := t.epochs[id]
 		sh.readMu.RUnlock()
 		return rows, epoch, true
 	}
@@ -86,9 +87,11 @@ func (db *DB) ImportObject(id string, rows []model.Reading, epoch uint64) bool {
 	if len(rows) > 0 {
 		key = shardKeyForGLOB(rows[len(rows)-1].Location)
 	}
-	db.cutMu.RLock()
-	defer db.cutMu.RUnlock()
 	sh := db.ensureShard(key)
+	// The whole merge runs in a cut bracket (cut.go), so a concurrent
+	// snapshot sees the import entirely or not at all — this path held
+	// cutMu shared before the epoch-vector protocol replaced it.
+	db.beginBatch(sh)
 	for {
 		db.placeObject(id, sh)
 		sh.readMu.Lock()
@@ -111,6 +114,7 @@ func (db *DB) ImportObject(id string, rows []model.Reading, epoch uint64) bool {
 		}
 		if len(fresh) == 0 && epoch < cur {
 			sh.readMu.Unlock()
+			db.endBatchClean(sh) // pure replay: nothing visible changed
 			return false
 		}
 		merged := append(append([]model.Reading(nil), t.rows[id]...), fresh...)
@@ -126,6 +130,7 @@ func (db *DB) ImportObject(id string, rows []model.Reading, epoch uint64) bool {
 		t.epochs[id] = next + 1
 		sh.writeEpoch.Add(1)
 		sh.readMu.Unlock()
+		db.endBatch(sh)
 		mFedImports.Inc()
 		return true
 	}
@@ -145,7 +150,7 @@ func (db *DB) HasReading(r model.Reading) bool {
 	sh.readMu.RLock()
 	defer sh.readMu.RUnlock()
 	k := keyOf(r)
-	for _, have := range sh.table.rows[r.MObjectID] {
+	for _, have := range sh.table.Load().rows[r.MObjectID] {
 		if keyOf(have) == k {
 			return true
 		}
@@ -161,31 +166,48 @@ func (db *DB) HasReading(r model.Reading) bool {
 // deleted — the caller re-exports and hands off again. Returns whether
 // the drop happened.
 func (db *DB) DropObject(id string, ifEpoch uint64) bool {
-	db.cutMu.RLock()
-	defer db.cutMu.RUnlock()
-	// migMu serializes against placeObject so residence cannot move the
-	// object to another shard between the load and the table edit.
-	db.migMu.Lock()
-	defer db.migMu.Unlock()
-	cur, ok := db.residence.Load(id)
-	if !ok {
-		return false
-	}
-	sh := cur.(*shard)
-	sh.readMu.Lock()
-	if sh.table.epochs[id] != ifEpoch {
+	for {
+		cur, ok := db.residence.Load(id)
+		if !ok {
+			return false
+		}
+		sh := cur.(*shard)
+		// The bracket is entered BEFORE migMu, per the lock order: a
+		// bracket may park at the escalation gate, and parking while
+		// holding migMu would deadlock the draining snapshot against
+		// any admitted batch mid-placeObject.
+		db.beginBatch(sh)
+		// migMu serializes against placeObject so residence cannot move
+		// the object to another shard between the re-check and the
+		// table edit.
+		db.migMu.Lock()
+		if cur2, ok2 := db.residence.Load(id); !ok2 || cur2.(*shard) != sh {
+			db.migMu.Unlock()
+			db.endBatchClean(sh)
+			if !ok2 {
+				return false
+			}
+			continue // raced a migration while entering the bracket
+		}
+		sh.readMu.Lock()
+		if sh.table.Load().epochs[id] != ifEpoch {
+			sh.readMu.Unlock()
+			db.migMu.Unlock()
+			db.endBatchClean(sh)
+			return false
+		}
+		t := sh.mutableTable()
+		delete(t.rows, id)
+		delete(t.owned, id)
+		delete(t.epochs, id)
+		sh.writeEpoch.Add(1)
+		db.residence.Delete(id)
 		sh.readMu.Unlock()
-		return false
+		db.migMu.Unlock()
+		db.endBatch(sh)
+		mFedDrops.Inc()
+		return true
 	}
-	t := sh.mutableTable()
-	delete(t.rows, id)
-	delete(t.owned, id)
-	delete(t.epochs, id)
-	sh.writeEpoch.Add(1)
-	db.residence.Delete(id)
-	sh.readMu.Unlock()
-	mFedDrops.Inc()
-	return true
 }
 
 // LocalShardKeys returns the keys of the shards this database has

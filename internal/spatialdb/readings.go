@@ -151,6 +151,13 @@ func (db *DB) placeObject(id string, to *shard) {
 	if from == to {
 		return
 	}
+	// Nested cut bracket on the source shard: the caller's bracket
+	// already covers `to`, but a cut sweeping `from` must also see this
+	// migration in flight. pending is bumped WITHOUT the gate check —
+	// waiting on the gate here would deadlock against a draining
+	// snapshot that is itself waiting for the enclosing bracket (see
+	// cut.go).
+	from.pending.Add(1)
 	// Move rows and the epoch under both shard locks, taken in key
 	// order so concurrent migrations cannot deadlock.
 	a, b := from, to
@@ -170,9 +177,13 @@ func (db *DB) placeObject(id string, to *shard) {
 	delete(tf.epochs, id)
 	from.writeEpoch.Add(1)
 	to.writeEpoch.Add(1)
+	from.cutSeq.Add(1)
+	to.cutSeq.Add(1)
 	db.residence.Store(id, to)
 	b.readMu.Unlock()
 	a.readMu.Unlock()
+	from.pending.Add(-1)
+	db.wakeCutWaiters()
 	mMigrations.Inc()
 }
 
@@ -195,9 +206,9 @@ func (db *DB) residentShard(id string) *shard {
 //
 // Readings shard by their location's floor prefix, so batches for
 // independent floors take disjoint locks and ingest in parallel; the
-// only cross-floor coordination is a shared-mode pass through cutMu,
+// only cross-floor coordination is the lock-free cut bracket (cut.go),
 // which lets Snapshot exclude in-flight batches (no snapshot ever
-// observes part of a batch).
+// observes part of a batch) without any global mutex.
 //
 // Trigger firings for the whole batch are collected and then run via
 // dispatch; a nil dispatch runs them serially in insertion order,
@@ -290,12 +301,17 @@ func (db *DB) InsertReadings(rs []model.Reading, dispatch FiringDispatcher) (int
 
 	// Phase 2 — store each group under its own shard's write lock:
 	// movement detection, append, bound, and the per-object epoch bump
-	// that invalidates fused-location caches. The whole phase holds
-	// cutMu shared so a concurrent Snapshot (exclusive) sees either
-	// none or all of this batch.
-	db.cutMu.RLock()
-	for _, g := range groups {
-		sh := db.ensureShard(g.key)
+	// that invalidates fused-location caches. The whole phase runs in
+	// one cut bracket spanning every target shard, so a concurrent
+	// Snapshot sees either none or all of this batch (cut.go) — with no
+	// global mutex on this path.
+	shs := make([]*shard, len(groups))
+	for i, g := range groups {
+		shs[i] = db.ensureShard(g.key)
+	}
+	db.beginBatch(shs...)
+	for gi, g := range groups {
+		sh := shs[gi]
 		for {
 			// Pin every distinct object of the group to this shard
 			// (migrating rows from a previous floor if needed), then
@@ -357,7 +373,7 @@ func (db *DB) InsertReadings(rs []model.Reading, dispatch FiringDispatcher) (int
 		sh.inserts.Add(uint64(len(g.idxs)))
 		sh.mInserts.Add(uint64(len(g.idxs)))
 	}
-	db.cutMu.RUnlock()
+	db.endBatch(shs...)
 
 	// Phase 3 — match triggers for the whole batch under the shared
 	// trigger lock; firing happens after release. Matching iterates the
@@ -435,7 +451,7 @@ func (db *DB) ReadingEpoch(mobjectID string) uint64 {
 		return 0
 	}
 	sh.readMu.RLock()
-	e := sh.table.epochs[mobjectID]
+	e := sh.table.Load().epochs[mobjectID]
 	sh.readMu.RUnlock()
 	return e
 }
@@ -483,7 +499,7 @@ func (db *DB) ReadingsFor(mobjectID string, now time.Time) []model.Reading {
 			sh.readMu.RUnlock()
 			continue
 		}
-		rows := sh.table.rows[mobjectID]
+		rows := sh.table.Load().rows[mobjectID]
 		live := make([]model.Reading, 0, len(rows))
 		stale := false
 		for _, r := range rows {
@@ -499,9 +515,14 @@ func (db *DB) ReadingsFor(mobjectID string, now time.Time) []model.Reading {
 			return live
 		}
 
+		// Pruning mutates the table, so it runs inside a cut bracket
+		// (taken before readMu per the lock order) — a concurrent
+		// snapshot either excludes or includes the whole prune.
+		db.beginBatch(sh)
 		sh.readMu.Lock()
 		if db.residentShard(mobjectID) != sh {
 			sh.readMu.Unlock()
+			db.endBatchClean(sh)
 			continue
 		}
 		t := sh.mutableTable()
@@ -525,6 +546,7 @@ func (db *DB) ReadingsFor(mobjectID string, now time.Time) []model.Reading {
 			t.owned[mobjectID] = true
 		}
 		sh.readMu.Unlock()
+		db.endBatch(sh)
 		return live
 	}
 }
@@ -559,7 +581,7 @@ func (db *DB) MobileObjects() []string {
 	var out []string
 	for _, sh := range db.allShards() {
 		sh.readMu.RLock()
-		for id := range sh.table.rows {
+		for id := range sh.table.Load().rows {
 			out = append(out, id)
 		}
 		sh.readMu.RUnlock()
@@ -584,9 +606,13 @@ func (db *DB) ExpireReadings(now time.Time, match func(model.Reading) bool) {
 		forced bool
 	}
 	for _, sh := range db.allShards() {
+		// Bracket each shard's sweep so a concurrent cut sees the whole
+		// shard's expiry or none of it; a sweep that changes nothing
+		// ends clean, keeping pooled snapshots valid.
+		db.beginBatch(sh)
 		sh.readMu.Lock()
 		var changes []change
-		for id, rows := range sh.table.rows {
+		for id, rows := range sh.table.Load().rows {
 			var live []model.Reading
 			forced := false
 			for _, r := range rows {
@@ -621,5 +647,10 @@ func (db *DB) ExpireReadings(now time.Time, match func(model.Reading) bool) {
 			sh.writeEpoch.Add(1)
 		}
 		sh.readMu.Unlock()
+		if len(changes) > 0 {
+			db.endBatch(sh)
+		} else {
+			db.endBatchClean(sh)
+		}
 	}
 }

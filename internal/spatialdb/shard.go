@@ -23,6 +23,14 @@ var (
 	mSnapAgeUs  = obs.Default().Gauge("spatialdb_snapshot_age_us")
 	mFedImports = obs.Default().Counter("spatialdb_fed_imports_total")
 	mFedDrops   = obs.Default().Counter("spatialdb_fed_drops_total")
+
+	// Snapshot-pool metrics (see Snapshot/Close in snapshot.go). live
+	// counts open user handles: every pooled or fresh Snapshot return
+	// adds one, every first Close on a handle removes one — so a steady
+	// state of zero proves no caller leaks cuts.
+	mSnapPoolHits     = obs.Default().Counter("spatialdb_snapshot_pool_hits")
+	mSnapPoolRecycled = obs.Default().Counter("spatialdb_snapshot_pool_recycled")
+	mSnapPoolLive     = obs.Default().Gauge("spatialdb_snapshot_pool_live")
 )
 
 // rootShardKey is the shard for locations whose GLOB has no symbolic
@@ -126,14 +134,23 @@ type shard struct {
 	objFrozen atomic.Bool
 
 	// Reading table, copy-on-write (see readTable). readFrozen marks
-	// the current table as captured by a snapshot.
+	// the current table as captured by a snapshot. The pointer is
+	// atomic so a snapshot capture can read it without readMu — writers
+	// still hold readMu exclusively around every Store.
 	readMu     sync.RWMutex
-	table      *readTable
+	table      atomic.Pointer[readTable]
 	readFrozen atomic.Bool
 	// writeEpoch counts reading-table mutation batches on this shard —
 	// the shard-level staleness stamp carried by snapshots and surfaced
 	// in ShardStats.
 	writeEpoch atomic.Uint64
+
+	// Cut-protocol state (cut.go): pending counts mutation brackets in
+	// flight on this shard; cutSeq advances at the end of every bracket
+	// that actually mutated the table. A snapshot capture of this shard
+	// is valid iff pending stayed 0 and cutSeq stayed put across it.
+	pending atomic.Int32
+	cutSeq  atomic.Uint64
 
 	// inserts counts readings stored here (mirrors the per-shard
 	// counter for ShardStats without a registry read).
@@ -144,14 +161,15 @@ type shard struct {
 }
 
 func newShard(key string) *shard {
-	return &shard{
+	sh := &shard{
 		key:         key,
 		objects:     make(map[string]*Object),
 		objIdx:      rtree.New(),
-		table:       newReadTable(),
 		mInserts:    obs.Default().Counter(ShardMetricName("spatialdb_shard_inserts_total", key)),
 		mRTreeNodes: obs.Default().Gauge(ShardMetricName("spatialdb_shard_rtree_nodes", key)),
 	}
+	sh.table.Store(newReadTable())
+	return sh
 }
 
 // mutableTable returns a reading table the caller may mutate. Caller
@@ -160,9 +178,9 @@ func newShard(key string) *shard {
 // readTable).
 func (sh *shard) mutableTable() *readTable {
 	if !sh.readFrozen.Load() {
-		return sh.table
+		return sh.table.Load()
 	}
-	old := sh.table
+	old := sh.table.Load()
 	nt := &readTable{
 		rows:   make(map[string][]model.Reading, len(old.rows)),
 		epochs: make(map[string]uint64, len(old.epochs)),
@@ -174,7 +192,7 @@ func (sh *shard) mutableTable() *readTable {
 	for k, v := range old.epochs {
 		nt.epochs[k] = v
 	}
-	sh.table = nt
+	sh.table.Store(nt)
 	sh.readFrozen.Store(false)
 	mSnapClones.Inc()
 	return nt
@@ -331,8 +349,9 @@ func (db *DB) ShardStats() []ShardStat {
 		st.RTreeNodes = sh.objIdx.Len()
 		sh.objMu.RUnlock()
 		sh.readMu.RLock()
-		st.MobileObjects = len(sh.table.rows)
-		for _, rows := range sh.table.rows {
+		t := sh.table.Load()
+		st.MobileObjects = len(t.rows)
+		for _, rows := range t.rows {
 			st.Readings += len(rows)
 		}
 		sh.readMu.RUnlock()

@@ -1,17 +1,28 @@
 package spatialdb
 
 import (
+	"runtime"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"middlewhere/internal/geom"
 	"middlewhere/internal/model"
 )
 
+// snapPoolMaxAge bounds how stale a pooled snapshot may be before
+// Snapshot cuts fresh even when nothing changed: spatialdb_snapshot_age_us
+// stays bounded for consumers that alert on it. Package variable so the
+// pool tests can shrink it.
+var snapPoolMaxAge = 250 * time.Millisecond
+
 // shardSnap is one shard's contribution to a Snapshot: the frozen
-// reading table and the shard's write epoch at the cut.
+// reading table, the shard's write epoch at the cut, and the cutSeq
+// value the capture validated against (used to revalidate the cut for
+// pool reuse and to retry only moved shards during the sweep).
 type shardSnap struct {
 	key   string
+	seq   uint64
 	epoch uint64
 	table *readTable
 }
@@ -20,50 +31,206 @@ type shardSnap struct {
 // tables across every shard. Reads on a Snapshot take no locks and see
 // a frozen state: concurrent inserts, expiries, and floor migrations
 // never show through. A snapshot never observes part of an
-// InsertReadings batch — the cut is serialized against in-flight
-// batches, so each batch is either entirely visible or entirely
+// InsertReadings batch — the cut protocol (cut.go) validates every
+// shard's capture against its in-flight bracket count and mutation
+// sequence, so each batch is either entirely visible or entirely
 // absent.
 //
-// Snapshots are cheap: capture freezes the current tables (O(shards)
-// pointer reads) and the next writer per shard pays one shallow table
-// clone. Object tables are not captured here; object queries get their
-// own consistent cut via objectViews (Objects, ObjectsInRegion's
-// candidate search).
+// Snapshots are pooled: consecutive cuts with no intervening mutation
+// share one Snapshot value, and unchanged shards keep their table
+// clones across cuts. Callers must release each handle with Close when
+// done; the spatialdb_snapshot_pool_live gauge counts open handles.
 type Snapshot struct {
 	universe geom.Rect
 	at       time.Time
 	sensors  *sensorTable
 	shards   []shardSnap
+
+	// refs counts open user handles plus one pool reference while this
+	// snapshot is the database's curSnap. Close decrements; the value
+	// only gates the live-handle gauge — the data is GC-managed and
+	// stays valid for any holder regardless.
+	refs atomic.Int32
+}
+
+// Close releases a snapshot handle obtained from DB.Snapshot. Safe on
+// nil and idempotent per handle in effect: extra Closes beyond the
+// handle count are ignored. The snapshot's data remains readable after
+// Close (it is immutable); Close only retires the handle from the
+// pool-live accounting.
+func (s *Snapshot) Close() {
+	if s == nil {
+		return
+	}
+	if s.refs.Add(-1) < 0 {
+		s.refs.Add(1)
+		return
+	}
+	mSnapPoolLive.Add(-1)
+}
+
+// captureShard optimistically captures one shard without any lock: it
+// is valid only if no mutation bracket was in flight and the shard's
+// cutSeq did not move across the capture. ok=false means the caller
+// must retry this shard on the next sweep round.
+func (db *DB) captureShard(sh *shard) (shardSnap, bool) {
+	seq := sh.cutSeq.Load()
+	if sh.pending.Load() != 0 {
+		return shardSnap{}, false
+	}
+	t := sh.table.Load()
+	epoch := sh.writeEpoch.Load()
+	// Freeze before validating: if the validation passes, no writer
+	// mutated between the table load and the freeze, so every later
+	// writer clones first (mutableTable) and t is immutable forever. If
+	// a writer raced past the freeze, the re-checks below catch it.
+	sh.readFrozen.Store(true)
+	if sh.pending.Load() != 0 || sh.cutSeq.Load() != seq {
+		return shardSnap{}, false
+	}
+	return shardSnap{key: sh.key, seq: seq, epoch: epoch, table: t}, true
+}
+
+// capture assembles a consistent cut of every shard via the optimistic
+// sweep (see cut.go): capture each shard, then keep re-verifying the
+// whole set — re-capturing shards whose cutSeq moved or with brackets
+// in flight — until one full round passes with every shard clean and
+// nothing recaptured. The shard list is re-read every round so shards
+// created mid-cut are included. prev (may be nil) seeds the captured
+// set so shards unchanged since the previous cut reuse its clones.
+// After snapSweepRounds unclean rounds it escalates to drainAndCapture.
+func (db *DB) capture(prev *Snapshot) []shardSnap {
+	captured := make(map[string]shardSnap)
+	seeded := make(map[string]bool)
+	if prev != nil {
+		for _, ss := range prev.shards {
+			captured[ss.key] = ss
+			seeded[ss.key] = true
+		}
+	}
+	for round := 0; round < snapSweepRounds; round++ {
+		shards := db.allShards()
+		clean := true
+		for _, sh := range shards {
+			ss, ok := captured[sh.key]
+			if ok && sh.pending.Load() == 0 && sh.cutSeq.Load() == ss.seq {
+				continue
+			}
+			if ok && !seeded[sh.key] {
+				// A capture taken during THIS cut went stale: a writer
+				// won the race this round. (A seeded entry from the
+				// previous snapshot being outdated is expected, not a
+				// retry.)
+				mCutRetries.Inc()
+			}
+			clean = false
+			delete(seeded, sh.key)
+			if ss, ok = db.captureShard(sh); ok {
+				captured[sh.key] = ss
+			} else {
+				delete(captured, sh.key)
+			}
+		}
+		if clean {
+			return orderedSnaps(shards, captured)
+		}
+		// An unclean round means writers hold brackets right now; yield
+		// so they can finish instead of burning the next round spinning
+		// against them (on GOMAXPROCS=1 the spin would otherwise block
+		// the very writers it is waiting out until preemption).
+		runtime.Gosched()
+	}
+	// Sustained ingest kept winning the race: close the gate, drain
+	// in-flight brackets, and capture stably. New brackets park at the
+	// gate (beginBatch), so every shard is quiescent here.
+	mCutEscalations.Inc()
+	db.gateMu.Lock()
+	db.cutGate.Store(true)
+	for !db.pendingDrained() {
+		db.gateCond.Wait()
+	}
+	shards := db.allShards()
+	for _, sh := range shards {
+		ss, ok := captured[sh.key]
+		if !ok || sh.cutSeq.Load() != ss.seq {
+			seq := sh.cutSeq.Load()
+			t := sh.table.Load()
+			epoch := sh.writeEpoch.Load()
+			sh.readFrozen.Store(true)
+			captured[sh.key] = shardSnap{key: sh.key, seq: seq, epoch: epoch, table: t}
+		}
+	}
+	db.cutGate.Store(false)
+	db.gateCond.Broadcast()
+	db.gateMu.Unlock()
+	return orderedSnaps(shards, captured)
+}
+
+// orderedSnaps lays the captured map out in shard-key order (allShards
+// order), dropping entries for shards no longer listed.
+func orderedSnaps(shards []*shard, captured map[string]shardSnap) []shardSnap {
+	out := make([]shardSnap, 0, len(shards))
+	for _, sh := range shards {
+		if ss, ok := captured[sh.key]; ok {
+			out = append(out, ss)
+		}
+	}
+	return out
+}
+
+// cutUnchanged reports whether prev still describes the database
+// exactly: same shard set, and every shard quiescent at the cutSeq
+// prev captured. True means prev IS a valid cut of the current state.
+func (db *DB) cutUnchanged(prev *Snapshot) bool {
+	shards := db.allShards()
+	if len(shards) != len(prev.shards) {
+		return false
+	}
+	// Both lists are sorted by key, so compare positionally.
+	for i, sh := range shards {
+		ss := &prev.shards[i]
+		if sh.key != ss.key || sh.pending.Load() != 0 || sh.cutSeq.Load() != ss.seq {
+			return false
+		}
+	}
+	return db.sensorView.Load() == prev.sensors
 }
 
 // Snapshot captures a consistent cut of the database's reading and
 // sensor tables. The returned view is immutable and safe for
 // concurrent use; it reflects exactly the batches that completed
-// before the call.
+// before the call. The caller must Close the handle when done.
+//
+// Snapshot acquires no global mutex: the cut is a lock-free optimistic
+// sweep over the per-shard epoch vector (cut.go), escalating to a
+// bounded writer gate only under sustained contention. When nothing
+// has mutated since the previous cut and that cut is younger than
+// snapPoolMaxAge, the previous Snapshot is handed out again
+// (spatialdb_snapshot_pool_hits).
 func (db *DB) Snapshot() *Snapshot {
-	// Exclusive cutMu excludes every in-flight InsertReadings store
-	// phase (shared holders), so no batch is mid-write anywhere and no
-	// floor migration is in progress when the tables are frozen.
-	db.cutMu.Lock()
-	shards := db.allShards()
+	if cur := db.curSnap.Load(); cur != nil &&
+		time.Since(cur.at) <= snapPoolMaxAge && db.cutUnchanged(cur) {
+		cur.refs.Add(1)
+		mSnapPoolHits.Inc()
+		mSnapPoolLive.Add(1)
+		return cur
+	}
+	prev := db.curSnap.Load()
 	snap := &Snapshot{
 		universe: db.universe,
 		at:       time.Now(),
 		sensors:  db.sensorView.Load(),
-		shards:   make([]shardSnap, len(shards)),
+		shards:   db.capture(prev),
 	}
-	for i, sh := range shards {
-		// The shard read-lock serializes against writers that do not
-		// route through cutMu (TTL pruning, ExpireReadings).
-		sh.readMu.RLock()
-		snap.shards[i] = shardSnap{key: sh.key, epoch: sh.writeEpoch.Load(), table: sh.table}
-		sh.readFrozen.Store(true)
-		sh.readMu.RUnlock()
+	if prev != nil {
+		mSnapPoolRecycled.Inc()
 	}
-	db.cutMu.Unlock()
+	snap.refs.Store(1)
+	db.curSnap.Store(snap)
 	mSnapshots.Inc()
 	db.lastSnap.Store(snap.at.UnixMicro())
 	mSnapAgeUs.Set(0)
+	mSnapPoolLive.Add(1)
 	return snap
 }
 

@@ -162,10 +162,13 @@ type sensorTable struct {
 // shard) plus the tables that are genuinely global — sensor metadata,
 // triggers, and insert hooks. Locks nest in the fixed order
 //
-//	cutMu → migMu → shard.readMu
+//	batch bracket (pending / cutGate, cut.go) → migMu → shard.readMu
 //
 // for reading writes; shard.objMu and trigMu are only ever held alone
 // (hookMu is independent and never held together with the others).
+// There is deliberately no global mutex on the Snapshot/ingest pair:
+// cuts coordinate with writers through the per-shard epoch vector
+// (shard.pending / shard.cutSeq) and the escalation gate — see cut.go.
 type DB struct {
 	// frames is immutable after New; symbolic GLOB resolution walks
 	// objects and frames together.
@@ -195,11 +198,19 @@ type DB struct {
 	sensorRegMu sync.Mutex
 	sensorView  atomic.Pointer[sensorTable]
 
-	// cutMu orders batch ingest against Snapshot: InsertReadings holds
-	// it shared for its store phase (so independent floors still ingest
-	// in parallel), Snapshot takes it exclusively for the capture — a
-	// snapshot therefore never observes part of a batch, on any shard.
-	cutMu sync.RWMutex
+	// Cut-protocol escalation gate (cut.go): when a Snapshot's
+	// optimistic sweep keeps losing races, it closes cutGate, waits on
+	// gateCond for in-flight mutation brackets to drain, captures, and
+	// reopens. Writers check the gate atomically in beginBatch — the
+	// mutex and condvar are touched only while the gate is closed.
+	cutGate  atomic.Bool
+	gateMu   sync.Mutex
+	gateCond *sync.Cond
+
+	// curSnap is the most recent Snapshot — the one-deep snapshot pool.
+	// Snapshot revalidates it against the epoch vector and hands it out
+	// again when nothing changed (see cutUnchanged).
+	curSnap atomic.Pointer[Snapshot]
 
 	// Location triggers (§5.3) and their R-tree index. Trigger regions
 	// routinely span floors, so the index stays global.
@@ -234,6 +245,7 @@ func New(frames *coords.Tree, universe geom.Rect) *DB {
 	}
 	db.sensorView.Store(&sensorTable{specs: make(map[string]model.SensorSpec)})
 	db.lastSnap.Store(time.Now().UnixMicro())
+	db.gateCond = sync.NewCond(&db.gateMu)
 	return db
 }
 
