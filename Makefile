@@ -30,20 +30,26 @@ bench:
 
 # Regression gate for the hot paths: re-runs the benchmarks recorded in
 # BENCH_1.json (PR-4 query/ingest paths), BENCH_2.json (PR-5
-# multi-floor sharding paths) and BENCH_3.json (PR-6 wire codec +
-# streaming ingest) and fails when any is >30% slower than its
-# recorded ns/op (fastest of 3 runs, to filter scheduler noise).
-# BENCH_3 additionally enforces cross-benchmark ratios (min_speedup_vs),
-# e.g. streaming binary ingest >= 2x cheaper per reading than the JSON
-# batch-64 path. Re-record after an intentional change with:
+# multi-floor sharding paths), BENCH_3.json (PR-6 wire codec +
+# streaming ingest), BENCH_4.json (PR-9 lock-free snapshot cuts) and
+# BENCH_5.json (PR-10 support-index heatmap + sharded notifier) and
+# fails when any is >30% slower than its recorded ns/op (fastest of N
+# runs, to filter scheduler noise). BENCH_3..5 additionally enforce
+# cross-benchmark ratios (min_speedup_vs) measured in the SAME run,
+# e.g. the prefiltered heatmap >= 3x cheaper than the pre-PR full
+# scan, and sharded notify dispatch at parity with a single worker.
+# Re-record after an intentional change with:
 #   go run ./cmd/benchcompare -ref BENCH_1.json -update
 #   go run ./cmd/benchcompare -ref BENCH_2.json -update
 #   go run ./cmd/benchcompare -ref BENCH_3.json -update
+#   go run ./cmd/benchcompare -ref BENCH_4.json -update
+#   go run ./cmd/benchcompare -ref BENCH_5.json -update
 bench-compare:
 	$(GO) run ./cmd/benchcompare -ref BENCH_1.json -tolerance 0.30
 	$(GO) run ./cmd/benchcompare -ref BENCH_2.json -tolerance 0.30
 	$(GO) run ./cmd/benchcompare -ref BENCH_3.json -tolerance 0.30
 	$(GO) run ./cmd/benchcompare -ref BENCH_4.json -tolerance 0.30
+	$(GO) run ./cmd/benchcompare -ref BENCH_5.json -tolerance 0.30
 
 # City-scale sustained-load gate (PERF-9, DESIGN.md §16): a MultiStorey
 # city under an open-loop readings/sec target, a concurrent

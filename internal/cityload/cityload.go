@@ -63,8 +63,13 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	// The default city is an order of magnitude past the PR-9 harness
+	// (8 floors / 64 people): the support-index heatmap and sharded
+	// notifier keep the query loop sublinear in the population, so the
+	// same SLO spec holds at 16 floors / 640 people on the 1-CPU CI
+	// box (EXPERIMENTS.md §PERF-10).
 	if c.Floors <= 0 {
-		c.Floors = 8
+		c.Floors = 16
 	}
 	if c.Rows <= 0 {
 		c.Rows = 4
@@ -73,13 +78,17 @@ func (c Config) withDefaults() Config {
 		c.Cols = 6
 	}
 	if c.People <= 0 {
-		c.People = 64
+		c.People = 640
 	}
+	// 20 steps/s x 640 people x 0.95 carry offers ~12k readings/s —
+	// 5x the PR-9 harness's offered load — while leaving the single
+	// CI core headroom for the concurrent query loop; the population
+	// (not the step rate) is what the sublinear queries are gated on.
 	if c.Steps <= 0 {
 		c.Steps = 200
 	}
 	if c.StepsPerSec <= 0 {
-		c.StepsPerSec = 40
+		c.StepsPerSec = 20
 	}
 	if c.CarryProb <= 0 || c.CarryProb > 1 {
 		c.CarryProb = 0.95

@@ -77,7 +77,7 @@ func TestRunGatesBreach(t *testing.T) {
 // TestConfigDefaults pins the documented default shape.
 func TestConfigDefaults(t *testing.T) {
 	c := Config{}.withDefaults()
-	if c.Floors != 8 || c.People != 64 || c.StepsPerSec != 40 {
+	if c.Floors != 16 || c.People != 640 || c.StepsPerSec != 20 {
 		t.Errorf("defaults = %+v", c)
 	}
 	if c.SLOSpec == "" || c.Slack <= 0 || c.QueryEvery <= 0 {

@@ -140,9 +140,14 @@ type Service struct {
 	parallelism int
 	pool        *workerPool
 
-	notifyCh chan dispatch
-	stop     chan struct{}
-	done     chan struct{}
+	// notifyQs is the sharded notification queue set: worker i drains
+	// notifyQs[i], and a subscription's dispatches always hash to the
+	// same queue (queueFor), so per-subscription delivery order is
+	// preserved while independent subscriptions deliver in parallel.
+	notifyQs      []chan dispatch
+	notifyWorkers int
+	notifyWG      sync.WaitGroup
+	stop          chan struct{}
 
 	// started anchors Health's uptime.
 	started time.Time
@@ -234,6 +239,17 @@ func (o quantumOption) apply(s *Service) { s.quantum = o.d }
 // clock).
 func WithCacheQuantum(d time.Duration) Option { return quantumOption{d} }
 
+type notifyWorkersOption struct{ n int }
+
+func (o notifyWorkersOption) apply(s *Service) { s.notifyWorkers = o.n }
+
+// WithNotifyWorkers sets the number of notifier workers draining the
+// sharded notification queues. Zero (the default) derives the count
+// from the service parallelism, capped at maxNotifyWorkers; 1 restores
+// the single-goroutine notifier. Notifications for one subscription
+// always run on the same worker, in enqueue order, whatever the count.
+func WithNotifyWorkers(n int) Option { return notifyWorkersOption{n} }
+
 // Sentinel errors.
 var (
 	ErrUnknownObject = errors.New("core: no readings for object")
@@ -264,9 +280,7 @@ func New(b *building.Building, opts ...Option) (*Service, error) {
 		acls:     make(map[string]AccessPolicy),
 		cache:    locateCache{entries: make(map[string]*locEntry)},
 		quantum:  defaultCacheQuantum,
-		notifyCh: make(chan dispatch, 1024),
 		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
 	}
 	for _, o := range opts {
 		o.apply(s)
@@ -281,12 +295,31 @@ func New(b *building.Building, opts ...Option) (*Service, error) {
 		// same bounded pool.
 		db.SetFanout(s.pool.fanOut)
 	}
+	if s.notifyWorkers <= 0 {
+		s.notifyWorkers = s.parallelism
+	}
+	if s.notifyWorkers > maxNotifyWorkers {
+		s.notifyWorkers = maxNotifyWorkers
+	}
+	// Total buffered capacity stays at the pre-sharding level (one
+	// 1024-slot queue) split across the workers, with a floor so a
+	// single slow handler still rides out bursts on its own queue.
+	qcap := notifyQueueCap / s.notifyWorkers
+	if qcap < minNotifyQueueCap {
+		qcap = minNotifyQueueCap
+	}
+	s.notifyQs = make([]chan dispatch, s.notifyWorkers)
+	s.notifyWG.Add(s.notifyWorkers)
+	for i := range s.notifyQs {
+		s.notifyQs[i] = make(chan dispatch, qcap)
+		go s.notifier(s.notifyQs[i])
+	}
+	mNotifyWorkers.Set(float64(s.notifyWorkers))
 	s.started = s.now()
 	db.AddInsertHook(s.observeExit)
 	if s.history != nil {
 		db.AddInsertHook(s.observeForHistory)
 	}
-	go s.notifier()
 	return s, nil
 }
 
@@ -319,16 +352,51 @@ func (s *Service) observeExit(r model.Reading) {
 	}
 }
 
+// Notifier sizing. The per-queue buffer keeps the pre-sharding total
+// (1024 dispatches) split across workers, floored so each queue still
+// absorbs a burst alone.
+const (
+	maxNotifyWorkers  = 8
+	notifyQueueCap    = 1024
+	minNotifyQueueCap = 128
+)
+
 // Core metrics, cached once so the trigger/notify paths are pure
 // atomics.
 var (
-	mIngested     = obs.Default().Counter("core_ingested_total")
-	mTriggerEvals = obs.Default().Counter("core_trigger_evals_total")
-	mTriggerUs    = obs.Default().Histogram("core_trigger_eval_us")
-	mNotified     = obs.Default().Counter("core_notifications_total")
-	mNotifyUs     = obs.Default().Histogram("core_notify_us")
-	mQueueDepth   = obs.Default().Gauge("core_notify_queue_depth")
+	mIngested      = obs.Default().Counter("core_ingested_total")
+	mTriggerEvals  = obs.Default().Counter("core_trigger_evals_total")
+	mTriggerUs     = obs.Default().Histogram("core_trigger_eval_us")
+	mNotified      = obs.Default().Counter("core_notifications_total")
+	mNotifyUs      = obs.Default().Histogram("core_notify_us")
+	mQueueDepth    = obs.Default().Gauge("core_notify_queue_depth")
+	mNotifyWorkers = obs.Default().Gauge("core_notify_workers")
+	mNotifyDrops   = obs.Default().Counter("core_notify_drops_total")
 )
+
+// queueFor maps a subscription to its notification queue: FNV-1a over
+// the subscription ID, so one subscription's dispatches always land on
+// the same worker (per-subscription order) while distinct
+// subscriptions spread across the set.
+func (s *Service) queueFor(subID string) chan dispatch {
+	if len(s.notifyQs) == 1 {
+		return s.notifyQs[0]
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(subID); i++ {
+		h = (h ^ uint32(subID[i])) * 16777619
+	}
+	return s.notifyQs[h%uint32(len(s.notifyQs))]
+}
+
+// notifyDepth sums the queued dispatches across every worker queue.
+func (s *Service) notifyDepth() int {
+	d := 0
+	for _, q := range s.notifyQs {
+		d += len(q)
+	}
+	return d
+}
 
 // deliver runs one queued notification handler, accounting queue wait
 // plus handler time to the notify stage.
@@ -336,21 +404,23 @@ func (s *Service) deliver(d dispatch) {
 	d.fn(d.n)
 	mNotifyUs.Observe(float64(time.Since(d.enq).Microseconds()))
 	obs.SpanSince(d.n.Trace, "notify", d.enq)
-	mQueueDepth.Set(float64(len(s.notifyCh)))
+	mQueueDepth.Set(float64(s.notifyDepth()))
 }
 
-// notifier delivers notifications off the insert path.
-func (s *Service) notifier() {
-	defer close(s.done)
+// notifier delivers one queue's notifications off the insert path.
+// Each worker owns exactly one queue, so dispatches within a queue —
+// and therefore within a subscription — run strictly in enqueue order.
+func (s *Service) notifier(q chan dispatch) {
+	defer s.notifyWG.Done()
 	for {
 		select {
-		case d := <-s.notifyCh:
+		case d := <-q:
 			s.deliver(d)
 		case <-s.stop:
 			// Drain anything already queued, then exit.
 			for {
 				select {
-				case d := <-s.notifyCh:
+				case d := <-q:
 					s.deliver(d)
 				default:
 					return
@@ -360,7 +430,7 @@ func (s *Service) notifier() {
 	}
 }
 
-// Close stops the notifier goroutine and waits for it to exit.
+// Close stops the notifier workers and waits for them to exit.
 func (s *Service) Close() {
 	s.mu.Lock()
 	select {
@@ -371,7 +441,7 @@ func (s *Service) Close() {
 		close(s.stop)
 	}
 	s.mu.Unlock()
-	<-s.done
+	s.notifyWG.Wait()
 	if s.pool != nil {
 		s.pool.close()
 	}
@@ -641,6 +711,12 @@ func (s *Service) probInRect(objectID string, rect geom.Rect) (float64, fusion.B
 // ObjectsInRegion answers "who is in room R?" (§1.1's region-based
 // location): every mobile object whose probability of being in the
 // region reaches minProb, with the probabilities.
+//
+// The scan is sublinear in total object count: candidates come from
+// the per-shard support R-trees instead of iterating every mobile
+// object, and each candidate is gated on its live reading support — an
+// object none of whose readings touch the region contributes nothing
+// (the support-gated semantics, DESIGN.md §17).
 func (s *Service) ObjectsInRegion(region glob.GLOB, minProb float64) (map[string]float64, error) {
 	rect, err := s.db.ResolveGLOB(region)
 	if err != nil {
@@ -652,15 +728,31 @@ func (s *Service) ObjectsInRegion(region glob.GLOB, minProb float64) (map[string
 	// it fuses, so concurrent per-floor ingest proceeds unimpeded.
 	snap := s.db.Snapshot()
 	defer snap.Close()
-	now := s.now()
-	ids := snap.MobileObjects()
+	return s.objectsInRegionOn(snap, rect, minProb, s.now(), true), nil
+}
+
+// objectsInRegionOn runs the region scan against one snapshot.
+// prefilter selects the candidate source — the support R-tree
+// pre-filter, or the exhaustive all-objects scan the equivalence tests
+// compare against; both apply the identical live-support gate.
+func (s *Service) objectsInRegionOn(snap *spatialdb.Snapshot, rect geom.Rect, minProb float64, now time.Time, prefilter bool) map[string]float64 {
+	var ids []string
+	if prefilter {
+		cands := snap.SupportCandidates(rect)
+		ids = make([]string, len(cands))
+		for i, c := range cands {
+			ids[i] = c.ID
+		}
+	} else {
+		ids = snap.MobileObjects()
+	}
 	// Results land in index-addressed slots, so the merge below is
 	// deterministic no matter which worker finishes first.
 	probs := make([]float64, len(ids))
 	hit := make([]bool, len(ids))
 	eval := func(i int) {
 		readings := s.fusionStateSnap(snap, ids[i], now)
-		if len(readings) == 0 {
+		if _, ok := liveSupport(readings, rect); !ok {
 			return
 		}
 		p := fusion.ProbRegion(snap.Universe(), readings, rect)
@@ -681,7 +773,7 @@ func (s *Service) ObjectsInRegion(region glob.GLOB, minProb float64) (map[string
 			out[id] = probs[i]
 		}
 	}
-	return out, nil
+	return out
 }
 
 // Subscribe registers a region-based notification (§4.3) and returns
@@ -796,11 +888,14 @@ func (s *Service) evalTrigger(sub *subscription, ev spatialdb.TriggerEvent, snap
 	}
 	evalDone()
 	select {
-	case s.notifyCh <- dispatch{fn: sub.spec.Handler, n: n, enq: time.Now()}:
+	case s.queueFor(sub.id) <- dispatch{fn: sub.spec.Handler, n: n, enq: time.Now()}:
 		s.notified.Add(1)
 		mNotified.Inc()
-		mQueueDepth.Set(float64(len(s.notifyCh)))
+		mQueueDepth.Set(float64(s.notifyDepth()))
 	case <-s.stop:
+		// The service is shutting down: the notification is dropped
+		// rather than enqueued behind a stopped worker set.
+		mNotifyDrops.Inc()
 	}
 }
 
@@ -875,8 +970,8 @@ func (s *Service) Health() Health {
 		Notifications: s.notified.Load(),
 		Subscriptions: s.Subscriptions(),
 		Sensors:       len(s.db.Sensors()),
-		QueueDepth:    len(s.notifyCh),
-		QueueCap:      cap(s.notifyCh),
+		QueueDepth:    s.notifyDepth(),
+		QueueCap:      s.notifyWorkers * cap(s.notifyQs[0]),
 	}
 	select {
 	case <-s.stop:

@@ -2,15 +2,27 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"middlewhere/internal/fusion"
 	"middlewhere/internal/geom"
 	"middlewhere/internal/glob"
 	"middlewhere/internal/obs"
+	"middlewhere/internal/spatialdb"
 )
 
-var mHeatmapUs = obs.Default().Histogram("core_heatmap_us")
+// Heatmap metrics. The histogram observes every call — error and
+// empty-region paths included — so latency percentiles never silently
+// exclude the cheap exits. candidates/culled expose the support
+// pre-filter's selectivity: candidates counts objects the per-shard
+// support R-trees returned for inspection, culled the subset rejected
+// by the live-support gate before any grid fusion ran.
+var (
+	mHeatmapUs      = obs.Default().Histogram("core_heatmap_us")
+	mHeatCandidates = obs.Default().Counter("core_heatmap_candidates")
+	mHeatCulled     = obs.Default().Counter("core_heatmap_culled")
+)
 
 // Heatmap is a crowd-density grid over a region: Cells[r][c] is the
 // expected number of people in that cell — the sum over every mobile
@@ -50,6 +62,15 @@ func (h *Heatmap) Peak() (row, col int, density float64) {
 	return
 }
 
+// objGrid is one object's contribution to the heatmap: a clipped
+// rasterization covering only the cell window [r0,r1]x[c0,c1] its
+// support touches, so memory and fusion work scale with the support's
+// footprint, not the whole grid.
+type objGrid struct {
+	cells          []float64
+	r0, c0, r1, c1 int
+}
+
 // OccupancyHeatmap answers the crowd-monitoring query "how many people
 // are where in region R?": the region is split into a rows×cols grid
 // and every mobile object's fused location probability is integrated
@@ -57,13 +78,25 @@ func (h *Heatmap) Peak() (row, col int, density float64) {
 // city-scale analogue of §1.1's "who is in room R?", aggregated
 // instead of enumerated).
 //
+// The scan is sublinear in the total object count: candidates come
+// from the per-shard support R-trees (Snapshot.SupportCandidates)
+// instead of iterating every mobile object, each candidate is gated on
+// its live reading support, and rasterization is clipped to the cells
+// that support actually touches (DESIGN.md §17). An object whose
+// readings place no rectangle over the region contributes nothing —
+// the support-gate semantics that makes the pre-filter exact.
+//
 // The whole scan is pinned to one database snapshot, so the map is a
 // consistent cut: each object is evaluated against the same set of
 // completed insert batches, and grid fusion holds no table locks.
-// Objects fan out across the service's worker pool exactly like
+// Candidates fan out across the service's worker pool exactly like
 // ObjectsInRegion; per-object results land in index-addressed slots,
 // so the merged grid is deterministic.
 func (s *Service) OccupancyHeatmap(region glob.GLOB, rows, cols int) (*Heatmap, error) {
+	start := time.Now()
+	defer func() {
+		mHeatmapUs.Observe(float64(time.Since(start).Microseconds()))
+	}()
 	if rows <= 0 || cols <= 0 {
 		return nil, fmt.Errorf("heatmap: non-positive grid %dx%d", rows, cols)
 	}
@@ -71,37 +104,52 @@ func (s *Service) OccupancyHeatmap(region glob.GLOB, rows, cols int) (*Heatmap, 
 	if err != nil {
 		return nil, fmt.Errorf("heatmap: %w", err)
 	}
-	start := time.Now()
 	snap := s.db.Snapshot()
 	defer snap.Close()
-	now := s.now()
-	ids := snap.MobileObjects()
+	return s.heatmapOn(snap, rect, rows, cols, s.now(), true), nil
+}
 
-	cellW := (rect.Max.X - rect.Min.X) / float64(cols)
-	cellH := (rect.Max.Y - rect.Min.Y) / float64(rows)
-	grids := make([][]float64, len(ids)) // per-object flat grid, index-addressed
+// heatmapOn computes the occupancy grid over rect against one
+// snapshot. prefilter selects the candidate source: the support R-tree
+// pre-filter (production), or an exhaustive scan of every mobile
+// object (the reference the equivalence tests compare against — both
+// paths apply the same live-support gate, so they must produce
+// cell-identical grids).
+func (s *Service) heatmapOn(snap *spatialdb.Snapshot, rect geom.Rect, rows, cols int, now time.Time, prefilter bool) *Heatmap {
+	h := &Heatmap{Region: rect, Rows: rows, Cols: cols, At: now}
+	h.Cells = make([][]float64, rows)
+	for r := range h.Cells {
+		h.Cells[r] = make([]float64, cols)
+	}
+	if rect.Area() <= 0 {
+		// Degenerate region: every cell has zero area, so no object
+		// can deposit mass (ProbRegion of a zero-area cell is 0).
+		return h
+	}
+
+	var ids []string
+	if prefilter {
+		cands := snap.SupportCandidates(rect)
+		ids = make([]string, len(cands))
+		for i, c := range cands {
+			ids[i] = c.ID
+		}
+	} else {
+		ids = snap.MobileObjects()
+	}
+	mHeatCandidates.Add(uint64(len(ids)))
+
+	cellW := rect.Width() / float64(cols)
+	cellH := rect.Height() / float64(rows)
+	grids := make([]objGrid, len(ids)) // index-addressed, deterministic merge
+	var culled int
 	eval := func(i int) {
 		readings := s.fusionStateSnap(snap, ids[i], now)
-		if len(readings) == 0 {
+		sup, ok := liveSupport(readings, rect)
+		if !ok {
 			return
 		}
-		// Cheap cull: an object with no mass in the whole region
-		// contributes nothing to any cell.
-		if fusion.ProbRegion(snap.Universe(), readings, rect) <= 0 {
-			return
-		}
-		g := make([]float64, rows*cols)
-		for r := 0; r < rows; r++ {
-			for c := 0; c < cols; c++ {
-				cell := geom.R(
-					rect.Min.X+float64(c)*cellW,
-					rect.Min.Y+float64(r)*cellH,
-					rect.Min.X+float64(c+1)*cellW,
-					rect.Min.Y+float64(r+1)*cellH,
-				)
-				g[r*cols+c] = fusion.ProbRegion(snap.Universe(), readings, cell)
-			}
-		}
+		g := rasterizeClipped(snap.Universe(), readings, sup, rect, rows, cols, cellW, cellH)
 		grids[i] = g
 	}
 	if s.pool != nil && len(ids) >= parallelFanThreshold {
@@ -112,22 +160,77 @@ func (s *Service) OccupancyHeatmap(region glob.GLOB, rows, cols int) (*Heatmap, 
 		}
 	}
 
-	h := &Heatmap{Region: rect, Rows: rows, Cols: cols, At: now}
-	h.Cells = make([][]float64, rows)
-	for r := range h.Cells {
-		h.Cells[r] = make([]float64, cols)
-	}
 	for _, g := range grids {
-		if g == nil {
+		if g.cells == nil {
+			culled++
 			continue
 		}
 		h.Objects++
-		for r := 0; r < rows; r++ {
-			for c := 0; c < cols; c++ {
-				h.Cells[r][c] += g[r*cols+c]
+		w := g.c1 - g.c0 + 1
+		for r := g.r0; r <= g.r1; r++ {
+			for c := g.c0; c <= g.c1; c++ {
+				h.Cells[r][c] += g.cells[(r-g.r0)*w+(c-g.c0)]
 			}
 		}
 	}
-	mHeatmapUs.Observe(float64(time.Since(start).Microseconds()))
-	return h, nil
+	mHeatCulled.Add(uint64(culled))
+	return h
+}
+
+// liveSupport computes the bounding box of the object's live
+// (TTL-filtered) fusion readings and gates it against the queried
+// region: ok is false when the object has no readings or its support
+// does not touch the region — the object contributes no mass under the
+// support-gated semantics.
+func liveSupport(readings []fusion.Reading, rect geom.Rect) (geom.Rect, bool) {
+	sup, ok := fusion.SupportBounds(readings)
+	if !ok || !sup.Intersects(rect) {
+		return geom.Rect{}, false
+	}
+	return sup, true
+}
+
+// rasterizeClipped integrates one object's probability mass into the
+// grid cells its support touches. The cell window is derived from the
+// support clipped to the region, widened by one cell so boundary
+// contact (Intersects includes it) is never missed, then each cell in
+// the window is tested exactly — cells outside the support stay zero,
+// which keeps clipped and full-grid rasterization cell-identical.
+// When the support fits a single cell the window degenerates to that
+// cell and the whole rasterization is one ProbRegion call.
+func rasterizeClipped(universe geom.Rect, readings []fusion.Reading, sup, rect geom.Rect, rows, cols int, cellW, cellH float64) objGrid {
+	sw, _ := sup.Intersect(rect)
+	c0 := clampCell(int(math.Floor((sw.Min.X-rect.Min.X)/cellW))-1, cols)
+	c1 := clampCell(int(math.Floor((sw.Max.X-rect.Min.X)/cellW))+1, cols)
+	r0 := clampCell(int(math.Floor((sw.Min.Y-rect.Min.Y)/cellH))-1, rows)
+	r1 := clampCell(int(math.Floor((sw.Max.Y-rect.Min.Y)/cellH))+1, rows)
+	g := objGrid{r0: r0, c0: c0, r1: r1, c1: c1}
+	w := c1 - c0 + 1
+	g.cells = make([]float64, (r1-r0+1)*w)
+	for r := r0; r <= r1; r++ {
+		for c := c0; c <= c1; c++ {
+			cell := geom.R(
+				rect.Min.X+float64(c)*cellW,
+				rect.Min.Y+float64(r)*cellH,
+				rect.Min.X+float64(c+1)*cellW,
+				rect.Min.Y+float64(r+1)*cellH,
+			)
+			if !cell.Intersects(sup) {
+				continue
+			}
+			g.cells[(r-r0)*w+(c-c0)] = fusion.ProbRegion(universe, readings, cell)
+		}
+	}
+	return g
+}
+
+// clampCell clamps a cell index to [0, n-1].
+func clampCell(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
 }

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"middlewhere/internal/building"
+	"middlewhere/internal/glob"
+	"middlewhere/internal/model"
+	"middlewhere/internal/obs"
+)
+
+// newShardedNotifyService builds a paper-floor service with an
+// explicit notify-worker count.
+func newShardedNotifyService(t *testing.T, workers int) (*Service, *testClock) {
+	t.Helper()
+	clock := &testClock{now: t0}
+	s, err := New(building.PaperFloor(), WithClock(clock.Now), WithNotifyWorkers(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ubi := model.UbisenseSpec(0.9)
+	ubi.TTL = time.Minute
+	if err := s.RegisterSensor("ubi-1", ubi); err != nil {
+		t.Fatal(err)
+	}
+	return s, clock
+}
+
+// TestNotifierShardedPreservesPerSubscriptionOrder is the sharded
+// notifier's ordering contract: with several workers draining hashed
+// queues, the notifications of any ONE subscription must still arrive
+// in the order their triggering readings were evaluated — a
+// subscription always hashes to the same queue. Global interleaving
+// across subscriptions is unconstrained.
+func TestNotifierShardedPreservesPerSubscriptionOrder(t *testing.T) {
+	s, _ := newShardedNotifyService(t, 4)
+	if s.notifyWorkers != 4 || len(s.notifyQs) != 4 {
+		t.Fatalf("workers = %d queues = %d, want 4", s.notifyWorkers, len(s.notifyQs))
+	}
+
+	const subs = 8
+	const steps = 40
+	type rec struct {
+		mu  sync.Mutex
+		ats []time.Time
+	}
+	recs := make([]rec, subs)
+	var wg sync.WaitGroup
+	wg.Add(subs * steps)
+	for i := 0; i < subs; i++ {
+		i := i
+		_, err := s.Subscribe(Subscription{
+			Region:       glob.MustParse("CS/Floor3/NetLab"),
+			EveryReading: true,
+			Handler: func(n Notification) {
+				recs[i].mu.Lock()
+				recs[i].ats = append(recs[i].ats, n.At)
+				recs[i].mu.Unlock()
+				wg.Done()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for j := 0; j < steps; j++ {
+		ingestAt(t, s, "ubi-1", "walker", 370, 15, t0.Add(time.Duration(j)*time.Second))
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("notifications did not all arrive")
+	}
+	for i := range recs {
+		recs[i].mu.Lock()
+		if len(recs[i].ats) != steps {
+			t.Fatalf("sub %d received %d notifications, want %d", i, len(recs[i].ats), steps)
+		}
+		for j := 1; j < len(recs[i].ats); j++ {
+			if recs[i].ats[j].Before(recs[i].ats[j-1]) {
+				t.Fatalf("sub %d: notification %d (at %v) arrived before %d (at %v)",
+					i, j, recs[i].ats[j], j-1, recs[i].ats[j-1])
+			}
+		}
+		recs[i].mu.Unlock()
+	}
+}
+
+// TestNotifierQueueHashStable pins what the ordering contract rests
+// on: a subscription ID always hashes to the same queue.
+func TestNotifierQueueHashStable(t *testing.T) {
+	s, _ := newShardedNotifyService(t, 4)
+	spread := make(map[int]bool)
+	for i := 0; i < 64; i++ {
+		id := fmt.Sprintf("sub-%d", i)
+		q := s.queueFor(id)
+		for rep := 0; rep < 3; rep++ {
+			if s.queueFor(id) != q {
+				t.Fatalf("queueFor(%q) unstable", id)
+			}
+		}
+		for qi := range s.notifyQs {
+			if s.notifyQs[qi] == q {
+				spread[qi] = true
+			}
+		}
+	}
+	if len(spread) < 2 {
+		t.Errorf("64 subscription IDs all hashed to %d queue(s), want spread", len(spread))
+	}
+}
+
+// TestNotifierSingleWorkerConfig checks WithNotifyWorkers(1) restores
+// the single-queue behavior and that Health aggregates queue capacity
+// across the worker set.
+func TestNotifierSingleWorkerConfig(t *testing.T) {
+	s, _ := newShardedNotifyService(t, 1)
+	if len(s.notifyQs) != 1 {
+		t.Fatalf("queues = %d, want 1", len(s.notifyQs))
+	}
+	h := s.Health()
+	if h.QueueCap != cap(s.notifyQs[0]) {
+		t.Errorf("health queue cap = %d, want %d", h.QueueCap, cap(s.notifyQs[0]))
+	}
+
+	s4, _ := newShardedNotifyService(t, 4)
+	h4 := s4.Health()
+	if want := 4 * cap(s4.notifyQs[0]); h4.QueueCap != want {
+		t.Errorf("sharded health queue cap = %d, want %d", h4.QueueCap, want)
+	}
+}
+
+// TestCoreMetricNamesStable pins the core-layer registry names that
+// mwctl stats and the dashboards read: the heatmap latency histogram
+// (observed on success, error, and empty paths alike), the pre-filter
+// selectivity counters, and the sharded-notifier gauges.
+func TestCoreMetricNamesStable(t *testing.T) {
+	s, _ := newTestService(t)
+	ingestAt(t, s, "ubi-1", "walker", 370, 15, t0)
+	if _, err := s.OccupancyHeatmap(glob.MustParse("CS/Floor3"), 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	// The error path must be observed too.
+	errBefore := obs.Default().Histogram("core_heatmap_us").Count()
+	if _, err := s.OccupancyHeatmap(glob.MustParse("CS/Floor3"), 0, 2); err == nil {
+		t.Fatal("rows=0 accepted")
+	}
+	if after := obs.Default().Histogram("core_heatmap_us").Count(); after != errBefore+1 {
+		t.Errorf("core_heatmap_us count %d -> %d across an error call, want +1", errBefore, after)
+	}
+
+	snap := obs.Default().Snapshot()
+	names := make(map[string]bool)
+	for _, c := range snap.Counters {
+		names[c.Name] = true
+	}
+	for _, g := range snap.Gauges {
+		names[g.Name] = true
+	}
+	for _, h := range snap.Histograms {
+		names[h.Name] = true
+	}
+	for _, want := range []string{
+		"core_heatmap_us",
+		"core_heatmap_candidates",
+		"core_heatmap_culled",
+		"core_notify_workers",
+		"core_notify_queue_depth",
+		"core_notify_drops_total",
+	} {
+		if !names[want] {
+			t.Errorf("registry missing %q", want)
+		}
+	}
+	if obs.Default().Counter("core_heatmap_candidates").Value() == 0 {
+		t.Error("core_heatmap_candidates never moved")
+	}
+}

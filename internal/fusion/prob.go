@@ -119,6 +119,25 @@ func ProbRegion(universe geom.Rect, readings []Reading, region geom.Rect) float6
 	return 1 / (1 + math.Exp(d))
 }
 
+// SupportBounds returns the bounding box of the readings' rectangles —
+// the object's fusion support. Under the support-gated aggregate query
+// semantics (DESIGN.md §17) an object contributes occupancy mass only
+// where this box intersects the queried region: outside it every
+// reading's evidence is pure false-report noise (q_i), which the
+// aggregate queries define as zero contribution so that the per-shard
+// support index can answer "who might be here?" exactly. ok is false
+// when there are no readings.
+func SupportBounds(readings []Reading) (geom.Rect, bool) {
+	if len(readings) == 0 {
+		return geom.Rect{}, false
+	}
+	u := readings[0].Rect
+	for _, rd := range readings[1:] {
+		u = u.Union(rd.Rect)
+	}
+	return u, true
+}
+
 // ProbRegionPrinted evaluates the paper's Eq. 7 exactly as printed:
 //
 //	     Π_i [p_i·aInt + q_i·(aR − aInt)]

@@ -348,6 +348,36 @@ func (t *Tree) SearchIntersect(q geom.Rect) []Item {
 	return out
 }
 
+// SearchIntersectFunc calls fn for every entry whose rectangle
+// intersects q (boundary contact included), in no particular order,
+// without allocating a result slice. fn returning false stops the
+// search early. It is the hot-path form of SearchIntersect: the
+// candidate pre-filter runs it once per region query, so the result
+// slice would otherwise be the query's dominant allocation.
+func (t *Tree) SearchIntersectFunc(q geom.Rect, fn func(r geom.Rect, id string) bool) {
+	if t.root == nil {
+		return
+	}
+	var walk func(n *node) bool
+	walk = func(n *node) bool {
+		t.visits.Add(1)
+		for _, e := range n.entries {
+			if !e.rect.Intersects(q) {
+				continue
+			}
+			if n.leaf {
+				if !fn(e.rect, e.id) {
+					return false
+				}
+			} else if !walk(e.child) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(t.root)
+}
+
 // SearchContained returns all entries fully contained in q.
 func (t *Tree) SearchContained(q geom.Rect) []Item {
 	var out []Item

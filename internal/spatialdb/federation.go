@@ -123,6 +123,7 @@ func (db *DB) ImportObject(id string, rows []model.Reading, epoch uint64) bool {
 		}
 		t.rows[id] = merged
 		t.owned[id] = true
+		t.resetSupport(id, merged)
 		next := cur
 		if epoch > next {
 			next = epoch
@@ -200,6 +201,7 @@ func (db *DB) DropObject(id string, ifEpoch uint64) bool {
 		delete(t.rows, id)
 		delete(t.owned, id)
 		delete(t.epochs, id)
+		t.resetSupport(id, nil)
 		sh.writeEpoch.Add(1)
 		db.residence.Delete(id)
 		sh.readMu.Unlock()

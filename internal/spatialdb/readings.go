@@ -172,6 +172,11 @@ func (db *DB) placeObject(id string, to *shard) {
 		tt.rows[id] = rows
 		delete(tf.rows, id)
 		delete(tf.owned, id)
+		// The support entry migrates with the rows: exact on the
+		// destination (recomputed from the moved rows), removed from
+		// the source.
+		tf.resetSupport(id, nil)
+		tt.resetSupport(id, rows)
 	}
 	tt.epochs[id] = tf.epochs[id] + 1
 	delete(tf.epochs, id)
@@ -352,21 +357,29 @@ func (db *DB) InsertReadings(rs []model.Reading, dispatch FiringDispatcher) (int
 			// Bound per-object storage: long-TTL sensors (desktop
 			// sessions, biometric long readings) must not accumulate
 			// without limit. The newest rows win; fusion only consumes
-			// the latest row per sensor anyway. Trimming rewrites the
-			// slice, so a backing array inherited from a frozen
-			// snapshot table must be replaced, not reused — in-place
-			// reuse is safe only for slices this table instance owns.
+			// the latest row per sensor anyway. An owned slice trims as
+			// a ring buffer: re-slicing off the head is O(1) and the
+			// append below reuses the backing array's spare capacity,
+			// re-basing (one O(cap) copy) only every ~cap inserts — so
+			// steady-state trim at the cap is O(1) amortized instead of
+			// an O(cap) copy per insert. A backing array inherited from
+			// a frozen snapshot table must never be re-sliced or
+			// rewritten; it is replaced with a fresh 2x-cap array once,
+			// after which the object is owned and rides the ring.
 			if len(rows) >= maxReadingsPerObject {
 				keep := rows[len(rows)-maxReadingsPerObject+1:]
 				if t.owned[r.MObjectID] {
-					rows = append(rows[:0], keep...)
+					rows = keep
 				} else {
-					rows = append(make([]model.Reading, 0, maxReadingsPerObject), keep...)
+					rows = append(make([]model.Reading, 0, 2*maxReadingsPerObject), keep...)
 					t.owned[r.MObjectID] = true
 				}
 			}
 			t.rows[r.MObjectID] = append(rows, *r)
 			t.epochs[r.MObjectID]++
+			// Insert keeps the support index a conservative superset:
+			// union-only growth here, exact recompute on prune/expiry.
+			t.growSupport(r.MObjectID, r.Region)
 		}
 		sh.writeEpoch.Add(1)
 		sh.readMu.Unlock()
@@ -545,6 +558,9 @@ func (db *DB) ReadingsFor(mobjectID string, now time.Time) []model.Reading {
 			t.rows[mobjectID] = append([]model.Reading(nil), live...)
 			t.owned[mobjectID] = true
 		}
+		// Pruning is where the conservative support rect snaps back to
+		// exact: recompute it from the surviving rows.
+		t.resetSupport(mobjectID, t.rows[mobjectID])
 		sh.readMu.Unlock()
 		db.endBatch(sh)
 		return live
@@ -640,6 +656,7 @@ func (db *DB) ExpireReadings(now time.Time, match func(model.Reading) bool) {
 					t.rows[c.id] = c.live
 					t.owned[c.id] = true
 				}
+				t.resetSupport(c.id, c.live)
 				if c.forced {
 					t.epochs[c.id]++
 				}

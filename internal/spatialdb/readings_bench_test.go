@@ -1,0 +1,46 @@
+package spatialdb
+
+import (
+	"testing"
+	"time"
+
+	"middlewhere/internal/geom"
+	"middlewhere/internal/glob"
+	"middlewhere/internal/model"
+)
+
+// BenchmarkInsertReadingAtCap measures the steady-state ingest cost
+// for an object already holding maxReadingsPerObject rows, where every
+// insert trims the oldest row. The ring-buffer trim makes this an O(1)
+// amortized reslice-and-append (one array re-base per ~cap inserts)
+// instead of the old copy-everything-every-insert behavior.
+func BenchmarkInsertReadingAtCap(b *testing.B) {
+	tb := testing.TB(b)
+	db := multiFloorDB(tb, 1)
+	spec := longSpec()
+	if err := db.RegisterSensor("s1", spec); err != nil {
+		b.Fatal(err)
+	}
+	at := t0
+	mk := func(i int) model.Reading {
+		return model.Reading{
+			SensorID:  "s1",
+			MObjectID: "cap",
+			Location: glob.CoordinatePoint(glob.MustParse("CS/Floor1"),
+				geom.Pt(float64(i%400), 10)),
+			Time: at.Add(time.Duration(i) * time.Millisecond),
+		}
+	}
+	for i := 0; i < maxReadingsPerObject; i++ {
+		if err := db.InsertReading(mk(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.InsertReading(mk(maxReadingsPerObject + i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

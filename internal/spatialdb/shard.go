@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"middlewhere/internal/geom"
 	"middlewhere/internal/glob"
 	"middlewhere/internal/model"
 	"middlewhere/internal/obs"
@@ -108,14 +109,76 @@ type readTable struct {
 	// inherited from a cloned (frozen) table must be replaced, not
 	// rewritten.
 	owned map[string]bool
+
+	// support indexes, per object, a rectangle guaranteed to contain
+	// the bounding box of the object's live (TTL-filtered) readings —
+	// the candidate pre-filter for region-shaped queries (DESIGN.md
+	// §17). supRect mirrors the indexed rectangle so maintenance can
+	// Delete the exact prior entry. The rect is a conservative
+	// superset: inserts only union it wider (growSupport); prune,
+	// expiry, migration, and federation recompute it exactly
+	// (resetSupport). The tree rides the table's copy-on-write
+	// lifecycle via rtree.Clone, so a frozen snapshot's tree is never
+	// structurally mutated.
+	support *rtree.Tree
+	supRect map[string]geom.Rect
 }
 
 func newReadTable() *readTable {
 	return &readTable{
-		rows:   make(map[string][]model.Reading),
-		epochs: make(map[string]uint64),
-		owned:  make(map[string]bool),
+		rows:    make(map[string][]model.Reading),
+		epochs:  make(map[string]uint64),
+		owned:   make(map[string]bool),
+		support: rtree.New(),
+		supRect: make(map[string]geom.Rect),
 	}
+}
+
+// growSupport widens the object's indexed support rectangle to cover r.
+// Caller holds the shard's readMu exclusively on a mutable table. The
+// steady-state case — a reading inside the already-indexed box — is a
+// map lookup and a containment check, with no tree mutation at all.
+func (t *readTable) growSupport(id string, r geom.Rect) {
+	cur, ok := t.supRect[id]
+	if !ok {
+		t.support.Insert(r, id)
+		t.supRect[id] = r
+		return
+	}
+	if cur.ContainsRect(r) {
+		return
+	}
+	u := cur.Union(r)
+	t.support.Delete(cur, id)
+	t.support.Insert(u, id)
+	t.supRect[id] = u
+}
+
+// resetSupport recomputes the object's support entry exactly from rows
+// (the bounding box of every stored row's region); empty rows remove
+// the entry. Caller holds the shard's readMu exclusively on a mutable
+// table.
+func (t *readTable) resetSupport(id string, rows []model.Reading) {
+	cur, had := t.supRect[id]
+	if len(rows) == 0 {
+		if had {
+			t.support.Delete(cur, id)
+			delete(t.supRect, id)
+		}
+		return
+	}
+	u := rows[0].Region
+	for _, r := range rows[1:] {
+		u = u.Union(r.Region)
+	}
+	if had {
+		if u.Eq(cur) {
+			return
+		}
+		t.support.Delete(cur, id)
+	}
+	t.support.Insert(u, id)
+	t.supRect[id] = u
 }
 
 // shard is one floor's slice of the database: its own object table and
@@ -185,12 +248,19 @@ func (sh *shard) mutableTable() *readTable {
 		rows:   make(map[string][]model.Reading, len(old.rows)),
 		epochs: make(map[string]uint64, len(old.epochs)),
 		owned:  make(map[string]bool),
+		// O(1) copy-on-write: the clone shares nodes with the frozen
+		// tree and deep-copies only on its first actual mutation.
+		support: old.support.Clone(),
+		supRect: make(map[string]geom.Rect, len(old.supRect)),
 	}
 	for k, v := range old.rows {
 		nt.rows[k] = v
 	}
 	for k, v := range old.epochs {
 		nt.epochs[k] = v
+	}
+	for k, v := range old.supRect {
+		nt.supRect[k] = v
 	}
 	sh.table.Store(nt)
 	sh.readFrozen.Store(false)
@@ -326,6 +396,9 @@ type ShardStat struct {
 	Readings int `json:"readings"`
 	// RTreeNodes is the object R-tree's entry count.
 	RTreeNodes int `json:"rtree_nodes"`
+	// SupportRects is the reading-support R-tree's entry count (one
+	// per mobile object homed here) — the candidate pre-filter index.
+	SupportRects int `json:"support_rects"`
 	// Epoch is the shard's write epoch (mutation batches applied).
 	Epoch uint64 `json:"epoch"`
 	// Inserts counts readings stored since the database was created.
@@ -351,6 +424,7 @@ func (db *DB) ShardStats() []ShardStat {
 		sh.readMu.RLock()
 		t := sh.table.Load()
 		st.MobileObjects = len(t.rows)
+		st.SupportRects = t.support.Len()
 		for _, rows := range t.rows {
 			st.Readings += len(rows)
 		}

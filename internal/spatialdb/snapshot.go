@@ -3,6 +3,7 @@ package spatialdb
 import (
 	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -51,6 +52,13 @@ type Snapshot struct {
 	// only gates the live-handle gauge — the data is GC-managed and
 	// stays valid for any holder regardless.
 	refs atomic.Int32
+
+	// objOnce/objIDs lazily memoize MobileObjects: the snapshot is
+	// immutable, so the sorted ID list is computed once and shared by
+	// every consumer (heatmap, region scans, triggers) for the pooled
+	// snapshot's whole lifetime.
+	objOnce sync.Once
+	objIDs  []string
 }
 
 // Close releases a snapshot handle obtained from DB.Snapshot. Safe on
@@ -300,14 +308,54 @@ func (s *Snapshot) LatestPerSensor(mobjectID string, now time.Time) []model.Read
 }
 
 // MobileObjects returns the IDs of all objects with stored readings at
-// the cut, sorted.
+// the cut, sorted. The list is computed once per snapshot and shared:
+// callers must not mutate it.
 func (s *Snapshot) MobileObjects() []string {
-	var out []string
-	for i := range s.shards {
-		for id := range s.shards[i].table.rows {
-			out = append(out, id)
+	s.objOnce.Do(func() {
+		n := 0
+		for i := range s.shards {
+			n += len(s.shards[i].table.rows)
 		}
+		out := make([]string, 0, n)
+		for i := range s.shards {
+			for id := range s.shards[i].table.rows {
+				out = append(out, id)
+			}
+		}
+		sort.Strings(out)
+		s.objIDs = out
+	})
+	return s.objIDs
+}
+
+// Candidate is one support-index hit: a mobile object whose indexed
+// support rectangle intersects a queried region. Support is the
+// indexed rectangle — a conservative superset of the bounding box of
+// the object's live readings at the cut (see readTable.support).
+type Candidate struct {
+	ID      string
+	Support geom.Rect
+}
+
+// SupportCandidates returns every mobile object whose support
+// rectangle intersects region at the cut, sorted by ID. This is the
+// region-query pre-filter: an object NOT returned is guaranteed to
+// have no reading rectangle intersecting region, so support-gated
+// aggregate queries (occupancy heatmaps, ObjectsInRegion) can skip it
+// without changing their result. Objects returned are candidates only
+// — the caller still gates on the live (TTL-filtered) support. The
+// search runs lock-free on the frozen per-shard support R-trees; cost
+// is O(log n + hits) per shard rather than O(all objects).
+func (s *Snapshot) SupportCandidates(region geom.Rect) []Candidate {
+	var out []Candidate
+	for i := range s.shards {
+		s.shards[i].table.support.SearchIntersectFunc(region, func(r geom.Rect, id string) bool {
+			out = append(out, Candidate{ID: id, Support: r})
+			return true
+		})
 	}
-	sort.Strings(out)
+	// An object's rows live in exactly one shard at any cut, so IDs
+	// are unique; sort for a deterministic fan-out and merge order.
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }

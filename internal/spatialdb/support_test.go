@@ -1,0 +1,326 @@
+package spatialdb
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"middlewhere/internal/geom"
+	"middlewhere/internal/glob"
+	"middlewhere/internal/model"
+)
+
+// checkSupportInvariant asserts the support-index contract on every
+// shard table (DESIGN.md §17): one R-tree entry per object with stored
+// rows, the cached supRect mirrors the tree entry, and the rect is a
+// conservative superset of the bounding box of the object's stored
+// reading regions. Exactness is NOT required — trims keep the old
+// union — but a missing or too-small rect would make SupportCandidates
+// drop gate-passing objects.
+func checkSupportInvariant(t *testing.T, db *DB) {
+	t.Helper()
+	for _, sh := range db.allShards() {
+		tbl := sh.table.Load()
+		if got, want := tbl.support.Len(), len(tbl.supRect); got != want {
+			t.Fatalf("shard %s: support tree has %d entries, supRect has %d", sh.key, got, want)
+		}
+		for id, rows := range tbl.rows {
+			sup, ok := tbl.supRect[id]
+			if len(rows) == 0 {
+				if ok {
+					t.Fatalf("shard %s: %s has no rows but supRect %v", sh.key, id, sup)
+				}
+				continue
+			}
+			if !ok {
+				t.Fatalf("shard %s: %s has %d rows but no support rect", sh.key, id, len(rows))
+			}
+			u := rows[0].Region
+			for _, r := range rows[1:] {
+				u = u.Union(r.Region)
+			}
+			if !sup.ContainsRect(u) {
+				t.Fatalf("shard %s: %s support %v does not cover row bbox %v", sh.key, id, sup, u)
+			}
+			found := false
+			tbl.support.SearchIntersectFunc(sup, func(r geom.Rect, got string) bool {
+				if got == id && r.Eq(sup) {
+					found = true
+					return false
+				}
+				return true
+			})
+			if !found {
+				t.Fatalf("shard %s: %s supRect %v not present in the R-tree", sh.key, id, sup)
+			}
+		}
+		for id := range tbl.supRect {
+			if len(tbl.rows[id]) == 0 {
+				t.Fatalf("shard %s: supRect entry %s has no stored rows", sh.key, id)
+			}
+		}
+	}
+}
+
+// candidateIDs snapshots the database and returns the support
+// candidates for region as a set.
+func candidateIDs(db *DB, region geom.Rect) map[string]bool {
+	snap := db.Snapshot()
+	defer snap.Close()
+	out := map[string]bool{}
+	for _, c := range snap.SupportCandidates(region) {
+		out[c.ID] = true
+	}
+	return out
+}
+
+func TestSupportIndexTracksMutations(t *testing.T) {
+	db := testDB(t)
+	paperFloor(t, db)
+	spec := ubiSpec()
+	spec.TTL = 10 * time.Second
+	if err := db.RegisterSensor("s1", spec); err != nil {
+		t.Fatal(err)
+	}
+	ingest := func(obj string, x, y float64, at time.Time) {
+		t.Helper()
+		err := db.InsertReading(model.Reading{
+			SensorID:  "s1",
+			MObjectID: obj,
+			Location:  glob.CoordinatePoint(glob.MustParse("CS/Floor3"), geom.Pt(x, y)),
+			Time:      at,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Two objects at opposite ends of the floor.
+	ingest("west", 10, 10, t0)
+	ingest("east", 480, 80, t0)
+	checkSupportInvariant(t, db)
+
+	left := candidateIDs(db, geom.R(0, 0, 50, 50))
+	if !left["west"] || left["east"] {
+		t.Fatalf("left-region candidates = %v, want exactly {west}", left)
+	}
+	right := candidateIDs(db, geom.R(450, 50, 500, 100))
+	if right["west"] || !right["east"] {
+		t.Fatalf("right-region candidates = %v, want exactly {east}", right)
+	}
+
+	// A second reading grows the support to the union of both regions.
+	ingest("west", 200, 50, t0.Add(time.Second))
+	checkSupportInvariant(t, db)
+	mid := candidateIDs(db, geom.R(150, 40, 250, 60))
+	if !mid["west"] {
+		t.Fatalf("mid-region candidates = %v, want west after its support grew", mid)
+	}
+
+	// TTL prune (via ReadingsFor) drops the whole object: the support
+	// entry must go with the rows.
+	if rows := db.ReadingsFor("west", t0.Add(time.Hour)); len(rows) != 0 {
+		t.Fatalf("expected all of west's rows expired, got %d", len(rows))
+	}
+	checkSupportInvariant(t, db)
+	if after := candidateIDs(db, geom.R(0, 0, 500, 100)); after["west"] {
+		t.Fatal("west still a candidate after its rows expired")
+	}
+
+	// Matcher-based expiry recomputes the surviving support exactly.
+	ingest("east", 20, 20, t0.Add(2*time.Second))
+	db.ExpireReadings(t0.Add(3*time.Second), func(r model.Reading) bool {
+		// Drop east's original far-corner reading, keep the new one.
+		return r.MObjectID == "east" && r.Time.Equal(t0)
+	})
+	checkSupportInvariant(t, db)
+	if ids := candidateIDs(db, geom.R(450, 50, 500, 100)); ids["east"] {
+		t.Fatal("east still a far-corner candidate after that reading was expired")
+	}
+	if ids := candidateIDs(db, geom.R(0, 0, 50, 50)); !ids["east"] {
+		t.Fatal("east lost its surviving reading's support")
+	}
+}
+
+// TestSupportCandidatesSnapshotIsolation pins the COW contract: a
+// frozen snapshot's candidate set must not change when writers keep
+// mutating the live table — the support R-tree rides the same
+// clone-on-freeze machinery as the reading rows.
+func TestSupportCandidatesSnapshotIsolation(t *testing.T) {
+	db := testDB(t)
+	paperFloor(t, db)
+	if err := db.RegisterSensor("s1", ubiSpec()); err != nil {
+		t.Fatal(err)
+	}
+	ingest := func(obj string, x, y float64, at time.Time) {
+		t.Helper()
+		err := db.InsertReading(model.Reading{
+			SensorID:  "s1",
+			MObjectID: obj,
+			Location:  glob.CoordinatePoint(glob.MustParse("CS/Floor3"), geom.Pt(x, y)),
+			Time:      at,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	ingest("ann", 10, 10, t0)
+
+	snap := db.Snapshot()
+	defer snap.Close()
+
+	// Grow ann's support to the far corner and add a new object after
+	// the cut.
+	ingest("ann", 480, 80, t0.Add(time.Second))
+	ingest("late", 480, 10, t0.Add(time.Second))
+	checkSupportInvariant(t, db)
+
+	far := geom.R(450, 0, 500, 100)
+	old := map[string]bool{}
+	for _, c := range snap.SupportCandidates(far) {
+		old[c.ID] = true
+	}
+	if len(old) != 0 {
+		t.Fatalf("frozen snapshot sees post-cut supports: %v", old)
+	}
+	if now := candidateIDs(db, far); !now["ann"] || !now["late"] {
+		t.Fatalf("fresh snapshot candidates = %v, want {ann, late}", now)
+	}
+}
+
+// TestSupportIndexFollowsFloorMigration moves an object between floor
+// shards and checks the support entry moves with the rows: the old
+// shard forgets it, the new shard's rect covers every surviving row —
+// including the previous floor's regions, so a support can straddle
+// shard boundaries and cross-shard queries still see it.
+func TestSupportIndexFollowsFloorMigration(t *testing.T) {
+	db := multiFloorDB(t, 2)
+	if err := db.RegisterSensor("s1", longSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertReading(floorReading("s1", "mover", 1, 100, 50, t0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertReading(floorReading("s1", "mover", 2, 100, 50, t0.Add(time.Second))); err != nil {
+		t.Fatal(err)
+	}
+	checkSupportInvariant(t, db)
+
+	key, ok := db.ObjectShardKey("mover")
+	if !ok || key != "CS/Floor2" {
+		t.Fatalf("mover resident on %q, want CS/Floor2", key)
+	}
+	for _, sh := range db.allShards() {
+		tbl := sh.table.Load()
+		_, has := tbl.supRect["mover"]
+		if sh.key == "CS/Floor2" && !has {
+			t.Fatal("destination shard has no support entry for mover")
+		}
+		if sh.key == "CS/Floor1" && has {
+			t.Fatal("source shard still indexes mover after migration")
+		}
+	}
+	// The migrated support still covers the floor-1 reading (universe
+	// y in [0,100)), so a floor-1 query finds the straddling object.
+	if ids := candidateIDs(db, geom.R(0, 0, 500, 100)); !ids["mover"] {
+		t.Fatal("floor-1 query lost the migrated object's old-floor support")
+	}
+}
+
+// TestSupportIndexFederationImportDrop drives the cross-daemon
+// migration primitives and checks the index on both sides.
+func TestSupportIndexFederationImportDrop(t *testing.T) {
+	src := multiFloorDB(t, 2)
+	dst := multiFloorDB(t, 2)
+	for _, db := range []*DB{src, dst} {
+		if err := db.RegisterSensor("s1", longSpec()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := src.InsertReading(floorReading("s1", "nomad", 1, 50, 50, t0)); err != nil {
+		t.Fatal(err)
+	}
+	rows, epoch, ok := src.ExportObject("nomad")
+	if !ok {
+		t.Fatal("export failed")
+	}
+	if !dst.ImportObject("nomad", rows, epoch) {
+		t.Fatal("import applied nothing")
+	}
+	checkSupportInvariant(t, dst)
+	if ids := candidateIDs(dst, geom.R(0, 0, 500, 100)); !ids["nomad"] {
+		t.Fatal("imported object not indexed on the destination")
+	}
+	if !src.DropObject("nomad", epoch) {
+		t.Fatal("drop refused")
+	}
+	checkSupportInvariant(t, src)
+	if ids := candidateIDs(src, geom.R(0, 0, 500, 100)); ids["nomad"] {
+		t.Fatal("dropped object still indexed on the source")
+	}
+}
+
+// TestSupportSurvivesRingTrim fills an object past the per-object row
+// cap: the ring-buffer trim keeps the stored support a (possibly
+// stale-covering) superset of the surviving rows, and the object stays
+// exactly one R-tree entry.
+func TestSupportSurvivesRingTrim(t *testing.T) {
+	db := testDB(t)
+	paperFloor(t, db)
+	if err := db.RegisterSensor("s1", ubiSpec()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3*maxReadingsPerObject; i++ {
+		err := db.InsertReading(model.Reading{
+			SensorID:  "s1",
+			MObjectID: "walker",
+			Location: glob.CoordinatePoint(glob.MustParse("CS/Floor3"),
+				geom.Pt(float64(i%400), 10)),
+			Time: t0.Add(time.Duration(i) * time.Second),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkSupportInvariant(t, db)
+	for _, sh := range db.allShards() {
+		tbl := sh.table.Load()
+		if n := len(tbl.rows["walker"]); n > 0 {
+			if tbl.support.Len() != 1 {
+				t.Fatalf("support tree has %d entries, want 1", tbl.support.Len())
+			}
+			if n > maxReadingsPerObject {
+				t.Fatalf("trim failed: %d rows stored", n)
+			}
+		}
+	}
+	if ids := candidateIDs(db, geom.R(0, 0, 500, 100)); !ids["walker"] {
+		t.Fatal("walker lost its support entry across trims")
+	}
+}
+
+// TestSupportCandidatesSorted pins the deterministic ordering the
+// heatmap's index-addressed merge depends on.
+func TestSupportCandidatesSorted(t *testing.T) {
+	db := multiFloorDB(t, 3)
+	if err := db.RegisterSensor("s1", longSpec()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		obj := fmt.Sprintf("p%d", 8-i) // insert in reverse name order
+		if err := db.InsertReading(floorReading("s1", obj, 1+i%3, float64(20+i*40), 50, t0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := db.Snapshot()
+	defer snap.Close()
+	cands := snap.SupportCandidates(db.Universe())
+	if len(cands) != 9 {
+		t.Fatalf("candidates = %d, want 9", len(cands))
+	}
+	for i := 1; i < len(cands); i++ {
+		if cands[i-1].ID >= cands[i].ID {
+			t.Fatalf("candidates not sorted: %q before %q", cands[i-1].ID, cands[i].ID)
+		}
+	}
+}
